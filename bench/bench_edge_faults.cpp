@@ -1,0 +1,59 @@
+// Experiment E5 — Tseng et al.'s edge-fault theorem: S_n with
+// |Fe| <= n-3 edge faults embeds a ring of the FULL length n!
+// (worst-case optimal, since n-2 faulty links at one vertex could
+// leave it degree 1).
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/tseng.hpp"
+#include "core/verify.hpp"
+#include "fault/generators.hpp"
+
+using namespace starring;
+
+int main(int argc, char** argv) {
+  const int max_n = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int trials = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  std::printf("E5: edge-fault ring embedding — full n! despite |Fe| <= n-3\n");
+  std::printf("%3s %4s %-10s %10s %10s %6s\n", "n", "|Fe|", "shape", "n!",
+              "achieved", "ok");
+
+  bool all_ok = true;
+  for (int n = 4; n <= max_n; ++n) {
+    const StarGraph g(n);
+    for (int ne = 1; ne <= n - 3; ++ne) {
+      struct Shape {
+        const char* name;
+        bool clustered;
+      } shapes[] = {{"random", false}, {"one-vertex", true}};
+      for (const auto& shape : shapes) {
+        if (shape.clustered && ne > n - 1) continue;
+        int ok = 0;
+        std::uint64_t achieved = 0;
+        for (int t = 0; t < trials; ++t) {
+          const auto seed = static_cast<std::uint64_t>(t);
+          const FaultSet f = shape.clustered
+                                 ? clustered_edge_faults(g, ne, seed)
+                                 : random_edge_faults(g, ne, seed);
+          const auto res = tseng_edge_fault_ring(g, f);
+          if (!res) continue;
+          const auto rep = verify_healthy_ring(g, f, res->ring);
+          if (rep.valid && rep.length == factorial(n)) {
+            ++ok;
+            achieved = rep.length;
+          }
+        }
+        std::printf("%3d %4d %-10s %10llu %10llu %3d/%-2d\n", n, ne,
+                    shape.name,
+                    static_cast<unsigned long long>(factorial(n)),
+                    static_cast<unsigned long long>(achieved), ok, trials);
+        all_ok &= ok == trials;
+      }
+    }
+  }
+  std::printf("\n%s\n", all_ok ? "RESULT: full-length ring on every "
+                                 "edge-fault instance (Tseng'97 reproduced)"
+                               : "RESULT: some edge-fault instances FAILED");
+  return all_ok ? 0 : 1;
+}

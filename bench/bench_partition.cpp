@@ -1,0 +1,56 @@
+// Experiment E8 — Lemma 2 cost and quality (google-benchmark), plus the
+// splitting-heuristic ablation: first-splitting (the paper's arbitrary
+// choice) vs max-splitting (greedy group maximization).
+#include <benchmark/benchmark.h>
+
+#include "core/partition_selector.hpp"
+#include "fault/generators.hpp"
+#include "stargraph/star_graph.hpp"
+
+using namespace starring;
+
+namespace {
+
+void BM_SelectPositions(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto heur = static_cast<SplitHeuristic>(state.range(1));
+  const StarGraph g(n);
+  const FaultSet f = random_vertex_faults(g, n - 3, 7);
+  int worst = 0;
+  for (auto _ : state) {
+    const auto sel = select_partition_positions(n, f, heur);
+    worst = std::max(worst, sel.max_faults_per_block);
+    benchmark::DoNotOptimize(sel.positions.data());
+  }
+  state.counters["max_faults_per_block"] = worst;
+}
+BENCHMARK(BM_SelectPositions)
+    ->ArgsProduct({{5, 6, 7, 8, 9, 10},
+                   {static_cast<long>(SplitHeuristic::kFirstSplitting),
+                    static_cast<long>(SplitHeuristic::kMaxSplitting)}});
+
+void BM_SelectPathologicalPrefix(benchmark::State& state) {
+  // Faults agreeing on a long prefix: the worst case for the scan.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Perm> faults;
+  std::vector<int> base(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) base[static_cast<std::size_t>(i)] = i;
+  for (int k = 0; k < n - 3; ++k) {
+    auto v = base;
+    // Permute only the trailing three slots, differently per fault.
+    std::rotate(v.end() - 3, v.end() - 3 + (k % 3), v.end());
+    if (k >= 3) std::swap(v[static_cast<std::size_t>(n - 1)],
+                          v[static_cast<std::size_t>(n - 3)]);
+    faults.push_back(Perm::of(v));
+  }
+  for (auto _ : state) {
+    const auto sel = select_positions_for(n, faults, n - 4,
+                                          SplitHeuristic::kMaxSplitting);
+    benchmark::DoNotOptimize(sel.effective_splits);
+  }
+}
+BENCHMARK(BM_SelectPathologicalPrefix)->DenseRange(6, 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Experiment E11 — routing substrate characterization
+// (google-benchmark): the closed-form distance vs route generation vs
+// fault-tolerant BFS, and single-port broadcast round counts.
+#include <benchmark/benchmark.h>
+
+#include "fault/generators.hpp"
+#include "routing/routing.hpp"
+
+using namespace starring;
+
+namespace {
+
+void BM_StarDistance(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const StarGraph g(n);
+  VertexId id = 1;
+  for (auto _ : state) {
+    id = (id * 2654435761u + 1) % g.num_vertices();
+    benchmark::DoNotOptimize(star_distance(g.vertex(id)));
+  }
+}
+BENCHMARK(BM_StarDistance)->DenseRange(6, 12, 2);
+
+void BM_ShortestRoute(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const StarGraph g(n);
+  VertexId id = 1;
+  for (auto _ : state) {
+    id = (id * 2654435761u + 1) % g.num_vertices();
+    auto route = shortest_route(Perm::identity(n), g.vertex(id));
+    benchmark::DoNotOptimize(route.data());
+  }
+}
+BENCHMARK(BM_ShortestRoute)->DenseRange(6, 12, 2);
+
+void BM_FaultTolerantRoute(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const StarGraph g(n);
+  const FaultSet f = random_vertex_faults(g, n - 3, 3);
+  Perm s = Perm::identity(n);
+  while (f.vertex_faulty(s)) s = s.star_move(1).star_move(2);
+  VertexId id = 1;
+  for (auto _ : state) {
+    id = (id * 2654435761u + 7) % g.num_vertices();
+    Perm t = g.vertex(id);
+    if (f.vertex_faulty(t)) t = s.star_move(1);
+    auto route = fault_tolerant_route(g, f, s, t);
+    benchmark::DoNotOptimize(route);
+  }
+}
+BENCHMARK(BM_FaultTolerantRoute)->DenseRange(5, 7);
+
+void BM_BroadcastSchedule(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const StarGraph g(n);
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    const auto sched = broadcast_schedule(g, Perm::identity(n));
+    rounds = sched.num_rounds();
+    benchmark::DoNotOptimize(rounds);
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  int lower = 0;
+  while ((1ULL << lower) < g.num_vertices()) ++lower;
+  state.counters["log2_lower_bound"] = lower;
+}
+BENCHMARK(BM_BroadcastSchedule)->DenseRange(4, 7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Experiment E14 — star graph vs hypercube under faults.
+//
+// The paper's opening claim: the star graph is "an attractive
+// alternative to the hypercube".  This harness puts the two
+// fault-tolerant ring results side by side at comparable machine
+// sizes — S_7 (5040 nodes, degree 6) vs Q_12 (4096 nodes, degree 12),
+// and S_8 (40320, degree 7) vs Q_15 (32768, degree 15):
+//   * both lose exactly 2 ring slots per fault inside their regimes
+//     (bipartite optimality on both sides),
+//   * but the star graph's regime (|Fv| <= n-3) is reached with half
+//     the links per node, and its degree grows sub-logarithmically in
+//     machine size — the paper's argument, quantified.
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+#include "core/ring_embedder.hpp"
+#include "core/verify.hpp"
+#include "fault/generators.hpp"
+#include "hypercube/hypercube.hpp"
+
+using namespace starring;
+
+namespace {
+
+CubeFaults cube_faults(int n, int count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> dist(0, (1u << n) - 1);
+  CubeFaults f;
+  while (static_cast<int>(f.size()) < count) f.insert(dist(rng));
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 3;
+  struct Pairing {
+    int star_n;
+    int cube_n;
+  } pairings[] = {{7, 12}, {8, 15}};
+
+  std::printf("E14: ring degradation, star graph vs hypercube\n");
+  std::printf("%6s %7s %8s | %6s %7s %8s | %6s\n", "S_n", "nodes", "degree",
+              "Q_n", "nodes", "degree", "faults");
+  bool ok = true;
+  for (const auto& pair : pairings) {
+    const StarGraph g(pair.star_n);
+    const Hypercube q(pair.cube_n);
+    std::printf("%6d %7llu %8d | %6d %7u %8d |\n", pair.star_n,
+                static_cast<unsigned long long>(g.num_vertices()), g.degree(),
+                pair.cube_n, q.num_vertices(), q.degree());
+    std::printf("   %6s %14s %14s %16s %16s\n", "f", "star_ring",
+                "cube_ring", "star_loss_frac", "cube_loss_frac");
+    const int max_f = pair.star_n - 3;  // the star regime (the smaller)
+    for (int f = 0; f <= max_f; ++f) {
+      std::uint64_t star_len = 0;
+      std::uint64_t cube_len = 0;
+      for (int t = 0; t < trials; ++t) {
+        const auto seed = static_cast<std::uint64_t>(t);
+        const FaultSet sf = random_vertex_faults(g, f, seed);
+        const auto sring = embed_longest_ring(g, sf);
+        if (!sring || !verify_healthy_ring(g, sf, sring->ring).valid) {
+          ok = false;
+          continue;
+        }
+        star_len += sring->ring.size();
+        const CubeFaults cf = cube_faults(pair.cube_n, f, seed);
+        const auto cring = embed_hypercube_ring(pair.cube_n, cf);
+        if (!cring || !verify_hypercube_ring(pair.cube_n, cf, *cring)) {
+          ok = false;
+          continue;
+        }
+        cube_len += cring->size();
+      }
+      const auto tr = static_cast<std::uint64_t>(trials);
+      const double sl =
+          1.0 - static_cast<double>(star_len / tr) /
+                    static_cast<double>(g.num_vertices());
+      const double cl = 1.0 - static_cast<double>(cube_len / tr) /
+                                  static_cast<double>(q.num_vertices());
+      std::printf("   %6d %14llu %14llu %16.6f %16.6f\n", f,
+                  static_cast<unsigned long long>(star_len / tr),
+                  static_cast<unsigned long long>(cube_len / tr), sl, cl);
+    }
+  }
+  std::printf("\nboth topologies lose exactly 2 ring slots per fault "
+              "(bipartite optimum);\nthe star graph does it with %s the "
+              "degree at comparable size — the paper's premise.\n",
+              "roughly half");
+  std::printf("RESULT: %s\n", ok ? "all embeddings verified"
+                                 : "some embeddings FAILED");
+  return ok ? 0 : 1;
+}

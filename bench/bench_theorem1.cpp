@@ -1,0 +1,91 @@
+// Experiment E1 — Theorem 1: S_n with |Fv| <= n-3 vertex faults embeds
+// a healthy ring of length exactly n! - 2|Fv|.
+//
+// For every n and fault count, across several seeds and three fault
+// shapes, the harness embeds, verifies independently, and reports the
+// achieved length against the theorem's promise.  Columns mirror what a
+// results table in the paper would have shown.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/ring_embedder.hpp"
+#include "core/verify.hpp"
+#include "fault/generators.hpp"
+
+using namespace starring;
+
+namespace {
+
+struct Row {
+  int n;
+  int nf;
+  const char* shape;
+  int trials = 0;
+  int ok = 0;
+  std::uint64_t promise = 0;
+  std::uint64_t achieved_min = ~0ULL;
+  std::uint64_t achieved_max = 0;
+  std::int64_t backtracks = 0;
+};
+
+void run_shape(Row& row, const StarGraph& g, const FaultSet& f) {
+  ++row.trials;
+  const auto res = embed_longest_ring(g, f);
+  if (!res) return;
+  const auto rep = verify_healthy_ring(g, f, res->ring);
+  if (!rep.valid) return;
+  row.achieved_min = std::min(row.achieved_min, rep.length);
+  row.achieved_max = std::max(row.achieved_max, rep.length);
+  row.backtracks += res->stats.backtracks;
+  if (rep.length == row.promise) ++row.ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_n = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int trials = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  std::printf("E1: Theorem 1 — ring length n! - 2|Fv| (|Fv| <= n-3)\n");
+  std::printf("%3s %4s %-12s %10s %10s %10s %6s %10s\n", "n", "|Fv|", "shape",
+              "promise", "min", "max", "ok", "backtracks");
+
+  bool all_ok = true;
+  for (int n = 4; n <= max_n; ++n) {
+    const StarGraph g(n);
+    for (int nf = 0; nf <= n - 3; ++nf) {
+      struct {
+        const char* name;
+        FaultSet (*gen)(const StarGraph&, int, std::uint64_t);
+      } shapes[] = {
+          {"random", &random_vertex_faults},
+          {"same-parity",
+           +[](const StarGraph& gg, int c, std::uint64_t s) {
+             return same_partite_vertex_faults(gg, c, 0, s);
+           }},
+          {"clustered", &clustered_neighbor_faults},
+      };
+      for (const auto& shape : shapes) {
+        if (nf == 0 && shape.name != shapes[0].name) continue;
+        Row row{n, nf, shape.name};
+        row.promise = expected_ring_length(n, static_cast<std::size_t>(nf));
+        for (int t = 0; t < trials; ++t)
+          run_shape(row, g, shape.gen(g, nf, static_cast<std::uint64_t>(t)));
+        std::printf("%3d %4d %-12s %10llu %10llu %10llu %3d/%-2d %10lld\n",
+                    n, nf, shape.name,
+                    static_cast<unsigned long long>(row.promise),
+                    static_cast<unsigned long long>(
+                        row.ok ? row.achieved_min : 0),
+                    static_cast<unsigned long long>(row.achieved_max),
+                    row.ok, row.trials,
+                    static_cast<long long>(row.backtracks));
+        if (row.ok != row.trials) all_ok = false;
+      }
+    }
+  }
+  std::printf("\n%s\n", all_ok
+                            ? "RESULT: every instance met the theorem's "
+                              "length exactly (paper reproduced)"
+                            : "RESULT: some instances MISSED the promise");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,203 @@
+// Embedding explorer: a small CLI for poking at the construction.
+//
+//   $ ./embedding_explorer ring  <n> <faults...>       embed with the given
+//                                                      faulty vertices
+//   $ ./embedding_explorer path  <n> <fault>           show Lemma 4 paths in
+//                                                      S_4 around one fault
+//   $ ./embedding_explorer super <n> <num_faults>      print the R_4 block
+//                                                      ring structure
+//   $ ./embedding_explorer save  <n> <file> <faults..> embed and write the
+//                                                      artefact to disk
+//   $ ./embedding_explorer check <file>                load and re-verify a
+//                                                      saved embedding
+//
+// Faulty vertices are given 1-based, e.g. "2134".
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/block_oracle.hpp"
+#include "core/partition_selector.hpp"
+#include "core/ring_embedder.hpp"
+#include "core/super_ring.hpp"
+#include "core/verify.hpp"
+#include "fault/generators.hpp"
+#include "util/io.hpp"
+
+namespace {
+
+using namespace starring;
+
+std::optional<Perm> parse_perm(const std::string& s, int n) {
+  if (static_cast<int>(s.size()) != n) return std::nullopt;
+  std::vector<int> syms;
+  std::uint32_t seen = 0;
+  for (char c : s) {
+    const int v = c - '1';
+    if (v < 0 || v >= n || (seen >> v) & 1u) return std::nullopt;
+    seen |= 1u << v;
+    syms.push_back(v);
+  }
+  return Perm::of(syms);
+}
+
+int cmd_ring(int n, const std::vector<std::string>& fault_strs) {
+  const StarGraph g(n);
+  FaultSet faults;
+  for (const auto& s : fault_strs) {
+    const auto p = parse_perm(s, n);
+    if (!p) {
+      std::cerr << "bad vertex '" << s << "' (want a permutation of 1.." << n
+                << ")\n";
+      return 1;
+    }
+    faults.add_vertex(*p);
+  }
+  const auto res = embed_longest_ring(g, faults);
+  if (!res) {
+    std::cerr << "no embedding found\n";
+    return 1;
+  }
+  const auto rep = verify_healthy_ring(g, faults, res->ring);
+  std::cout << "ring length " << rep.length << " ("
+            << (rep.valid ? "verified" : rep.error) << ")\n";
+  for (std::size_t i = 0; i < res->ring.size(); ++i) {
+    std::cout << g.vertex(res->ring[i]).to_string()
+              << (i + 1 == res->ring.size() ? "\n" : " ");
+    if (i % 12 == 11) std::cout << "\n ";
+  }
+  return rep.valid ? 0 : 1;
+}
+
+int cmd_path(const std::string& fault_str) {
+  const auto f = parse_perm(fault_str, 4);
+  if (!f) {
+    std::cerr << "bad S_4 vertex '" << fault_str << "'\n";
+    return 1;
+  }
+  BlockOracle oracle;
+  const auto flocal = static_cast<int>(f->rank());
+  std::cout << "Lemma 4 in S_4 with fault " << f->to_string()
+            << ": healthy 22-vertex paths between adjacent healthy pairs\n";
+  int shown = 0;
+  for (int u = 0; u < 24 && shown < 3; ++u) {
+    if (u == flocal) continue;
+    for (int dim = 1; dim < 4 && shown < 3; ++dim) {
+      const Perm pu = Perm::unrank(static_cast<VertexId>(u), 4);
+      const Perm pv = pu.star_move(dim);
+      const int v = static_cast<int>(pv.rank());
+      if (v == flocal || v < u) continue;
+      const auto path = oracle.find_path(u, v, 1u << flocal, 22);
+      if (!path) continue;
+      ++shown;
+      std::cout << "  " << pu.to_string() << " .. " << pv.to_string() << ": ";
+      for (int x : *path)
+        std::cout << Perm::unrank(static_cast<VertexId>(x), 4).to_string()
+                  << ' ';
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_super(int n, int nf) {
+  const StarGraph g(n);
+  const FaultSet faults = random_vertex_faults(g, nf, 7);
+  const auto sel = select_partition_positions(n, faults);
+  std::cout << "partition positions (1-based):";
+  for (int p : sel.positions) std::cout << ' ' << (p + 1);
+  std::cout << "  max faults/block " << sel.max_faults_per_block << "\n";
+  const auto sr = build_block_ring(n, sel.positions, faults);
+  if (!sr) {
+    std::cerr << "super-ring construction failed\n";
+    return 1;
+  }
+  std::cout << "R_4 with " << sr->ring.size() << " blocks:\n";
+  for (std::size_t k = 0; k < std::min<std::size_t>(sr->ring.size(), 20);
+       ++k) {
+    const int nf_here = faults_in_pattern(sr->ring[k], faults);
+    std::cout << "  [" << k << "] " << sr->ring[k].to_string()
+              << (nf_here ? "  <- faulty" : "") << "\n";
+  }
+  if (sr->ring.size() > 20)
+    std::cout << "  ... (" << sr->ring.size() - 20 << " more)\n";
+  return 0;
+}
+
+int cmd_save(int n, const std::string& file,
+             const std::vector<std::string>& fault_strs) {
+  const StarGraph g(n);
+  EmbeddingFile e;
+  e.n = n;
+  for (const auto& s : fault_strs) {
+    const auto p = parse_perm(s, n);
+    if (!p) {
+      std::cerr << "bad vertex '" << s << "'\n";
+      return 1;
+    }
+    e.faults.add_vertex(*p);
+  }
+  const auto res = embed_longest_ring(g, e.faults);
+  if (!res) {
+    std::cerr << "no embedding found\n";
+    return 1;
+  }
+  e.sequence = res->ring;
+  std::ofstream os(file);
+  if (!os || !write_embedding(os, e)) {
+    std::cerr << "cannot write " << file << "\n";
+    return 1;
+  }
+  std::cout << "wrote ring of length " << e.sequence.size() << " to " << file
+            << "\n";
+  return 0;
+}
+
+int cmd_check(const std::string& file) {
+  std::ifstream is(file);
+  if (!is) {
+    std::cerr << "cannot open " << file << "\n";
+    return 1;
+  }
+  std::string err;
+  const auto e = read_embedding(is, &err);
+  if (!e) {
+    std::cerr << "parse error: " << err << "\n";
+    return 1;
+  }
+  const StarGraph g(e->n);
+  const auto rep = e->is_ring
+                       ? verify_healthy_ring(g, e->faults, e->sequence)
+                       : verify_healthy_path(g, e->faults, e->sequence);
+  std::cout << (e->is_ring ? "ring" : "path") << " of length " << rep.length
+            << " in S_" << e->n << " with "
+            << e->faults.num_vertex_faults() << "+"
+            << e->faults.num_edge_faults() << " faults: "
+            << (rep.valid ? "VALID" : "INVALID (" + rep.error + ")") << "\n";
+  return rep.valid ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: embedding_explorer ring|path|super ...\n";
+    return 1;
+  }
+  if (args[0] == "ring" && args.size() >= 2) {
+    return cmd_ring(std::atoi(args[1].c_str()),
+                    {args.begin() + 2, args.end()});
+  }
+  if (args[0] == "path" && args.size() == 2) return cmd_path(args[1]);
+  if (args[0] == "super" && args.size() == 3)
+    return cmd_super(std::atoi(args[1].c_str()), std::atoi(args[2].c_str()));
+  if (args[0] == "save" && args.size() >= 3)
+    return cmd_save(std::atoi(args[1].c_str()), args[2],
+                    {args.begin() + 3, args.end()});
+  if (args[0] == "check" && args.size() == 2) return cmd_check(args[1]);
+  std::cerr << "unrecognized command\n";
+  return 1;
+}

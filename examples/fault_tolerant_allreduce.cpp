@@ -1,0 +1,61 @@
+// Fault-tolerant all-reduce on a star-graph multiprocessor.
+//
+//   $ ./fault_tolerant_allreduce [n] [num_faults]
+//
+// The scenario the paper's introduction motivates: a ring-structured
+// collective must keep running after processors fail.  We embed rings
+// with this paper's construction and with the Tseng et al. baseline,
+// then simulate a ring all-reduce on both and report how much useful
+// parallelism each embedding preserves.
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "baselines/tseng.hpp"
+#include "core/ring_embedder.hpp"
+#include "core/verify.hpp"
+#include "fault/generators.hpp"
+#include "sim/ring_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace starring;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 7;
+  const int max_f = argc > 2 ? std::atoi(argv[2]) : n - 3;
+  const StarGraph g(n);
+
+  std::cout << "ring all-reduce on S_" << n << " (" << g.num_vertices()
+            << " processors), message 4 KiB\n\n";
+  std::cout << std::setw(8) << "faults" << std::setw(14) << "ours(len)"
+            << std::setw(16) << "baseline(len)" << std::setw(16)
+            << "ours(us)" << std::setw(16) << "baseline(us)" << std::setw(16)
+            << "ours(par/us)" << "\n";
+
+  SimParams params;
+  for (int nf = 0; nf <= max_f; ++nf) {
+    const FaultSet faults = random_vertex_faults(g, nf, 1000 + nf);
+    const auto ours = embed_longest_ring(g, faults);
+    const auto base = tseng_vertex_fault_ring(g, faults);
+    if (!ours || !base) {
+      std::cerr << "embedding failed at nf=" << nf << "\n";
+      return 1;
+    }
+    if (!verify_healthy_ring(g, faults, ours->ring).valid ||
+        !verify_healthy_ring(g, faults, base->ring).valid) {
+      std::cerr << "verification failed at nf=" << nf << "\n";
+      return 1;
+    }
+    RingNetworkSim sim_ours(ours->ring, params);
+    RingNetworkSim sim_base(base->ring, params);
+    const auto mo = sim_ours.run_allreduce();
+    const auto mb = sim_base.run_allreduce();
+    std::cout << std::setw(8) << nf << std::setw(14) << ours->ring.size()
+              << std::setw(16) << base->ring.size() << std::setw(16)
+              << std::fixed << std::setprecision(1) << mo.completion_time_us
+              << std::setw(16) << mb.completion_time_us << std::setw(16)
+              << std::setprecision(4) << mo.participants_per_us << "\n";
+  }
+  std::cout << "\nlonger embedded rings keep more healthy processors in the "
+               "collective;\nthe paper's n!-2f construction dominates the "
+               "n!-4f baseline at every fault count.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Baseline: Latifi & Bagherzadeh, "Hamiltonicity of the clustered-star
+// graph with embedding applications" (PDPTA 1996).
+//
+// Their result: if every vertex fault lies inside one embedded S_m
+// (m minimal), S_n embeds a healthy ring of length n! - m! — the whole
+// faulty substar is excised and the remainder (the "clustered star") is
+// shown Hamiltonian.  The gap to this paper's n! - 2|Fv| is dramatic
+// when the faults do not cluster: scattered faults force m = n and the
+// method yields nothing, while |Fv| clustered faults with
+// |Fv| <= (n-3) cost m! >= |Fv| vertices instead of 2|Fv|.
+#pragma once
+
+#include <optional>
+
+#include "core/ring_embedder.hpp"
+
+namespace starring {
+
+struct LatifiResult {
+  EmbedResult embed;
+  /// Dimension of the excised substar (ring length == n! - m!).
+  int m = 0;
+};
+
+/// Minimal substar dimension m such that one embedded S_m contains all
+/// vertex faults (always >= 2; a lone fault still costs a 2-substar
+/// because rings in a bipartite graph lose vertices in pairs).
+/// Returns n when the faults span the whole graph (method degenerates).
+int minimal_enclosing_substar_dim(const StarGraph& g, const FaultSet& faults);
+
+/// Embed the n! - m! ring.  Returns nullopt when the faults span the
+/// whole graph (m == n: scattered faults defeat the method), when n < 5,
+/// or when `faults` has edge faults.
+std::optional<LatifiResult> latifi_clustered_ring(const StarGraph& g,
+                                                  const FaultSet& faults,
+                                                  const EmbedOptions& opts = {});
+
+}  // namespace starring

@@ -1,0 +1,50 @@
+#include "core/block_oracle.hpp"
+
+#include <cassert>
+
+#include "perm/permutation.hpp"
+#include "stargraph/substar.hpp"
+
+namespace starring {
+
+BlockOracle::BlockOracle() : graph_(kBlockSize) {
+  // Materialize the abstract block graph from the one canonical S_4:
+  // the whole pattern of n = 4 (free positions 0..3, local index =
+  // Lehmer rank).  Every embedded S_4 block of every S_n has this exact
+  // local structure.
+  const SubstarPattern s4 = SubstarPattern::whole(4);
+  const SmallGraph g = s4.block_graph();
+  for (int u = 0; u < kBlockSize; ++u)
+    for (int v = u + 1; v < kBlockSize; ++v)
+      if (g.has_edge(u, v)) graph_.add_edge(u, v);
+  parity_.reserve(kBlockSize);
+  for (int k = 0; k < kBlockSize; ++k)
+    parity_.push_back(Perm::unrank(static_cast<VertexId>(k), 4).parity());
+}
+
+std::optional<std::vector<int>> BlockOracle::find_path(
+    int from, int to, std::uint32_t forbidden, int target_vertices,
+    std::span<const std::pair<int, int>> removed_edges) {
+  assert(from >= 0 && from < kBlockSize && to >= 0 && to < kBlockSize);
+  if (!removed_edges.empty()) {
+    // Rare (edge-fault experiments only): search an ad-hoc copy.
+    SmallGraph g = graph_;
+    for (const auto& [u, v] : removed_edges) g.remove_edge(u, v);
+    return path_with_exact_vertices(g, from, to, forbidden, target_vertices);
+  }
+  const std::uint64_t key = static_cast<std::uint64_t>(from) |
+                            (static_cast<std::uint64_t>(to) << 5) |
+                            (static_cast<std::uint64_t>(forbidden) << 10) |
+                            (static_cast<std::uint64_t>(target_vertices) << 34);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto result =
+      path_with_exact_vertices(graph_, from, to, forbidden, target_vertices);
+  cache_.emplace(key, result);
+  return result;
+}
+
+}  // namespace starring

@@ -1,0 +1,65 @@
+// In-block path oracle for S_4 blocks.
+//
+// After the (a_1, ..., a_{n-4})-partition, every block is an embedded
+// S_4 with 24 vertices.  The paper's Lemmas 4, 5 and 6 construct, by
+// case analysis, (i) Hamiltonian paths through healthy blocks and
+// (ii) healthy paths of length 4!-3 = 21 through blocks holding one
+// fault, both with prescribed entry and exit vertices.  We replace the
+// case analysis by exhaustive search: 24-vertex searches are
+// microseconds, every block of every S_n maps to the SAME abstract
+// 24-vertex graph (local Lehmer indices over the free positions), and a
+// global memo over (entry, exit, fault-mask, target) makes repeated
+// queries O(1).  This is strictly stronger than the paper's
+// construction — it finds a path whenever one exists — while the
+// verifier (core/verify.hpp) keeps the results honest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace starring {
+
+class BlockOracle {
+ public:
+  static constexpr int kBlockSize = 24;  // 4!
+
+  BlockOracle();
+
+  /// The canonical abstract S_4 block graph (identical for every
+  /// embedded S_4 of every S_n under local Lehmer indexing).
+  const SmallGraph& graph() const { return graph_; }
+
+  /// Parity of the local arrangement with Lehmer index k, as a
+  /// permutation of four symbols.  The parity of the real vertex is
+  /// this XOR the parity of the block's base member.
+  int local_parity(int k) const { return parity_[static_cast<std::size_t>(k)]; }
+
+  /// A path from local vertex `from` to `to` visiting exactly
+  /// `target_vertices` vertices, avoiding vertices in `forbidden`
+  /// (bitmask) and the undirected local edges in `removed_edges`.
+  /// Results for the common removed_edges-empty case are memoized
+  /// globally.  Returns nullopt when no such path exists.
+  std::optional<std::vector<int>> find_path(
+      int from, int to, std::uint32_t forbidden, int target_vertices,
+      std::span<const std::pair<int, int>> removed_edges = {});
+
+  /// Memo statistics (for the ablation bench).
+  std::size_t cache_hits() const { return hits_; }
+  std::size_t cache_misses() const { return misses_; }
+
+ private:
+  SmallGraph graph_;
+  std::vector<int> parity_;
+  // Key packs (from, to, forbidden, target): 5+5+24+5 bits.
+  std::unordered_map<std::uint64_t, std::optional<std::vector<int>>> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace starring

@@ -1,0 +1,368 @@
+#include "core/chaining.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <unordered_map>
+
+#include "core/block_oracle.hpp"
+#include "util/parallel.hpp"
+
+namespace starring {
+
+namespace {
+
+struct ExitCandidate {
+  int y = -1;        // local index of the exit member in this block
+  int partner = -1;  // local index of the entry it forces in the next block
+};
+
+struct BlockInfo {
+  std::uint32_t fault_mask = 0;    // local indices of vertex faults
+  std::uint32_t excised_mask = 0;  // healthy vertices skipped by design
+  int target = BlockOracle::kBlockSize;
+  std::vector<std::pair<int, int>> removed_edges;  // in-block edge faults
+  std::vector<ExitCandidate> exits;
+
+  std::uint32_t forbidden() const { return fault_mask | excised_mask; }
+};
+
+/// Pack the symbols a permutation shows at the blocks' fixed positions;
+/// equal signature <=> same block.
+std::uint64_t signature(const Perm& p, const std::vector<int>& fixed_pos) {
+  std::uint64_t sig = 0;
+  for (const int i : fixed_pos)
+    sig = (sig << 4) | static_cast<std::uint64_t>(p.get(i));
+  return sig;
+}
+
+std::uint64_t signature(const SubstarPattern& pat,
+                        const std::vector<int>& fixed_pos) {
+  std::uint64_t sig = 0;
+  for (const int i : fixed_pos)
+    sig = (sig << 4) | static_cast<std::uint64_t>(pat.slot(i));
+  return sig;
+}
+
+/// Locate vertex faults, in-block edge faults, and the optional excised
+/// substar inside the blocks; fill per-block targets.  Returns nullopt
+/// when some block is damaged beyond threading.
+std::optional<std::vector<BlockInfo>> build_block_infos(
+    const std::vector<SubstarPattern>& blocks_pat, const FaultSet& faults,
+    int per_fault_loss, const SubstarPattern* excise) {
+  const std::size_t m = blocks_pat.size();
+  std::vector<int> fixed_pos;
+  for (int i = 0; i < blocks_pat.front().n(); ++i)
+    if (!blocks_pat.front().is_free(i)) fixed_pos.push_back(i);
+
+  std::unordered_map<std::uint64_t, std::uint32_t> block_of;
+  block_of.reserve(m * 2);
+  for (std::size_t k = 0; k < m; ++k)
+    block_of.emplace(signature(blocks_pat[k], fixed_pos),
+                     static_cast<std::uint32_t>(k));
+
+  std::vector<BlockInfo> blocks(m);
+  for (const Perm& f : faults.vertex_faults()) {
+    const auto it = block_of.find(signature(f, fixed_pos));
+    if (it == block_of.end()) continue;  // excluded block (Latifi mode)
+    const std::size_t k = it->second;
+    blocks[k].fault_mask |= 1u << blocks_pat[k].local_index(f);
+  }
+  for (const EdgeFault& e : faults.edge_faults()) {
+    const auto iu = block_of.find(signature(e.u, fixed_pos));
+    if (iu == block_of.end()) continue;
+    const auto iv = block_of.find(signature(e.v, fixed_pos));
+    if (iv == block_of.end() || iu->second != iv->second) continue;
+    const std::size_t k = iu->second;
+    blocks[k].removed_edges.emplace_back(
+        static_cast<int>(blocks_pat[k].local_index(e.u)),
+        static_cast<int>(blocks_pat[k].local_index(e.v)));
+  }
+  if (excise != nullptr) {
+    const auto it = block_of.find(signature(excise->member(0), fixed_pos));
+    if (it == block_of.end()) return std::nullopt;
+    const std::size_t k = it->second;
+    for (const Perm& p : excise->members()) {
+      if (!blocks_pat[k].contains(p)) return std::nullopt;  // spans blocks
+      blocks[k].excised_mask |= 1u << blocks_pat[k].local_index(p);
+    }
+  }
+  for (auto& b : blocks) {
+    b.target = BlockOracle::kBlockSize -
+               per_fault_loss * std::popcount(b.fault_mask) -
+               std::popcount(b.excised_mask);
+    if (b.target < 2) return std::nullopt;  // block too damaged to thread
+  }
+  return blocks;
+}
+
+/// Enumerate the healthy crossings from block k to block knext.
+bool compute_exits(const std::vector<SubstarPattern>& blocks_pat,
+                   const std::vector<MemberExpander>& expand,
+                   std::vector<BlockInfo>& blocks, const FaultSet& faults,
+                   std::size_t k, std::size_t knext) {
+  const auto& a = blocks_pat[k];
+  const auto& next = blocks_pat[knext];
+  int p = -1;
+  const bool adj = SubstarPattern::adjacent(a, next, &p);
+  assert(adj);
+  if (!adj) return false;
+  const int b_sym = next.slot(p);
+  for (int y = 0; y < BlockOracle::kBlockSize; ++y) {
+    const Perm u = expand[k].member(static_cast<std::uint64_t>(y));
+    if (u.get(0) != b_sym) continue;
+    if ((blocks[k].forbidden() >> y) & 1u) continue;
+    const Perm v = u.star_move(p);
+    if (faults.vertex_faulty(v)) continue;
+    if (faults.edge_faulty(u, v)) continue;
+    const auto partner = static_cast<int>(expand[knext].local_index(v));
+    if ((blocks[knext].forbidden() >> partner) & 1u) continue;
+    blocks[k].exits.push_back({y, partner});
+  }
+  return !blocks[k].exits.empty();
+}
+
+/// The parity an exit must have given the entry parity and the block's
+/// vertex target (a path of T vertices uses T-1 parity-flipping edges).
+int required_exit_parity(const BlockOracle& oracle, int entry, int target) {
+  return oracle.local_parity(entry) ^ ((target - 1) & 1);
+}
+
+/// Emit the concatenated vertex ids for the chosen per-block paths.
+/// Offsets are exact, so blocks fill disjoint slices in parallel.
+std::vector<VertexId> emit(const std::vector<MemberExpander>& expand,
+                           const std::vector<std::vector<int>>& paths,
+                           unsigned threads) {
+  std::vector<std::size_t> offset(paths.size() + 1, 0);
+  for (std::size_t j = 0; j < paths.size(); ++j)
+    offset[j + 1] = offset[j] + paths[j].size();
+  std::vector<VertexId> out(offset.back());
+  parallel_for(0, expand.size(), threads, [&](std::size_t j) {
+    std::size_t at = offset[j];
+    for (const int local : paths[j])
+      out[at++] = expand[j].member(static_cast<std::uint64_t>(local)).rank();
+  });
+  return out;
+}
+
+/// Enumerate exits for every consecutive block pair in parallel;
+/// returns false when some block has no healthy crossing.
+bool compute_all_exits(const std::vector<SubstarPattern>& blocks_pat,
+                       const std::vector<MemberExpander>& expand,
+                       std::vector<BlockInfo>& blocks, const FaultSet& faults,
+                       bool cyclic, unsigned threads) {
+  const std::size_t m = blocks_pat.size();
+  const std::size_t pairs = cyclic ? m : m - 1;
+  std::vector<std::uint8_t> ok(pairs, 0);
+  parallel_for(0, pairs, threads, [&](std::size_t k) {
+    ok[k] = compute_exits(blocks_pat, expand, blocks, faults, k, (k + 1) % m)
+                ? 1
+                : 0;
+  });
+  for (const auto flag : ok)
+    if (!flag) return false;
+  return true;
+}
+
+std::vector<MemberExpander> make_expanders(
+    const std::vector<SubstarPattern>& blocks_pat) {
+  std::vector<MemberExpander> expand;
+  expand.reserve(blocks_pat.size());
+  for (const auto& pat : blocks_pat) expand.emplace_back(pat);
+  return expand;
+}
+
+}  // namespace
+
+std::optional<EmbedResult> chain_block_ring(const StarGraph& g,
+                                            const SuperRing& sr,
+                                            const FaultSet& faults,
+                                            const EmbedOptions& opts,
+                                            int per_fault_loss,
+                                            const SubstarPattern* excise) {
+  (void)g;
+  assert(per_fault_loss % 2 == 0 && per_fault_loss >= 2);
+  const auto& ring = sr.ring;
+  const std::size_t m = ring.size();
+  if (m < 3 || ring.front().r() != 4) return std::nullopt;
+
+  static thread_local BlockOracle oracle;
+
+  auto blocks_opt = build_block_infos(ring, faults, per_fault_loss, excise);
+  if (!blocks_opt) return std::nullopt;
+  std::vector<BlockInfo>& blocks = *blocks_opt;
+  const std::vector<MemberExpander> expand = make_expanders(ring);
+  if (!compute_all_exits(ring, expand, blocks, faults, /*cyclic=*/true,
+                         opts.effective_threads()))
+    return std::nullopt;
+
+  EmbedStats stats;
+  stats.num_blocks = m;
+  for (const auto& b : blocks)
+    if (b.fault_mask != 0) ++stats.faulty_blocks;
+
+  std::vector<std::uint32_t> failed(m);
+  std::vector<std::size_t> exit_idx(m);
+  std::vector<std::vector<int>> paths(m);
+  std::vector<int> entry(m);
+
+  for (const ExitCandidate& closure : blocks[m - 1].exits) {
+    ++stats.closure_attempts;
+    std::fill(failed.begin(), failed.end(), 0u);
+    std::size_t k = 0;
+    entry[0] = closure.partner;
+    exit_idx[0] = 0;
+    std::int64_t backtracks = 0;
+    bool aborted = false;
+    while (k < m && !aborted) {
+      BlockInfo& blk = blocks[k];
+      bool advanced = false;
+      while (!advanced) {
+        const ExitCandidate* cand = nullptr;
+        if (k == m - 1) {
+          if (exit_idx[k] == 0) {
+            cand = &closure;
+            exit_idx[k] = 1;
+          } else {
+            break;
+          }
+        } else {
+          if (exit_idx[k] >= blk.exits.size()) break;
+          cand = &blk.exits[exit_idx[k]++];
+        }
+        if (cand->y == entry[k]) continue;
+        if (oracle.local_parity(cand->y) !=
+            required_exit_parity(oracle, entry[k], blk.target))
+          continue;
+        if (k + 1 < m && ((failed[k + 1] >> cand->partner) & 1u)) continue;
+        auto path = oracle.find_path(entry[k], cand->y, blk.forbidden(),
+                                     blk.target, blk.removed_edges);
+        if (!path) continue;
+        paths[k] = std::move(*path);
+        if (k + 1 < m) {
+          entry[k + 1] = cand->partner;
+          exit_idx[k + 1] = 0;
+        }
+        ++k;
+        advanced = true;
+      }
+      if (!advanced) {
+        failed[k] |= 1u << entry[k];
+        if (k == 0) break;  // this closure cannot work
+        --k;
+        ++backtracks;
+        ++stats.backtracks;
+        if (backtracks > opts.backtrack_budget) aborted = true;
+      }
+    }
+    if (k == m) {
+      EmbedResult res;
+      res.ring = emit(expand, paths, opts.effective_threads());
+      res.stats = stats;
+      return res;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<EmbedResult> chain_block_path(const StarGraph& g,
+                                            const SuperRing& sp,
+                                            const FaultSet& faults,
+                                            const EmbedOptions& opts,
+                                            const Perm& s, const Perm& t,
+                                            int short_block,
+                                            int per_fault_loss) {
+  (void)g;
+  assert(per_fault_loss % 2 == 0 && per_fault_loss >= 2);
+  const auto& chain = sp.ring;
+  const std::size_t m = chain.size();
+  if (m < 2 || chain.front().r() != 4) return std::nullopt;
+  if (!chain.front().contains(s) || !chain.back().contains(t))
+    return std::nullopt;
+  if (faults.vertex_faulty(s) || faults.vertex_faulty(t)) return std::nullopt;
+
+  static thread_local BlockOracle oracle;
+
+  auto blocks_opt = build_block_infos(chain, faults, per_fault_loss, nullptr);
+  if (!blocks_opt) return std::nullopt;
+  std::vector<BlockInfo>& blocks = *blocks_opt;
+  const std::vector<MemberExpander> expand = make_expanders(chain);
+  if (m >= 2 && !compute_all_exits(chain, expand, blocks, faults,
+                                   /*cyclic=*/false,
+                                   opts.effective_threads()))
+    return std::nullopt;
+
+  if (short_block >= 0 && short_block < static_cast<int>(m)) {
+    BlockInfo& blk = blocks[static_cast<std::size_t>(short_block)];
+    blk.target -= 1;
+    if (blk.target < 1) return std::nullopt;
+  }
+
+  const int s_local = static_cast<int>(chain.front().local_index(s));
+  const int t_local = static_cast<int>(chain.back().local_index(t));
+  const ExitCandidate final_exit{t_local, -1};
+
+  EmbedStats stats;
+  stats.num_blocks = m;
+  for (const auto& b : blocks)
+    if (b.fault_mask != 0) ++stats.faulty_blocks;
+
+  std::vector<std::uint32_t> failed(m, 0u);
+  std::vector<std::size_t> exit_idx(m);
+  std::vector<std::vector<int>> paths(m);
+  std::vector<int> entry(m);
+
+  std::size_t k = 0;
+  entry[0] = s_local;
+  exit_idx[0] = 0;
+  std::int64_t backtracks = 0;
+  while (k < m) {
+    BlockInfo& blk = blocks[k];
+    bool advanced = false;
+    while (!advanced) {
+      const ExitCandidate* cand = nullptr;
+      if (k == m - 1) {
+        if (exit_idx[k] == 0) {
+          cand = &final_exit;
+          exit_idx[k] = 1;
+        } else {
+          break;
+        }
+      } else {
+        if (exit_idx[k] >= blk.exits.size()) break;
+        cand = &blk.exits[exit_idx[k]++];
+      }
+      if (cand->y == entry[k] && blk.target != 1) continue;
+      if (blk.target == 1 && cand->y != entry[k]) continue;
+      if (blk.target > 1 &&
+          oracle.local_parity(cand->y) !=
+              required_exit_parity(oracle, entry[k], blk.target))
+        continue;
+      if (k + 1 < m && ((failed[k + 1] >> cand->partner) & 1u)) continue;
+      auto path = oracle.find_path(entry[k], cand->y, blk.forbidden(),
+                                   blk.target, blk.removed_edges);
+      if (!path) continue;
+      paths[k] = std::move(*path);
+      if (k + 1 < m) {
+        entry[k + 1] = cand->partner;
+        exit_idx[k + 1] = 0;
+      }
+      ++k;
+      advanced = true;
+    }
+    if (!advanced) {
+      failed[k] |= 1u << entry[k];
+      if (k == 0) return std::nullopt;
+      --k;
+      ++backtracks;
+      ++stats.backtracks;
+      if (backtracks > opts.backtrack_budget) return std::nullopt;
+    }
+  }
+  EmbedResult res;
+  res.ring = emit(expand, paths, opts.effective_threads());
+  res.stats = stats;
+  return res;
+}
+
+}  // namespace starring

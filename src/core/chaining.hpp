@@ -1,0 +1,61 @@
+// Block chaining: Lemma 7 of the paper, generalized.
+//
+// Given an R_4 (a super-ring of S_4 blocks), thread a healthy path
+// through every block — Hamiltonian for healthy blocks, 2 vertices
+// short per fault for faulty blocks — and splice consecutive paths with
+// super-edge crossings into one healthy ring.
+//
+// The entry of block k+1 is forced by the exit chosen in block k: an
+// exit y (a healthy member whose position-0 symbol equals the symbol
+// the next block fixes at the dif position) crosses to the member
+// y.star_move(dif) of the next block.  Parity bookkeeping is implicit:
+// every per-block vertex target is even, so each path uses an odd
+// number of edges; every chain entry therefore has the parity of the
+// closure vertex x0 = partner(y_last), and since x0 and y_last are
+// themselves parity-opposite neighbours, the cyclic closure can never
+// fail on parity alone (the bipartite obstruction the paper handles
+// with Lemmas 5/6 and the odd-ring contradiction argument).
+//
+// The per-fault loss inside a block is a parameter: 2 reproduces the
+// paper (Lemma 4: a healthy 22-vertex path exists through a block with
+// one fault), 4 reproduces the weaker per-fault guarantee of the
+// Tseng-Chang-Sheu baseline within the same framework.
+#pragma once
+
+#include <optional>
+
+#include "core/ring_embedder.hpp"
+#include "core/super_ring.hpp"
+
+namespace starring {
+
+/// Thread and splice `sr` into a healthy ring.  `per_fault_loss` must be
+/// even (ring parity); it is the number of vertices dropped from a block
+/// per vertex fault inside it.  `excise`, if given, is a substar pattern
+/// whose members all lie in one block of `sr`: those vertices are
+/// skipped outright (the Latifi–Bagherzadeh mechanism for an enclosing
+/// substar smaller than a block).  Returns nullopt when the chain search
+/// exhausts every closure candidate or the backtrack budget.
+std::optional<EmbedResult> chain_block_ring(const StarGraph& g,
+                                            const SuperRing& sr,
+                                            const FaultSet& faults,
+                                            const EmbedOptions& opts,
+                                            int per_fault_loss = 2,
+                                            const SubstarPattern* excise = nullptr);
+
+/// Open-chain variant for the longest-path extension: thread a healthy
+/// s-t path through the block chain `sp` (from build_block_path; the
+/// first block holds s, the last holds t).  `short_block`, if in
+/// [0, m), designates the block whose target is reduced by one vertex —
+/// the parity correction needed when s and t lie in the same partite
+/// set.  Returns the path (ring field holds the open vertex sequence
+/// from s to t).
+std::optional<EmbedResult> chain_block_path(const StarGraph& g,
+                                            const SuperRing& sp,
+                                            const FaultSet& faults,
+                                            const EmbedOptions& opts,
+                                            const Perm& s, const Perm& t,
+                                            int short_block = -1,
+                                            int per_fault_loss = 2);
+
+}  // namespace starring

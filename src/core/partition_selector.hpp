@@ -1,0 +1,70 @@
+// Lemma 2 of the paper: choosing the partition positions.
+//
+// Given |Fv| <= n-3 vertex faults, there is a sequence a_1, ..., a_{n-4}
+// of positions such that the (a_1, ..., a_{n-4})-partition of S_n leaves
+// every resulting 4-vertex (embedded S_4 block) with at most one fault.
+//
+// The paper's procedure: repeatedly pick a position at which at least
+// two faults of one current group differ, split the groups by their
+// symbol at that position, and fill the remaining positions arbitrarily.
+// Progress is guaranteed because two distinct permutations always differ
+// at some position other than position 0 (two permutations cannot differ
+// in exactly one position).
+//
+// We expose two splitting heuristics for the ablation experiment E8:
+//  * kFirstSplitting — the paper's "any position where a group differs";
+//  * kMaxSplitting   — the position that maximizes the number of groups
+//    after the split (fewer levels carry multi-fault groups).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "perm/permutation.hpp"
+
+namespace starring {
+
+enum class SplitHeuristic : std::uint8_t { kFirstSplitting, kMaxSplitting };
+
+struct PartitionSelection {
+  /// Chosen positions, in application order (0-based positions >= 1;
+  /// the paper's a_1 ... a_{n-4} are these + 1).  Size n - 4.
+  std::vector<int> positions;
+  /// Largest number of faults sharing one final block.  1 (or 0) when
+  /// the selection succeeded in isolating the faults.
+  int max_faults_per_block = 0;
+  /// Number of positions that actually split a multi-fault group (the
+  /// rest were fillers).
+  int effective_splits = 0;
+};
+
+/// Select n-4 partition positions.  Vertex faults are isolated by the
+/// paper's splitting procedure (property P1).  Edge faults steer the
+/// filler choices: a faulty link's swap dimension is preferred as a
+/// partition position, which turns the link into a super-edge crossing
+/// — where the exit chooser simply routes around it — instead of an
+/// in-block edge that could strangle a vertex's in-block degree (the
+/// clustered-at-one-vertex worst case).  Precondition: n >= 5.
+PartitionSelection select_partition_positions(
+    int n, const FaultSet& faults,
+    SplitHeuristic heuristic = SplitHeuristic::kMaxSplitting);
+
+/// Core routine on raw permutations (used by the FaultSet overload and
+/// directly testable): separate `items` with `count` positions; after
+/// splitting is exhausted, fill remaining slots from
+/// `preferred_fillers` (in order) before arbitrary positions.
+/// `forced_first` positions are taken unconditionally (in order) before
+/// any greedy choice — the longest-path driver uses this to guarantee a
+/// position separating its two endpoints.
+PartitionSelection select_positions_for(int n, std::span<const Perm> items,
+                                        int count, SplitHeuristic heuristic,
+                                        std::span<const int> preferred_fillers = {},
+                                        std::span<const int> forced_first = {});
+
+/// Swap dimensions of the faulty links, most frequent first (the
+/// preferred filler order shared by the ring and path drivers).
+std::vector<int> edge_fault_dims(int n, const FaultSet& faults);
+
+}  // namespace starring

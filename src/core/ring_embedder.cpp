@@ -1,0 +1,92 @@
+#include "core/ring_embedder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <unordered_map>
+
+#include "core/block_oracle.hpp"
+#include "core/chaining.hpp"
+#include "core/super_ring.hpp"
+#include "util/parallel.hpp"
+
+namespace starring {
+
+unsigned EmbedOptions::effective_threads() const {
+  return num_threads == 0 ? default_threads() : num_threads;
+}
+
+std::uint64_t expected_ring_length(int n, std::size_t num_vertex_faults) {
+  return factorial(n) - 2 * static_cast<std::uint64_t>(num_vertex_faults);
+}
+
+std::uint64_t bipartite_upper_bound(const StarGraph& g,
+                                    const FaultSet& faults) {
+  std::uint64_t even = 0;
+  std::uint64_t odd = 0;
+  for (const Perm& f : faults.vertex_faults())
+    (f.parity() == 0 ? even : odd) += 1;
+  return factorial(g.n()) - 2 * std::max(even, odd);
+}
+
+namespace {
+
+/// Direct search for tiny n (3 and 4): the whole of S_n is one block of
+/// at most 24 vertices, so the exhaustive machinery applies verbatim.
+std::optional<EmbedResult> embed_small(const StarGraph& g,
+                                       const FaultSet& faults) {
+  const SubstarPattern whole = g.whole_pattern();
+  SmallGraph block = whole.block_graph();
+  std::uint32_t forbidden = 0;
+  for (const Perm& f : faults.vertex_faults())
+    forbidden |= 1u << whole.local_index(f);
+  for (const EdgeFault& e : faults.edge_faults())
+    block.remove_edge(static_cast<int>(whole.local_index(e.u)),
+                      static_cast<int>(whole.local_index(e.v)));
+
+  std::optional<std::vector<int>> cycle;
+  if (faults.num_vertex_faults() == 0) {
+    cycle = hamiltonian_cycle(block, forbidden);
+  } else {
+    auto lc = longest_cycle(block, forbidden);
+    if (lc.length >= 3) cycle = std::move(lc.cycle);
+  }
+  if (!cycle) return std::nullopt;
+  EmbedResult res;
+  res.ring.reserve(cycle->size());
+  for (const int local : *cycle)
+    res.ring.push_back(whole.member(static_cast<std::uint64_t>(local)).rank());
+  res.stats.num_blocks = 1;
+  res.stats.faulty_blocks = faults.num_vertex_faults() > 0 ? 1 : 0;
+  return res;
+}
+
+}  // namespace
+
+std::optional<EmbedResult> embed_longest_ring(const StarGraph& g,
+                                              const FaultSet& faults,
+                                              const EmbedOptions& opts) {
+  const int n = g.n();
+  if (n < 3) return std::nullopt;  // S_1, S_2 contain no cycle
+  if (n <= 4) return embed_small(g, faults);
+
+  const PartitionSelection sel =
+      select_partition_positions(n, faults, opts.heuristic);
+  for (int restart = 0; restart < std::max(1, opts.max_restarts); ++restart) {
+    const auto sr = build_block_ring(n, sel.positions, faults, restart);
+    if (!sr) continue;
+    auto res = chain_block_ring(g, *sr, faults, opts);
+    if (res) {
+      res->stats.restarts = restart;
+      return res;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<EmbedResult> embed_hamiltonian_cycle(const StarGraph& g,
+                                                   const EmbedOptions& opts) {
+  return embed_longest_ring(g, FaultSet{}, opts);
+}
+
+}  // namespace starring

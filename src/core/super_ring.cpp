@@ -1,0 +1,407 @@
+#include "core/super_ring.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace starring {
+
+int faults_in_pattern(const SubstarPattern& p, const FaultSet& faults) {
+  int count = 0;
+  for (const Perm& f : faults.vertex_faults())
+    if (p.contains(f)) ++count;
+  return count;
+}
+
+namespace {
+
+/// Cyclic order for the first level: the n children of the a_1-partition
+/// form K_n, so any order is a ring; we interleave fault-containing
+/// children with healthy ones so no two sit adjacently (possible
+/// whenever faulty children <= floor(n/2), amply true for |Fv| <= n-3
+/// split across children).
+std::vector<SubstarPattern> order_first_level(
+    std::vector<SubstarPattern> children, const FaultSet& faults,
+    int rotation) {
+  std::vector<SubstarPattern> faulty;
+  std::vector<SubstarPattern> healthy;
+  for (auto& c : children) {
+    (faults_in_pattern(c, faults) > 0 ? faulty : healthy)
+        .push_back(std::move(c));
+  }
+  if (!healthy.empty()) {
+    std::rotate(healthy.begin(),
+                healthy.begin() + (rotation % static_cast<int>(healthy.size())),
+                healthy.end());
+  }
+  // Round-robin: one faulty child, then a run of healthy ones, repeated.
+  std::vector<SubstarPattern> out;
+  out.reserve(faulty.size() + healthy.size());
+  const std::size_t groups = std::max<std::size_t>(faulty.size(), 1);
+  std::size_t h = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (g < faulty.size()) out.push_back(std::move(faulty[g]));
+    const std::size_t take = (healthy.size() - h) / (groups - g == 0 ? 1 : (groups - g));
+    for (std::size_t t = 0; t < take && h < healthy.size(); ++t)
+      out.push_back(std::move(healthy[h++]));
+  }
+  while (h < healthy.size()) out.push_back(std::move(healthy[h++]));
+  return out;
+}
+
+/// Greedy ordering of the middle children of one K_r path so that
+/// fault-containing children are spread apart (P3 inside one parent).
+std::vector<SubstarPattern> order_middles(std::vector<SubstarPattern> middles,
+                                          const FaultSet& faults,
+                                          bool entry_faulty,
+                                          bool exit_faulty) {
+  std::vector<SubstarPattern> faulty;
+  std::vector<SubstarPattern> healthy;
+  for (auto& c : middles) {
+    (faults_in_pattern(c, faults) > 0 ? faulty : healthy)
+        .push_back(std::move(c));
+  }
+  std::vector<SubstarPattern> out;
+  out.reserve(faulty.size() + healthy.size());
+  bool prev_faulty = entry_faulty;
+  std::size_t fi = 0;
+  std::size_t hi = 0;
+  while (fi < faulty.size() || hi < healthy.size()) {
+    const std::size_t slots_left = faulty.size() - fi + healthy.size() - hi;
+    const bool last_slot = slots_left == 1;
+    // Place a faulty child whenever the previous one is healthy (and the
+    // exit is not faulty if this is the last middle slot); otherwise a
+    // healthy one.
+    const bool want_faulty = !prev_faulty && fi < faulty.size() &&
+                             !(last_slot && exit_faulty);
+    if (want_faulty || hi == healthy.size()) {
+      out.push_back(std::move(faulty[fi++]));
+      prev_faulty = true;
+    } else {
+      out.push_back(std::move(healthy[hi++]));
+      prev_faulty = false;
+    }
+  }
+  return out;
+}
+
+/// If `exclude` is a child of `parent` under the `pos`-partition,
+/// return the symbol `exclude` fixes at `pos`; else -1.
+int exclude_child_symbol(const SubstarPattern* exclude,
+                         const SubstarPattern& parent, int pos) {
+  if (exclude == nullptr || exclude->r() != parent.r() - 1) return -1;
+  if (exclude->is_free(pos)) return -1;
+  for (int i = 0; i < parent.n(); ++i) {
+    if (i == pos) continue;
+    if (parent.slot(i) != exclude->slot(i)) return -1;
+  }
+  return exclude->slot(pos);
+}
+
+/// One refinement level: partition every pattern of `ring` at position
+/// `pos` and thread a Hamiltonian path through each resulting K_r.
+/// When `exclude` is a child produced at this level, it is kept away
+/// from every path end so the caller can erase it without breaking
+/// consecutive adjacency (its neighbours are siblings in one K_r).
+std::optional<std::vector<SubstarPattern>> refine(
+    const std::vector<SubstarPattern>& ring, int pos, const FaultSet& faults,
+    const SubstarPattern* exclude) {
+  const auto m = ring.size();
+  assert(m >= 3);
+
+  // Ring-edge data: dif position and the next element's symbol there.
+  std::vector<int> dif_pos(m);
+  std::vector<int> next_sym(m);  // b_k: symbol A_{k+1} fixes at dif_pos[k]
+  for (std::size_t k = 0; k < m; ++k) {
+    const auto& a = ring[k];
+    const auto& b = ring[(k + 1) % m];
+    int p = -1;
+    const bool adj = SubstarPattern::adjacent(a, b, &p);
+    assert(adj);
+    if (!adj) return std::nullopt;
+    dif_pos[k] = p;
+    next_sym[k] = b.slot(p);
+  }
+
+  // Choose the connector symbols c_k (the symbol shared by the exit
+  // child of A_k and the entry child of A_{k+1}).
+  std::vector<int> c(m, -1);
+  auto pick = [&](std::size_t k, std::uint32_t extra_banned) -> int {
+    const auto& a = ring[k];
+    std::uint32_t cand = a.free_symbol_mask();
+    cand &= ~(1u << next_sym[k]);
+    if (k > 0 && c[k - 1] >= 0) cand &= ~(1u << c[k - 1]);
+    cand &= ~extra_banned;
+    // Keep the excluded child out of any path-end role: it must be
+    // neither the exit of A_k nor the entry of A_{k+1}.
+    if (const int q = exclude_child_symbol(exclude, a, pos); q >= 0)
+      cand &= ~(1u << q);
+    if (const int q = exclude_child_symbol(exclude, ring[(k + 1) % m], pos);
+        q >= 0)
+      cand &= ~(1u << q);
+    int best = -1;
+    int best_score = -1;
+    std::uint32_t bits = cand;
+    while (bits) {
+      const int q = std::countr_zero(bits);
+      bits &= bits - 1;
+      const int score =
+          (faults_in_pattern(ring[(k + 1) % m].child(pos, q), faults) == 0
+               ? 2
+               : 0) +
+          (faults_in_pattern(a.child(pos, q), faults) == 0 ? 1 : 0);
+      if (score > best_score) {
+        best_score = score;
+        best = q;
+      }
+    }
+    return best;
+  };
+  for (std::size_t k = 0; k < m; ++k) {
+    c[k] = pick(k, 0);
+    if (c[k] < 0) return std::nullopt;
+  }
+  // Cyclic closure: the entry symbol of A_0 is c_{m-1}; it must differ
+  // from the exit symbol c_0.  Re-pick c_0 if they collided (banning
+  // both c_{m-1} and c_1 keeps every other constraint intact).
+  if (c[0] == c[m - 1]) {
+    const std::uint32_t banned =
+        (1u << c[m - 1]) | (1u << c[1 % m]);
+    c[0] = pick(0, banned);
+    if (c[0] < 0) return std::nullopt;
+  }
+
+  // Thread the paths.
+  std::vector<SubstarPattern> out;
+  out.reserve(m * static_cast<std::size_t>(ring.front().r()));
+  for (std::size_t k = 0; k < m; ++k) {
+    const auto& a = ring[k];
+    const int entry_sym = c[(k + m - 1) % m];
+    const int exit_sym = c[k];
+    assert(entry_sym != exit_sym);
+    SubstarPattern entry = a.child(pos, entry_sym);
+    SubstarPattern exit = a.child(pos, exit_sym);
+    std::vector<SubstarPattern> middles;
+    for (const int q : a.free_symbols()) {
+      if (q == entry_sym || q == exit_sym) continue;
+      middles.push_back(a.child(pos, q));
+    }
+    middles = order_middles(std::move(middles), faults,
+                            faults_in_pattern(entry, faults) > 0,
+                            faults_in_pattern(exit, faults) > 0);
+    out.push_back(std::move(entry));
+    for (auto& mpat : middles) out.push_back(std::move(mpat));
+    out.push_back(std::move(exit));
+  }
+  return out;
+}
+
+/// Open-chain refinement for the longest-path extension.  Differences
+/// from refine(): no wraparound edge; the first element's entry child is
+/// forced to the child containing `s` and the last element's exit child
+/// to the child containing `t`.
+std::optional<std::vector<SubstarPattern>> refine_path(
+    const std::vector<SubstarPattern>& chain, int pos, const FaultSet& faults,
+    const Perm& s, const Perm& t) {
+  const auto m = chain.size();
+  assert(m >= 2);
+  assert(chain.front().contains(s) && chain.back().contains(t));
+
+  std::vector<int> next_sym(m - 1);
+  for (std::size_t k = 0; k + 1 < m; ++k) {
+    int p = -1;
+    const bool adj = SubstarPattern::adjacent(chain[k], chain[k + 1], &p);
+    assert(adj);
+    if (!adj) return std::nullopt;
+    next_sym[k] = chain[k + 1].slot(p);
+  }
+
+  const int s_sym = s.get(pos);  // entry symbol forced at the first block
+  const int t_sym = t.get(pos);  // exit symbol forced at the last block
+
+  // Connector symbols c_k between chain[k] and chain[k+1].
+  std::vector<int> c(m - 1, -1);
+  for (std::size_t k = 0; k + 1 < m; ++k) {
+    std::uint32_t cand = chain[k].free_symbol_mask();
+    cand &= ~(1u << next_sym[k]);
+    if (k == 0)
+      cand &= ~(1u << s_sym);  // exit child must differ from s's child
+    else
+      cand &= ~(1u << c[k - 1]);
+    if (k + 2 == m) {
+      // The entry child of the last element is child(chain[m-1], c_k);
+      // it must differ from t's child.
+      cand &= ~(1u << t_sym);
+    }
+    int best = -1;
+    int best_score = -1;
+    std::uint32_t bits = cand;
+    while (bits) {
+      const int q = std::countr_zero(bits);
+      bits &= bits - 1;
+      const int score =
+          (faults_in_pattern(chain[k + 1].child(pos, q), faults) == 0 ? 2
+                                                                      : 0) +
+          (faults_in_pattern(chain[k].child(pos, q), faults) == 0 ? 1 : 0);
+      if (score > best_score) {
+        best_score = score;
+        best = q;
+      }
+    }
+    if (best < 0) return std::nullopt;
+    c[k] = best;
+  }
+
+  std::vector<SubstarPattern> out;
+  out.reserve(m * static_cast<std::size_t>(chain.front().r()));
+  for (std::size_t k = 0; k < m; ++k) {
+    const auto& a = chain[k];
+    const int entry_sym = k == 0 ? s_sym : c[k - 1];
+    const int exit_sym = k + 1 == m ? t_sym : c[k];
+    assert(entry_sym != exit_sym);
+    SubstarPattern entry = a.child(pos, entry_sym);
+    SubstarPattern exit = a.child(pos, exit_sym);
+    std::vector<SubstarPattern> middles;
+    for (const int q : a.free_symbols()) {
+      if (q == entry_sym || q == exit_sym) continue;
+      middles.push_back(a.child(pos, q));
+    }
+    middles = order_middles(std::move(middles), faults,
+                            faults_in_pattern(entry, faults) > 0,
+                            faults_in_pattern(exit, faults) > 0);
+    out.push_back(std::move(entry));
+    for (auto& mpat : middles) out.push_back(std::move(mpat));
+    out.push_back(std::move(exit));
+  }
+  return out;
+}
+
+/// Order the first-level children of the open chain: the child holding
+/// `s` first, the child holding `t` last, fault-containing children
+/// spread through the middle.
+std::vector<SubstarPattern> order_first_level_path(
+    std::vector<SubstarPattern> children, const FaultSet& faults,
+    const Perm& s, const Perm& t, int rotation) {
+  SubstarPattern s_child = children.front();
+  SubstarPattern t_child = children.front();
+  std::vector<SubstarPattern> rest;
+  for (auto& ch : children) {
+    if (ch.contains(s))
+      s_child = ch;
+    else if (ch.contains(t))
+      t_child = ch;
+    else
+      rest.push_back(std::move(ch));
+  }
+  std::vector<SubstarPattern> faulty;
+  std::vector<SubstarPattern> healthy;
+  for (auto& ch : rest)
+    (faults_in_pattern(ch, faults) > 0 ? faulty : healthy)
+        .push_back(std::move(ch));
+  if (!healthy.empty()) {
+    std::rotate(healthy.begin(),
+                healthy.begin() + (rotation % static_cast<int>(healthy.size())),
+                healthy.end());
+  }
+  std::vector<SubstarPattern> out;
+  out.push_back(std::move(s_child));
+  std::size_t hi = 0;
+  for (std::size_t fi = 0; fi < faulty.size(); ++fi) {
+    if (hi < healthy.size()) out.push_back(std::move(healthy[hi++]));
+    out.push_back(std::move(faulty[fi]));
+  }
+  while (hi < healthy.size()) out.push_back(std::move(healthy[hi++]));
+  out.push_back(std::move(t_child));
+  return out;
+}
+
+}  // namespace
+
+std::optional<SuperRing> build_block_path(int n,
+                                          std::span<const int> positions,
+                                          const FaultSet& faults,
+                                          const Perm& s, const Perm& t,
+                                          int rotation) {
+  assert(n >= 5);
+  assert(static_cast<int>(positions.size()) == n - 4);
+  assert(s.get(positions[0]) != t.get(positions[0]) &&
+         "positions[0] must separate s and t");
+  const SubstarPattern whole = SubstarPattern::whole(n);
+  std::vector<SubstarPattern> chain = order_first_level_path(
+      whole.children(positions[0]), faults, s, t, rotation);
+  for (std::size_t level = 1; level < positions.size(); ++level) {
+    auto next = refine_path(chain, positions[level], faults, s, t);
+    if (!next) return std::nullopt;
+    chain = std::move(*next);
+  }
+  SuperRing sp;
+  sp.ring = std::move(chain);
+  return sp;
+}
+
+bool is_valid_super_path(int n, const SuperRing& sp, const Perm& s,
+                         const Perm& t) {
+  const auto& chain = sp.ring;
+  if (chain.size() < 2) return false;
+  const int r = chain.front().r();
+  if (chain.size() * factorial(r) != factorial(n)) return false;
+  if (!chain.front().contains(s) || !chain.back().contains(t)) return false;
+  std::unordered_set<SubstarPattern, SubstarPatternHash> seen;
+  for (std::size_t k = 0; k < chain.size(); ++k) {
+    if (chain[k].r() != r || chain[k].n() != n) return false;
+    if (!seen.insert(chain[k]).second) return false;
+    if (k + 1 < chain.size() &&
+        !SubstarPattern::adjacent(chain[k], chain[k + 1]))
+      return false;
+  }
+  return true;
+}
+
+std::optional<SuperRing> build_block_ring(int n,
+                                          std::span<const int> positions,
+                                          const FaultSet& faults, int rotation,
+                                          const SubstarPattern* exclude) {
+  assert(n >= 5);
+  assert(static_cast<int>(positions.size()) == n - 4);
+  const SubstarPattern whole = SubstarPattern::whole(n);
+  std::vector<SubstarPattern> ring =
+      order_first_level(whole.children(positions[0]), faults, rotation);
+  // Erase the excluded pattern once the level producing its r is built.
+  // At the first level the ring is a K_n cycle, and at refinement levels
+  // the pick() bans above keep it mid-path, so erasing never breaks
+  // consecutive adjacency.
+  auto maybe_erase = [&]() {
+    if (exclude == nullptr || ring.empty() || ring.front().r() != exclude->r())
+      return;
+    std::erase(ring, *exclude);
+  };
+  maybe_erase();
+  for (std::size_t level = 1; level < positions.size(); ++level) {
+    auto next = refine(ring, positions[level], faults, exclude);
+    if (!next) return std::nullopt;
+    ring = std::move(*next);
+    maybe_erase();
+  }
+  SuperRing sr;
+  sr.ring = std::move(ring);
+  return sr;
+}
+
+bool is_valid_super_ring(int n, const SuperRing& sr,
+                         std::uint64_t missing_vertices) {
+  const auto& ring = sr.ring;
+  if (ring.size() < 3) return false;
+  const int r = ring.front().r();
+  if (ring.size() * factorial(r) != factorial(n) - missing_vertices)
+    return false;
+  std::unordered_set<SubstarPattern, SubstarPatternHash> seen;
+  for (std::size_t k = 0; k < ring.size(); ++k) {
+    if (ring[k].r() != r || ring[k].n() != n) return false;
+    if (!seen.insert(ring[k]).second) return false;
+    if (!SubstarPattern::adjacent(ring[k], ring[(k + 1) % ring.size()]))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace starring

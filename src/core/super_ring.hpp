@@ -1,0 +1,95 @@
+// Super-ring construction: Definitions 4-5 and Lemma 3 of the paper.
+//
+// An R_r is a ring of r-vertices (embedded S_r patterns) in which
+// consecutive patterns are adjacent (differ in one fixed position).
+// The construction starts from the a_1-partition of S_n — whose n
+// children form a complete graph K_n of (n-1)-vertices, so any cyclic
+// order is an R_{n-1} — and refines level by level: an a_j-partition
+// turns each r-vertex of the current ring into a complete graph K_r of
+// (r-1)-vertices, a Hamiltonian path is threaded through each K_r from
+// an entry child (attached to the previous ring element's exit) to an
+// exit child (attached to the next element's entry), and the paths
+// interleaved with the connecting super-edges form the R_{r-1}
+// (Lemma 3's interleaving step).
+//
+// Child adjacency across a ring edge (Lemma 1's mechanism): if A and B
+// are consecutive with dif position p, A fixing symbol a and B fixing
+// symbol b at p, then child(A, q) at the new position is adjacent to
+// child(B, q) exactly when q differs from both a and b; the two
+// non-adjacent leftovers are child(A, b) and child(B, a).  Hence the
+// connector symbol c_k chosen between ring elements k and k+1 must avoid
+// b_k, and the entry/exit children of one element must differ
+// (c_k != c_{k-1}).
+//
+// Fault awareness (the paper's properties P1/P3): partition positions
+// from Lemma 2 guarantee P1 (each final block has at most one fault);
+// this builder additionally orders children inside each K_r path so that
+// fault-containing children sit away from the path ends and away from
+// each other whenever possible, which realizes P3 (no two consecutive
+// faulty blocks) for every fault population the theorem admits.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "stargraph/substar.hpp"
+
+namespace starring {
+
+struct SuperRing {
+  /// Cyclically ordered patterns; consecutive ones (and last/first) are
+  /// adjacent.  All patterns have the same r.
+  std::vector<SubstarPattern> ring;
+
+  int r() const { return ring.empty() ? 0 : ring.front().r(); }
+};
+
+/// Build the R_4 of S_n by refining through `positions` (from
+/// select_partition_positions; size n-4, n >= 5).  Faults steer the
+/// child orderings (P3); pass an empty FaultSet for the fault-free ring.
+/// `rotation` offsets the initial K_n ordering — callers use different
+/// rotations as restart diversification.
+///
+/// `exclude`, if given, is a pattern reachable through `positions`
+/// (its fixed positions are position[0..n-1-r(exclude)]-compatible);
+/// the builder drops it — and with it all its blocks — from the ring
+/// while keeping consecutive adjacency, by forcing it into the middle
+/// of its parent's K_r path.  This is the mechanism behind the
+/// Latifi–Bagherzadeh n!-m! baseline (excise the substar holding all
+/// faults).  Returns nullopt only if the internal connector-choice
+/// system is infeasible (never in the guarantee regime; asserted in
+/// debug builds).
+std::optional<SuperRing> build_block_ring(int n, std::span<const int> positions,
+                                          const FaultSet& faults,
+                                          int rotation = 0,
+                                          const SubstarPattern* exclude = nullptr);
+
+/// Validity check used by tests: consecutive patterns adjacent, all
+/// distinct, and together they cover n! - missing_vertices vertices
+/// (missing_vertices = m! when an S_m was excluded, else 0).
+bool is_valid_super_ring(int n, const SuperRing& sr,
+                         std::uint64_t missing_vertices = 0);
+
+/// Linear (open) variant for the longest-path extension: a sequence of
+/// all n!/24 blocks with consecutive patterns adjacent, whose FIRST
+/// block contains `s` and LAST block contains `t`.  Precondition:
+/// positions[0] is a position where s and t differ (so they start in
+/// different first-level children and the endpoint invariant can be
+/// pushed down every level).  Same fault-spreading behaviour as the
+/// ring builder.
+std::optional<SuperRing> build_block_path(int n, std::span<const int> positions,
+                                          const FaultSet& faults,
+                                          const Perm& s, const Perm& t,
+                                          int rotation = 0);
+
+/// Validity check for the open variant: consecutive adjacency (no
+/// wraparound), full coverage, endpoints contain s and t.
+bool is_valid_super_path(int n, const SuperRing& sp, const Perm& s,
+                         const Perm& t);
+
+/// Number of vertex faults of `faults` lying inside `p`.
+int faults_in_pattern(const SubstarPattern& p, const FaultSet& faults);
+
+}  // namespace starring

@@ -1,0 +1,39 @@
+// Independent embedding verifier.
+//
+// Every ring the library emits is checked by code that shares nothing
+// with the construction: only the packed-permutation adjacency test and
+// the fault set.  Tests and benches route all results through here, so
+// a bug in the partition/super-ring/chaining machinery cannot silently
+// produce a wrong "ring".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "stargraph/star_graph.hpp"
+
+namespace starring {
+
+struct RingReport {
+  bool valid = false;
+  /// Human-readable reason when !valid.
+  std::string error;
+  /// Number of vertices on the ring.
+  std::uint64_t length = 0;
+};
+
+/// Check that `ring` is a simple cycle of S_n that touches no faulty
+/// vertex and uses no faulty edge.  `threads` parallelizes the
+/// adjacency scan (the verdict is identical for any value).
+RingReport verify_healthy_ring(const StarGraph& g, const FaultSet& faults,
+                               const std::vector<VertexId>& ring,
+                               unsigned threads = 1);
+
+/// Check that `path` is a simple healthy path of S_n.
+RingReport verify_healthy_path(const StarGraph& g, const FaultSet& faults,
+                               const std::vector<VertexId>& path,
+                               unsigned threads = 1);
+
+}  // namespace starring

@@ -1,0 +1,47 @@
+// Extension: longest fault-free PATHS with prescribed endpoints.
+//
+// The natural companion of the paper's ring theorem (published by the
+// same authors as follow-up work): in S_n with |Fv| <= n-3 vertex
+// faults, between any two healthy vertices s and t there is a healthy
+// path of length
+//     n! - 2|Fv| - 1   vertices: n! - 2|Fv|      when parity(s) != parity(t),
+//     n! - 2|Fv| - 2   vertices: n! - 2|Fv| - 1  when parity(s) == parity(t),
+// and both counts are worst-case optimal by the same bipartite
+// argument (a path alternates partite sets, so its two endpoints fix
+// how many vertices of each class it can absorb).
+//
+// The construction reuses the paper's machinery in open-chain form:
+// Lemma 2 position selection (with one position forced to separate s
+// and t, so they start in different blocks), an R_4-style block CHAIN
+// whose first block holds s and last holds t, and per-block threading
+// where one designated block gives up one extra vertex when s and t
+// share a parity class.
+#pragma once
+
+#include <optional>
+
+#include "core/ring_embedder.hpp"
+
+namespace starring {
+
+struct LongestPathResult {
+  /// Open vertex sequence from s to t (EmbedResult::ring reused as the
+  /// container; it is a path here, not a cycle).
+  EmbedResult embed;
+  /// Number of vertices promised: n! - 2|Fv| - (parities equal ? 1 : 0).
+  std::uint64_t promised_vertices = 0;
+};
+
+/// The promise above, as a helper for tests and benches.
+std::uint64_t expected_path_vertices(int n, std::size_t num_vertex_faults,
+                                     const Perm& s, const Perm& t);
+
+/// Embed the longest healthy s-t path.  Both endpoints must be healthy
+/// and distinct; the guarantee regime is |Fv| + |Fe| <= n-3, n >= 4.
+std::optional<LongestPathResult> embed_longest_path(const StarGraph& g,
+                                                    const FaultSet& faults,
+                                                    const Perm& s,
+                                                    const Perm& t,
+                                                    const EmbedOptions& opts = {});
+
+}  // namespace starring

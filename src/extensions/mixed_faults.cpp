@@ -1,0 +1,46 @@
+#include "extensions/mixed_faults.hpp"
+
+#include "core/chaining.hpp"
+#include "core/super_ring.hpp"
+
+namespace starring {
+
+bool mixed_fault_regime_ok(const StarGraph& g, const FaultSet& faults) {
+  return g.n() >= 4 &&
+         faults.num_vertex_faults() + faults.num_edge_faults() <=
+             static_cast<std::size_t>(g.n() - 3);
+}
+
+std::optional<MixedFaultResult> embed_mixed_fault_ring(
+    const StarGraph& g, const FaultSet& faults, const EmbedOptions& opts) {
+  auto res = embed_longest_ring(g, faults, opts);
+  if (!res) return std::nullopt;
+  return MixedFaultResult{
+      std::move(*res), expected_ring_length(g.n(), faults.num_vertex_faults())};
+}
+
+std::optional<MixedFaultResult> embed_mixed_fault_ring_baseline(
+    const StarGraph& g, const FaultSet& faults, const EmbedOptions& opts) {
+  const int n = g.n();
+  const std::uint64_t promise =
+      factorial(n) - 4 * faults.num_vertex_faults();
+  if (n < 5) {
+    auto res = embed_longest_ring(g, faults, opts);
+    if (!res) return std::nullopt;
+    return MixedFaultResult{std::move(*res), promise};
+  }
+  const PartitionSelection sel =
+      select_partition_positions(n, faults, opts.heuristic);
+  for (int restart = 0; restart < std::max(1, opts.max_restarts); ++restart) {
+    const auto sr = build_block_ring(n, sel.positions, faults, restart);
+    if (!sr) continue;
+    auto res = chain_block_ring(g, *sr, faults, opts, /*per_fault_loss=*/4);
+    if (res) {
+      res->stats.restarts = restart;
+      return MixedFaultResult{std::move(*res), promise};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace starring

@@ -1,0 +1,38 @@
+// Concluding-remark corollary of the paper: with |Fv| + |Fe| <= n-3
+// mixed vertex and edge faults, S_n embeds a healthy ring of length
+// n! - 2|Fv| (improving Tseng et al.'s mixed bound of n! - 4|Fv|).
+//
+// The unified engine already treats the two fault kinds orthogonally —
+// vertex faults shrink per-block targets, edge faults constrain the
+// in-block searches and the cross-edge choices — so the corollary is a
+// guarantee statement about the same embedding call.  This module
+// packages it with the corollary's precondition checks and the promised
+// length, plus the baseline variant (per-fault loss 4) for E6.
+#pragma once
+
+#include <optional>
+
+#include "core/ring_embedder.hpp"
+
+namespace starring {
+
+struct MixedFaultResult {
+  EmbedResult embed;
+  /// The corollary's promise: n! - 2|Fv|.
+  std::uint64_t promised_length = 0;
+};
+
+/// True iff `faults` is inside the corollary's regime for S_n.
+bool mixed_fault_regime_ok(const StarGraph& g, const FaultSet& faults);
+
+/// Embed the n! - 2|Fv| ring under mixed faults.  Works outside the
+/// regime too (best effort), but the promise only holds inside it.
+std::optional<MixedFaultResult> embed_mixed_fault_ring(
+    const StarGraph& g, const FaultSet& faults, const EmbedOptions& opts = {});
+
+/// The pre-improvement mixed bound (n! - 4|Fv|) realized with the
+/// baseline's per-fault loss, for the E6 comparison.
+std::optional<MixedFaultResult> embed_mixed_fault_ring_baseline(
+    const StarGraph& g, const FaultSet& faults, const EmbedOptions& opts = {});
+
+}  // namespace starring

@@ -1,0 +1,36 @@
+// Extension: even pancyclicity — rings of every even length.
+//
+// The paper's reference [18] (Jwo, Lakshmivarahan & Dhall, "Embedding
+// of cycles and grids in star graphs") initiated cycle embedding in
+// S_n; beyond the Hamiltonian ring, the star graph contains cycles of
+// EVERY even length from its girth 6 up to n! (it is bipartite, so odd
+// lengths are impossible).  This module makes that spectrum
+// constructive:
+//
+//  * lengths 6..24 come from an exhaustive search inside one S_4 block
+//    (verified complete: every even length is realized);
+//  * longer rings start from the Hamiltonian ring of the largest
+//    embedded S_r with r! below the target and grow by chord
+//    absorption: an edge (u, v) of the ring is replaced by a detour
+//    u - w - x - v through two adjacent off-ring vertices, adding
+//    exactly 2 vertices per step while staying a simple cycle.
+//
+// A degree-3-regular-ish scan keeps each absorption cheap; the whole
+// construction is output-sensitive and every result verifies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stargraph/star_graph.hpp"
+
+namespace starring {
+
+/// A simple cycle of exactly `length` vertices in S_n, or nullopt when
+/// no such cycle exists (odd lengths, length < 6, length > n!) or the
+/// growth search dead-ends (not observed in the tested ranges).
+std::optional<std::vector<VertexId>> embed_even_ring(const StarGraph& g,
+                                                     std::uint64_t length);
+
+}  // namespace starring

@@ -1,0 +1,76 @@
+// Fault modelling for star-graph embedding experiments.
+//
+// The paper considers vertex faults Fv (processors down) and, in the
+// results it builds on and its concluding corollary, edge faults Fe
+// (links down).  A FaultSet carries both; the algorithms consult it
+// through cheap membership tests.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "perm/permutation.hpp"
+
+namespace starring {
+
+/// An undirected faulty link, stored with the canonical (smaller-bits
+/// first) orientation.
+struct EdgeFault {
+  Perm u;
+  Perm v;
+
+  EdgeFault(Perm a, Perm b) {
+    if (b.bits() < a.bits()) std::swap(a, b);
+    u = a;
+    v = b;
+  }
+
+  friend bool operator==(const EdgeFault& a, const EdgeFault& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+};
+
+struct EdgeFaultHash {
+  std::size_t operator()(const EdgeFault& e) const {
+    const std::size_t h1 = PermHash{}(e.u);
+    const std::size_t h2 = PermHash{}(e.v);
+    return h1 ^ (h2 + 0x9E3779B97F4A7C15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+/// A set of vertex and edge faults of one S_n.
+class FaultSet {
+ public:
+  FaultSet() = default;
+
+  void add_vertex(const Perm& p) { vertex_faults_.insert(p); }
+  void add_edge(const Perm& u, const Perm& v) {
+    edge_faults_.emplace(u, v);
+  }
+
+  bool vertex_faulty(const Perm& p) const {
+    return vertex_faults_.contains(p);
+  }
+  bool edge_faulty(const Perm& u, const Perm& v) const {
+    return edge_faults_.contains(EdgeFault(u, v));
+  }
+
+  std::size_t num_vertex_faults() const { return vertex_faults_.size(); }
+  std::size_t num_edge_faults() const { return edge_faults_.size(); }
+  bool empty() const { return vertex_faults_.empty() && edge_faults_.empty(); }
+
+  std::vector<Perm> vertex_faults() const {
+    return {vertex_faults_.begin(), vertex_faults_.end()};
+  }
+  std::vector<EdgeFault> edge_faults() const {
+    return {edge_faults_.begin(), edge_faults_.end()};
+  }
+
+ private:
+  std::unordered_set<Perm, PermHash> vertex_faults_;
+  std::unordered_set<EdgeFault, EdgeFaultHash> edge_faults_;
+};
+
+}  // namespace starring

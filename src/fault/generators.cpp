@@ -1,0 +1,141 @@
+#include "fault/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+namespace starring {
+
+namespace {
+
+std::mt19937_64 make_rng(std::uint64_t seed) { return std::mt19937_64(seed); }
+
+VertexId random_vertex_id(const StarGraph& g, std::mt19937_64& rng) {
+  std::uniform_int_distribution<VertexId> dist(0, g.num_vertices() - 1);
+  return dist(rng);
+}
+
+}  // namespace
+
+FaultSet random_vertex_faults(const StarGraph& g, int count,
+                              std::uint64_t seed) {
+  assert(static_cast<std::uint64_t>(count) < g.num_vertices());
+  auto rng = make_rng(seed);
+  FaultSet f;
+  std::unordered_set<VertexId> chosen;
+  while (static_cast<int>(chosen.size()) < count) {
+    const VertexId id = random_vertex_id(g, rng);
+    if (chosen.insert(id).second) f.add_vertex(g.vertex(id));
+  }
+  return f;
+}
+
+FaultSet same_partite_vertex_faults(const StarGraph& g, int count, int parity,
+                                    std::uint64_t seed) {
+  assert(parity == 0 || parity == 1);
+  assert(static_cast<std::uint64_t>(count) < g.num_vertices() / 2);
+  auto rng = make_rng(seed);
+  FaultSet f;
+  std::unordered_set<VertexId> chosen;
+  while (static_cast<int>(chosen.size()) < count) {
+    const VertexId id = random_vertex_id(g, rng);
+    const Perm p = g.vertex(id);
+    if (p.parity() != parity) continue;
+    if (chosen.insert(id).second) f.add_vertex(p);
+  }
+  return f;
+}
+
+FaultSet clustered_neighbor_faults(const StarGraph& g, int count,
+                                   std::uint64_t seed) {
+  assert(count <= g.degree());
+  auto rng = make_rng(seed);
+  const Perm centre = g.vertex(random_vertex_id(g, rng));
+  std::vector<int> dims(static_cast<std::size_t>(g.n() - 1));
+  std::iota(dims.begin(), dims.end(), 1);
+  std::shuffle(dims.begin(), dims.end(), rng);
+  FaultSet f;
+  for (int k = 0; k < count; ++k)
+    f.add_vertex(centre.star_move(dims[static_cast<std::size_t>(k)]));
+  return f;
+}
+
+FaultSet substar_clustered_faults(const StarGraph& g, int count,
+                                  std::uint64_t seed) {
+  auto rng = make_rng(seed);
+  // Smallest m with m! >= count, at least 2 so the pattern is a real
+  // substar (position 0 is always free).
+  int m = 2;
+  while (factorial(m) < static_cast<std::uint64_t>(count)) ++m;
+  assert(m <= g.n());
+  // Build a random S_m pattern: fix n-m random positions (never 0) to
+  // the trailing symbols of a random permutation.
+  const Perm base = g.vertex(random_vertex_id(g, rng));
+  std::vector<int> positions(static_cast<std::size_t>(g.n() - 1));
+  std::iota(positions.begin(), positions.end(), 1);
+  std::shuffle(positions.begin(), positions.end(), rng);
+  SubstarPattern pat = SubstarPattern::whole(g.n());
+  for (int k = 0; k < g.n() - m; ++k) {
+    const int pos = positions[static_cast<std::size_t>(k)];
+    pat = pat.child(pos, base.get(pos));
+  }
+  // Draw `count` distinct members.
+  std::vector<std::uint64_t> idx(pat.num_members());
+  std::iota(idx.begin(), idx.end(), 0ULL);
+  std::shuffle(idx.begin(), idx.end(), rng);
+  FaultSet f;
+  for (int k = 0; k < count; ++k)
+    f.add_vertex(pat.member(idx[static_cast<std::size_t>(k)]));
+  return f;
+}
+
+FaultSet random_edge_faults(const StarGraph& g, int count,
+                            std::uint64_t seed) {
+  assert(static_cast<std::uint64_t>(count) < g.num_edges());
+  auto rng = make_rng(seed);
+  std::uniform_int_distribution<int> dim(1, g.n() - 1);
+  FaultSet f;
+  std::unordered_set<EdgeFault, EdgeFaultHash> chosen;
+  while (static_cast<int>(chosen.size()) < count) {
+    const Perm u = g.vertex(random_vertex_id(g, rng));
+    const Perm v = u.star_move(dim(rng));
+    if (chosen.emplace(u, v).second) f.add_edge(u, v);
+  }
+  return f;
+}
+
+FaultSet clustered_edge_faults(const StarGraph& g, int count,
+                               std::uint64_t seed) {
+  assert(count <= g.degree());
+  auto rng = make_rng(seed);
+  const Perm centre = g.vertex(random_vertex_id(g, rng));
+  std::vector<int> dims(static_cast<std::size_t>(g.n() - 1));
+  std::iota(dims.begin(), dims.end(), 1);
+  std::shuffle(dims.begin(), dims.end(), rng);
+  FaultSet f;
+  for (int k = 0; k < count; ++k)
+    f.add_edge(centre, centre.star_move(dims[static_cast<std::size_t>(k)]));
+  return f;
+}
+
+FaultSet mixed_faults(const StarGraph& g, int nv, int ne, std::uint64_t seed) {
+  auto rng = make_rng(seed);
+  FaultSet f;
+  std::unordered_set<VertexId> chosen_v;
+  while (static_cast<int>(chosen_v.size()) < nv) {
+    const VertexId id = random_vertex_id(g, rng);
+    if (chosen_v.insert(id).second) f.add_vertex(g.vertex(id));
+  }
+  std::uniform_int_distribution<int> dim(1, g.n() - 1);
+  std::unordered_set<EdgeFault, EdgeFaultHash> chosen_e;
+  while (static_cast<int>(chosen_e.size()) < ne) {
+    const Perm u = g.vertex(random_vertex_id(g, rng));
+    const Perm v = u.star_move(dim(rng));
+    if (f.vertex_faulty(u) || f.vertex_faulty(v)) continue;
+    if (chosen_e.emplace(u, v).second) f.add_edge(u, v);
+  }
+  return f;
+}
+
+}  // namespace starring

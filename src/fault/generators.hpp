@@ -1,0 +1,54 @@
+// Deterministic fault-pattern generators for the experiment harness.
+//
+// Every generator takes an explicit 64-bit seed so experiment rows are
+// reproducible run to run.  The adversarial generators realize the
+// paper's worst-case discussion: faults confined to one partite set
+// (which caps any healthy ring at n! - 2|Fv|) and faults clustered
+// around a vertex or inside a small substar.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "fault/fault.hpp"
+#include "stargraph/star_graph.hpp"
+
+namespace starring {
+
+/// |count| distinct vertex faults drawn uniformly from S_n.
+FaultSet random_vertex_faults(const StarGraph& g, int count,
+                              std::uint64_t seed);
+
+/// |count| distinct vertex faults, all from the partite set of the given
+/// parity (0 = even permutations, 1 = odd).  The worst case for ring
+/// length: every faulty even vertex forces an odd vertex to be skipped.
+FaultSet same_partite_vertex_faults(const StarGraph& g, int count, int parity,
+                                    std::uint64_t seed);
+
+/// |count| faults at distinct neighbours of a random centre vertex (the
+/// centre stays healthy).  Stresses local connectivity: count = n-3
+/// neighbours gone leaves the centre with degree 2.  Requires
+/// count <= n-1.
+FaultSet clustered_neighbor_faults(const StarGraph& g, int count,
+                                   std::uint64_t seed);
+
+/// |count| faults drawn from one random embedded S_m with m as small as
+/// the count permits (m! >= count).  The regime where the
+/// Latifi–Bagherzadeh baseline shines.
+FaultSet substar_clustered_faults(const StarGraph& g, int count,
+                                  std::uint64_t seed);
+
+/// |count| distinct edge faults drawn uniformly.
+FaultSet random_edge_faults(const StarGraph& g, int count, std::uint64_t seed);
+
+/// All |count| edge faults incident to one random vertex (count <= n-1):
+/// the vertex keeps degree n-1-count.  Worst case for edge-fault ring
+/// embedding (at count = n-2 the vertex could be cut to degree 1).
+FaultSet clustered_edge_faults(const StarGraph& g, int count,
+                               std::uint64_t seed);
+
+/// Mixed faults: nv vertex faults and ne edge faults, uniform, disjoint
+/// (no faulty edge touches a faulty vertex, so both fault kinds bite).
+FaultSet mixed_faults(const StarGraph& g, int nv, int ne, std::uint64_t seed);
+
+}  // namespace starring

@@ -1,0 +1,32 @@
+// Internally vertex-disjoint paths via unit-capacity max-flow.
+//
+// The star graph is maximally fault tolerant: its connectivity equals
+// its degree n-1, so between any two vertices there are n-1 paths that
+// share no interior vertex ("strong resilience" in the paper's list of
+// star-graph virtues, and the structural reason |Fv| <= n-3 faults can
+// never disconnect the healthy endpoints we route between).  This
+// module computes such path systems constructively on any Graph with a
+// node-split Edmonds-Karp flow; the routing layer wraps it for S_n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace starring {
+
+/// Up to `want` pairwise internally-vertex-disjoint s-t paths (each
+/// returned path includes both endpoints; interior vertices are used by
+/// at most one path; when s and t are adjacent, the direct edge is one
+/// of the paths).  Fewer than `want` are returned when the graph's
+/// local connectivity is smaller.
+std::vector<std::vector<std::uint64_t>> vertex_disjoint_paths(
+    const Graph& g, std::uint64_t s, std::uint64_t t, int want);
+
+/// Local vertex connectivity between non-adjacent s and t (max number
+/// of internally-disjoint paths), capped at `cap` to bound work.
+int local_vertex_connectivity(const Graph& g, std::uint64_t s,
+                              std::uint64_t t, int cap);
+
+}  // namespace starring

@@ -1,0 +1,138 @@
+// Generic graph toolkit.
+//
+// The star graph S_n is usually manipulated symbolically (see
+// src/stargraph), but the library also needs an explicit graph form:
+//  * to independently verify embedded rings and paths,
+//  * to run exhaustive longest-cycle searches for the optimality
+//    experiments (E3), and
+//  * as the substrate of the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace starring {
+
+/// Simple undirected graph over dense vertex ids [0, num_vertices).
+/// Stored as sorted adjacency lists; construction is edge-list based.
+class Graph {
+ public:
+  explicit Graph(std::size_t num_vertices) : adj_(num_vertices) {}
+
+  std::size_t num_vertices() const { return adj_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Add an undirected edge.  Duplicate edges are ignored.
+  void add_edge(std::uint64_t u, std::uint64_t v);
+
+  /// True iff the undirected edge {u, v} is present.  O(log deg).
+  bool has_edge(std::uint64_t u, std::uint64_t v) const;
+
+  /// Neighbours of u in ascending order.
+  std::span<const std::uint64_t> neighbors(std::uint64_t u) const {
+    return adj_[u];
+  }
+
+  std::size_t degree(std::uint64_t u) const { return adj_[u].size(); }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+/// True iff `cycle` lists distinct vertices forming a cycle in `g`
+/// (consecutive vertices adjacent, last adjacent to first).  A cycle
+/// needs length >= 3.
+bool is_valid_cycle(const Graph& g, std::span<const std::uint64_t> cycle);
+
+/// True iff `path` lists distinct vertices with consecutive ones adjacent.
+bool is_valid_path(const Graph& g, std::span<const std::uint64_t> path);
+
+/// 2-colouring result of a connected component scan.
+struct BipartiteResult {
+  bool is_bipartite = false;
+  /// colour[v] in {0,1}; only meaningful when is_bipartite.
+  std::vector<std::uint8_t> color;
+};
+
+/// BFS 2-colouring over all components.
+BipartiteResult check_bipartite(const Graph& g);
+
+/// Number of vertices reachable from `start` skipping vertices marked
+/// true in `blocked` (blocked[start] must be false).
+std::size_t reachable_count(const Graph& g, std::uint64_t start,
+                            std::span<const std::uint8_t> blocked);
+
+// ---------------------------------------------------------------------
+// Exhaustive search on small graphs (<= 64 vertices).
+//
+// These are deliberately exact: they back the optimality experiments and
+// the S4 in-block path oracle, where the paper's case analysis is
+// replaced by exhaustive enumeration over a 24-vertex block.
+// ---------------------------------------------------------------------
+
+/// Small dense graph: adjacency as 64-bit masks, vertex ids [0, n), n <= 64.
+class SmallGraph {
+ public:
+  explicit SmallGraph(int n) : adj_(static_cast<std::size_t>(n), 0), n_(n) {}
+
+  int size() const { return n_; }
+
+  void add_edge(int u, int v) {
+    adj_[static_cast<std::size_t>(u)] |= (1ULL << v);
+    adj_[static_cast<std::size_t>(v)] |= (1ULL << u);
+  }
+
+  void remove_edge(int u, int v) {
+    adj_[static_cast<std::size_t>(u)] &= ~(1ULL << v);
+    adj_[static_cast<std::size_t>(v)] &= ~(1ULL << u);
+  }
+
+  bool has_edge(int u, int v) const {
+    return (adj_[static_cast<std::size_t>(u)] >> v) & 1ULL;
+  }
+
+  std::uint64_t neighbor_mask(int u) const {
+    return adj_[static_cast<std::size_t>(u)];
+  }
+
+ private:
+  std::vector<std::uint64_t> adj_;
+  int n_;
+};
+
+/// Longest simple path from `from` to `to` avoiding vertices in
+/// `forbidden` (bitmask).  Returns the vertex sequence (including both
+/// endpoints) of one maximum-length such path, or nullopt when no path
+/// exists.  Exhaustive branch-and-bound; intended for n <= ~26.
+std::optional<std::vector<int>> longest_path(const SmallGraph& g, int from,
+                                             int to, std::uint64_t forbidden);
+
+/// Like longest_path but stops as soon as a path visiting exactly
+/// `target_vertices` vertices is found.  Much faster when such a path
+/// exists; returns nullopt when it provably does not.
+std::optional<std::vector<int>> path_with_exact_vertices(
+    const SmallGraph& g, int from, int to, std::uint64_t forbidden,
+    int target_vertices);
+
+/// Length (vertex count) of a longest simple cycle avoiding `forbidden`,
+/// together with one witness cycle.  Returns 0/empty when the remaining
+/// graph has no cycle.  Exhaustive; intended for n <= ~26.
+struct LongestCycleResult {
+  int length = 0;
+  std::vector<int> cycle;
+};
+LongestCycleResult longest_cycle(const SmallGraph& g, std::uint64_t forbidden);
+
+/// One Hamiltonian cycle over the vertices NOT in `forbidden`, or nullopt.
+std::optional<std::vector<int>> hamiltonian_cycle(const SmallGraph& g,
+                                                  std::uint64_t forbidden);
+
+/// One simple cycle visiting exactly `target_vertices` vertices, none
+/// in `forbidden`, or nullopt when no such cycle exists.  Exhaustive.
+std::optional<std::vector<int>> cycle_with_exact_vertices(
+    const SmallGraph& g, std::uint64_t forbidden, int target_vertices);
+
+}  // namespace starring

@@ -1,0 +1,157 @@
+#include "hypercube/hypercube.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <unordered_set>
+
+#include "graph/graph.hpp"
+
+namespace starring {
+
+Hypercube::Hypercube(int n) : n_(n) { assert(n >= 1 && n <= 30); }
+
+int Hypercube::parity(std::uint32_t u) { return std::popcount(u) & 1; }
+
+namespace {
+
+/// Drop bit d from a mask (compress to n-1 coordinates).
+std::uint32_t drop_bit(std::uint32_t u, int d) {
+  const std::uint32_t low = u & ((1u << d) - 1);
+  const std::uint32_t high = (u >> (d + 1)) << d;
+  return low | high;
+}
+
+/// Insert bit `value` at position d (inverse of drop_bit).
+std::uint32_t insert_bit(std::uint32_t u, int d, std::uint32_t value) {
+  const std::uint32_t low = u & ((1u << d) - 1);
+  const std::uint32_t high = (u >> d) << (d + 1);
+  return low | high | (value << d);
+}
+
+/// Exhaustive base case for n <= 4 (at most 16 vertices): the longest
+/// fault-free cycle, demanded to hit 2^n - 2|Fv| exactly.
+std::optional<std::vector<std::uint32_t>> base_ring(int n,
+                                                    const CubeFaults& faults) {
+  const int size = 1 << n;
+  SmallGraph g(size);
+  for (int u = 0; u < size; ++u)
+    for (int b = 0; b < n; ++b)
+      if ((u ^ (1 << b)) > u) g.add_edge(u, u ^ (1 << b));
+  std::uint64_t forbidden = 0;
+  for (const std::uint32_t f : faults) forbidden |= 1ULL << f;
+  const int target = size - 2 * static_cast<int>(faults.size());
+  if (target < 4) return std::nullopt;
+  // Exactly 2^n - 2|Fv| (the theorem's length); with opposite-parity
+  // faults the optimum can be longer, but exact length keeps the
+  // recursive composition and the cross-topology comparison honest.
+  const auto cycle = cycle_with_exact_vertices(g, forbidden, target);
+  if (!cycle) return std::nullopt;
+  return std::vector<std::uint32_t>(cycle->begin(), cycle->end());
+}
+
+struct PairHash {
+  std::size_t operator()(const std::uint64_t v) const {
+    return std::hash<std::uint64_t>{}(v);
+  }
+};
+
+std::uint64_t edge_key(std::uint32_t a, std::uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint32_t>> embed_hypercube_ring(
+    int n, const CubeFaults& faults) {
+  assert(n >= 2 && n <= 24);
+  if (n <= 4) return base_ring(n, faults);
+
+  // Try split dimensions, most balanced fault split first; both halves
+  // must stay inside the recursive regime |F| <= (n-1) - 2.
+  std::vector<int> dims(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) dims[static_cast<std::size_t>(d)] = d;
+  auto imbalance = [&](int d) {
+    int ones = 0;
+    for (const std::uint32_t f : faults)
+      if ((f >> d) & 1u) ++ones;
+    return std::abs(2 * ones - static_cast<int>(faults.size()));
+  };
+  std::sort(dims.begin(), dims.end(),
+            [&](int a, int b) { return imbalance(a) < imbalance(b); });
+
+  for (const int d : dims) {
+    CubeFaults lower;
+    CubeFaults upper;
+    for (const std::uint32_t f : faults)
+      ((f >> d) & 1u ? upper : lower).insert(drop_bit(f, d));
+    const std::size_t cap = static_cast<std::size_t>(n - 3);
+    if (lower.size() > cap || upper.size() > cap) continue;
+
+    const auto c0 = embed_hypercube_ring(n - 1, lower);
+    if (!c0) continue;
+    const auto c1 = embed_hypercube_ring(n - 1, upper);
+    if (!c1) continue;
+
+    // Expand back to n-bit coordinates.
+    std::vector<std::uint32_t> r0;
+    r0.reserve(c0->size());
+    for (const std::uint32_t u : *c0) r0.push_back(insert_bit(u, d, 0));
+    std::vector<std::uint32_t> r1;
+    r1.reserve(c1->size());
+    for (const std::uint32_t u : *c1) r1.push_back(insert_bit(u, d, 1));
+
+    // Splice: an edge (u, v) of r0 whose mirror (u^d, v^d) is an edge
+    // of r1.  Drop both edges, bridge with (u, u^d) and (v, v^d).
+    std::unordered_set<std::uint64_t, PairHash> edges1;
+    edges1.reserve(r1.size() * 2);
+    for (std::size_t i = 0; i < r1.size(); ++i)
+      edges1.insert(edge_key(r1[i], r1[(i + 1) % r1.size()]));
+    const std::uint32_t bit = 1u << d;
+
+    for (std::size_t i = 0; i < r0.size(); ++i) {
+      const std::uint32_t u = r0[i];
+      const std::uint32_t v = r0[(i + 1) % r0.size()];
+      if (!edges1.contains(edge_key(u ^ bit, v ^ bit))) continue;
+      // Orient r0 to end at u (... -> v ... u), i.e. start at v.
+      std::vector<std::uint32_t> ring;
+      ring.reserve(r0.size() + r1.size());
+      for (std::size_t k = 0; k < r0.size(); ++k)
+        ring.push_back(r0[(i + 1 + k) % r0.size()]);  // v ... u
+      // Append r1 from u^bit to v^bit (orientation chosen so the
+      // mirrored edge is the wrap-around we drop).
+      const auto ju = static_cast<std::size_t>(
+          std::find(r1.begin(), r1.end(), u ^ bit) - r1.begin());
+      const std::size_t m1 = r1.size();
+      if (r1[(ju + 1) % m1] == (v ^ bit)) {
+        // u' ... (backwards) ... v': walk r1 in reverse from ju.
+        for (std::size_t k = 0; k < m1; ++k)
+          ring.push_back(r1[(ju + m1 - k) % m1]);
+      } else {
+        for (std::size_t k = 0; k < m1; ++k)
+          ring.push_back(r1[(ju + k) % m1]);
+      }
+      return ring;
+    }
+  }
+  return std::nullopt;
+}
+
+bool verify_hypercube_ring(int n, const CubeFaults& faults,
+                           const std::vector<std::uint32_t>& ring) {
+  if (ring.size() < 4) return false;
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(ring.size() * 2);
+  for (const std::uint32_t u : ring) {
+    if (u >= (1u << n)) return false;
+    if (faults.contains(u)) return false;
+    if (!seen.insert(u).second) return false;
+  }
+  for (std::size_t i = 0; i < ring.size(); ++i)
+    if (!Hypercube::adjacent(ring[i], ring[(i + 1) % ring.size()]))
+      return false;
+  return true;
+}
+
+}  // namespace starring

@@ -1,0 +1,59 @@
+// The binary n-cube Q_n and fault-tolerant ring embedding in it.
+//
+// Why it is here: the paper's opening claim is that the star graph is
+// "an attractive alternative to the hypercube", and its reference [35]
+// (Yang, Tien & Raghavendra) is precisely ring embedding in faulty
+// hypercubes — a ring of length 2^n - 2|Fv| survives |Fv| <= n-2 vertex
+// faults.  Reproducing that result gives experiment E14 its comparison
+// axis: how ring capacity degrades per fault on the two topologies at
+// comparable machine sizes (S_8 with 40320 nodes of degree 7 vs Q_15
+// with 32768 nodes of degree 15).
+//
+// Q_n is bipartite by parity of popcount with equal halves, so
+// 2^n - 2|Fv| is worst-case optimal by the same argument as the star
+// graph's bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+namespace starring {
+
+/// Vertices of Q_n are the bitmasks 0 .. 2^n - 1; u ~ v iff they differ
+/// in exactly one bit.
+class Hypercube {
+ public:
+  explicit Hypercube(int n);
+
+  int n() const { return n_; }
+  std::uint32_t num_vertices() const { return 1u << n_; }
+  int degree() const { return n_; }
+
+  static bool adjacent(std::uint32_t u, std::uint32_t v) {
+    const std::uint32_t d = u ^ v;
+    return d != 0 && (d & (d - 1)) == 0;
+  }
+
+  static int parity(std::uint32_t u);
+
+ private:
+  int n_;
+};
+
+using CubeFaults = std::unordered_set<std::uint32_t>;
+
+/// Healthy ring of length 2^n - 2|Fv| in Q_n with |Fv| <= n-2 vertex
+/// faults (Yang-Tien-Raghavendra).  Recursive: split along a dimension
+/// that balances the faults, embed in both halves, splice across; base
+/// cases (n <= 4) are solved exhaustively and optimally.  Returns
+/// nullopt outside the regime when no such ring exists.
+std::optional<std::vector<std::uint32_t>> embed_hypercube_ring(
+    int n, const CubeFaults& faults);
+
+/// Independent check: simple cycle, no faulty vertex.
+bool verify_hypercube_ring(int n, const CubeFaults& faults,
+                           const std::vector<std::uint32_t>& ring);
+
+}  // namespace starring

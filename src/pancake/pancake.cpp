@@ -1,0 +1,293 @@
+#include "pancake/pancake.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "graph/graph.hpp"
+
+namespace starring {
+
+Perm pancake_flip(const Perm& p, int k) {
+  assert(k >= 2 && k <= p.size());
+  std::vector<int> s(static_cast<std::size_t>(p.size()));
+  for (int i = 0; i < p.size(); ++i) s[static_cast<std::size_t>(i)] = p.get(i);
+  std::reverse(s.begin(), s.begin() + k);
+  return Perm::of(s);
+}
+
+bool pancake_adjacent(const Perm& u, const Perm& v) {
+  if (u.size() != v.size() || u == v) return false;
+  // v must equal u with some prefix reversed: find the last differing
+  // position; the prefix up to it must be exactly reversed.
+  int last = -1;
+  for (int i = 0; i < u.size(); ++i)
+    if (u.get(i) != v.get(i)) last = i;
+  if (last < 1) return false;
+  for (int i = 0; i <= last; ++i)
+    if (v.get(i) != u.get(last - i)) return false;
+  return true;
+}
+
+namespace {
+
+/// The P_4 adjacency as a SmallGraph over Lehmer ranks.
+const SmallGraph& p4_graph() {
+  static const SmallGraph g = [] {
+    SmallGraph gg(24);
+    for (int u = 0; u < 24; ++u) {
+      const Perm p = Perm::unrank(static_cast<VertexId>(u), 4);
+      for (int k = 2; k <= 4; ++k) {
+        const int v = static_cast<int>(pancake_flip(p, k).rank());
+        if (v > u) gg.add_edge(u, v);
+      }
+    }
+    return gg;
+  }();
+  return g;
+}
+
+/// Abstract faults of one recursion level, as a bitmask-friendly set of
+/// packed bits.
+using PermSet = std::unordered_set<std::uint64_t>;
+
+/// Relabel a copy member (last symbol == s) into the abstract P_{m-1}:
+/// drop the last position, close the symbol gap.
+Perm to_abstract(const Perm& p, int s) {
+  const int m = p.size();
+  std::vector<int> syms(static_cast<std::size_t>(m - 1));
+  for (int i = 0; i + 1 < m; ++i) {
+    const int t = p.get(i);
+    syms[static_cast<std::size_t>(i)] = t > s ? t - 1 : t;
+  }
+  return Perm::of(syms);
+}
+
+/// Inverse of to_abstract.
+Perm from_abstract(const Perm& p, int s) {
+  const int m = p.size() + 1;
+  std::vector<int> syms(static_cast<std::size_t>(m));
+  for (int i = 0; i + 1 < m; ++i) {
+    const int t = p.get(i);
+    syms[static_cast<std::size_t>(i)] = t >= s ? t + 1 : t;
+  }
+  syms[static_cast<std::size_t>(m - 1)] = s;
+  return Perm::of(syms);
+}
+
+/// Full-coverage healthy path in the abstract P_m from s to t: visits
+/// every healthy vertex exactly once.  Returns nullopt when infeasible
+/// under the explored choices.
+std::optional<std::vector<Perm>> pancake_path(int m, const Perm& s,
+                                              const Perm& t,
+                                              const PermSet& faults);
+
+PermSet abstract_faults(const PermSet& faults, int m, int sym) {
+  PermSet out;
+  for (const std::uint64_t bits : faults) {
+    const Perm f = Perm::from_packed(bits, m);
+    if (f.get(m - 1) == sym) out.insert(to_abstract(f, sym).bits());
+  }
+  return out;
+}
+
+std::optional<std::vector<Perm>> pancake_path(int m, const Perm& s,
+                                              const Perm& t,
+                                              const PermSet& faults) {
+  assert(s.size() == m && t.size() == m);
+  if (faults.contains(s.bits()) || faults.contains(t.bits()))
+    return std::nullopt;
+  if (m <= 4) {
+    // Exhaustive over at most 24 vertices.
+    if (m < 4) {
+      // P_2 (edge) and P_3 (6-cycle): tiny, still exhaustive via the
+      // generic search on an ad-hoc graph.
+      const int size = static_cast<int>(factorial(m));
+      SmallGraph g(size);
+      for (int u = 0; u < size; ++u) {
+        const Perm p = Perm::unrank(static_cast<VertexId>(u), m);
+        for (int k = 2; k <= m; ++k) {
+          const int v = static_cast<int>(pancake_flip(p, k).rank());
+          if (v > u) g.add_edge(u, v);
+        }
+      }
+      std::uint64_t forbidden = 0;
+      for (const std::uint64_t bits : faults)
+        forbidden |= 1ULL << Perm::from_packed(bits, m).rank();
+      const int target = size - static_cast<int>(faults.size());
+      const auto path = path_with_exact_vertices(
+          g, static_cast<int>(s.rank()), static_cast<int>(t.rank()),
+          forbidden, target);
+      if (!path) return std::nullopt;
+      std::vector<Perm> out;
+      out.reserve(path->size());
+      for (const int v : *path)
+        out.push_back(Perm::unrank(static_cast<VertexId>(v), m));
+      return out;
+    }
+    std::uint64_t forbidden = 0;
+    for (const std::uint64_t bits : faults)
+      forbidden |= 1ULL << Perm::from_packed(bits, 4).rank();
+    const int target = 24 - static_cast<int>(faults.size());
+    const auto path = path_with_exact_vertices(
+        p4_graph(), static_cast<int>(s.rank()), static_cast<int>(t.rank()),
+        forbidden, target);
+    if (!path) return std::nullopt;
+    std::vector<Perm> out;
+    out.reserve(path->size());
+    for (const int v : *path)
+      out.push_back(Perm::unrank(static_cast<VertexId>(v), 4));
+    return out;
+  }
+
+  const int cs = s.get(m - 1);
+  const int ct = t.get(m - 1);
+  if (cs == ct) return std::nullopt;  // caller backtracks on this
+
+  // Copy order: start at s's copy, end at t's copy, middles ascending.
+  std::vector<int> order{cs};
+  for (int c = 0; c < m; ++c)
+    if (c != cs && c != ct) order.push_back(c);
+  order.push_back(ct);
+
+  // Chain the copies with limited backtracking over exit choices.
+  std::vector<Perm> path;
+  path.reserve(factorial(m) - faults.size());
+
+  struct Frame {
+    Perm entry;
+    std::uint64_t next_exit = 0;  // iteration cursor over (m-1)! members
+    std::size_t path_len = 0;     // length before this copy was entered
+  };
+  std::vector<Frame> stack;
+  stack.push_back({s, 0, 0});
+
+  constexpr int kExitTries = 16;
+  int tries_left = 4096;  // global backtrack budget
+
+  while (!stack.empty()) {
+    const std::size_t depth = stack.size() - 1;
+    Frame& fr = stack.back();
+    const int copy = order[depth];
+    const bool last = depth + 1 == order.size();
+    const PermSet afaults = abstract_faults(faults, m, copy);
+    const Perm entry_abs = to_abstract(fr.entry, copy);
+
+    bool advanced = false;
+    if (last) {
+      if (fr.next_exit == 0) {
+        fr.next_exit = 1;
+        const Perm t_abs = to_abstract(t, copy);
+        std::optional<std::vector<Perm>> inner;
+        if (entry_abs == t_abs) {
+          // Degenerate: the final copy holds a single healthy vertex.
+          if (afaults.size() + 1 == factorial(m - 1))
+            inner = std::vector<Perm>{entry_abs};
+        } else {
+          inner = pancake_path(m - 1, entry_abs, t_abs, afaults);
+        }
+        if (inner) {
+          for (const Perm& p : *inner)
+            path.push_back(from_abstract(p, copy));
+          return path;
+        }
+      }
+    } else {
+      const int next_copy = order[depth + 1];
+      int scanned = 0;
+      for (std::uint64_t j = fr.next_exit;
+           j < factorial(m - 1) && scanned < kExitTries; ++j) {
+        const Perm cand_abs = Perm::unrank(j, m - 1);
+        const Perm cand = from_abstract(cand_abs, copy);
+        fr.next_exit = j + 1;
+        if (cand.get(0) != next_copy) continue;
+        if (faults.contains(cand.bits())) continue;
+        if (cand == fr.entry) continue;
+        ++scanned;
+        const Perm bridge = pancake_flip(cand, m);
+        if (faults.contains(bridge.bits())) continue;
+        const auto inner =
+            pancake_path(m - 1, entry_abs, cand_abs, afaults);
+        if (!inner) continue;
+        for (const Perm& p : *inner) path.push_back(from_abstract(p, copy));
+        stack.push_back({bridge, 0, path.size()});
+        advanced = true;
+        break;
+      }
+      if (advanced) continue;
+    }
+    // Exhausted this copy's choices: backtrack.
+    path.resize(fr.path_len);
+    stack.pop_back();
+    if (--tries_left <= 0) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<Perm>> pancake_fault_ring(int n,
+                                                    const FaultSet& faults) {
+  if (n < 3) return std::nullopt;
+  PermSet fset;
+  for (const Perm& f : faults.vertex_faults()) fset.insert(f.bits());
+
+  if (n <= 4) {
+    const int size = static_cast<int>(factorial(n));
+    SmallGraph g(size);
+    for (int u = 0; u < size; ++u) {
+      const Perm p = Perm::unrank(static_cast<VertexId>(u), n);
+      for (int k = 2; k <= n; ++k) {
+        const int v = static_cast<int>(pancake_flip(p, k).rank());
+        if (v > u) g.add_edge(u, v);
+      }
+    }
+    std::uint64_t forbidden = 0;
+    for (const std::uint64_t bits : fset)
+      forbidden |= 1ULL << Perm::from_packed(bits, n).rank();
+    const int target = size - static_cast<int>(fset.size());
+    const auto cyc = cycle_with_exact_vertices(g, forbidden, target);
+    if (!cyc) return std::nullopt;
+    std::vector<Perm> out;
+    out.reserve(cyc->size());
+    for (const int v : *cyc)
+      out.push_back(Perm::unrank(static_cast<VertexId>(v), n));
+    return out;
+  }
+
+  // Cyclic copy order 0..n-1; enumerate closure exits from copy n-1
+  // back into copy 0.
+  for (std::uint64_t closure = 0; closure < factorial(n - 1); ++closure) {
+    const Perm z_abs = Perm::unrank(closure, n - 1);
+    const Perm z = from_abstract(z_abs, n - 1);
+    if (z.get(0) != 0) continue;  // must cross into copy 0
+    if (fset.contains(z.bits())) continue;
+    const Perm entry0 = pancake_flip(z, n);
+    if (fset.contains(entry0.bits())) continue;
+
+    // Path from entry0 around all copies ending at z: reuse the path
+    // machinery over a virtual P_n whose "copies" we traverse 0..n-1.
+    const auto path = pancake_path(n, entry0, z, fset);
+    if (!path) continue;
+    return path;  // cyclic: last (z) flips to entry0
+  }
+  return std::nullopt;
+}
+
+bool verify_pancake_ring(int n, const FaultSet& faults,
+                         const std::vector<Perm>& ring) {
+  if (ring.size() < 3) return false;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(ring.size() * 2);
+  for (const Perm& p : ring) {
+    if (p.size() != n) return false;
+    if (faults.vertex_faulty(p)) return false;
+    if (!seen.insert(p.bits()).second) return false;
+  }
+  for (std::size_t i = 0; i < ring.size(); ++i)
+    if (!pancake_adjacent(ring[i], ring[(i + 1) % ring.size()]))
+      return false;
+  return true;
+}
+
+}  // namespace starring

@@ -1,0 +1,46 @@
+// The pancake graph P_n and fault-tolerant ring embedding in it.
+//
+// P_n is the star graph's closest sibling: the other canonical Cayley
+// interconnection network of Akers & Krishnamurthy [2], with the same
+// vertex set (permutations of n symbols) but prefix reversals as the
+// generator set (u ~ v iff v reverses a prefix of u; degree n-1).
+// Crucially P_n is NOT bipartite (it has odd cycles: girth 6 but
+// 7-cycles exist for n >= 4), so a faulty vertex costs a ring exactly
+// ONE slot — no healthy-partner tax.  With |Fv| <= n-3 vertex faults
+// P_n embeds a ring of length n! - |Fv|, against the star graph's
+// optimal n! - 2|Fv|.  Experiment E18 puts the two degradation laws
+// side by side: the factor-2 gap is purely the star graph's
+// bipartiteness.
+//
+// Construction: recursive copy decomposition (fix the last symbol to
+// split P_n into n copies of P_{n-1}; every copy pair is joined by
+// full-prefix flips), Hamiltonian-connected exhaustive base at P_4,
+// and per-copy full-coverage paths chained through flip crossings with
+// backtracking over exit choices.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "perm/permutation.hpp"
+
+namespace starring {
+
+/// Reverse the prefix of length k (2 <= k <= n).
+Perm pancake_flip(const Perm& p, int k);
+
+/// u ~ v in P_n iff v is a prefix reversal of u.
+bool pancake_adjacent(const Perm& u, const Perm& v);
+
+/// A healthy ring of length n! - |Fv| in P_n.  Guarantee regime:
+/// |Fv| <= n-3 (matching the star-graph theorem's budget); best effort
+/// beyond.  Returns the cyclic vertex sequence, or nullopt.
+std::optional<std::vector<Perm>> pancake_fault_ring(int n,
+                                                    const FaultSet& faults);
+
+/// Independent check: simple cycle of P_n, no faulty vertex.
+bool verify_pancake_ring(int n, const FaultSet& faults,
+                         const std::vector<Perm>& ring);
+
+}  // namespace starring

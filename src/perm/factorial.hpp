@@ -1,0 +1,31 @@
+// Compile-time factorial table used throughout the library for
+// star-graph sizing (|V(S_n)| = n!) and Lehmer rank/unrank arithmetic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace starring {
+
+/// Largest n for which n! fits comfortably in uint64_t and for which the
+/// packed permutation representation (4 bits per slot) works.
+inline constexpr int kMaxN = 16;
+
+namespace detail {
+constexpr std::array<std::uint64_t, kMaxN + 1> make_factorials() {
+  std::array<std::uint64_t, kMaxN + 1> f{};
+  f[0] = 1;
+  for (std::size_t i = 1; i < f.size(); ++i) f[i] = f[i - 1] * i;
+  return f;
+}
+}  // namespace detail
+
+/// factorial(n) == n! for 0 <= n <= kMaxN.
+inline constexpr std::array<std::uint64_t, kMaxN + 1> kFactorial =
+    detail::make_factorials();
+
+/// Convenience accessor with an unsigned return type sized for vertex counts.
+constexpr std::uint64_t factorial(int n) { return kFactorial[static_cast<std::size_t>(n)]; }
+
+}  // namespace starring

@@ -1,0 +1,64 @@
+#include "perm/permutation.hpp"
+
+namespace starring {
+
+VertexId Perm::rank() const {
+  // Lehmer code: for each position count smaller symbols to its right.
+  // O(n^2); n <= 16 so this is at most 256 steps and branch-predictable.
+  VertexId r = 0;
+  for (int i = 0; i < n_; ++i) {
+    const int si = get(i);
+    int smaller = 0;
+    for (int j = i + 1; j < n_; ++j)
+      if (get(j) < si) ++smaller;
+    r += static_cast<VertexId>(smaller) * factorial(n_ - 1 - i);
+  }
+  return r;
+}
+
+Perm Perm::unrank(VertexId r, int n) {
+  assert(n >= 1 && n <= kMaxN);
+  assert(r < factorial(n));
+  // Decode the Lehmer code digit by digit, consuming unused symbols.
+  std::uint16_t unused = static_cast<std::uint16_t>((1u << n) - 1);
+  std::uint64_t bits = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t f = factorial(n - 1 - i);
+    int digit = static_cast<int>(r / f);
+    r %= f;
+    // Take the (digit)-th set bit of `unused`.
+    int s = 0;
+    for (int b = 0; b < n; ++b) {
+      if (unused & (1u << b)) {
+        if (s == digit) {
+          unused = static_cast<std::uint16_t>(unused & ~(1u << b));
+          bits |= static_cast<std::uint64_t>(b) << (4 * i);
+          break;
+        }
+        ++s;
+      }
+    }
+  }
+  return Perm(bits, n);
+}
+
+std::string Perm::to_string() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(2 * n_));
+  for (int i = 0; i < n_; ++i) {
+    const int sym = get(i) + 1;  // 1-based for human eyes, as in the paper
+    if (n_ > 9 && i > 0) out.push_back('.');
+    if (sym >= 10) out.push_back(static_cast<char>('0' + sym / 10));
+    out.push_back(static_cast<char>('0' + sym % 10));
+  }
+  return out;
+}
+
+std::vector<Perm> neighbors(const Perm& p) {
+  std::vector<Perm> out;
+  out.reserve(static_cast<std::size_t>(p.size() - 1));
+  for (int i = 1; i < p.size(); ++i) out.push_back(p.star_move(i));
+  return out;
+}
+
+}  // namespace starring

@@ -1,0 +1,188 @@
+// Packed permutation kernel.
+//
+// A vertex of the n-dimensional star graph S_n is a permutation of
+// {1, 2, ..., n}.  Internally we store symbols 0..n-1, one per 4-bit
+// nibble of a uint64_t, slot i holding the symbol at position i
+// (position 0 is the paper's "position 1", the pivot slot of every star
+// move).  This keeps a vertex in a register, makes the star move a pair
+// of shifts, and gives O(1) hashing and comparison.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "perm/factorial.hpp"
+
+namespace starring {
+
+/// Dense vertex identifier: the Lehmer rank of the permutation,
+/// in [0, n!).  Used to index per-vertex arrays and fault bitmaps.
+using VertexId = std::uint64_t;
+
+/// A permutation of {0, 1, ..., n-1}, packed 4 bits per slot.
+///
+/// Invariants: slots 0..n-1 hold each symbol 0..n-1 exactly once; slots
+/// n..15 are zero.  `n` must be in [1, kMaxN].
+class Perm {
+ public:
+  Perm() : bits_(0), n_(0) {}
+
+  /// Identity permutation 0,1,...,n-1.
+  static Perm identity(int n) {
+    assert(n >= 1 && n <= kMaxN);
+    std::uint64_t b = 0;
+    for (int i = n - 1; i >= 0; --i) b = (b << 4) | static_cast<std::uint64_t>(i);
+    return Perm(b, n);
+  }
+
+  /// Build from an explicit symbol sequence (0-based symbols).
+  static Perm of(std::span<const int> symbols) {
+    const int n = static_cast<int>(symbols.size());
+    assert(n >= 1 && n <= kMaxN);
+    std::uint64_t b = 0;
+    for (int i = n - 1; i >= 0; --i) {
+      assert(symbols[static_cast<std::size_t>(i)] >= 0 &&
+             symbols[static_cast<std::size_t>(i)] < n);
+      b = (b << 4) | static_cast<std::uint64_t>(symbols[static_cast<std::size_t>(i)]);
+    }
+    return Perm(b, n);
+  }
+
+  static Perm of(std::initializer_list<int> symbols) {
+    return of(std::span<const int>(symbols.begin(), symbols.size()));
+  }
+
+  /// Reconstruct the permutation with Lehmer rank `r` among S_n.
+  static Perm unrank(VertexId r, int n);
+
+  /// Wrap already-packed nibble bits (4 bits per slot, slots n..15
+  /// zero).  The caller vouches the bits encode a permutation; debug
+  /// builds assert it.  Used by performance-critical expansion paths.
+  static Perm from_packed(std::uint64_t bits, int n) {
+    assert(n >= 1 && n <= kMaxN);
+#ifndef NDEBUG
+    std::uint16_t seen = 0;
+    for (int i = 0; i < n; ++i) {
+      const auto s = static_cast<int>((bits >> (4 * i)) & 0xF);
+      assert(s < n && !((seen >> s) & 1));
+      seen = static_cast<std::uint16_t>(seen | (1 << s));
+    }
+    assert((n == 16 ? 0 : bits >> (4 * n)) == 0);
+#endif
+    return Perm(bits, n);
+  }
+
+  /// Number of positions.
+  int size() const { return n_; }
+
+  /// Symbol at position i (0-based).
+  int get(int i) const {
+    assert(i >= 0 && i < n_);
+    return static_cast<int>((bits_ >> (4 * i)) & 0xF);
+  }
+
+  /// Position currently holding symbol s.  O(n).
+  int position_of(int s) const {
+    assert(s >= 0 && s < n_);
+    for (int i = 0; i < n_; ++i)
+      if (get(i) == s) return i;
+    assert(false && "symbol not found: corrupt permutation");
+    return -1;
+  }
+
+  /// The star move along dimension i (1-based dimensions 2..n in the paper
+  /// correspond to i = 1..n-1 here): swap slot 0 with slot i.
+  /// This is exactly the adjacency relation of S_n.
+  [[nodiscard]] Perm star_move(int i) const {
+    assert(i >= 1 && i < n_);
+    const std::uint64_t a = bits_ & 0xF;
+    const std::uint64_t b = (bits_ >> (4 * i)) & 0xF;
+    std::uint64_t out = bits_;
+    out &= ~(0xFULL | (0xFULL << (4 * i)));
+    out |= (b) | (a << (4 * i));
+    return Perm(out, n_);
+  }
+
+  /// True iff `other` is adjacent to *this in S_n (differs by one star move).
+  bool adjacent(const Perm& other) const {
+    if (n_ != other.n_ || bits_ == other.bits_) return false;
+    const std::uint64_t diff = bits_ ^ other.bits_;
+    // Exactly two nibbles must differ, one of them slot 0, and the
+    // symbols must be exchanged.
+    if ((diff & 0xF) == 0) return false;
+    std::uint64_t rest = diff >> 4;
+    if (rest == 0) return false;
+    // rest must be a single nibble.
+    const int tz = std::countr_zero(rest) / 4;
+    if ((rest & ~(0xFULL << (4 * tz))) != 0) return false;
+    const int j = tz + 1;
+    return get(0) == other.get(j) && get(j) == other.get(0);
+  }
+
+  /// Parity of the permutation: 0 = even, 1 = odd.  S_n is bipartite with
+  /// the partite sets being the even and the odd permutations.
+  int parity() const {
+    int p = 0;
+    std::uint16_t seen = 0;
+    for (int i = 0; i < n_; ++i) {
+      if (seen & (1u << i)) continue;
+      int len = 0;
+      int j = i;
+      while (!(seen & (1u << j))) {
+        seen = static_cast<std::uint16_t>(seen | (1u << j));
+        j = get(j);
+        ++len;
+      }
+      p ^= (len - 1) & 1;
+    }
+    return p;
+  }
+
+  /// Lehmer rank in [0, n!).  Stable dense vertex id for S_n.
+  VertexId rank() const;
+
+  /// Raw packed bits (for hashing / ordering).
+  std::uint64_t bits() const { return bits_; }
+
+  /// Human-readable 1-based form, e.g. "2134".
+  std::string to_string() const;
+
+  friend bool operator==(const Perm& a, const Perm& b) {
+    return a.n_ == b.n_ && a.bits_ == b.bits_;
+  }
+  /// Lexicographic order on the symbol sequence (= Lehmer-rank order).
+  friend std::strong_ordering operator<=>(const Perm& a, const Perm& b) {
+    if (auto c = a.n_ <=> b.n_; c != 0) return c;
+    for (int i = 0; i < a.n_; ++i)
+      if (auto c = a.get(i) <=> b.get(i); c != 0) return c;
+    return std::strong_ordering::equal;
+  }
+
+ private:
+  Perm(std::uint64_t bits, int n) : bits_(bits), n_(n) {}
+
+  std::uint64_t bits_;
+  int n_;
+};
+
+/// All n-1 neighbours of `p` in S_n, in dimension order.
+std::vector<Perm> neighbors(const Perm& p);
+
+struct PermHash {
+  std::size_t operator()(const Perm& p) const {
+    // splitmix64 over the packed bits; n is implied by usage context.
+    std::uint64_t x = p.bits() + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace starring

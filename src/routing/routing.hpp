@@ -1,0 +1,81 @@
+// Star-graph routing and communication substrate.
+//
+// The paper motivates ring embedding by the star graph's role as an
+// interconnection topology; the surrounding literature it cites
+// (shortest-path routing [1], broadcasting [31], fault-tolerant routing)
+// is what actually runs on the machine.  This module provides:
+//
+//  * exact distance: the classic Akers-Krishnamurthy cycle formula —
+//    writing the vertex (as a permutation to be sorted to the identity)
+//    in cycle form, with k symbols out of place in c nontrivial cycles,
+//      dist = k + c            if position 0 holds symbol 0,
+//      dist = k + c - 2        otherwise;
+//  * an optimal router producing one shortest move sequence;
+//  * the diameter floor(3(n-1)/2) (verified against BFS in tests);
+//  * fault-tolerant routing: BFS through the healthy subgraph, used by
+//    the examples to route around failed processors;
+//  * single-port broadcasting along a recursive dimension schedule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "perm/permutation.hpp"
+#include "stargraph/star_graph.hpp"
+
+namespace starring {
+
+/// Minimum number of star moves taking `p` to the identity.
+int star_distance(const Perm& p);
+
+/// Minimum number of star moves between two vertices (the star graph is
+/// vertex-transitive: dist(a, b) = dist(b^-1 ∘ a sorted relative to b)).
+int star_distance(const Perm& a, const Perm& b);
+
+/// Diameter of S_n: floor(3(n-1)/2).
+int star_diameter(int n);
+
+/// One optimal route from `from` to `to`: the sequence of intermediate
+/// vertices (excluding `from`, including `to`).  Empty when from == to.
+std::vector<Perm> shortest_route(const Perm& from, const Perm& to);
+
+/// BFS route through the healthy subgraph, avoiding faulty vertices and
+/// edges.  Returns the intermediate vertices (excluding `from`,
+/// including `to`), or nullopt when `to` is unreachable.  Both
+/// endpoints must be healthy.
+std::optional<std::vector<Perm>> fault_tolerant_route(const StarGraph& g,
+                                                      const FaultSet& faults,
+                                                      const Perm& from,
+                                                      const Perm& to);
+
+/// Single-port broadcast schedule from `source`: round r lists the
+/// (sender, receiver) pairs active in that round; every vertex is
+/// reached exactly once.  The schedule uses the doubling strategy —
+/// informed vertices take turns expanding along dimensions — and
+/// completes in O(n log n) rounds (tests pin the exact counts).
+struct BroadcastSchedule {
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> rounds;
+  std::size_t num_rounds() const { return rounds.size(); }
+};
+BroadcastSchedule broadcast_schedule(const StarGraph& g, const Perm& source);
+
+/// n-1 internally vertex-disjoint s-t paths (maximal fault tolerance:
+/// the connectivity of S_n equals its degree).  Each path is the full
+/// vertex sequence from s to t.  `net` must be g.materialize() — passed
+/// in so callers amortize the materialization across queries.
+std::vector<std::vector<Perm>> star_disjoint_paths(const StarGraph& g,
+                                                   const Graph& net,
+                                                   const Perm& s,
+                                                   const Perm& t);
+
+/// Diameter of the healthy subgraph: the largest BFS distance between
+/// healthy vertices, routing only through healthy vertices and links.
+/// Returns -1 when the healthy subgraph is disconnected.  Exhaustive
+/// all-sources BFS over the materialized graph — the fault-diameter
+/// characterization of the literature the paper cites ([28]); intended
+/// for n <= 7.
+int healthy_diameter(const StarGraph& g, const FaultSet& faults);
+
+}  // namespace starring

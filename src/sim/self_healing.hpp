@@ -1,0 +1,53 @@
+// Self-healing ring scenario.
+//
+// The operational story behind fault-tolerant embedding: a machine
+// starts with a full Hamiltonian ring; processors fail one by one; after
+// each failure the runtime re-embeds the longest healthy ring and the
+// application (a ring collective) resumes on it.  This module drives
+// that loop for any embedding strategy and records, per fault event,
+// the re-embedding cost, the surviving ring length, and the collective
+// performance on the shrunken ring — the numbers experiment E13
+// compares across this paper's construction and the baselines.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/ring_embedder.hpp"
+#include "sim/ring_sim.hpp"
+
+namespace starring {
+
+/// An embedding strategy: given the graph and the accumulated faults,
+/// produce a healthy ring (or fail).
+using EmbedStrategy = std::function<std::optional<EmbedResult>(
+    const StarGraph&, const FaultSet&)>;
+
+struct HealingEvent {
+  int faults_so_far = 0;
+  std::uint64_t ring_length = 0;
+  /// Wall-clock cost of the re-embedding, milliseconds.
+  double reembed_ms = 0.0;
+  /// One ring all-reduce on the new ring, simulated microseconds.
+  double allreduce_us = 0.0;
+  /// Healthy processors left out of the ring.
+  std::uint64_t stranded = 0;
+};
+
+struct HealingTrace {
+  std::vector<HealingEvent> events;
+  /// False when some re-embedding failed (the strategy gave up).
+  bool completed = true;
+};
+
+/// Drive the scenario: embed on the fault-free machine, then apply the
+/// fault sequence one vertex at a time, re-embedding after each.  Every
+/// produced ring is verified internally; an invalid ring marks the
+/// trace incomplete and stops it.
+HealingTrace run_self_healing(const StarGraph& g,
+                              const std::vector<Perm>& fault_sequence,
+                              const SimParams& params,
+                              const EmbedStrategy& strategy);
+
+}  // namespace starring

@@ -1,0 +1,105 @@
+#include "stargraph/decomposition.hpp"
+
+#include <cassert>
+
+#include "graph/graph.hpp"
+
+namespace starring {
+
+namespace {
+
+/// True iff `p` is the canonical representative of its pattern with
+/// free positions 0..r-1: the free symbols appear in ascending order.
+bool canonical_rep(const Perm& p, int r) {
+  for (int i = 0; i + 1 < r; ++i)
+    if (p.get(i) > p.get(i + 1)) return false;
+  return true;
+}
+
+/// The pattern with free positions 0..r-1 containing `p`.
+SubstarPattern pattern_of(const Perm& p, int r) {
+  SubstarPattern pat = SubstarPattern::whole(p.size());
+  for (int i = r; i < p.size(); ++i) pat = pat.child(i, p.get(i));
+  return pat;
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> six_ring_decomposition(const StarGraph& g) {
+  assert(g.n() >= 3);
+  std::vector<std::vector<VertexId>> rings;
+  rings.reserve(g.num_vertices() / 6);
+  for (VertexId id = 0; id < g.num_vertices(); ++id) {
+    const Perm p = g.vertex(id);
+    if (!canonical_rep(p, 3)) continue;
+    // Walk the 6-cycle: alternating swaps of position 0 with 1 and 2.
+    std::vector<VertexId> ring;
+    ring.reserve(6);
+    Perm cur = p;
+    for (int step = 0; step < 6; ++step) {
+      ring.push_back(cur.rank());
+      cur = cur.star_move(step % 2 == 0 ? 1 : 2);
+    }
+    assert(cur == p);
+    rings.push_back(std::move(ring));
+  }
+  return rings;
+}
+
+std::vector<std::vector<VertexId>> block_ring_decomposition(
+    const StarGraph& g) {
+  assert(g.n() >= 4);
+  // One Hamiltonian cycle of the abstract 24-vertex block, reused for
+  // every block through its local indexing.
+  const SmallGraph block = SubstarPattern::whole(4).block_graph();
+  const auto cycle = hamiltonian_cycle(block, 0);
+  assert(cycle.has_value());
+  std::vector<std::vector<VertexId>> rings;
+  rings.reserve(g.num_vertices() / 24);
+  for (VertexId id = 0; id < g.num_vertices(); ++id) {
+    const Perm p = g.vertex(id);
+    if (!canonical_rep(p, 4)) continue;
+    const SubstarPattern pat = pattern_of(p, 4);
+    std::vector<VertexId> ring;
+    ring.reserve(24);
+    for (const int local : *cycle)
+      ring.push_back(pat.member(static_cast<std::uint64_t>(local)).rank());
+    rings.push_back(std::move(ring));
+  }
+  return rings;
+}
+
+std::vector<std::vector<VertexId>> faulty_block_ring_decomposition(
+    const StarGraph& g, const FaultSet& faults) {
+  assert(g.n() >= 4);
+  const SmallGraph block = SubstarPattern::whole(4).block_graph();
+  const auto full_cycle = hamiltonian_cycle(block, 0);
+  assert(full_cycle.has_value());
+  std::vector<std::vector<VertexId>> rings;
+  rings.reserve(g.num_vertices() / 24);
+  for (VertexId id = 0; id < g.num_vertices(); ++id) {
+    const Perm p = g.vertex(id);
+    if (!canonical_rep(p, 4)) continue;
+    const SubstarPattern pat = pattern_of(p, 4);
+    std::uint32_t forbidden = 0;
+    for (const Perm& f : faults.vertex_faults())
+      if (pat.contains(f)) forbidden |= 1u << pat.local_index(f);
+    const std::vector<int>* cycle = nullptr;
+    LongestCycleResult faulty_cycle;
+    if (forbidden == 0) {
+      cycle = &*full_cycle;
+    } else {
+      faulty_cycle = longest_cycle(block, forbidden);
+      if (faulty_cycle.length < 3) continue;  // ring destroyed
+      cycle = &faulty_cycle.cycle;
+    }
+    std::vector<VertexId> ring;
+    ring.reserve(cycle->size());
+    for (const int local : *cycle)
+      ring.push_back(pat.member(static_cast<std::uint64_t>(local)).rank());
+    rings.push_back(std::move(ring));
+  }
+  return rings;
+}
+
+}  // namespace starring

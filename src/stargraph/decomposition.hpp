@@ -1,0 +1,40 @@
+// Disjoint structural decompositions of S_n.
+//
+// Two classical facts the paper's machinery makes constructive:
+//  * every 3-vertex (embedded S_3) is a 6-cycle, so any
+//    (i_1, ..., i_{n-3})-partition decomposes S_n into n!/6 pairwise
+//    vertex-disjoint 6-rings;
+//  * more generally the R_r construction partitions S_n into n!/r!
+//    disjoint embedded S_r's, and each of those embeds a Hamiltonian
+//    ring of its own, giving a disjoint cycle cover by r!-rings.
+//
+// Disjoint ring covers are what a multiprogrammed machine hands to
+// independent jobs: each job gets its own ring, no link is shared.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "stargraph/star_graph.hpp"
+
+namespace starring {
+
+/// Partition S_n into n!/6 vertex-disjoint 6-cycles (one per 3-vertex
+/// of the canonical partition along the highest positions).  Each entry
+/// is the cyclic vertex sequence of one ring.
+std::vector<std::vector<VertexId>> six_ring_decomposition(const StarGraph& g);
+
+/// Partition S_n into n!/24 vertex-disjoint 24-rings (a Hamiltonian
+/// ring inside every S_4 block of the canonical partition).
+std::vector<std::vector<VertexId>> block_ring_decomposition(
+    const StarGraph& g);
+
+/// Fault-aware variant: rings of the 24-ring cover that contain a fault
+/// shrink to 24 - 2*(faults inside) vertices (or drop out entirely when
+/// too damaged); healthy rings stay full.  The usable-cycle count and
+/// sizes quantify how gracefully a multiprogrammed machine degrades.
+std::vector<std::vector<VertexId>> faulty_block_ring_decomposition(
+    const StarGraph& g, const FaultSet& faults);
+
+}  // namespace starring

@@ -1,0 +1,46 @@
+#include "stargraph/star_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace starring {
+
+StarGraph::StarGraph(int n) : n_(n) { assert(n >= 1 && n <= kMaxN); }
+
+std::vector<VertexId> StarGraph::neighbor_ids(VertexId id) const {
+  const Perm p = vertex(id);
+  std::vector<VertexId> out;
+  out.reserve(static_cast<std::size_t>(n_ - 1));
+  for (int i = 1; i < n_; ++i) out.push_back(p.star_move(i).rank());
+  return out;
+}
+
+Graph StarGraph::materialize() const {
+  Graph g(num_vertices());
+  for (VertexId id = 0; id < num_vertices(); ++id) {
+    const Perm p = vertex(id);
+    for (int i = 1; i < n_; ++i) {
+      const VertexId q = p.star_move(i).rank();
+      if (q > id) g.add_edge(id, q);
+    }
+  }
+  return g;
+}
+
+bool is_star_ring(const StarGraph& g, const std::vector<VertexId>& ring) {
+  if (ring.size() < 3) return false;
+  std::vector<VertexId> sorted = ring;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    return false;
+  if (sorted.back() >= g.num_vertices()) return false;
+  Perm prev = g.vertex(ring.back());
+  for (const VertexId id : ring) {
+    const Perm cur = g.vertex(id);
+    if (!prev.adjacent(cur)) return false;
+    prev = cur;
+  }
+  return true;
+}
+
+}  // namespace starring

@@ -1,0 +1,243 @@
+#include "stargraph/substar.hpp"
+
+#include <algorithm>
+
+namespace starring {
+
+SubstarPattern SubstarPattern::whole(int n) {
+  assert(n >= 1 && n <= kMaxN);
+  SubstarPattern p;
+  p.n_ = static_cast<std::int8_t>(n);
+  p.r_ = static_cast<std::int8_t>(n);
+  p.slots_.fill(kFree);
+  return p;
+}
+
+SubstarPattern SubstarPattern::singleton(const Perm& perm) {
+  SubstarPattern p;
+  p.n_ = static_cast<std::int8_t>(perm.size());
+  p.r_ = 1;
+  p.slots_.fill(kFree);
+  for (int i = 1; i < perm.size(); ++i)
+    p.slots_[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(perm.get(i));
+  return p;
+}
+
+std::vector<int> SubstarPattern::free_positions() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(r_));
+  for (int i = 0; i < n_; ++i)
+    if (is_free(i)) out.push_back(i);
+  return out;
+}
+
+std::vector<int> SubstarPattern::free_symbols() const {
+  std::vector<int> out;
+  const std::uint32_t mask = free_symbol_mask();
+  out.reserve(static_cast<std::size_t>(r_));
+  for (int s = 0; s < n_; ++s)
+    if ((mask >> s) & 1u) out.push_back(s);
+  return out;
+}
+
+std::uint32_t SubstarPattern::free_symbol_mask() const {
+  std::uint32_t used = 0;
+  for (int i = 0; i < n_; ++i)
+    if (!is_free(i)) used |= 1u << slot(i);
+  return ((1u << n_) - 1u) & ~used;
+}
+
+bool SubstarPattern::contains(const Perm& p) const {
+  if (p.size() != n_) return false;
+  for (int i = 0; i < n_; ++i)
+    if (!is_free(i) && p.get(i) != slot(i)) return false;
+  return true;
+}
+
+SubstarPattern SubstarPattern::child(int i, int q) const {
+  assert(i >= 1 && i < n_ && is_free(i));
+  assert((free_symbol_mask() >> q) & 1u);
+  SubstarPattern c = *this;
+  c.slots_[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(q);
+  c.r_ = static_cast<std::int8_t>(r_ - 1);
+  return c;
+}
+
+std::vector<SubstarPattern> SubstarPattern::children(int i) const {
+  std::vector<SubstarPattern> out;
+  out.reserve(static_cast<std::size_t>(r_));
+  for (int q : free_symbols()) out.push_back(child(i, q));
+  return out;
+}
+
+bool SubstarPattern::adjacent(const SubstarPattern& a, const SubstarPattern& b,
+                              int* dif_pos) {
+  if (a.n_ != b.n_ || a.r_ != b.r_) return false;
+  int diff_at = -1;
+  for (int i = 0; i < a.n_; ++i) {
+    if (a.slot(i) == b.slot(i)) continue;
+    // Differing at a free-vs-fixed position means different free-position
+    // sets: not comparable as r-vertices of one partition.
+    if (a.is_free(i) || b.is_free(i)) return false;
+    if (diff_at != -1) return false;  // more than one differing position
+    diff_at = i;
+  }
+  if (diff_at == -1) return false;  // identical patterns
+  if (dif_pos != nullptr) *dif_pos = diff_at;
+  return true;
+}
+
+std::vector<Perm> SubstarPattern::members() const {
+  std::vector<Perm> out;
+  const std::uint64_t count = num_members();
+  out.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) out.push_back(member(k));
+  return out;
+}
+
+Perm SubstarPattern::member(std::uint64_t k) const {
+  assert(k < num_members());
+  const std::vector<int> pos = free_positions();
+  std::vector<int> syms = free_symbols();
+  // Lay the k-th permutation (Lehmer order) of the free symbols over the
+  // free positions.
+  std::vector<int> out(static_cast<std::size_t>(n_), 0);
+  for (int i = 0; i < n_; ++i)
+    if (!is_free(i)) out[static_cast<std::size_t>(i)] = slot(i);
+  const int r = r_;
+  for (int i = 0; i < r; ++i) {
+    const std::uint64_t f = factorial(r - 1 - i);
+    const auto digit = static_cast<std::size_t>(k / f);
+    k %= f;
+    out[static_cast<std::size_t>(pos[static_cast<std::size_t>(i)])] =
+        syms[digit];
+    syms.erase(syms.begin() + static_cast<std::ptrdiff_t>(digit));
+  }
+  return Perm::of(out);
+}
+
+std::uint64_t SubstarPattern::local_index(const Perm& p) const {
+  assert(contains(p));
+  const std::vector<int> pos = free_positions();
+  std::vector<int> syms = free_symbols();
+  std::uint64_t k = 0;
+  const int r = r_;
+  for (int i = 0; i < r; ++i) {
+    const int s = p.get(pos[static_cast<std::size_t>(i)]);
+    const auto it = std::lower_bound(syms.begin(), syms.end(), s);
+    assert(it != syms.end() && *it == s);
+    const auto digit = static_cast<std::uint64_t>(it - syms.begin());
+    k += digit * factorial(r - 1 - i);
+    syms.erase(it);
+  }
+  return k;
+}
+
+SmallGraph SubstarPattern::block_graph() const {
+  assert(num_members() <= 64);
+  const auto count = static_cast<int>(num_members());
+  SmallGraph g(count);
+  const std::vector<int> pos = free_positions();
+  for (int k = 0; k < count; ++k) {
+    const Perm u = member(static_cast<std::uint64_t>(k));
+    for (std::size_t pi = 1; pi < pos.size(); ++pi) {
+      const Perm v = u.star_move(pos[pi]);
+      const auto j = static_cast<int>(local_index(v));
+      if (j > k) g.add_edge(k, j);
+    }
+  }
+  return g;
+}
+
+std::string SubstarPattern::to_string() const {
+  std::string out = "<";
+  for (int i = 0; i < n_; ++i) {
+    if (i > 0) out.push_back(' ');
+    if (is_free(i)) {
+      out.push_back('*');
+    } else {
+      const int sym = slot(i) + 1;
+      if (sym >= 10) out.push_back(static_cast<char>('0' + sym / 10));
+      out.push_back(static_cast<char>('0' + sym % 10));
+    }
+  }
+  out += ">_";
+  out += std::to_string(r_);
+  return out;
+}
+
+MemberExpander::MemberExpander(const SubstarPattern& pat)
+    : r_(static_cast<std::int8_t>(pat.r())),
+      n_(static_cast<std::int8_t>(pat.n())) {
+  int fp = 0;
+  for (int i = 0; i < pat.n(); ++i) {
+    if (pat.is_free(i)) {
+      free_pos_[static_cast<std::size_t>(fp++)] = static_cast<std::int8_t>(i);
+    } else {
+      base_bits_ |= static_cast<std::uint64_t>(pat.slot(i)) << (4 * i);
+    }
+  }
+  int fs = 0;
+  const std::uint32_t mask = pat.free_symbol_mask();
+  for (int s = 0; s < pat.n(); ++s)
+    if ((mask >> s) & 1u) free_sym_[static_cast<std::size_t>(fs++)] =
+        static_cast<std::int8_t>(s);
+}
+
+Perm MemberExpander::member(std::uint64_t k) const {
+  assert(k < factorial(r_));
+  // Lehmer-decode over a small working copy of the free symbols.
+  std::array<std::int8_t, kMaxN> syms = free_sym_;
+  std::uint64_t bits = base_bits_;
+  const int r = r_;
+  for (int i = 0; i < r; ++i) {
+    const std::uint64_t f = factorial(r - 1 - i);
+    const auto digit = static_cast<int>(k / f);
+    k %= f;
+    bits |= static_cast<std::uint64_t>(syms[static_cast<std::size_t>(digit)])
+            << (4 * free_pos_[static_cast<std::size_t>(i)]);
+    for (int j = digit; j + 1 < r - i; ++j)
+      syms[static_cast<std::size_t>(j)] = syms[static_cast<std::size_t>(j + 1)];
+  }
+  return Perm::from_packed(bits, n_);
+}
+
+std::uint64_t MemberExpander::local_index(const Perm& p) const {
+  std::array<std::int8_t, kMaxN> syms = free_sym_;
+  std::uint64_t k = 0;
+  const int r = r_;
+  int live = r;
+  for (int i = 0; i < r; ++i) {
+    const int s = p.get(free_pos_[static_cast<std::size_t>(i)]);
+    int digit = 0;
+    while (digit < live && syms[static_cast<std::size_t>(digit)] != s) ++digit;
+    assert(digit < live);
+    k += static_cast<std::uint64_t>(digit) * factorial(r - 1 - i);
+    for (int j = digit; j + 1 < live; ++j)
+      syms[static_cast<std::size_t>(j)] = syms[static_cast<std::size_t>(j + 1)];
+    --live;
+  }
+  return k;
+}
+
+std::vector<SuperEdgeEndpoint> superedge_endpoints(const SubstarPattern& a,
+                                                   const SubstarPattern& b) {
+  int p = -1;
+  const bool adj = SubstarPattern::adjacent(a, b, &p);
+  assert(adj);
+  if (!adj) return {};
+  const int sym_b = b.slot(p);
+  // Members of `a` with symbol sym_b in position 0; the star move along
+  // dimension p sends each to a member of `b`.
+  std::vector<SuperEdgeEndpoint> out;
+  out.reserve(factorial(a.r() - 1));
+  const std::uint64_t count = a.num_members();
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const Perm u = a.member(k);
+    if (u.get(0) != sym_b) continue;
+    out.push_back({u, u.star_move(p)});
+  }
+  return out;
+}
+
+}  // namespace starring

@@ -1,0 +1,167 @@
+// Embedded substars: the paper's <s1 s2 ... sn>_r notation.
+//
+// An embedded S_r inside S_n (Definition 1 of the paper, notation from
+// Section 2) is written <s1 s2 ... sn>_r where s1 = '*', each other
+// position is '*' or a fixed symbol, and exactly r positions are '*'.
+// Such a pattern denotes the subgraph induced by all permutations that
+// agree with the fixed positions; it is isomorphic to S_r.
+//
+// The paper's machinery lives here:
+//  * i-partition (Definition 2): split an r-pattern into its r child
+//    (r-1)-patterns by fixing one free position to each free symbol;
+//  * adjacency of r-vertices and dif(U, V) (Section 2): two patterns
+//    with the same free-position set that differ in exactly one fixed
+//    position; the "super-edge" between them consists of (r-1)! real
+//    edges of S_n;
+//  * membership, enumeration, and the induced block graph used by the
+//    in-block path oracle.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "perm/permutation.hpp"
+
+namespace starring {
+
+/// An embedded S_r pattern inside S_n.  Position 0 (the paper's
+/// position 1) is always free.
+class SubstarPattern {
+ public:
+  static constexpr std::int8_t kFree = -1;
+
+  /// The full pattern <* * ... *>_n, i.e. S_n itself.
+  static SubstarPattern whole(int n);
+
+  /// The 1-pattern containing exactly the single permutation... is not
+  /// representable (position 0 is always free), so the finest pattern has
+  /// r = 1 and contains exactly one vertex: every position but 0 fixed.
+  static SubstarPattern singleton(const Perm& p);
+
+  int n() const { return n_; }
+
+  /// Dimension r of the embedded star: number of free positions.
+  int r() const { return r_; }
+
+  /// Number of vertices contained: r!.
+  std::uint64_t num_members() const { return factorial(r_); }
+
+  /// Slot value at position i: kFree or a fixed symbol in [0, n).
+  std::int8_t slot(int i) const { return slots_[static_cast<std::size_t>(i)]; }
+
+  bool is_free(int i) const { return slot(i) == kFree; }
+
+  /// Free positions in increasing order (always starts with 0).
+  std::vector<int> free_positions() const;
+
+  /// Symbols not used by any fixed position, increasing order; there are
+  /// exactly r of them.
+  std::vector<int> free_symbols() const;
+
+  /// Bitmask over symbols 0..n-1 of the free symbols.
+  std::uint32_t free_symbol_mask() const;
+
+  /// True iff permutation p matches every fixed position.
+  bool contains(const Perm& p) const;
+
+  /// Child pattern of the i-partition that fixes free position i to free
+  /// symbol q (Definition 2).  Preconditions: i >= 1 free, q free.
+  [[nodiscard]] SubstarPattern child(int i, int q) const;
+
+  /// All r children of the i-partition, ordered by fixed symbol.
+  std::vector<SubstarPattern> children(int i) const;
+
+  /// Adjacency of equal-r patterns sharing a free-position set: true iff
+  /// they differ in exactly one fixed position.  When adjacent,
+  /// *dif_pos receives that position (the paper's dif(U, V)).
+  static bool adjacent(const SubstarPattern& a, const SubstarPattern& b,
+                       int* dif_pos = nullptr);
+
+  /// Enumerate all r! member permutations, in Lehmer order of the free
+  /// symbols laid over the free positions.
+  std::vector<Perm> members() const;
+
+  /// Member with local index k (the k-th in members() order).  Local
+  /// indices give the SmallGraph vertex ids of block_graph().
+  Perm member(std::uint64_t k) const;
+
+  /// Local index of member p (inverse of member()).  Precondition:
+  /// contains(p).
+  std::uint64_t local_index(const Perm& p) const;
+
+  /// The induced subgraph over the members, on local indices.  Only
+  /// meaningful for r small enough that r! <= 64 (r <= 4 in practice:
+  /// r! = 24).  Edges are the star moves that stay inside the pattern,
+  /// i.e. swaps of position 0 with another free position.
+  SmallGraph block_graph() const;
+
+  /// e.g. "<* 3 * * 1>_3" (1-based symbols, as in the paper).
+  std::string to_string() const;
+
+  friend bool operator==(const SubstarPattern& a, const SubstarPattern& b) {
+    return a.n_ == b.n_ && a.slots_ == b.slots_;
+  }
+
+ private:
+  SubstarPattern() = default;
+
+  std::array<std::int8_t, kMaxN> slots_{};
+  std::int8_t n_ = 0;
+  std::int8_t r_ = 0;
+};
+
+/// Allocation-free member expansion for one pattern.
+///
+/// SubstarPattern::member() rebuilds its position/symbol scratch vectors
+/// on every call; the chaining engine calls it ~48 times per block over
+/// n!/24 blocks, which makes those allocations the hot path.  This
+/// helper hoists the per-pattern work: construct once per block, then
+/// member(k) is a handful of register operations.
+class MemberExpander {
+ public:
+  explicit MemberExpander(const SubstarPattern& pat);
+
+  /// Same value as pat.member(k).
+  Perm member(std::uint64_t k) const;
+
+  /// Same value as pat.local_index(p) (p must be a member).
+  std::uint64_t local_index(const Perm& p) const;
+
+  int r() const { return r_; }
+
+ private:
+  std::uint64_t base_bits_ = 0;  // fixed slots, free slots zero
+  std::array<std::int8_t, kMaxN> free_pos_{};
+  std::array<std::int8_t, kMaxN> free_sym_{};
+  std::int8_t r_ = 0;
+  std::int8_t n_ = 0;
+};
+
+/// The real edges of S_n forming the super-edge between adjacent patterns
+/// A and B (dif position p, A fixing symbol a, B fixing symbol b at p):
+/// the pairs (u, v) with u in A, u[0] = b, and v = u.star_move(p) in B.
+/// There are (r-1)! of them.
+struct SuperEdgeEndpoint {
+  Perm in_a;
+  Perm in_b;
+};
+std::vector<SuperEdgeEndpoint> superedge_endpoints(const SubstarPattern& a,
+                                                   const SubstarPattern& b);
+
+struct SubstarPatternHash {
+  std::size_t operator()(const SubstarPattern& p) const {
+    std::uint64_t x = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < p.n(); ++i) {
+      x ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p.slot(i)));
+      x *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace starring

@@ -1,0 +1,42 @@
+// starring — longest-ring embedding in faulty star graphs.
+//
+// Umbrella header: pulls in the whole public API.
+//
+//   StarGraph g(8);
+//   FaultSet faults = random_vertex_faults(g, 5, /*seed=*/1);
+//   auto ring = embed_longest_ring(g, faults);           // n! - 2|Fv|
+//   auto ok   = verify_healthy_ring(g, faults, ring->ring);
+//
+// Reproduces Hsieh, Chen & Ho, "Embed Longest Rings onto Star Graphs
+// with Vertex Faults" (ICPP 1998), the prior-art baselines it improves
+// on (Tseng et al., Latifi & Bagherzadeh), its mixed-fault corollary,
+// and the companion longest-path result, plus the routing and
+// simulation substrate of the surrounding literature.
+#pragma once
+
+#include "baselines/latifi.hpp"
+#include "baselines/tseng.hpp"
+#include "core/block_oracle.hpp"
+#include "core/chaining.hpp"
+#include "core/partition_selector.hpp"
+#include "core/ring_embedder.hpp"
+#include "core/super_ring.hpp"
+#include "core/verify.hpp"
+#include "extensions/longest_path.hpp"
+#include "extensions/mixed_faults.hpp"
+#include "extensions/pancyclic.hpp"
+#include "fault/fault.hpp"
+#include "fault/generators.hpp"
+#include "graph/disjoint_paths.hpp"
+#include "graph/graph.hpp"
+#include "hypercube/hypercube.hpp"
+#include "pancake/pancake.hpp"
+#include "perm/permutation.hpp"
+#include "routing/routing.hpp"
+#include "sim/ring_sim.hpp"
+#include "sim/self_healing.hpp"
+#include "stargraph/decomposition.hpp"
+#include "stargraph/star_graph.hpp"
+#include "stargraph/substar.hpp"
+#include "util/io.hpp"
+#include "util/parallel.hpp"

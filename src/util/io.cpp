@@ -1,0 +1,148 @@
+#include "util/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace starring {
+
+namespace {
+
+void fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+}
+
+/// Parse a 1-based permutation literal like "2134567" (n <= 9 digits) or
+/// dot-separated "2.1.10.3..." for larger n.
+std::optional<Perm> parse_perm(const std::string& text, int n) {
+  std::vector<int> syms;
+  if (text.find('.') == std::string::npos) {
+    for (const char c : text) {
+      if (c < '1' || c > '9') return std::nullopt;
+      syms.push_back(c - '1');
+    }
+  } else {
+    std::istringstream ss(text);
+    std::string tok;
+    while (std::getline(ss, tok, '.')) {
+      if (tok.empty()) return std::nullopt;
+      int v = 0;
+      for (const char c : tok) {
+        if (c < '0' || c > '9') return std::nullopt;
+        v = v * 10 + (c - '0');
+      }
+      syms.push_back(v - 1);
+    }
+  }
+  if (static_cast<int>(syms.size()) != n) return std::nullopt;
+  std::uint32_t seen = 0;
+  for (const int s : syms) {
+    if (s < 0 || s >= n || ((seen >> s) & 1u)) return std::nullopt;
+    seen |= 1u << s;
+  }
+  return Perm::of(syms);
+}
+
+}  // namespace
+
+bool write_embedding(std::ostream& os, const EmbeddingFile& e) {
+  os << "starring-embedding v1\n";
+  os << "n " << e.n << "\n";
+  os << "kind " << (e.is_ring ? "ring" : "path") << "\n";
+  const auto vf = e.faults.vertex_faults();
+  os << "vertex_faults " << vf.size() << "\n";
+  for (const Perm& f : vf) os << f.to_string() << "\n";
+  const auto ef = e.faults.edge_faults();
+  os << "edge_faults " << ef.size() << "\n";
+  for (const EdgeFault& f : ef)
+    os << f.u.to_string() << ' ' << f.v.to_string() << "\n";
+  os << "sequence " << e.sequence.size() << "\n";
+  for (std::size_t i = 0; i < e.sequence.size(); ++i)
+    os << e.sequence[i] << ((i + 1) % 16 == 0 ? '\n' : ' ');
+  os << "\n";
+  return static_cast<bool>(os);
+}
+
+std::optional<EmbeddingFile> read_embedding(std::istream& is,
+                                            std::string* error) {
+  std::string word;
+  std::string version;
+  if (!(is >> word >> version) || word != "starring-embedding" ||
+      version != "v1") {
+    fail(error, "bad header");
+    return std::nullopt;
+  }
+  EmbeddingFile e;
+  if (!(is >> word >> e.n) || word != "n" || e.n < 1 || e.n > kMaxN) {
+    fail(error, "bad dimension line");
+    return std::nullopt;
+  }
+  std::string kind;
+  if (!(is >> word >> kind) || word != "kind" ||
+      (kind != "ring" && kind != "path")) {
+    fail(error, "bad kind line");
+    return std::nullopt;
+  }
+  e.is_ring = kind == "ring";
+
+  std::size_t count = 0;
+  if (!(is >> word >> count) || word != "vertex_faults") {
+    fail(error, "bad vertex_faults line");
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string lit;
+    if (!(is >> lit)) {
+      fail(error, "truncated vertex faults");
+      return std::nullopt;
+    }
+    const auto p = parse_perm(lit, e.n);
+    if (!p) {
+      fail(error, "bad vertex fault '" + lit + "'");
+      return std::nullopt;
+    }
+    e.faults.add_vertex(*p);
+  }
+
+  if (!(is >> word >> count) || word != "edge_faults") {
+    fail(error, "bad edge_faults line");
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string la;
+    std::string lb;
+    if (!(is >> la >> lb)) {
+      fail(error, "truncated edge faults");
+      return std::nullopt;
+    }
+    const auto a = parse_perm(la, e.n);
+    const auto b = parse_perm(lb, e.n);
+    if (!a || !b || !a->adjacent(*b)) {
+      fail(error, "bad edge fault '" + la + " " + lb + "'");
+      return std::nullopt;
+    }
+    e.faults.add_edge(*a, *b);
+  }
+
+  if (!(is >> word >> count) || word != "sequence") {
+    fail(error, "bad sequence line");
+    return std::nullopt;
+  }
+  e.sequence.reserve(count);
+  const std::uint64_t limit = factorial(e.n);
+  for (std::size_t i = 0; i < count; ++i) {
+    VertexId id = 0;
+    if (!(is >> id)) {
+      fail(error, "truncated sequence");
+      return std::nullopt;
+    }
+    if (id >= limit) {
+      fail(error, "vertex id out of range: " + std::to_string(id));
+      return std::nullopt;
+    }
+    e.sequence.push_back(id);
+  }
+  return e;
+}
+
+}  // namespace starring

@@ -1,0 +1,46 @@
+// Plain-text serialization of embeddings.
+//
+// A ring embedding is an artefact worth keeping: the runtime system
+// computes it once per fault event and distributes it to every node.
+// The format is line-oriented and versioned:
+//
+//   starring-embedding v1
+//   n <dim>
+//   kind <ring|path>
+//   vertex_faults <count>
+//   <one permutation per line, 1-based digits, e.g. 2134567>
+//   edge_faults <count>
+//   <two permutations per line>
+//   sequence <length>
+//   <vertex ids (Lehmer ranks), whitespace-separated, any wrapping>
+//
+// read_embedding() validates structure and value ranges; semantic
+// validation (is it really a healthy ring?) stays with core/verify.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "perm/permutation.hpp"
+
+namespace starring {
+
+struct EmbeddingFile {
+  int n = 0;
+  bool is_ring = true;  // false: open path
+  FaultSet faults;
+  std::vector<VertexId> sequence;
+};
+
+/// Serialize to a stream.  Returns false on stream failure.
+bool write_embedding(std::ostream& os, const EmbeddingFile& e);
+
+/// Parse; returns nullopt (with a short reason in *error if non-null)
+/// on malformed input.
+std::optional<EmbeddingFile> read_embedding(std::istream& is,
+                                            std::string* error = nullptr);
+
+}  // namespace starring

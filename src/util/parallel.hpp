@@ -1,0 +1,89 @@
+// Minimal data-parallel helper.
+//
+// The construction pipeline has three embarrassingly parallel phases —
+// per-block exit enumeration, final vertex emission, and verification —
+// whose cost scales with n! while the sequential chaining search
+// between them is cheap.  parallel_for gives those phases static
+// chunking over std::thread without dragging in a runtime dependency;
+// with threads == 1 it degenerates to a plain loop (no thread spawn),
+// which is also the deterministic default everywhere correctness tests
+// care about ordering.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace starring {
+
+/// Largest worker count that makes sense on this host.
+inline unsigned default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Invoke fn(i) for i in [begin, end) across `threads` workers with
+/// contiguous static chunks.  fn must be safe to call concurrently for
+/// distinct i.  threads <= 1 runs inline.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, unsigned threads,
+                  Fn&& fn) {
+  const std::size_t count = end > begin ? end - begin : 0;
+  if (count == 0) return;
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, count));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + static_cast<std::size_t>(w) * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+/// Parallel reduction: combine per-index values with a commutative
+/// `combine` starting from `init`.  Each worker reduces its chunk
+/// locally; partials merge serially at the end.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, unsigned threads,
+                  T init, Map&& map, Combine&& combine) {
+  const std::size_t count = end > begin ? end - begin : 0;
+  if (count == 0) return init;
+  if (threads <= 1 || count == 1) {
+    T acc = init;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, count));
+  std::vector<T> partial(workers, init);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + static_cast<std::size_t>(w) * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([lo, hi, w, &partial, &map, &combine] {
+      T acc = partial[w];
+      for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+      partial[w] = acc;
+    });
+  }
+  for (auto& t : pool) t.join();
+  T acc = init;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace starring

@@ -1,0 +1,197 @@
+// Unit tests for the in-block path oracle, including the Lemma 4
+// reproduction: in S_4 with one vertex fault, a healthy path of length
+// 4!-3 = 21 (22 vertices) exists between any two adjacent healthy
+// vertices.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/block_oracle.hpp"
+#include "perm/permutation.hpp"
+
+namespace starring {
+namespace {
+
+TEST(BlockOracle, GraphIs24VertexCubic) {
+  BlockOracle oracle;
+  const SmallGraph& g = oracle.graph();
+  EXPECT_EQ(g.size(), 24);
+  for (int v = 0; v < 24; ++v)
+    EXPECT_EQ(std::popcount(g.neighbor_mask(v)), 3);
+}
+
+TEST(BlockOracle, LocalParityMatchesPermParity) {
+  BlockOracle oracle;
+  for (int k = 0; k < 24; ++k)
+    EXPECT_EQ(oracle.local_parity(k),
+              Perm::unrank(static_cast<VertexId>(k), 4).parity());
+}
+
+TEST(BlockOracle, HamiltonianPathBetweenOppositeParity) {
+  // S_4 is Hamiltonian-laceable: a 24-vertex path joins every pair of
+  // opposite-parity vertices.  Exhaustive over all pairs.
+  BlockOracle oracle;
+  for (int a = 0; a < 24; ++a) {
+    for (int b = 0; b < 24; ++b) {
+      if (a == b) continue;
+      if (oracle.local_parity(a) == oracle.local_parity(b)) continue;
+      const auto p = oracle.find_path(a, b, 0, 24);
+      EXPECT_TRUE(p.has_value()) << a << "->" << b;
+    }
+  }
+}
+
+TEST(BlockOracle, NoHamiltonianPathSameParity) {
+  // 23 edges flip parity 23 times: same-parity endpoints are impossible.
+  BlockOracle oracle;
+  for (int a = 0; a < 24; a += 5) {
+    for (int b = 0; b < 24; ++b) {
+      if (a == b || oracle.local_parity(a) != oracle.local_parity(b))
+        continue;
+      EXPECT_FALSE(oracle.find_path(a, b, 0, 24).has_value());
+    }
+  }
+}
+
+TEST(BlockOracle, Lemma4AllFaultsAllAdjacentPairs) {
+  // The paper's Lemma 4 in full: for every faulty vertex f and every
+  // adjacent healthy pair (u, v), a healthy u-v path of exactly 22
+  // vertices exists.
+  BlockOracle oracle;
+  const SmallGraph& g = oracle.graph();
+  for (int f = 0; f < 24; ++f) {
+    const std::uint32_t forbidden = 1u << f;
+    for (int u = 0; u < 24; ++u) {
+      if (u == f) continue;
+      std::uint64_t nbrs = g.neighbor_mask(u);
+      while (nbrs) {
+        const int v = std::countr_zero(nbrs);
+        nbrs &= nbrs - 1;
+        if (v == f) continue;
+        const auto p = oracle.find_path(u, v, forbidden, 22);
+        EXPECT_TRUE(p.has_value())
+            << "fault " << f << " pair " << u << "," << v;
+        if (p) {
+          EXPECT_EQ(p->size(), 22u);
+          for (int x : *p) EXPECT_NE(x, f);
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockOracle, Lemma4IsTightForAdjacentPairs) {
+  // Lemma 4's length is maximal: between ADJACENT healthy vertices no
+  // healthy path longer than 22 vertices exists once a vertex is faulty
+  // (24 needs the fault; 23 needs same-parity endpoints, but adjacent
+  // vertices have opposite parity).
+  BlockOracle oracle;
+  const SmallGraph& g = oracle.graph();
+  const std::uint32_t forbidden = 1u << 7;
+  for (int u = 0; u < 24; ++u) {
+    if (u == 7) continue;
+    std::uint64_t nbrs = g.neighbor_mask(u);
+    while (nbrs) {
+      const int v = std::countr_zero(nbrs);
+      nbrs &= nbrs - 1;
+      if (v == 7 || v < u) continue;
+      EXPECT_FALSE(oracle.find_path(u, v, forbidden, 24).has_value());
+      EXPECT_FALSE(oracle.find_path(u, v, forbidden, 23).has_value());
+    }
+  }
+}
+
+TEST(BlockOracle, AlmostHamiltonianPathsExistOffTheRing) {
+  // The flip side (why tightness needs the adjacency restriction):
+  // between suitable NON-adjacent same-parity endpoints, a healthy
+  // 23-vertex path (all healthy vertices) does exist.
+  BlockOracle oracle;
+  const std::uint32_t forbidden = 1u << 7;
+  const int fault_parity = oracle.local_parity(7);
+  int found = 0;
+  for (int u = 0; u < 24 && found == 0; ++u) {
+    if (u == 7 || oracle.local_parity(u) == fault_parity) continue;
+    for (int v = u + 1; v < 24; ++v) {
+      if (v == 7 || oracle.local_parity(v) == fault_parity) continue;
+      if (oracle.find_path(u, v, forbidden, 23)) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(BlockOracle, TargetParityInfeasible) {
+  // An even vertex count needs opposite-parity endpoints.
+  BlockOracle oracle;
+  int a = 0;
+  int b = -1;
+  for (int k = 1; k < 24; ++k)
+    if (oracle.local_parity(k) == oracle.local_parity(a)) {
+      b = k;
+      break;
+    }
+  ASSERT_NE(b, -1);
+  EXPECT_FALSE(oracle.find_path(a, b, 0, 22).has_value());
+}
+
+TEST(BlockOracle, RemovedEdgesAreAvoided) {
+  BlockOracle oracle;
+  const SmallGraph& g = oracle.graph();
+  // Remove one edge on some Hamiltonian path and ask again.
+  int a = 0;
+  int b = -1;
+  for (int k = 1; k < 24; ++k)
+    if (oracle.local_parity(k) != oracle.local_parity(0)) {
+      b = k;
+      break;
+    }
+  const auto p = oracle.find_path(a, b, 0, 24);
+  ASSERT_TRUE(p.has_value());
+  const std::pair<int, int> removed{(*p)[0], (*p)[1]};
+  const auto q = oracle.find_path(a, b, 0, 24, {{removed}});
+  if (q) {
+    for (std::size_t i = 0; i + 1 < q->size(); ++i) {
+      const bool uses = ((*q)[i] == removed.first && (*q)[i + 1] == removed.second) ||
+                        ((*q)[i] == removed.second && (*q)[i + 1] == removed.first);
+      EXPECT_FALSE(uses);
+    }
+  }
+  (void)g;
+}
+
+TEST(BlockOracle, CacheCountsHitsAndMisses) {
+  BlockOracle oracle;
+  const auto m0 = oracle.cache_misses();
+  (void)oracle.find_path(0, 1, 0, 24);
+  EXPECT_EQ(oracle.cache_misses(), m0 + 1);
+  const auto h0 = oracle.cache_hits();
+  (void)oracle.find_path(0, 1, 0, 24);
+  EXPECT_EQ(oracle.cache_hits(), h0 + 1);
+}
+
+TEST(BlockOracle, ReturnedPathsAreValid) {
+  BlockOracle oracle;
+  const SmallGraph& g = oracle.graph();
+  const std::uint32_t forbidden = (1u << 3) | (1u << 17);
+  for (int b = 0; b < 24; ++b) {
+    if (b == 0 || ((forbidden >> b) & 1u)) continue;
+    for (int target : {20, 18}) {
+      const auto p = oracle.find_path(0, b, forbidden, target);
+      if (!p) continue;
+      EXPECT_EQ(static_cast<int>(p->size()), target);
+      for (std::size_t i = 0; i + 1 < p->size(); ++i)
+        EXPECT_TRUE(g.has_edge((*p)[i], (*p)[i + 1]));
+      std::uint32_t seen = 0;
+      for (int x : *p) {
+        EXPECT_FALSE((forbidden >> x) & 1u);
+        EXPECT_FALSE((seen >> x) & 1u);
+        seen |= 1u << x;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace starring

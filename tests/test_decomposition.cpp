@@ -1,0 +1,97 @@
+// Tests for disjoint ring decompositions of S_n.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/generators.hpp"
+#include "stargraph/decomposition.hpp"
+
+namespace starring {
+namespace {
+
+void expect_disjoint_cycles(const StarGraph& g,
+                            const std::vector<std::vector<VertexId>>& rings,
+                            std::size_t expected_covered) {
+  std::set<VertexId> covered;
+  for (const auto& ring : rings) {
+    ASSERT_GE(ring.size(), 3u);
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      EXPECT_TRUE(covered.insert(ring[i]).second) << "vertex reused";
+      EXPECT_TRUE(g.vertex(ring[i]).adjacent(
+          g.vertex(ring[(i + 1) % ring.size()])));
+    }
+  }
+  EXPECT_EQ(covered.size(), expected_covered);
+}
+
+TEST(Decomposition, SixRingsPartitionEverything) {
+  for (int n = 3; n <= 6; ++n) {
+    const StarGraph g(n);
+    const auto rings = six_ring_decomposition(g);
+    EXPECT_EQ(rings.size(), g.num_vertices() / 6);
+    for (const auto& r : rings) EXPECT_EQ(r.size(), 6u);
+    expect_disjoint_cycles(g, rings, g.num_vertices());
+  }
+}
+
+TEST(Decomposition, BlockRingsPartitionEverything) {
+  for (int n = 4; n <= 6; ++n) {
+    const StarGraph g(n);
+    const auto rings = block_ring_decomposition(g);
+    EXPECT_EQ(rings.size(), g.num_vertices() / 24);
+    for (const auto& r : rings) EXPECT_EQ(r.size(), 24u);
+    expect_disjoint_cycles(g, rings, g.num_vertices());
+  }
+}
+
+TEST(Decomposition, FaultyCoverShrinksGracefully) {
+  const StarGraph g(6);
+  const FaultSet f = random_vertex_faults(g, 3, 13);
+  const auto rings = faulty_block_ring_decomposition(g, f);
+  // Faults are random: blocks holding one fault keep a 22-ring.
+  std::size_t full = 0;
+  std::size_t shrunk = 0;
+  std::set<VertexId> covered;
+  for (const auto& ring : rings) {
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      EXPECT_TRUE(covered.insert(ring[i]).second);
+      EXPECT_FALSE(f.vertex_faulty(g.vertex(ring[i])));
+      EXPECT_TRUE(g.vertex(ring[i]).adjacent(
+          g.vertex(ring[(i + 1) % ring.size()])));
+    }
+    if (ring.size() == 24)
+      ++full;
+    else
+      ++shrunk;
+  }
+  EXPECT_EQ(full + shrunk, g.num_vertices() / 24);
+  EXPECT_LE(shrunk, f.num_vertex_faults());
+  // Total coverage: n! minus 2 per fault when faults land in distinct
+  // blocks (they may collide; then the loss can differ — bound it).
+  EXPECT_GE(covered.size(), g.num_vertices() - 4 * f.num_vertex_faults());
+}
+
+TEST(Decomposition, FaultyCoverNoFaultsEqualsFullCover) {
+  const StarGraph g(5);
+  const auto a = block_ring_decomposition(g);
+  const auto b = faulty_block_ring_decomposition(g, FaultSet{});
+  EXPECT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Decomposition, SixRingsAreTheThreeVertexCycles) {
+  // Every returned 6-ring stays inside one 3-vertex: all members agree
+  // outside positions {0,1,2}.
+  const StarGraph g(5);
+  const auto rings = six_ring_decomposition(g);
+  for (const auto& ring : rings) {
+    const Perm base = g.vertex(ring.front());
+    for (const VertexId id : ring) {
+      const Perm p = g.vertex(id);
+      for (int pos = 3; pos < 5; ++pos) EXPECT_EQ(p.get(pos), base.get(pos));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace starring

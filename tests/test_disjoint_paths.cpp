@@ -1,0 +1,133 @@
+// Tests for the vertex-disjoint path machinery and the star graph's
+// maximal fault tolerance (connectivity = degree = n-1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/generators.hpp"
+#include "graph/disjoint_paths.hpp"
+#include "routing/routing.hpp"
+#include "stargraph/star_graph.hpp"
+
+namespace starring {
+namespace {
+
+void expect_disjoint_valid(const Graph& g,
+                           const std::vector<std::vector<std::uint64_t>>& ps,
+                           std::uint64_t s, std::uint64_t t) {
+  std::set<std::uint64_t> interior;
+  for (const auto& p : ps) {
+    ASSERT_GE(p.size(), 2u);
+    EXPECT_EQ(p.front(), s);
+    EXPECT_EQ(p.back(), t);
+    EXPECT_TRUE(is_valid_path(g, p));
+    for (std::size_t i = 1; i + 1 < p.size(); ++i)
+      EXPECT_TRUE(interior.insert(p[i]).second)
+          << "interior vertex " << p[i] << " reused";
+  }
+}
+
+Graph cycle_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) g.add_edge(i, j);
+  return g;
+}
+
+TEST(DisjointPaths, CycleHasExactlyTwo) {
+  const Graph g = cycle_graph(8);
+  const auto ps = vertex_disjoint_paths(g, 0, 4, 5);
+  EXPECT_EQ(ps.size(), 2u);
+  expect_disjoint_valid(g, ps, 0, 4);
+}
+
+TEST(DisjointPaths, CompleteGraphSaturates) {
+  const Graph g = complete_graph(6);
+  const auto ps = vertex_disjoint_paths(g, 1, 4, 5);
+  EXPECT_EQ(ps.size(), 5u);  // direct edge + 4 two-hop paths
+  expect_disjoint_valid(g, ps, 1, 4);
+}
+
+TEST(DisjointPaths, WantLimitsCount) {
+  const Graph g = complete_graph(7);
+  const auto ps = vertex_disjoint_paths(g, 0, 6, 3);
+  EXPECT_EQ(ps.size(), 3u);
+  expect_disjoint_valid(g, ps, 0, 6);
+}
+
+TEST(DisjointPaths, DisconnectedPairYieldsNone) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(vertex_disjoint_paths(g, 0, 3, 2).empty());
+}
+
+TEST(DisjointPaths, LocalConnectivityCutVertex) {
+  // Two triangles joined at a cut vertex: connectivity 1 across it.
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(3, 5);
+  EXPECT_EQ(local_vertex_connectivity(g, 0, 5, 4), 1);
+  EXPECT_EQ(local_vertex_connectivity(g, 0, 1, 4), 2);
+}
+
+TEST(DisjointPaths, StarGraphIsMaximallyFaultTolerant) {
+  // kappa(S_n) = n-1: every sampled pair admits n-1 internally
+  // disjoint paths.
+  for (int n = 4; n <= 5; ++n) {
+    const StarGraph sg(n);
+    const Graph g = sg.materialize();
+    for (VertexId t = 1; t < sg.num_vertices(); t += 13) {
+      const auto ps = star_disjoint_paths(sg, g, sg.vertex(0), sg.vertex(t));
+      EXPECT_EQ(ps.size(), static_cast<std::size_t>(n - 1))
+          << "S_" << n << " pair (0," << t << ")";
+      std::set<std::uint64_t> interior;
+      for (const auto& p : ps) {
+        EXPECT_EQ(p.front(), sg.vertex(0));
+        EXPECT_EQ(p.back(), sg.vertex(t));
+        for (std::size_t i = 0; i + 1 < p.size(); ++i)
+          EXPECT_TRUE(p[i].adjacent(p[i + 1]));
+        for (std::size_t i = 1; i + 1 < p.size(); ++i)
+          EXPECT_TRUE(interior.insert(p[i].bits()).second);
+      }
+    }
+  }
+}
+
+TEST(DisjointPaths, AntipodalPairOnS6) {
+  const StarGraph sg(6);
+  const Graph g = sg.materialize();
+  std::vector<int> rev{5, 4, 3, 2, 1, 0};
+  const auto ps =
+      star_disjoint_paths(sg, g, Perm::identity(6), Perm::of(rev));
+  EXPECT_EQ(ps.size(), 5u);
+}
+
+TEST(DisjointPaths, WhyNMinus3FaultsCannotDisconnect) {
+  // The structural consequence the paper leans on: with |Fv| <= n-3
+  // faults, any two healthy vertices stay connected (kappa = n-1 >
+  // n-3), so fault_tolerant_route always succeeds.
+  const StarGraph g(6);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const FaultSet f = random_vertex_faults(g, 3, seed);
+    Perm s = g.vertex(seed % g.num_vertices());
+    while (f.vertex_faulty(s)) s = s.star_move(1).star_move(2);
+    Perm t = g.vertex((seed * 7919 + 13) % g.num_vertices());
+    while (f.vertex_faulty(t) || t == s) t = t.star_move(2).star_move(3);
+    EXPECT_TRUE(fault_tolerant_route(g, f, s, t).has_value()) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace starring

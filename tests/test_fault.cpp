@@ -1,0 +1,138 @@
+// Unit tests for fault sets and the deterministic generators.
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "fault/generators.hpp"
+
+namespace starring {
+namespace {
+
+TEST(FaultSet, VertexMembership) {
+  FaultSet f;
+  const Perm p = Perm::of({1, 0, 2, 3});
+  EXPECT_FALSE(f.vertex_faulty(p));
+  f.add_vertex(p);
+  EXPECT_TRUE(f.vertex_faulty(p));
+  EXPECT_EQ(f.num_vertex_faults(), 1u);
+  f.add_vertex(p);  // idempotent
+  EXPECT_EQ(f.num_vertex_faults(), 1u);
+}
+
+TEST(FaultSet, EdgeMembershipUndirected) {
+  FaultSet f;
+  const Perm u = Perm::identity(5);
+  const Perm v = u.star_move(2);
+  f.add_edge(u, v);
+  EXPECT_TRUE(f.edge_faulty(u, v));
+  EXPECT_TRUE(f.edge_faulty(v, u));
+  EXPECT_FALSE(f.edge_faulty(u, u.star_move(3)));
+  EXPECT_EQ(f.num_edge_faults(), 1u);
+}
+
+TEST(FaultSet, EmptyAndCounts) {
+  FaultSet f;
+  EXPECT_TRUE(f.empty());
+  f.add_edge(Perm::identity(4), Perm::identity(4).star_move(1));
+  EXPECT_FALSE(f.empty());
+}
+
+TEST(Generators, RandomVertexFaultsCountAndDeterminism) {
+  const StarGraph g(6);
+  const auto a = random_vertex_faults(g, 3, 42);
+  const auto b = random_vertex_faults(g, 3, 42);
+  EXPECT_EQ(a.num_vertex_faults(), 3u);
+  auto va = a.vertex_faults();
+  auto vb = b.vertex_faults();
+  for (const auto& p : va) EXPECT_TRUE(b.vertex_faulty(p));
+  EXPECT_EQ(va.size(), vb.size());
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  const StarGraph g(7);
+  const auto a = random_vertex_faults(g, 4, 1);
+  const auto b = random_vertex_faults(g, 4, 2);
+  int shared = 0;
+  for (const auto& p : a.vertex_faults())
+    if (b.vertex_faulty(p)) ++shared;
+  EXPECT_LT(shared, 4);  // astronomically unlikely to coincide fully
+}
+
+TEST(Generators, SamePartiteRespectParity) {
+  const StarGraph g(6);
+  for (int parity = 0; parity <= 1; ++parity) {
+    const auto f = same_partite_vertex_faults(g, 3, parity, 7);
+    EXPECT_EQ(f.num_vertex_faults(), 3u);
+    for (const auto& p : f.vertex_faults()) EXPECT_EQ(p.parity(), parity);
+  }
+}
+
+TEST(Generators, ClusteredNeighborsShareACentre) {
+  const StarGraph g(7);
+  const auto f = clustered_neighbor_faults(g, 4, 99);
+  const auto faults = f.vertex_faults();
+  ASSERT_EQ(faults.size(), 4u);
+  // All faults are neighbours of one common vertex.
+  int common = 0;
+  for (const VertexId nid : g.neighbor_ids(faults[0].rank())) {
+    const Perm candidate = g.vertex(nid);
+    bool all = true;
+    for (const auto& p : faults)
+      if (!p.adjacent(candidate)) all = false;
+    if (all) ++common;
+  }
+  EXPECT_GE(common, 1);
+}
+
+TEST(Generators, SubstarClusteredFitInSmallPattern) {
+  const StarGraph g(7);
+  const auto f = substar_clustered_faults(g, 4, 5);
+  ASSERT_EQ(f.num_vertex_faults(), 4u);
+  // 4 faults need m! >= 4, i.e. m = 3: all faults agree outside at most
+  // 3 free positions — verify they pairwise agree on >= n-3 positions.
+  const auto faults = f.vertex_faults();
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    for (std::size_t j = i + 1; j < faults.size(); ++j) {
+      int agree = 0;
+      for (int pos = 0; pos < 7; ++pos)
+        if (faults[i].get(pos) == faults[j].get(pos)) ++agree;
+      EXPECT_GE(agree, 4);
+    }
+  }
+}
+
+TEST(Generators, RandomEdgeFaultsAreRealEdges) {
+  const StarGraph g(6);
+  const auto f = random_edge_faults(g, 3, 11);
+  EXPECT_EQ(f.num_edge_faults(), 3u);
+  for (const auto& e : f.edge_faults()) EXPECT_TRUE(e.u.adjacent(e.v));
+}
+
+TEST(Generators, ClusteredEdgeFaultsShareEndpoint) {
+  const StarGraph g(6);
+  const auto f = clustered_edge_faults(g, 3, 17);
+  const auto edges = f.edge_faults();
+  ASSERT_EQ(edges.size(), 3u);
+  // One vertex appears in every faulty edge.
+  bool found = false;
+  for (const auto& centre : {edges[0].u, edges[0].v}) {
+    bool all = true;
+    for (const auto& e : edges)
+      if (!(e.u == centre || e.v == centre)) all = false;
+    if (all) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Generators, MixedFaultsDisjoint) {
+  const StarGraph g(6);
+  const auto f = mixed_faults(g, 2, 2, 23);
+  EXPECT_EQ(f.num_vertex_faults(), 2u);
+  EXPECT_EQ(f.num_edge_faults(), 2u);
+  for (const auto& e : f.edge_faults()) {
+    EXPECT_FALSE(f.vertex_faulty(e.u));
+    EXPECT_FALSE(f.vertex_faulty(e.v));
+  }
+}
+
+}  // namespace
+}  // namespace starring

@@ -1,0 +1,243 @@
+// Unit tests for the generic graph toolkit, including the exhaustive
+// small-graph searches that back the in-block oracle and experiment E3.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/graph.hpp"
+
+namespace starring {
+namespace {
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  Graph g = path_graph(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+TEST(Graph, AddEdgeDeduplicates) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0], 0u);
+  EXPECT_EQ(nb[1], 3u);
+  EXPECT_EQ(nb[2], 4u);
+  EXPECT_EQ(g.degree(2), 3u);
+}
+
+TEST(Graph, ValidCycleDetection) {
+  const Graph g = cycle_graph(6);
+  std::vector<std::uint64_t> cyc{0, 1, 2, 3, 4, 5};
+  EXPECT_TRUE(is_valid_cycle(g, cyc));
+  std::vector<std::uint64_t> not_cyc{0, 1, 2, 4, 3, 5};
+  EXPECT_FALSE(is_valid_cycle(g, not_cyc));
+  std::vector<std::uint64_t> repeated{0, 1, 2, 3, 4, 0};
+  EXPECT_FALSE(is_valid_cycle(g, repeated));
+  std::vector<std::uint64_t> too_short{0, 1};
+  EXPECT_FALSE(is_valid_cycle(g, too_short));
+}
+
+TEST(Graph, ValidPathDetection) {
+  const Graph g = path_graph(5);
+  std::vector<std::uint64_t> p{1, 2, 3};
+  EXPECT_TRUE(is_valid_path(g, p));
+  std::vector<std::uint64_t> gap{0, 2};
+  EXPECT_FALSE(is_valid_path(g, gap));
+  std::vector<std::uint64_t> empty;
+  EXPECT_FALSE(is_valid_path(g, empty));
+  std::vector<std::uint64_t> single{3};
+  EXPECT_TRUE(is_valid_path(g, single));
+}
+
+TEST(Graph, BipartiteEvenCycle) {
+  const auto res = check_bipartite(cycle_graph(8));
+  EXPECT_TRUE(res.is_bipartite);
+}
+
+TEST(Graph, NotBipartiteOddCycle) {
+  const auto res = check_bipartite(cycle_graph(7));
+  EXPECT_FALSE(res.is_bipartite);
+}
+
+TEST(Graph, BipartiteColoringConsistent) {
+  const Graph g = cycle_graph(10);
+  const auto res = check_bipartite(g);
+  ASSERT_TRUE(res.is_bipartite);
+  for (std::uint64_t u = 0; u < 10; ++u)
+    for (auto v : g.neighbors(u)) EXPECT_NE(res.color[u], res.color[v]);
+}
+
+TEST(Graph, ReachableCountWithBlocked) {
+  const Graph g = path_graph(7);
+  std::vector<std::uint8_t> blocked(7, 0);
+  EXPECT_EQ(reachable_count(g, 0, blocked), 7u);
+  blocked[3] = 1;
+  EXPECT_EQ(reachable_count(g, 0, blocked), 3u);
+  EXPECT_EQ(reachable_count(g, 5, blocked), 3u);
+}
+
+SmallGraph small_cycle(int n) {
+  SmallGraph g(n);
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+SmallGraph small_complete(int n) {
+  SmallGraph g(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) g.add_edge(i, j);
+  return g;
+}
+
+TEST(SmallGraph, EdgeOps) {
+  SmallGraph g(5);
+  g.add_edge(1, 3);
+  EXPECT_TRUE(g.has_edge(3, 1));
+  g.remove_edge(1, 3);
+  EXPECT_FALSE(g.has_edge(1, 3));
+}
+
+TEST(SmallGraph, LongestPathOnCycle) {
+  const SmallGraph g = small_cycle(8);
+  // Longest 0->1 path goes the long way round: all 8 vertices.
+  const auto p = longest_path(g, 0, 1, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 8u);
+  EXPECT_EQ(p->front(), 0);
+  EXPECT_EQ(p->back(), 1);
+}
+
+TEST(SmallGraph, LongestPathAvoidsForbidden) {
+  const SmallGraph g = small_cycle(8);
+  // Forbidding vertex 7 forces the short way: 0,1 only... 0->1 direct.
+  const auto p = longest_path(g, 0, 1, 1ULL << 7);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 2u);
+}
+
+TEST(SmallGraph, LongestPathNoPath) {
+  SmallGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(longest_path(g, 0, 3, 0).has_value());
+}
+
+TEST(SmallGraph, LongestPathStartForbidden) {
+  const SmallGraph g = small_cycle(4);
+  EXPECT_FALSE(longest_path(g, 0, 2, 1ULL << 0).has_value());
+}
+
+TEST(SmallGraph, PathWithExactVerticesFindsHamPath) {
+  const SmallGraph g = small_complete(6);
+  const auto p = path_with_exact_vertices(g, 0, 5, 0, 6);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 6u);
+}
+
+TEST(SmallGraph, PathWithExactVerticesInfeasibleCount) {
+  // On a C6, an all-vertex path exists only between adjacent endpoints.
+  const SmallGraph g = small_cycle(6);
+  EXPECT_TRUE(path_with_exact_vertices(g, 0, 1, 0, 6).has_value());
+  EXPECT_FALSE(path_with_exact_vertices(g, 0, 2, 0, 6).has_value());
+  EXPECT_FALSE(path_with_exact_vertices(g, 0, 3, 0, 6).has_value());
+}
+
+TEST(SmallGraph, PathTrivialEndpoints) {
+  const SmallGraph g = small_cycle(5);
+  const auto p = path_with_exact_vertices(g, 2, 2, 0, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 1u);
+  EXPECT_FALSE(path_with_exact_vertices(g, 2, 2, 0, 3).has_value());
+}
+
+TEST(SmallGraph, LongestCycleFindsWholeCycle) {
+  const SmallGraph g = small_cycle(9);
+  const auto res = longest_cycle(g, 0);
+  EXPECT_EQ(res.length, 9);
+}
+
+TEST(SmallGraph, LongestCycleWithForbidden) {
+  const SmallGraph g = small_complete(6);
+  const auto res = longest_cycle(g, (1ULL << 0) | (1ULL << 1));
+  EXPECT_EQ(res.length, 4);
+}
+
+TEST(SmallGraph, LongestCycleAcyclic) {
+  SmallGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto res = longest_cycle(g, 0);
+  EXPECT_EQ(res.length, 0);
+  EXPECT_TRUE(res.cycle.empty());
+}
+
+TEST(SmallGraph, LongestCycleWitnessIsValid) {
+  const SmallGraph g = small_complete(7);
+  const auto res = longest_cycle(g, 1ULL << 3);
+  ASSERT_EQ(res.length, 6);
+  for (std::size_t i = 0; i < res.cycle.size(); ++i) {
+    EXPECT_NE(res.cycle[i], 3);
+    EXPECT_TRUE(g.has_edge(res.cycle[i],
+                           res.cycle[(i + 1) % res.cycle.size()]));
+  }
+}
+
+TEST(SmallGraph, HamiltonianCycleComplete) {
+  const SmallGraph g = small_complete(8);
+  const auto c = hamiltonian_cycle(g, 0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 8u);
+}
+
+TEST(SmallGraph, HamiltonianCycleMissing) {
+  // A path graph has no Hamiltonian cycle.
+  SmallGraph g(5);
+  for (int i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1);
+  EXPECT_FALSE(hamiltonian_cycle(g, 0).has_value());
+}
+
+TEST(SmallGraph, HamiltonianCycleRespectForbidden) {
+  const SmallGraph g = small_complete(6);
+  const auto c = hamiltonian_cycle(g, 1ULL << 2);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->size(), 5u);
+  for (int v : *c) EXPECT_NE(v, 2);
+}
+
+// Bipartite-style structural check: on the 3-cube (Q3), longest cycles
+// avoiding one vertex have length 6 (8 - 2), mirroring the star-graph
+// worst case the paper leans on.
+TEST(SmallGraph, HypercubeFaultyLongestCycle) {
+  SmallGraph q3(8);
+  for (int u = 0; u < 8; ++u)
+    for (int b = 0; b < 3; ++b)
+      if ((u ^ (1 << b)) > u) q3.add_edge(u, u ^ (1 << b));
+  const auto full = longest_cycle(q3, 0);
+  EXPECT_EQ(full.length, 8);
+  const auto faulty = longest_cycle(q3, 1ULL << 5);
+  EXPECT_EQ(faulty.length, 6);
+}
+
+}  // namespace
+}  // namespace starring

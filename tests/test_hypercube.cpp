@@ -1,0 +1,126 @@
+// Tests for the hypercube comparison substrate: Q_n model and the
+// Yang-Tien-Raghavendra fault-tolerant ring embedding (2^n - 2|Fv|
+// under |Fv| <= n-2).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hypercube/hypercube.hpp"
+
+namespace starring {
+namespace {
+
+CubeFaults random_faults(int n, int count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> dist(0, (1u << n) - 1);
+  CubeFaults f;
+  while (static_cast<int>(f.size()) < count) f.insert(dist(rng));
+  return f;
+}
+
+CubeFaults same_parity_faults(int n, int count, int parity,
+                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> dist(0, (1u << n) - 1);
+  CubeFaults f;
+  while (static_cast<int>(f.size()) < count) {
+    const std::uint32_t v = dist(rng);
+    if (Hypercube::parity(v) == parity) f.insert(v);
+  }
+  return f;
+}
+
+TEST(Hypercube, ModelBasics) {
+  const Hypercube q(5);
+  EXPECT_EQ(q.num_vertices(), 32u);
+  EXPECT_EQ(q.degree(), 5);
+  EXPECT_TRUE(Hypercube::adjacent(0b00101, 0b00100));
+  EXPECT_FALSE(Hypercube::adjacent(0b00101, 0b00110));
+  EXPECT_FALSE(Hypercube::adjacent(7, 7));
+  EXPECT_EQ(Hypercube::parity(0b1011), 1);
+  EXPECT_EQ(Hypercube::parity(0b1001), 0);
+}
+
+TEST(Hypercube, FaultFreeHamiltonianCycle) {
+  for (int n = 2; n <= 10; ++n) {
+    const auto ring = embed_hypercube_ring(n, {});
+    ASSERT_TRUE(ring.has_value()) << "Q_" << n;
+    EXPECT_EQ(ring->size(), 1u << n);
+    EXPECT_TRUE(verify_hypercube_ring(n, {}, *ring));
+  }
+}
+
+class CubeRingParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CubeRingParamTest, FaultyRingMeetsBound) {
+  const auto [n, nf] = GetParam();
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const CubeFaults f = random_faults(n, nf, seed);
+    const auto ring = embed_hypercube_ring(n, f);
+    ASSERT_TRUE(ring.has_value()) << "Q_" << n << " nf=" << nf
+                                  << " seed=" << seed;
+    EXPECT_EQ(ring->size(), (1u << n) - 2 * static_cast<unsigned>(nf));
+    EXPECT_TRUE(verify_hypercube_ring(n, f, *ring));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CubeSweep, CubeRingParamTest,
+                         ::testing::Values(std::make_tuple(4, 1),
+                                           std::make_tuple(4, 2),
+                                           std::make_tuple(5, 2),
+                                           std::make_tuple(5, 3),
+                                           std::make_tuple(6, 4),
+                                           std::make_tuple(7, 5),
+                                           std::make_tuple(8, 6),
+                                           std::make_tuple(10, 8),
+                                           std::make_tuple(12, 10)));
+
+TEST(Hypercube, SameParityWorstCase) {
+  for (int n = 5; n <= 8; ++n) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const CubeFaults f = same_parity_faults(n, n - 2, 0, seed);
+      const auto ring = embed_hypercube_ring(n, f);
+      ASSERT_TRUE(ring.has_value()) << n << " " << seed;
+      // Bipartite ceiling: all faults even => 2^n - 2|Fv| is optimal.
+      EXPECT_EQ(ring->size(), (1u << n) - 2u * (static_cast<unsigned>(n) - 2));
+      EXPECT_TRUE(verify_hypercube_ring(n, f, *ring));
+    }
+  }
+}
+
+TEST(Hypercube, VerifierCatchesBadRings) {
+  const auto ring = embed_hypercube_ring(5, {});
+  ASSERT_TRUE(ring.has_value());
+  auto broken = *ring;
+  std::swap(broken[0], broken[7]);
+  EXPECT_FALSE(verify_hypercube_ring(5, {}, broken));
+  auto repeated = *ring;
+  repeated[3] = repeated[11];
+  EXPECT_FALSE(verify_hypercube_ring(5, {}, repeated));
+  CubeFaults f{(*ring)[4]};
+  EXPECT_FALSE(verify_hypercube_ring(5, f, *ring));
+}
+
+TEST(Hypercube, RegimeBoundaryQ3) {
+  // Q_3 with one fault: optimal ring is 6 = 8 - 2.
+  for (std::uint32_t fault = 0; fault < 8; ++fault) {
+    const auto ring = embed_hypercube_ring(3, {fault});
+    ASSERT_TRUE(ring.has_value());
+    EXPECT_EQ(ring->size(), 6u);
+    EXPECT_TRUE(verify_hypercube_ring(3, {fault}, *ring));
+  }
+}
+
+TEST(Hypercube, StarVsCubeComparableSizes) {
+  // The paper's framing: S_n reaches hypercube-class sizes with far
+  // smaller degree.  Q_12 (4096 nodes, degree 12) vs S_7 (5040 nodes,
+  // degree 6): both lose exactly 2 vertices per fault in the regime.
+  const CubeFaults f = random_faults(12, 5, 3);
+  const auto ring = embed_hypercube_ring(12, f);
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_EQ(ring->size(), 4096u - 10u);
+}
+
+}  // namespace
+}  // namespace starring

@@ -1,0 +1,126 @@
+// Tests for the embedding serialization format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/ring_embedder.hpp"
+#include "core/verify.hpp"
+#include "fault/generators.hpp"
+#include "util/io.hpp"
+
+namespace starring {
+namespace {
+
+EmbeddingFile make_sample(int n, int nf, std::uint64_t seed) {
+  const StarGraph g(n);
+  EmbeddingFile e;
+  e.n = n;
+  e.faults = random_vertex_faults(g, nf, seed);
+  const auto res = embed_longest_ring(g, e.faults);
+  EXPECT_TRUE(res.has_value());
+  e.sequence = res->ring;
+  return e;
+}
+
+TEST(Io, RoundTripRing) {
+  const EmbeddingFile e = make_sample(6, 3, 5);
+  std::stringstream ss;
+  ASSERT_TRUE(write_embedding(ss, e));
+  std::string err;
+  const auto back = read_embedding(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->n, e.n);
+  EXPECT_TRUE(back->is_ring);
+  EXPECT_EQ(back->sequence, e.sequence);
+  EXPECT_EQ(back->faults.num_vertex_faults(), e.faults.num_vertex_faults());
+  for (const Perm& f : e.faults.vertex_faults())
+    EXPECT_TRUE(back->faults.vertex_faulty(f));
+  // The deserialized artefact still verifies.
+  const StarGraph g(e.n);
+  EXPECT_TRUE(verify_healthy_ring(g, back->faults, back->sequence).valid);
+}
+
+TEST(Io, RoundTripWithEdgeFaults) {
+  const StarGraph g(5);
+  EmbeddingFile e;
+  e.n = 5;
+  e.is_ring = false;
+  e.faults = mixed_faults(g, 1, 1, 9);
+  e.sequence = {0, 1, 2};
+  std::stringstream ss;
+  ASSERT_TRUE(write_embedding(ss, e));
+  const auto back = read_embedding(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->is_ring);
+  EXPECT_EQ(back->faults.num_edge_faults(), 1u);
+  for (const EdgeFault& f : e.faults.edge_faults())
+    EXPECT_TRUE(back->faults.edge_faulty(f.u, f.v));
+}
+
+TEST(Io, RejectsBadHeader) {
+  std::stringstream ss("starring-embedding v9\nn 5\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_EQ(err, "bad header");
+}
+
+TEST(Io, RejectsBadDimension) {
+  std::stringstream ss("starring-embedding v1\nn 99\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_EQ(err, "bad dimension line");
+}
+
+TEST(Io, RejectsBadFaultLiteral) {
+  std::stringstream ss(
+      "starring-embedding v1\nn 4\nkind ring\nvertex_faults 1\n1135\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_NE(err.find("bad vertex fault"), std::string::npos);
+}
+
+TEST(Io, RejectsNonAdjacentEdgeFault) {
+  std::stringstream ss(
+      "starring-embedding v1\nn 4\nkind ring\nvertex_faults 0\n"
+      "edge_faults 1\n1234 4321\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_NE(err.find("bad edge fault"), std::string::npos);
+}
+
+TEST(Io, RejectsTruncatedSequence) {
+  std::stringstream ss(
+      "starring-embedding v1\nn 4\nkind ring\nvertex_faults 0\n"
+      "edge_faults 0\nsequence 5\n1 2 3\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_EQ(err, "truncated sequence");
+}
+
+TEST(Io, RejectsOutOfRangeId) {
+  std::stringstream ss(
+      "starring-embedding v1\nn 4\nkind ring\nvertex_faults 0\n"
+      "edge_faults 0\nsequence 2\n1 24\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_NE(err.find("out of range"), std::string::npos);
+}
+
+TEST(Io, LargeNDotSeparatedFaults) {
+  const StarGraph g(11);
+  EmbeddingFile e;
+  e.n = 11;
+  FaultSet f;
+  f.add_vertex(Perm::identity(11));
+  e.faults = f;
+  e.sequence = {0, 1};
+  std::stringstream ss;
+  ASSERT_TRUE(write_embedding(ss, e));
+  const auto back = read_embedding(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->faults.vertex_faulty(Perm::identity(11)));
+  (void)g;
+}
+
+}  // namespace
+}  // namespace starring

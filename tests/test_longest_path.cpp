@@ -1,0 +1,138 @@
+// Tests for the longest fault-free path extension: n!-2|Fv| vertices
+// between opposite-parity healthy endpoints, one fewer for same-parity.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/verify.hpp"
+#include "extensions/longest_path.hpp"
+#include "fault/generators.hpp"
+
+namespace starring {
+namespace {
+
+void expect_longest_path(const StarGraph& g, const FaultSet& f, const Perm& s,
+                         const Perm& t, const char* label) {
+  const auto res = embed_longest_path(g, f, s, t);
+  ASSERT_TRUE(res.has_value()) << label;
+  const auto rep = verify_healthy_path(g, f, res->embed.ring);
+  ASSERT_TRUE(rep.valid) << label << ": " << rep.error;
+  EXPECT_EQ(rep.length, res->promised_vertices) << label;
+  EXPECT_EQ(rep.length,
+            expected_path_vertices(g.n(), f.num_vertex_faults(), s, t));
+  EXPECT_EQ(g.vertex(res->embed.ring.front()), s) << label;
+  EXPECT_EQ(g.vertex(res->embed.ring.back()), t) << label;
+}
+
+/// A healthy vertex of the requested parity, avoiding `other`.
+Perm healthy_vertex(const StarGraph& g, const FaultSet& f, int parity,
+                    const Perm* other, std::uint64_t salt) {
+  for (VertexId id = salt % 97; id < g.num_vertices(); ++id) {
+    const Perm p = g.vertex(id);
+    if (p.parity() != parity || f.vertex_faulty(p)) continue;
+    if (other != nullptr && p == *other) continue;
+    return p;
+  }
+  return Perm::identity(g.n());
+}
+
+TEST(LongestPath, FaultFreeHamiltonianPathOppositeParity) {
+  for (int n = 4; n <= 6; ++n) {
+    const StarGraph g(n);
+    const Perm s = Perm::identity(n);
+    const Perm t = s.star_move(1);  // adjacent: opposite parity
+    expect_longest_path(g, FaultSet{}, s, t, "ham path");
+  }
+}
+
+TEST(LongestPath, FaultFreeSameParityOneShort) {
+  for (int n = 4; n <= 6; ++n) {
+    const StarGraph g(n);
+    const Perm s = Perm::identity(n);
+    const Perm t = s.star_move(1).star_move(2);  // two moves: same parity
+    ASSERT_EQ(s.parity(), t.parity());
+    expect_longest_path(g, FaultSet{}, s, t, "same parity");
+  }
+}
+
+class LongestPathParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LongestPathParamTest, RandomFaultsBothParityCases) {
+  const auto [n, nf] = GetParam();
+  const StarGraph g(n);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const FaultSet f = random_vertex_faults(g, nf, seed);
+    const Perm s = healthy_vertex(g, f, 0, nullptr, seed);
+    const Perm t_opp = healthy_vertex(g, f, 1, nullptr, seed * 31 + 7);
+    expect_longest_path(g, f, s, t_opp, "opposite parity");
+    const Perm t_same = healthy_vertex(g, f, 0, &s, seed * 17 + 3);
+    expect_longest_path(g, f, s, t_same, "same parity");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PathSweep, LongestPathParamTest,
+                         ::testing::Values(std::make_tuple(5, 1),
+                                           std::make_tuple(5, 2),
+                                           std::make_tuple(6, 2),
+                                           std::make_tuple(6, 3),
+                                           std::make_tuple(7, 4)));
+
+TEST(LongestPath, EndpointsMustBeHealthyAndDistinct) {
+  const StarGraph g(5);
+  FaultSet f;
+  const Perm s = Perm::identity(5);
+  f.add_vertex(s);
+  EXPECT_FALSE(embed_longest_path(g, f, s, s.star_move(1)).has_value());
+  EXPECT_FALSE(
+      embed_longest_path(g, FaultSet{}, s, s).has_value());
+}
+
+TEST(LongestPath, WorksWithMixedFaults) {
+  const StarGraph g(6);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const FaultSet f = mixed_faults(g, 1, 2, seed);
+    const Perm s = healthy_vertex(g, f, 0, nullptr, seed);
+    const Perm t = healthy_vertex(g, f, 1, nullptr, seed + 5);
+    const auto res = embed_longest_path(g, f, s, t);
+    ASSERT_TRUE(res.has_value()) << seed;
+    const auto rep = verify_healthy_path(g, f, res->embed.ring);
+    EXPECT_TRUE(rep.valid) << rep.error;
+    EXPECT_EQ(rep.length, factorial(6) - 2);
+  }
+}
+
+TEST(LongestPath, AdjacentEndpointsStressS7) {
+  // Adjacent endpoints leave the least room to manoeuvre near the ends.
+  const StarGraph g(7);
+  const FaultSet f = random_vertex_faults(g, 4, 11);
+  Perm s = Perm::identity(7);
+  while (f.vertex_faulty(s)) s = s.star_move(1).star_move(2);
+  Perm t = s.star_move(3);
+  ASSERT_FALSE(f.vertex_faulty(t));
+  expect_longest_path(g, f, s, t, "adjacent endpoints");
+}
+
+TEST(LongestPath, PathBeatsNaiveTwoPhaseRouting) {
+  // Sanity: the longest path dwarfs a shortest route (the point of the
+  // embedding: visit everything, not just get there).
+  const StarGraph g(6);
+  const FaultSet f = random_vertex_faults(g, 2, 9);
+  const Perm s = healthy_vertex(g, f, 0, nullptr, 1);
+  const Perm t = healthy_vertex(g, f, 1, nullptr, 2);
+  const auto res = embed_longest_path(g, f, s, t);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_GT(res->embed.ring.size(), 700u);
+}
+
+TEST(LongestPath, ExpectedVerticesHelper) {
+  const Perm even = Perm::identity(6);
+  const Perm odd = even.star_move(1);
+  EXPECT_EQ(expected_path_vertices(6, 0, even, odd), 720u);
+  EXPECT_EQ(expected_path_vertices(6, 0, even, even.star_move(1).star_move(2)),
+            719u);
+  EXPECT_EQ(expected_path_vertices(6, 3, even, odd), 714u);
+}
+
+}  // namespace
+}  // namespace starring

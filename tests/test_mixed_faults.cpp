@@ -1,0 +1,86 @@
+// Tests for the mixed-fault corollary: ring of n! - 2|Fv| under
+// |Fv| + |Fe| <= n-3 combined vertex and edge faults.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/verify.hpp"
+#include "extensions/mixed_faults.hpp"
+#include "fault/generators.hpp"
+
+namespace starring {
+namespace {
+
+TEST(MixedFaults, RegimeCheck) {
+  const StarGraph g(6);
+  EXPECT_TRUE(mixed_fault_regime_ok(g, mixed_faults(g, 1, 2, 1)));
+  EXPECT_TRUE(mixed_fault_regime_ok(g, mixed_faults(g, 3, 0, 1)));
+  EXPECT_FALSE(mixed_fault_regime_ok(g, mixed_faults(g, 2, 2, 1)));
+}
+
+class MixedParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MixedParamTest, CorollaryLengthAchieved) {
+  const auto [n, nv, ne] = GetParam();
+  const StarGraph g(n);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const FaultSet f = mixed_faults(g, nv, ne, seed);
+    ASSERT_TRUE(mixed_fault_regime_ok(g, f));
+    const auto res = embed_mixed_fault_ring(g, f);
+    ASSERT_TRUE(res.has_value()) << "n=" << n << " nv=" << nv
+                                 << " ne=" << ne << " seed=" << seed;
+    const auto rep = verify_healthy_ring(g, f, res->embed.ring);
+    EXPECT_TRUE(rep.valid) << rep.error;
+    EXPECT_EQ(rep.length, res->promised_length);
+    EXPECT_EQ(res->promised_length,
+              factorial(n) - 2 * static_cast<std::uint64_t>(nv));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MixedSweep, MixedParamTest,
+                         ::testing::Values(std::make_tuple(5, 1, 1),
+                                           std::make_tuple(6, 1, 2),
+                                           std::make_tuple(6, 2, 1),
+                                           std::make_tuple(6, 3, 0),
+                                           std::make_tuple(6, 0, 3),
+                                           std::make_tuple(7, 2, 2)));
+
+TEST(MixedFaults, ImprovesOnBaselineBound) {
+  const StarGraph g(6);
+  const FaultSet f = mixed_faults(g, 2, 1, 3);
+  const auto ours = embed_mixed_fault_ring(g, f);
+  const auto base = embed_mixed_fault_ring_baseline(g, f);
+  ASSERT_TRUE(ours && base);
+  EXPECT_EQ(ours->embed.ring.size(), 720u - 4);
+  EXPECT_EQ(base->embed.ring.size(), 720u - 8);
+  EXPECT_EQ(base->promised_length, 720u - 8);
+  const auto rep = verify_healthy_ring(g, f, base->embed.ring);
+  EXPECT_TRUE(rep.valid) << rep.error;
+}
+
+TEST(MixedFaults, EdgeOnlyKeepsFullLength) {
+  const StarGraph g(5);
+  const FaultSet f = mixed_faults(g, 0, 2, 9);
+  const auto res = embed_mixed_fault_ring(g, f);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->embed.ring.size(), 120u);
+}
+
+TEST(MixedFaults, SmallNRegime) {
+  // n = 4 admits |Fv| + |Fe| <= 1.
+  const StarGraph g(4);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const FaultSet fv = mixed_faults(g, 1, 0, seed);
+    const auto res = embed_mixed_fault_ring(g, fv);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->embed.ring.size(), 22u);
+    const FaultSet fe = mixed_faults(g, 0, 1, seed);
+    const auto res2 = embed_mixed_fault_ring(g, fe);
+    ASSERT_TRUE(res2.has_value());
+    EXPECT_EQ(res2->embed.ring.size(), 24u);
+  }
+}
+
+}  // namespace
+}  // namespace starring

@@ -1,0 +1,140 @@
+// Tests for the pancake-graph substrate: prefix-reversal adjacency,
+// non-bipartiteness, and the n! - |Fv| fault-tolerant ring (contrast
+// with the star graph's bipartite n! - 2|Fv|).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fault/generators.hpp"
+#include "pancake/pancake.hpp"
+#include "stargraph/star_graph.hpp"
+
+namespace starring {
+namespace {
+
+TEST(Pancake, FlipBasics) {
+  const Perm p = Perm::of({0, 1, 2, 3, 4});
+  EXPECT_EQ(pancake_flip(p, 2), Perm::of({1, 0, 2, 3, 4}));
+  EXPECT_EQ(pancake_flip(p, 5), Perm::of({4, 3, 2, 1, 0}));
+  EXPECT_EQ(pancake_flip(pancake_flip(p, 3), 3), p);  // involution
+}
+
+TEST(Pancake, AdjacencyMatchesFlips) {
+  for (VertexId a = 0; a < factorial(5); a += 7) {
+    const Perm u = Perm::unrank(a, 5);
+    std::vector<Perm> nbrs;
+    for (int k = 2; k <= 5; ++k) nbrs.push_back(pancake_flip(u, k));
+    for (VertexId b = 0; b < factorial(5); b += 11) {
+      const Perm v = Perm::unrank(b, 5);
+      const bool expect =
+          std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+      EXPECT_EQ(pancake_adjacent(u, v), expect)
+          << u.to_string() << " vs " << v.to_string();
+    }
+  }
+}
+
+TEST(Pancake, DegreeIsNMinusOne) {
+  const Perm p = Perm::identity(6);
+  std::set<std::uint64_t> nbrs;
+  for (int k = 2; k <= 6; ++k) nbrs.insert(pancake_flip(p, k).bits());
+  EXPECT_EQ(nbrs.size(), 5u);
+}
+
+TEST(Pancake, NotBipartiteHasOddRing) {
+  // A 7-cycle exists in P_4 — the structural difference from the star
+  // graph that halves the per-fault ring cost.
+  FaultSet none;
+  // Build explicitly: flips 2,3,2,3,2,4,4?  Instead: brute force via
+  // the ring embedder on a 17-vertex... simply check an explicit odd
+  // closed walk that is a simple cycle.
+  // Known 7-cycle in P_4 (prefix lengths): 2,3,4,2,3,4,3 applied to id.
+  const int seq[] = {2, 3, 4, 2, 3, 4, 3};
+  Perm cur = Perm::identity(4);
+  std::vector<Perm> walk{cur};
+  for (const int k : seq) {
+    cur = pancake_flip(cur, k);
+    walk.push_back(cur);
+  }
+  // If this particular sequence is not a cycle, fall back to searching
+  // one; either way P_4 must contain a 7-cycle.
+  bool found = walk.back() == walk.front();
+  if (found) {
+    std::set<std::uint64_t> distinct;
+    for (std::size_t i = 0; i + 1 < walk.size(); ++i)
+      distinct.insert(walk[i].bits());
+    found = distinct.size() == 7;
+  }
+  if (!found) {
+    // Exhaustive: some 7-cycle through the identity.
+    // (cycle_with_exact_vertices over the P_4 graph.)
+    SmallGraph g(24);
+    for (int u = 0; u < 24; ++u)
+      for (int k = 2; k <= 4; ++k) {
+        const int v = static_cast<int>(
+            pancake_flip(Perm::unrank(static_cast<VertexId>(u), 4), k)
+                .rank());
+        if (v > u) g.add_edge(u, v);
+      }
+    found = cycle_with_exact_vertices(g, 0, 7).has_value();
+  }
+  EXPECT_TRUE(found) << "P_4 should contain a 7-cycle (non-bipartite)";
+}
+
+TEST(Pancake, FaultFreeHamiltonian) {
+  for (int n = 3; n <= 6; ++n) {
+    const FaultSet none;
+    const auto ring = pancake_fault_ring(n, none);
+    ASSERT_TRUE(ring.has_value()) << "P_" << n;
+    EXPECT_EQ(ring->size(), factorial(n));
+    EXPECT_TRUE(verify_pancake_ring(n, none, *ring));
+  }
+}
+
+class PancakeRingParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PancakeRingParamTest, FaultyRingLosesOnlyOnePerFault) {
+  const auto [n, nf] = GetParam();
+  const StarGraph g(n);  // fault generator source (same vertex space)
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const FaultSet f = random_vertex_faults(g, nf, seed);
+    const auto ring = pancake_fault_ring(n, f);
+    ASSERT_TRUE(ring.has_value()) << "P_" << n << " nf=" << nf
+                                  << " seed=" << seed;
+    EXPECT_EQ(ring->size(), factorial(n) - static_cast<std::uint64_t>(nf));
+    EXPECT_TRUE(verify_pancake_ring(n, f, *ring));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PancakeSweep, PancakeRingParamTest,
+                         ::testing::Values(std::make_tuple(4, 1),
+                                           std::make_tuple(5, 1),
+                                           std::make_tuple(5, 2),
+                                           std::make_tuple(6, 2),
+                                           std::make_tuple(6, 3),
+                                           std::make_tuple(7, 4)));
+
+TEST(Pancake, OddRingLengthIsPossibleWithOneFault) {
+  // n! - 1 is odd: only a non-bipartite graph can host it at all.
+  const StarGraph g(5);
+  const FaultSet f = random_vertex_faults(g, 1, 3);
+  const auto ring = pancake_fault_ring(5, f);
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_EQ(ring->size(), 119u);
+  EXPECT_EQ(ring->size() % 2, 1u);
+}
+
+TEST(Pancake, VerifierCatchesBadRings) {
+  const auto ring = pancake_fault_ring(4, FaultSet{});
+  ASSERT_TRUE(ring.has_value());
+  auto broken = *ring;
+  std::swap(broken[1], broken[10]);
+  EXPECT_FALSE(verify_pancake_ring(4, FaultSet{}, broken));
+  FaultSet f;
+  f.add_vertex((*ring)[5]);
+  EXPECT_FALSE(verify_pancake_ring(4, f, *ring));
+}
+
+}  // namespace
+}  // namespace starring

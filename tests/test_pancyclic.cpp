@@ -1,0 +1,70 @@
+// Tests for even pancyclicity: rings of every even length 6..n!.
+#include <gtest/gtest.h>
+
+#include "core/verify.hpp"
+#include "extensions/pancyclic.hpp"
+
+namespace starring {
+namespace {
+
+void expect_ring_of(const StarGraph& g, std::uint64_t length) {
+  const auto ring = embed_even_ring(g, length);
+  ASSERT_TRUE(ring.has_value()) << "length " << length;
+  ASSERT_EQ(ring->size(), length);
+  const auto rep = verify_healthy_ring(g, FaultSet{}, *ring);
+  ASSERT_TRUE(rep.valid) << "length " << length << ": " << rep.error;
+}
+
+TEST(Pancyclic, RejectsImpossibleLengths) {
+  const StarGraph g(5);
+  EXPECT_FALSE(embed_even_ring(g, 7).has_value());   // odd
+  EXPECT_FALSE(embed_even_ring(g, 4).has_value());   // below girth
+  EXPECT_FALSE(embed_even_ring(g, 122).has_value()); // above n!
+  EXPECT_FALSE(embed_even_ring(g, 0).has_value());
+}
+
+TEST(Pancyclic, S3OnlySixCycle) {
+  const StarGraph g(3);
+  expect_ring_of(g, 6);
+  EXPECT_FALSE(embed_even_ring(g, 8).has_value());
+}
+
+TEST(Pancyclic, S4AllEvenLengths) {
+  const StarGraph g(4);
+  for (std::uint64_t len = 6; len <= 24; len += 2) expect_ring_of(g, len);
+}
+
+TEST(Pancyclic, S5AllEvenLengths) {
+  // The full spectrum: every even length 6..120.
+  const StarGraph g(5);
+  for (std::uint64_t len = 6; len <= 120; len += 2) expect_ring_of(g, len);
+}
+
+TEST(Pancyclic, S6AllEvenLengths) {
+  // The complete spectrum: every even length 6..720 (~200 ms total).
+  const StarGraph g(6);
+  for (std::uint64_t len = 6; len <= 720; len += 2) expect_ring_of(g, len);
+}
+
+TEST(Pancyclic, S7SpotChecks) {
+  const StarGraph g(7);
+  for (const std::uint64_t len : {720u, 1000u, 2222u, 5040u})
+    expect_ring_of(g, len);
+}
+
+TEST(Pancyclic, RingsAreConfinedToSmallestSubstar) {
+  // A ring of length <= 120 embedded in S_7 must not wander: all its
+  // vertices agree on positions 5 and 6 (it lives in one S_5).
+  const StarGraph g(7);
+  const auto ring = embed_even_ring(g, 100);
+  ASSERT_TRUE(ring.has_value());
+  const Perm base = g.vertex(ring->front());
+  for (const VertexId id : *ring) {
+    const Perm p = g.vertex(id);
+    EXPECT_EQ(p.get(5), base.get(5));
+    EXPECT_EQ(p.get(6), base.get(6));
+  }
+}
+
+}  // namespace
+}  // namespace starring

@@ -1,0 +1,176 @@
+// Paper-fidelity tests: the structural lemmas of Hsieh-Chen-Ho (ICPP
+// 1998) stated directly against the library's primitives.
+//
+//  * Lemma 1: if U, V, W are consecutive r-vertices of an R_r with
+//    u_dif(U,V) != w_dif(V,W), then after a partition every child of V
+//    is connected (by a super-edge) to a child of U or of W.
+//  * Lemma 5 (from Tseng et al., used by the paper): the two vertices
+//    of a 3-vertex (a 6-cycle c_0..c_5) connected to an adjacent
+//    3-vertex are antipodal: c_j and c_{j+3}.
+//  * Lemma 6: when u_dif(U,V) != w_dif(V,W) for 3-vertices U, V, W with
+//    V adjacent to both, the two vertices of V connected to U are
+//    disjoint from the two connected to W.
+//  * The non-adjacent-child identification of Section 2: after an
+//    i-partition of adjacent r-vertices A (symbol a at dif p) and B
+//    (symbol b), the unique child of A with no neighbour in B is
+//    child(A, i, b), and vice versa child(B, i, a).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stargraph/substar.hpp"
+
+namespace starring {
+namespace {
+
+/// Super-edge connectivity test: does any member of `a` have a
+/// neighbour in `b`?  (For same-free-set patterns this is equivalent to
+/// pattern adjacency, but we check it the hard way on purpose.)
+bool connected(const SubstarPattern& a, const SubstarPattern& b) {
+  for (const Perm& u : a.members())
+    for (int d = 1; d < u.size(); ++d)
+      if (b.contains(u.star_move(d))) return true;
+  return false;
+}
+
+TEST(PaperLemmas, NonAdjacentChildIdentification) {
+  // A = <* 2 ...>, B = <* 5 ...> in S_6, partitioned at position 3.
+  const auto whole = SubstarPattern::whole(6);
+  const auto a = whole.child(1, 2);
+  const auto b = whole.child(1, 5);
+  ASSERT_TRUE(SubstarPattern::adjacent(a, b));
+  for (const int qa : a.free_symbols()) {
+    for (const int qb : b.free_symbols()) {
+      const auto ca = a.child(3, qa);
+      const auto cb = b.child(3, qb);
+      // Children are adjacent iff they fixed the same symbol, and that
+      // symbol is free in both parents (q not in {2, 5}).
+      const bool expect = qa == qb;
+      EXPECT_EQ(SubstarPattern::adjacent(ca, cb), expect);
+      EXPECT_EQ(connected(ca, cb), expect);
+    }
+  }
+  // The leftovers: child(A, b_sym) has no partner among B's children.
+  const auto orphan_a = a.child(3, 5);
+  for (const int qb : b.free_symbols())
+    EXPECT_FALSE(connected(orphan_a, b.child(3, qb)));
+}
+
+TEST(PaperLemmas, Lemma1EveryChildConnectedToUOrW) {
+  // Three consecutive 4-vertices U, V, W of S_6 differing at position 1
+  // with distinct symbols (u_p != w_q is automatic when p == q and the
+  // three patterns are distinct).
+  const auto whole = SubstarPattern::whole(6);
+  const auto level1 = whole.child(2, 0);
+  const auto u = level1.child(1, 1);
+  const auto v = level1.child(1, 2);
+  const auto w = level1.child(1, 3);
+  ASSERT_TRUE(SubstarPattern::adjacent(u, v));
+  ASSERT_TRUE(SubstarPattern::adjacent(v, w));
+  // Partition V (and U, W) at position 4; every child of V must touch
+  // U or W.
+  for (const int q : v.free_symbols()) {
+    const auto child = v.child(4, q);
+    EXPECT_TRUE(connected(child, u) || connected(child, w))
+        << child.to_string();
+  }
+}
+
+TEST(PaperLemmas, Lemma1ViolatedWhenSymbolsCollide) {
+  // The contrapositive shape: with u_p == w_q (here U == W around V),
+  // the child of V fixing that symbol connects to neither side.
+  const auto whole = SubstarPattern::whole(6);
+  const auto level1 = whole.child(2, 0);
+  const auto u = level1.child(1, 1);
+  const auto v = level1.child(1, 2);
+  // W = U: dif(V, W) = dif(V, U) = position 1, w_q = 1 = u_p.
+  const auto orphan = v.child(4, 1);  // fixes U's symbol at the new level
+  EXPECT_FALSE(connected(orphan, u));
+}
+
+TEST(PaperLemmas, Lemma5AntipodalConnectors) {
+  // 3-vertices of S_5: each is a 6-cycle; the two vertices connected to
+  // an adjacent 3-vertex are antipodal on that cycle.
+  const auto whole = SubstarPattern::whole(5);
+  const auto parent = whole.child(4, 0);
+  const auto u = parent.child(3, 1);
+  const auto v = parent.child(3, 2);
+  ASSERT_TRUE(SubstarPattern::adjacent(u, v));
+  ASSERT_EQ(u.r(), 3);
+
+  // Build U's 6-cycle explicitly.
+  std::vector<Perm> cycle;
+  Perm cur = u.member(0);
+  for (int step = 0; step < 6; ++step) {
+    cycle.push_back(cur);
+    cur = cur.star_move(step % 2 == 0 ? 1 : 2);
+  }
+  ASSERT_EQ(cur, cycle.front());
+
+  std::vector<int> connected_idx;
+  for (int j = 0; j < 6; ++j) {
+    for (int d = 1; d < 5; ++d) {
+      if (v.contains(cycle[static_cast<std::size_t>(j)].star_move(d))) {
+        connected_idx.push_back(j);
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(connected_idx.size(), 2u);
+  EXPECT_EQ((connected_idx[1] - connected_idx[0]) % 6, 3)
+      << "connectors must be antipodal (c_j and c_{j+3})";
+}
+
+TEST(PaperLemmas, Lemma6DisjointConnectors) {
+  // U, V, W consecutive 3-vertices with u_dif(U,V) != w_dif(V,W): the
+  // two vertices of V touching U are disjoint from the two touching W.
+  const auto whole = SubstarPattern::whole(5);
+  const auto parent = whole.child(4, 0);
+  const auto u = parent.child(3, 1);
+  const auto v = parent.child(3, 2);
+  const auto w = parent.child(3, 3);
+  // dif(U,V) = dif(V,W) = 3 with symbols 1 vs 3: u_p = 1 != 3 = w_q.
+  std::set<std::uint64_t> to_u;
+  std::set<std::uint64_t> to_w;
+  for (const Perm& m : v.members()) {
+    for (int d = 1; d < 5; ++d) {
+      if (u.contains(m.star_move(d))) to_u.insert(m.bits());
+      if (w.contains(m.star_move(d))) to_w.insert(m.bits());
+    }
+  }
+  EXPECT_EQ(to_u.size(), 2u);
+  EXPECT_EQ(to_w.size(), 2u);
+  for (const auto bits : to_u) EXPECT_FALSE(to_w.contains(bits));
+}
+
+TEST(PaperLemmas, Lemma6FailsWithEqualSymbols) {
+  // When u_p == w_q (U = W), the connector pairs coincide instead.
+  const auto whole = SubstarPattern::whole(5);
+  const auto parent = whole.child(4, 0);
+  const auto u = parent.child(3, 1);
+  const auto v = parent.child(3, 2);
+  std::set<std::uint64_t> to_u;
+  for (const Perm& m : v.members())
+    for (int d = 1; d < 5; ++d)
+      if (u.contains(m.star_move(d))) to_u.insert(m.bits());
+  EXPECT_EQ(to_u.size(), 2u);  // exactly the antipodal pair, never more
+}
+
+TEST(PaperLemmas, SuperEdgeSizeMatchesSection2) {
+  // "an r-edge in S_n comprises (r-1)! edges" — verified for r = 3, 4, 5.
+  const auto whole = SubstarPattern::whole(6);
+  const auto p5 = whole.child(1, 0);
+  const auto q5 = whole.child(1, 2);
+  EXPECT_EQ(superedge_endpoints(p5, q5).size(), factorial(4));
+  const auto p4 = p5.child(2, 1);
+  const auto q4 = q5.child(2, 1);
+  ASSERT_TRUE(SubstarPattern::adjacent(p4, q4));
+  EXPECT_EQ(superedge_endpoints(p4, q4).size(), factorial(3));
+  const auto p3 = p4.child(3, 3);
+  const auto q3 = q4.child(3, 3);
+  ASSERT_TRUE(SubstarPattern::adjacent(p3, q3));
+  EXPECT_EQ(superedge_endpoints(p3, q3).size(), factorial(2));
+}
+
+}  // namespace
+}  // namespace starring

@@ -1,0 +1,111 @@
+// Tests for the data-parallel helpers and thread-count invariance of
+// the parallel phases (embedding and verification results must be
+// bit-identical for any worker count).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/ring_embedder.hpp"
+#include "core/verify.hpp"
+#include "fault/generators.hpp"
+#include "util/parallel.hpp"
+
+namespace starring {
+namespace {
+
+TEST(Parallel, ForCoversRangeOnce) {
+  for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for(5, 95, threads, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < 100; ++i)
+      EXPECT_EQ(hits[i].load(), (i >= 5 && i < 95) ? 1 : 0) << i;
+  }
+}
+
+TEST(Parallel, ForEmptyRange) {
+  int count = 0;
+  parallel_for(7, 7, 4, [&](std::size_t) { ++count; });
+  parallel_for(9, 3, 4, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Parallel, ForMoreThreadsThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(0, 3, 16, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ReduceSum) {
+  for (const unsigned threads : {1u, 2u, 7u}) {
+    const auto sum = parallel_reduce(
+        std::size_t{1}, std::size_t{101}, threads, std::uint64_t{0},
+        [](std::size_t i) { return static_cast<std::uint64_t>(i); },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(sum, 5050u);
+  }
+}
+
+TEST(Parallel, ReduceMinFindsFirstOffender) {
+  std::vector<int> data(1000, 1);
+  data[437] = 0;
+  data[611] = 0;
+  const auto first = parallel_reduce(
+      std::size_t{0}, data.size(), 8, data.size(),
+      [&](std::size_t i) { return data[i] == 0 ? i : data.size(); },
+      [](std::size_t a, std::size_t b) { return std::min(a, b); });
+  EXPECT_EQ(first, 437u);
+}
+
+TEST(Parallel, DefaultThreadsPositive) { EXPECT_GE(default_threads(), 1u); }
+
+TEST(Parallel, EmbeddingInvariantUnderThreadCount) {
+  const StarGraph g(6);
+  const FaultSet f = random_vertex_faults(g, 3, 21);
+  EmbedOptions opts1;
+  opts1.num_threads = 1;
+  EmbedOptions optsN;
+  optsN.num_threads = 0;  // all cores
+  const auto a = embed_longest_ring(g, f, opts1);
+  const auto b = embed_longest_ring(g, f, optsN);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->ring, b->ring);
+}
+
+TEST(Parallel, VerifierInvariantUnderThreadCount) {
+  const StarGraph g(6);
+  const FaultSet f = random_vertex_faults(g, 2, 4);
+  const auto res = embed_longest_ring(g, f);
+  ASSERT_TRUE(res.has_value());
+  for (const unsigned threads : {1u, 2u, 4u, 16u}) {
+    const auto rep = verify_healthy_ring(g, f, res->ring, threads);
+    EXPECT_TRUE(rep.valid) << rep.error;
+    EXPECT_EQ(rep.length, res->ring.size());
+  }
+  // And an invalid ring stays invalid at any thread count.
+  auto broken = res->ring;
+  std::swap(broken[1], broken[100]);
+  for (const unsigned threads : {1u, 3u, 8u}) {
+    EXPECT_FALSE(verify_healthy_ring(g, f, broken, threads).valid);
+  }
+}
+
+TEST(Parallel, VerifierFindsFaultAtAnyThreadCount) {
+  const StarGraph g(5);
+  const auto res = embed_hamiltonian_cycle(g);
+  ASSERT_TRUE(res.has_value());
+  FaultSet f;
+  f.add_vertex(g.vertex(res->ring[60]));
+  for (const unsigned threads : {1u, 4u}) {
+    const auto rep = verify_healthy_ring(g, f, res->ring, threads);
+    EXPECT_FALSE(rep.valid);
+    EXPECT_NE(rep.error.find("faulty vertex"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace starring

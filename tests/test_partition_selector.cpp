@@ -1,0 +1,182 @@
+// Unit tests for the Lemma 2 partition-position selector.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/partition_selector.hpp"
+#include "fault/generators.hpp"
+#include "stargraph/star_graph.hpp"
+
+namespace starring {
+namespace {
+
+/// Count faults per final block directly: two faults collide iff they
+/// agree on every selected position.
+int max_collisions(const std::vector<Perm>& faults,
+                   const std::vector<int>& positions) {
+  int worst = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    int same = 1;
+    for (std::size_t j = 0; j < faults.size(); ++j) {
+      if (i == j) continue;
+      bool agree = true;
+      for (int p : positions)
+        if (faults[i].get(p) != faults[j].get(p)) agree = false;
+      if (agree) ++same;
+    }
+    worst = std::max(worst, same);
+  }
+  return worst;
+}
+
+class SelectorParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, SplitHeuristic>> {};
+
+TEST_P(SelectorParamTest, IsolatesFaultsWithinLemma2Regime) {
+  const auto [n, nf, heur] = GetParam();
+  const StarGraph g(n);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const FaultSet f = random_vertex_faults(g, nf, seed);
+    const auto sel = select_partition_positions(n, f, heur);
+    EXPECT_EQ(sel.positions.size(), static_cast<std::size_t>(n - 4));
+    // Positions distinct and in [1, n).
+    std::set<int> distinct(sel.positions.begin(), sel.positions.end());
+    EXPECT_EQ(distinct.size(), sel.positions.size());
+    for (int p : sel.positions) {
+      EXPECT_GE(p, 1);
+      EXPECT_LT(p, n);
+    }
+    // Lemma 2: each final block holds at most one fault.
+    EXPECT_LE(sel.max_faults_per_block, 1) << "n=" << n << " seed=" << seed;
+    EXPECT_EQ(sel.max_faults_per_block,
+              std::min<int>(1, static_cast<int>(f.num_vertex_faults())));
+    EXPECT_EQ(max_collisions(f.vertex_faults(), sel.positions),
+              sel.max_faults_per_block);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lemma2Sweep, SelectorParamTest,
+    ::testing::Values(
+        std::make_tuple(5, 2, SplitHeuristic::kFirstSplitting),
+        std::make_tuple(5, 2, SplitHeuristic::kMaxSplitting),
+        std::make_tuple(6, 3, SplitHeuristic::kFirstSplitting),
+        std::make_tuple(6, 3, SplitHeuristic::kMaxSplitting),
+        std::make_tuple(7, 4, SplitHeuristic::kFirstSplitting),
+        std::make_tuple(7, 4, SplitHeuristic::kMaxSplitting),
+        std::make_tuple(8, 5, SplitHeuristic::kMaxSplitting),
+        std::make_tuple(9, 6, SplitHeuristic::kMaxSplitting)));
+
+TEST(Selector, NoFaultsStillYieldsPositions) {
+  const auto sel = select_partition_positions(7, FaultSet{});
+  EXPECT_EQ(sel.positions.size(), 3u);
+  EXPECT_EQ(sel.max_faults_per_block, 0);
+  EXPECT_EQ(sel.effective_splits, 0);
+}
+
+TEST(Selector, SingleFaultNeedsNoSplits) {
+  const StarGraph g(6);
+  FaultSet f;
+  f.add_vertex(g.vertex(123));
+  const auto sel = select_partition_positions(6, f);
+  EXPECT_EQ(sel.effective_splits, 0);
+  EXPECT_EQ(sel.max_faults_per_block, 1);
+}
+
+TEST(Selector, PaperExamplePositionChoice) {
+  // The paper's example: Fv = {12356, 12365}; a_1 may be 4 or 6
+  // wait — the two permutations differ exactly at 1-based positions
+  // 4 and 5 are "56" vs "65": 0-based positions 3 and 4.  A single
+  // split position must separate them.
+  FaultSet f;
+  f.add_vertex(Perm::of({0, 1, 2, 4, 3}));
+  f.add_vertex(Perm::of({0, 1, 2, 3, 4}));
+  const auto sel = select_positions_for(
+      5, f.vertex_faults(), 1, SplitHeuristic::kFirstSplitting);
+  ASSERT_EQ(sel.positions.size(), 1u);
+  EXPECT_TRUE(sel.positions[0] == 3 || sel.positions[0] == 4);
+  EXPECT_EQ(sel.max_faults_per_block, 1);
+}
+
+TEST(Selector, AdversarialPrefixAgreement) {
+  // Faults agreeing on a long prefix force the selector into the
+  // differing tail positions.
+  const int n = 8;
+  std::vector<Perm> faults;
+  faults.push_back(Perm::of({0, 1, 2, 3, 4, 5, 6, 7}));
+  faults.push_back(Perm::of({0, 1, 2, 3, 4, 5, 7, 6}));
+  faults.push_back(Perm::of({0, 1, 2, 3, 4, 6, 5, 7}));
+  faults.push_back(Perm::of({0, 1, 2, 3, 4, 7, 6, 5}));
+  const auto sel = select_positions_for(n, faults, n - 4,
+                                        SplitHeuristic::kMaxSplitting);
+  EXPECT_EQ(sel.max_faults_per_block, 1);
+}
+
+TEST(Selector, SamePartiteWorstCase) {
+  const StarGraph g(7);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto f = same_partite_vertex_faults(g, 4, 0, seed);
+    const auto sel = select_partition_positions(7, f);
+    EXPECT_LE(sel.max_faults_per_block, 1);
+  }
+}
+
+TEST(Selector, MaxSplittingNeverWorseThanFirst) {
+  const StarGraph g(8);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto f = random_vertex_faults(g, 5, seed);
+    const auto first = select_partition_positions(
+        8, f, SplitHeuristic::kFirstSplitting);
+    const auto maxs = select_partition_positions(
+        8, f, SplitHeuristic::kMaxSplitting);
+    EXPECT_LE(maxs.max_faults_per_block, first.max_faults_per_block);
+  }
+}
+
+TEST(Selector, EdgeFaultDimensionsPreferredAsPositions) {
+  // Clustered faulty links at one vertex: their swap dimensions must be
+  // chosen as partition positions (turning them into super-edge
+  // crossings) as far as the n-4 slots allow.
+  const int n = 8;
+  const StarGraph g(n);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto f = clustered_edge_faults(g, 3, seed);
+    const auto sel = select_partition_positions(n, f);
+    std::set<int> chosen(sel.positions.begin(), sel.positions.end());
+    for (const auto& e : f.edge_faults()) {
+      int dim = -1;
+      for (int d = 1; d < n; ++d)
+        if (e.u.star_move(d) == e.v) dim = d;
+      ASSERT_NE(dim, -1);
+      EXPECT_TRUE(chosen.contains(dim)) << "dim " << dim << " not chosen";
+    }
+  }
+}
+
+TEST(Selector, EdgeDimPreferenceYieldsToVertexIsolation) {
+  // Vertex-fault isolation (P1) must win slots over edge-dim
+  // preference: with n-3 total mixed faults both goals still fit.
+  const int n = 7;
+  const StarGraph g(n);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const FaultSet f = mixed_faults(g, 2, 2, seed);
+    const auto sel = select_partition_positions(n, f);
+    EXPECT_LE(sel.max_faults_per_block, 1) << seed;
+  }
+}
+
+TEST(Selector, BeyondRegimeDegradesGracefully) {
+  // More faults than n-3: the selector still returns n-4 positions and
+  // reports how badly blocks collide instead of failing.
+  const StarGraph g(5);
+  const auto f = random_vertex_faults(g, 10, 9);
+  const auto sel = select_partition_positions(5, f);
+  EXPECT_EQ(sel.positions.size(), 1u);
+  EXPECT_GE(sel.max_faults_per_block, 2);
+}
+
+}  // namespace
+}  // namespace starring

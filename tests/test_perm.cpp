@@ -1,0 +1,176 @@
+// Unit tests for the packed permutation kernel.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "perm/permutation.hpp"
+
+namespace starring {
+namespace {
+
+TEST(Factorial, Values) {
+  EXPECT_EQ(factorial(0), 1u);
+  EXPECT_EQ(factorial(1), 1u);
+  EXPECT_EQ(factorial(4), 24u);
+  EXPECT_EQ(factorial(10), 3628800u);
+  EXPECT_EQ(factorial(16), 20922789888000ULL);
+}
+
+TEST(Perm, IdentityRoundTrip) {
+  for (int n = 1; n <= 12; ++n) {
+    const Perm id = Perm::identity(n);
+    EXPECT_EQ(id.size(), n);
+    for (int i = 0; i < n; ++i) EXPECT_EQ(id.get(i), i);
+    EXPECT_EQ(id.rank(), 0u);
+    EXPECT_EQ(Perm::unrank(0, n), id);
+  }
+}
+
+TEST(Perm, OfList) {
+  const Perm p = Perm::of({2, 0, 1, 3});
+  EXPECT_EQ(p.get(0), 2);
+  EXPECT_EQ(p.get(1), 0);
+  EXPECT_EQ(p.get(2), 1);
+  EXPECT_EQ(p.get(3), 3);
+  EXPECT_EQ(p.to_string(), "3124");
+}
+
+TEST(Perm, RankUnrankBijective) {
+  for (int n = 1; n <= 7; ++n) {
+    std::set<std::uint64_t> seen;
+    for (VertexId r = 0; r < factorial(n); ++r) {
+      const Perm p = Perm::unrank(r, n);
+      EXPECT_EQ(p.rank(), r);
+      EXPECT_TRUE(seen.insert(p.bits()).second) << "duplicate perm at " << r;
+    }
+  }
+}
+
+TEST(Perm, RankIsLexicographic) {
+  // Lehmer rank orders permutations lexicographically.
+  for (int n = 2; n <= 6; ++n) {
+    std::vector<std::vector<int>> all;
+    std::vector<int> v(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = i;
+    do {
+      all.push_back(v);
+    } while (std::next_permutation(v.begin(), v.end()));
+    for (std::size_t r = 0; r < all.size(); ++r) {
+      const Perm p = Perm::unrank(r, n);
+      for (int i = 0; i < n; ++i)
+        EXPECT_EQ(p.get(i), all[r][static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(Perm, StarMoveSwapsWithFront) {
+  const Perm p = Perm::of({0, 1, 2, 3, 4});
+  const Perm q = p.star_move(3);
+  EXPECT_EQ(q.get(0), 3);
+  EXPECT_EQ(q.get(3), 0);
+  EXPECT_EQ(q.get(1), 1);
+  EXPECT_EQ(q.get(2), 2);
+  EXPECT_EQ(q.get(4), 4);
+}
+
+TEST(Perm, StarMoveIsInvolution) {
+  for (VertexId r = 0; r < factorial(5); ++r) {
+    const Perm p = Perm::unrank(r, 5);
+    for (int i = 1; i < 5; ++i) EXPECT_EQ(p.star_move(i).star_move(i), p);
+  }
+}
+
+TEST(Perm, AdjacencyMatchesStarMoves) {
+  // Exhaustive on S_4: u ~ v iff v is a star move of u.
+  const int n = 4;
+  for (VertexId a = 0; a < factorial(n); ++a) {
+    const Perm pa = Perm::unrank(a, n);
+    std::set<std::uint64_t> nbrs;
+    for (int i = 1; i < n; ++i) nbrs.insert(pa.star_move(i).bits());
+    for (VertexId b = 0; b < factorial(n); ++b) {
+      const Perm pb = Perm::unrank(b, n);
+      EXPECT_EQ(pa.adjacent(pb), nbrs.contains(pb.bits()))
+          << pa.to_string() << " vs " << pb.to_string();
+    }
+  }
+}
+
+TEST(Perm, AdjacencyIrreflexiveSymmetric) {
+  for (VertexId a = 0; a < factorial(5); a += 7) {
+    const Perm pa = Perm::unrank(a, 5);
+    EXPECT_FALSE(pa.adjacent(pa));
+    for (int i = 1; i < 5; ++i) {
+      const Perm pb = pa.star_move(i);
+      EXPECT_TRUE(pa.adjacent(pb));
+      EXPECT_TRUE(pb.adjacent(pa));
+    }
+  }
+}
+
+TEST(Perm, ParityMatchesInversionCount) {
+  for (int n = 2; n <= 7; ++n) {
+    for (VertexId r = 0; r < factorial(n); ++r) {
+      const Perm p = Perm::unrank(r, n);
+      int inversions = 0;
+      for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+          if (p.get(i) > p.get(j)) ++inversions;
+      EXPECT_EQ(p.parity(), inversions % 2) << p.to_string();
+    }
+  }
+}
+
+TEST(Perm, StarMoveFlipsParity) {
+  // Every S_n edge is a transposition: adjacency flips parity — the
+  // bipartiteness of the star graph.
+  for (VertexId r = 0; r < factorial(6); r += 11) {
+    const Perm p = Perm::unrank(r, 6);
+    for (int i = 1; i < 6; ++i)
+      EXPECT_NE(p.parity(), p.star_move(i).parity());
+  }
+}
+
+TEST(Perm, PartiteSetsEqualSize) {
+  for (int n = 2; n <= 7; ++n) {
+    std::uint64_t even = 0;
+    for (VertexId r = 0; r < factorial(n); ++r)
+      if (Perm::unrank(r, n).parity() == 0) ++even;
+    EXPECT_EQ(even, factorial(n) / 2);
+  }
+}
+
+TEST(Perm, PositionOf) {
+  const Perm p = Perm::of({2, 0, 3, 1});
+  EXPECT_EQ(p.position_of(2), 0);
+  EXPECT_EQ(p.position_of(0), 1);
+  EXPECT_EQ(p.position_of(3), 2);
+  EXPECT_EQ(p.position_of(1), 3);
+}
+
+TEST(Perm, NeighborsCount) {
+  const Perm p = Perm::identity(8);
+  EXPECT_EQ(neighbors(p).size(), 7u);
+}
+
+TEST(Perm, ToStringLargeN) {
+  const Perm p = Perm::identity(11);
+  EXPECT_EQ(p.to_string(), "1.2.3.4.5.6.7.8.9.10.11");
+}
+
+TEST(Perm, HashSpreads) {
+  std::set<std::size_t> hashes;
+  for (VertexId r = 0; r < factorial(6); ++r)
+    hashes.insert(PermHash{}(Perm::unrank(r, 6)));
+  // All 720 hashes distinct (splitmix over distinct bit patterns).
+  EXPECT_EQ(hashes.size(), factorial(6));
+}
+
+TEST(Perm, Ordering) {
+  EXPECT_LT(Perm::of({0, 1, 2}), Perm::of({0, 2, 1}));
+  EXPECT_EQ(Perm::of({1, 0, 2}), Perm::of({1, 0, 2}));
+}
+
+}  // namespace
+}  // namespace starring

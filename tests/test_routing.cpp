@@ -1,0 +1,200 @@
+// Tests for the routing substrate: the Akers-Krishnamurthy distance
+// formula (cross-checked against BFS exhaustively), optimal routes,
+// diameter, fault-tolerant routing, and broadcast schedules.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "core/verify.hpp"
+#include "fault/generators.hpp"
+#include "routing/routing.hpp"
+
+namespace starring {
+namespace {
+
+std::vector<int> bfs_distances(const StarGraph& g, VertexId src) {
+  std::vector<int> dist(g.num_vertices(), -1);
+  std::queue<VertexId> q;
+  q.push(src);
+  dist[src] = 0;
+  while (!q.empty()) {
+    const VertexId u = q.front();
+    q.pop();
+    for (const VertexId v : g.neighbor_ids(u)) {
+      if (dist[v] == -1) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(Routing, DistanceFormulaMatchesBfsExhaustively) {
+  for (int n = 2; n <= 6; ++n) {
+    const StarGraph g(n);
+    const Perm id = Perm::identity(n);
+    const auto dist = bfs_distances(g, id.rank());
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      EXPECT_EQ(star_distance(g.vertex(v)), dist[v])
+          << "S_" << n << " vertex " << g.vertex(v).to_string();
+  }
+}
+
+TEST(Routing, PairwiseDistanceSymmetricAndTranslationInvariant) {
+  const StarGraph g(5);
+  for (VertexId a = 0; a < g.num_vertices(); a += 17) {
+    for (VertexId b = 0; b < g.num_vertices(); b += 23) {
+      const Perm pa = g.vertex(a);
+      const Perm pb = g.vertex(b);
+      EXPECT_EQ(star_distance(pa, pb), star_distance(pb, pa));
+    }
+  }
+  // dist(a, b) = dist to identity of the relative arrangement: check by
+  // BFS from an arbitrary non-identity source.
+  const Perm src = g.vertex(37);
+  const auto dist = bfs_distances(g, src.rank());
+  for (VertexId v = 0; v < g.num_vertices(); v += 7)
+    EXPECT_EQ(star_distance(src, g.vertex(v)), dist[v]);
+}
+
+TEST(Routing, DiameterFormulaMatchesBfs) {
+  for (int n = 2; n <= 6; ++n) {
+    const StarGraph g(n);
+    const auto dist = bfs_distances(g, 0);
+    int observed = 0;
+    for (const int d : dist) observed = std::max(observed, d);
+    // Vertex transitivity: eccentricity from one vertex is the diameter.
+    EXPECT_EQ(observed, star_diameter(n)) << "S_" << n;
+  }
+}
+
+TEST(Routing, ShortestRouteIsValidAndOptimal) {
+  const StarGraph g(6);
+  for (VertexId a = 0; a < g.num_vertices(); a += 101) {
+    for (VertexId b = 0; b < g.num_vertices(); b += 73) {
+      const Perm pa = g.vertex(a);
+      const Perm pb = g.vertex(b);
+      const auto route = shortest_route(pa, pb);
+      EXPECT_EQ(static_cast<int>(route.size()), star_distance(pa, pb));
+      Perm cur = pa;
+      for (const Perm& step : route) {
+        EXPECT_TRUE(cur.adjacent(step));
+        cur = step;
+      }
+      if (!(pa == pb)) {
+        EXPECT_EQ(route.back(), pb);
+      }
+    }
+  }
+}
+
+TEST(Routing, RouteToSelfIsEmpty) {
+  const Perm p = Perm::of({2, 0, 1, 3});
+  EXPECT_TRUE(shortest_route(p, p).empty());
+  EXPECT_EQ(star_distance(p, p), 0);
+}
+
+TEST(Routing, KnownDistances) {
+  // One star move: distance 1.
+  const Perm id = Perm::identity(5);
+  EXPECT_EQ(star_distance(id.star_move(3)), 1);
+  // Transposition not involving slot 0: distance 3.
+  EXPECT_EQ(star_distance(Perm::of({0, 2, 1, 3, 4})), 3);
+  // A 3-cycle through slot 0: k=3, c=1, slot0 involved: 3+1-2 = 2.
+  EXPECT_EQ(star_distance(Perm::of({1, 2, 0, 3, 4})), 2);
+  // Two disjoint 2-cycles, one through slot 0: k=4, c=2, -2: 4.
+  EXPECT_EQ(star_distance(Perm::of({1, 0, 3, 2, 4})), 4);
+}
+
+TEST(Routing, FaultTolerantRouteAvoidsFaults) {
+  const StarGraph g(6);
+  const FaultSet f = random_vertex_faults(g, 3, 5);
+  // Pick healthy endpoints.
+  Perm s = g.vertex(0);
+  Perm t = g.vertex(g.num_vertices() - 1);
+  ASSERT_FALSE(f.vertex_faulty(s));
+  ASSERT_FALSE(f.vertex_faulty(t));
+  const auto route = fault_tolerant_route(g, f, s, t);
+  ASSERT_TRUE(route.has_value());
+  std::vector<VertexId> ids{s.rank()};
+  for (const Perm& p : *route) {
+    EXPECT_FALSE(f.vertex_faulty(p));
+    ids.push_back(p.rank());
+  }
+  EXPECT_EQ(route->back(), t);
+  EXPECT_TRUE(verify_healthy_path(g, f, ids).valid);
+}
+
+TEST(Routing, FaultTolerantRouteIsShortestWhenNoFaults) {
+  const StarGraph g(5);
+  for (VertexId b = 1; b < g.num_vertices(); b += 29) {
+    const Perm s = g.vertex(0);
+    const Perm t = g.vertex(b);
+    const auto route = fault_tolerant_route(g, FaultSet{}, s, t);
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(static_cast<int>(route->size()), star_distance(s, t));
+  }
+}
+
+TEST(Routing, FaultTolerantRouteAvoidsFaultyEdges) {
+  const StarGraph g(5);
+  const Perm s = Perm::identity(5);
+  const Perm t = s.star_move(2);
+  FaultSet f;
+  f.add_edge(s, t);  // the direct link is down
+  const auto route = fault_tolerant_route(g, f, s, t);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_GT(route->size(), 1u);  // must detour
+  EXPECT_EQ(route->back(), t);
+}
+
+TEST(Routing, FaultTolerantRouteUnreachable) {
+  // Wall off a vertex entirely: n-1 = 3 faulty neighbours in S_4.
+  const StarGraph g(4);
+  const Perm s = Perm::identity(4);
+  FaultSet f;
+  for (int d = 1; d < 4; ++d) f.add_vertex(s.star_move(d));
+  const Perm t = g.vertex(17);
+  ASSERT_FALSE(f.vertex_faulty(t));
+  EXPECT_FALSE(fault_tolerant_route(g, f, s, t).has_value());
+}
+
+TEST(Routing, BroadcastReachesEveryone) {
+  for (int n = 3; n <= 6; ++n) {
+    const StarGraph g(n);
+    const auto sched = broadcast_schedule(g, Perm::identity(n));
+    std::vector<std::uint8_t> informed(g.num_vertices(), 0);
+    informed[Perm::identity(n).rank()] = 1;
+    std::uint64_t total = 1;
+    for (const auto& round : sched.rounds) {
+      std::vector<std::uint8_t> sent(g.num_vertices(), 0);
+      for (const auto& [u, v] : round) {
+        EXPECT_TRUE(informed[u]) << "sender not informed";
+        EXPECT_FALSE(informed[v]) << "receiver already informed";
+        EXPECT_FALSE(sent[u]) << "single-port violated";
+        EXPECT_TRUE(g.adjacent_ids(u, v));
+        sent[u] = 1;
+        informed[v] = 1;
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, g.num_vertices()) << "S_" << n;
+  }
+}
+
+TEST(Routing, BroadcastRoundCountNearOptimal) {
+  // Single-port lower bound: ceil(log2(n!)) rounds.
+  for (int n = 4; n <= 6; ++n) {
+    const StarGraph g(n);
+    const auto sched = broadcast_schedule(g, Perm::identity(n));
+    int lower = 0;
+    while ((1ULL << lower) < g.num_vertices()) ++lower;
+    EXPECT_GE(static_cast<int>(sched.num_rounds()), lower);
+    // The greedy schedule stays within a small factor of the bound.
+    EXPECT_LE(static_cast<int>(sched.num_rounds()), 3 * lower);
+  }
+}
+
+}  // namespace
+}  // namespace starring

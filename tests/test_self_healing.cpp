@@ -1,0 +1,94 @@
+// Tests for the self-healing scenario driver.
+#include <gtest/gtest.h>
+
+#include "baselines/tseng.hpp"
+#include "fault/generators.hpp"
+#include "sim/self_healing.hpp"
+
+namespace starring {
+namespace {
+
+EmbedStrategy ours() {
+  return [](const StarGraph& g, const FaultSet& f) {
+    return embed_longest_ring(g, f);
+  };
+}
+
+TEST(SelfHealing, TraceShapeAndOptimality) {
+  const StarGraph g(6);
+  const auto pool = random_vertex_faults(g, 3, 17);
+  const auto trace =
+      run_self_healing(g, pool.vertex_faults(), SimParams{}, ours());
+  ASSERT_TRUE(trace.completed);
+  ASSERT_EQ(trace.events.size(), 4u);  // fault counts 0..3
+  for (int k = 0; k <= 3; ++k) {
+    const auto& ev = trace.events[static_cast<std::size_t>(k)];
+    EXPECT_EQ(ev.faults_so_far, k);
+    EXPECT_EQ(ev.ring_length,
+              expected_ring_length(6, static_cast<std::size_t>(k)));
+    EXPECT_EQ(ev.stranded, static_cast<std::uint64_t>(k));
+    EXPECT_GT(ev.allreduce_us, 0.0);
+    EXPECT_GE(ev.reembed_ms, 0.0);
+  }
+  // Ring length strictly decreases by 2 per fault.
+  for (std::size_t i = 1; i < trace.events.size(); ++i)
+    EXPECT_EQ(trace.events[i - 1].ring_length,
+              trace.events[i].ring_length + 2);
+}
+
+TEST(SelfHealing, BaselineStrandsMore) {
+  const StarGraph g(6);
+  const auto pool = random_vertex_faults(g, 3, 23);
+  const auto a =
+      run_self_healing(g, pool.vertex_faults(), SimParams{}, ours());
+  const auto b = run_self_healing(
+      g, pool.vertex_faults(), SimParams{},
+      [](const StarGraph& sg, const FaultSet& f) {
+        return tseng_vertex_fault_ring(sg, f);
+      });
+  ASSERT_TRUE(a.completed && b.completed);
+  for (std::size_t i = 1; i < a.events.size(); ++i) {
+    EXPECT_LT(a.events[i].stranded, b.events[i].stranded) << i;
+    EXPECT_GT(a.events[i].ring_length, b.events[i].ring_length) << i;
+  }
+}
+
+TEST(SelfHealing, FailingStrategyMarksIncomplete) {
+  const StarGraph g(5);
+  const auto pool = random_vertex_faults(g, 2, 3);
+  const auto trace = run_self_healing(
+      g, pool.vertex_faults(), SimParams{},
+      [](const StarGraph&, const FaultSet& f) -> std::optional<EmbedResult> {
+        if (f.num_vertex_faults() >= 2) return std::nullopt;  // give up
+        StarGraph sg(5);
+        return embed_longest_ring(sg, f);
+      });
+  EXPECT_FALSE(trace.completed);
+  EXPECT_EQ(trace.events.size(), 3u);  // 0, 1 succeed; 2 fails and stops
+  EXPECT_EQ(trace.events.back().ring_length, 0u);
+}
+
+TEST(SelfHealing, InvalidRingCaughtByInternalVerifier) {
+  const StarGraph g(5);
+  const auto pool = random_vertex_faults(g, 1, 4);
+  const auto trace = run_self_healing(
+      g, pool.vertex_faults(), SimParams{},
+      [](const StarGraph& sg, const FaultSet& f) {
+        auto res = embed_longest_ring(sg, f);
+        if (res && f.num_vertex_faults() == 1)
+          std::swap(res->ring[0], res->ring[5]);  // corrupt it
+        return res;
+      });
+  EXPECT_FALSE(trace.completed);
+}
+
+TEST(SelfHealing, EmptySequenceJustEmbedsOnce) {
+  const StarGraph g(5);
+  const auto trace = run_self_healing(g, {}, SimParams{}, ours());
+  ASSERT_TRUE(trace.completed);
+  ASSERT_EQ(trace.events.size(), 1u);
+  EXPECT_EQ(trace.events[0].ring_length, 120u);
+}
+
+}  // namespace
+}  // namespace starring

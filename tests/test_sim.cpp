@@ -1,0 +1,117 @@
+// Tests for the discrete-event ring-network simulator.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/ring_embedder.hpp"
+#include "sim/ring_sim.hpp"
+
+namespace starring {
+namespace {
+
+std::vector<VertexId> ring_of(std::size_t p) {
+  std::vector<VertexId> r(p);
+  std::iota(r.begin(), r.end(), 0ULL);
+  return r;
+}
+
+TEST(Sim, TokenRingMessageCount) {
+  RingNetworkSim sim(ring_of(10), SimParams{});
+  const auto m = sim.run_token_ring(3);
+  EXPECT_EQ(m.messages, 30u);
+  EXPECT_EQ(m.participants, 10u);
+  EXPECT_GT(m.completion_time_us, 0.0);
+}
+
+TEST(Sim, TokenRingScalesWithRounds) {
+  RingNetworkSim sim(ring_of(8), SimParams{});
+  const auto one = sim.run_token_ring(1);
+  const auto four = sim.run_token_ring(4);
+  EXPECT_NEAR(four.completion_time_us, 4.0 * one.completion_time_us,
+              0.25 * one.completion_time_us);
+}
+
+TEST(Sim, AllreduceStepCount) {
+  const std::size_t p = 12;
+  RingNetworkSim sim(ring_of(p), SimParams{});
+  const auto m = sim.run_allreduce();
+  EXPECT_EQ(m.messages, 2 * (p - 1) * p);
+  EXPECT_GT(m.completion_time_us, 0.0);
+}
+
+TEST(Sim, AllreduceTimeGrowsLinearly) {
+  SimParams params;
+  RingNetworkSim small(ring_of(16), params);
+  RingNetworkSim big(ring_of(64), params);
+  const auto ts = small.run_allreduce();
+  const auto tb = big.run_allreduce();
+  // 2(p-1) steps: the big ring takes roughly 4x longer.
+  EXPECT_GT(tb.completion_time_us, 3.0 * ts.completion_time_us);
+  EXPECT_LT(tb.completion_time_us, 6.0 * ts.completion_time_us);
+}
+
+TEST(Sim, ParticipantsPerMicrosecondFavorsMoreNodesPerTime) {
+  // The E7 metric: a longer ring has more participants; per unit time
+  // it wins when the workload is bandwidth-bound per node.
+  SimParams params;
+  RingNetworkSim longer(ring_of(120), params);
+  RingNetworkSim shorter(ring_of(60), params);
+  const auto ml = longer.run_neighbor_exchange(10);
+  const auto ms = shorter.run_neighbor_exchange(10);
+  EXPECT_EQ(ml.participants, 120u);
+  EXPECT_EQ(ms.participants, 60u);
+  // Neighbour exchange is fully concurrent: time is ~constant in ring
+  // size, so participants/us roughly doubles.
+  EXPECT_GT(ml.participants_per_us, 1.5 * ms.participants_per_us);
+}
+
+TEST(Sim, NeighborExchangeMessageCount) {
+  RingNetworkSim sim(ring_of(9), SimParams{});
+  const auto m = sim.run_neighbor_exchange(5);
+  EXPECT_EQ(m.messages, 2u * 9u * 5u);
+}
+
+TEST(Sim, DeterministicAcrossRuns) {
+  RingNetworkSim a(ring_of(20), SimParams{});
+  RingNetworkSim b(ring_of(20), SimParams{});
+  EXPECT_EQ(a.run_allreduce().completion_time_us,
+            b.run_allreduce().completion_time_us);
+}
+
+TEST(Sim, JitterMakesLinksUnequal) {
+  SimParams params;
+  params.jitter_frac = 0.5;
+  // Rings over different vertex ids get different jitter patterns.
+  std::vector<VertexId> r1 = ring_of(10);
+  std::vector<VertexId> r2 = ring_of(10);
+  for (auto& v : r2) v += 1000;
+  RingNetworkSim a(r1, params);
+  RingNetworkSim c(r2, params);
+  EXPECT_NE(a.run_token_ring(1).completion_time_us,
+            c.run_token_ring(1).completion_time_us);
+}
+
+TEST(Sim, RunsOnRealEmbeddedRing) {
+  const StarGraph g(5);
+  const auto res = embed_hamiltonian_cycle(g);
+  ASSERT_TRUE(res.has_value());
+  RingNetworkSim sim(res->ring, SimParams{});
+  const auto m = sim.run_allreduce();
+  EXPECT_EQ(m.participants, 120u);
+  EXPECT_GT(m.completion_time_us, 0.0);
+  EXPECT_EQ(m.bytes_moved, m.messages * SimParams{}.message_bytes);
+}
+
+TEST(Sim, BandwidthAffectsCompletionTime) {
+  SimParams slow;
+  slow.bandwidth_bpus = 64.0;
+  SimParams fast;
+  fast.bandwidth_bpus = 4096.0;
+  RingNetworkSim a(ring_of(16), slow);
+  RingNetworkSim b(ring_of(16), fast);
+  EXPECT_GT(a.run_allreduce().completion_time_us,
+            b.run_allreduce().completion_time_us);
+}
+
+}  // namespace
+}  // namespace starring

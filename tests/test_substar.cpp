@@ -1,0 +1,236 @@
+// Unit tests for substar patterns: the paper's <s1...sn>_r notation,
+// i-partitions, r-vertex adjacency/dif, and super-edges.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <string>
+
+#include "stargraph/substar.hpp"
+
+namespace starring {
+namespace {
+
+TEST(Substar, WholePattern) {
+  const auto w = SubstarPattern::whole(5);
+  EXPECT_EQ(w.n(), 5);
+  EXPECT_EQ(w.r(), 5);
+  EXPECT_EQ(w.num_members(), 120u);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(w.is_free(i));
+  EXPECT_TRUE(w.contains(Perm::identity(5)));
+}
+
+TEST(Substar, ChildFixesPosition) {
+  const auto w = SubstarPattern::whole(5);
+  const auto c = w.child(2, 3);
+  EXPECT_EQ(c.r(), 4);
+  EXPECT_EQ(c.slot(2), 3);
+  EXPECT_TRUE(c.is_free(0));
+  EXPECT_EQ(c.num_members(), 24u);
+  EXPECT_TRUE(c.contains(Perm::of({0, 1, 3, 2, 4})));
+  EXPECT_FALSE(c.contains(Perm::of({0, 3, 1, 2, 4})));
+}
+
+TEST(Substar, PaperExampleMembers) {
+  // The paper's example: <* * * 3>_3 in S_4 (0-based: symbol 2 at
+  // position 3) contains the six permutations with '3' last (1-based).
+  auto pat = SubstarPattern::whole(4).child(3, 2);
+  const auto ms = pat.members();
+  ASSERT_EQ(ms.size(), 6u);
+  std::set<std::string> strs;
+  for (const auto& p : ms) strs.insert(p.to_string());
+  // 1-based renderings: all permutations of {1,2,4} followed by 3.
+  EXPECT_TRUE(strs.contains("1243"));
+  EXPECT_TRUE(strs.contains("2143"));
+  EXPECT_TRUE(strs.contains("4123"));
+  EXPECT_TRUE(strs.contains("1423"));
+  EXPECT_TRUE(strs.contains("2413"));
+  EXPECT_TRUE(strs.contains("4213"));
+}
+
+TEST(Substar, ChildrenOfIPartition) {
+  // Definition 2: an i-partition of an r-pattern yields r children.
+  const auto w = SubstarPattern::whole(6);
+  const auto kids = w.children(4);
+  EXPECT_EQ(kids.size(), 6u);
+  std::set<int> symbols;
+  for (const auto& k : kids) {
+    EXPECT_EQ(k.r(), 5);
+    symbols.insert(k.slot(4));
+  }
+  EXPECT_EQ(symbols.size(), 6u);
+}
+
+TEST(Substar, ChildrenPartitionMembers) {
+  // The children of an i-partition partition the parent's members.
+  const auto parent = SubstarPattern::whole(5).child(1, 4);
+  const auto kids = parent.children(3);
+  std::set<std::uint64_t> seen;
+  std::size_t total = 0;
+  for (const auto& k : kids) {
+    for (const auto& p : k.members()) {
+      EXPECT_TRUE(parent.contains(p));
+      EXPECT_TRUE(seen.insert(p.bits()).second);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, parent.num_members());
+}
+
+TEST(Substar, FreeSymbolsComplementFixed) {
+  auto pat = SubstarPattern::whole(6).child(2, 1).child(5, 4);
+  const auto fs = pat.free_symbols();
+  ASSERT_EQ(fs.size(), 4u);
+  for (int s : fs) {
+    EXPECT_NE(s, 1);
+    EXPECT_NE(s, 4);
+  }
+  EXPECT_EQ(pat.free_positions().size(), 4u);
+  EXPECT_EQ(pat.free_positions().front(), 0);
+}
+
+TEST(Substar, AdjacencyAndDif) {
+  // The paper's example: <* * 2 3>_2 adjacent to <* * 1 3>_2 with dif 3
+  // (1-based); 0-based: position 2, symbols 1 vs 0.
+  const auto a = SubstarPattern::whole(4).child(2, 1).child(3, 2);
+  const auto b = SubstarPattern::whole(4).child(2, 0).child(3, 2);
+  int dif = -1;
+  EXPECT_TRUE(SubstarPattern::adjacent(a, b, &dif));
+  EXPECT_EQ(dif, 2);
+}
+
+TEST(Substar, NotAdjacentToSelfOrTwoDiffs) {
+  const auto a = SubstarPattern::whole(5).child(2, 1).child(3, 2);
+  EXPECT_FALSE(SubstarPattern::adjacent(a, a));
+  const auto c = SubstarPattern::whole(5).child(2, 0).child(3, 4);
+  EXPECT_FALSE(SubstarPattern::adjacent(a, c));  // differs at 2 positions
+}
+
+TEST(Substar, DifferentFreeSetsNotAdjacent) {
+  const auto a = SubstarPattern::whole(5).child(2, 1);
+  const auto b = SubstarPattern::whole(5).child(3, 1);
+  EXPECT_FALSE(SubstarPattern::adjacent(a, b));
+}
+
+TEST(Substar, MemberLocalIndexRoundTrip) {
+  auto pat = SubstarPattern::whole(6).child(1, 2).child(4, 5);
+  for (std::uint64_t k = 0; k < pat.num_members(); ++k) {
+    const Perm p = pat.member(k);
+    EXPECT_TRUE(pat.contains(p));
+    EXPECT_EQ(pat.local_index(p), k);
+  }
+}
+
+TEST(Substar, SingletonPattern) {
+  const Perm p = Perm::of({3, 0, 2, 1});
+  const auto s = SubstarPattern::singleton(p);
+  EXPECT_EQ(s.r(), 1);
+  EXPECT_EQ(s.num_members(), 1u);
+  EXPECT_EQ(s.member(0), p);
+  EXPECT_TRUE(s.contains(p));
+  EXPECT_FALSE(s.contains(p.star_move(1)));
+}
+
+TEST(Substar, BlockGraphIsS4) {
+  // Every 4-pattern's block graph is the 24-vertex, 3-regular S_4.
+  auto pat = SubstarPattern::whole(7).child(2, 6).child(3, 5).child(6, 4);
+  ASSERT_EQ(pat.r(), 4);
+  const SmallGraph g = pat.block_graph();
+  EXPECT_EQ(g.size(), 24);
+  for (int v = 0; v < 24; ++v)
+    EXPECT_EQ(std::popcount(g.neighbor_mask(v)), 3) << "vertex " << v;
+}
+
+TEST(Substar, BlockGraphIdenticalAcrossBlocks) {
+  // The canonical-local-index claim the BlockOracle depends on: all
+  // 4-patterns induce the same abstract graph.
+  const SmallGraph base = SubstarPattern::whole(4).block_graph();
+  auto other = SubstarPattern::whole(8)
+                   .child(1, 0)
+                   .child(3, 7)
+                   .child(5, 2)
+                   .child(7, 4);
+  ASSERT_EQ(other.r(), 4);
+  const SmallGraph g = other.block_graph();
+  for (int u = 0; u < 24; ++u)
+    EXPECT_EQ(g.neighbor_mask(u), base.neighbor_mask(u)) << "vertex " << u;
+}
+
+TEST(Substar, BlockGraphEdgesAreRealEdges) {
+  auto pat = SubstarPattern::whole(6).child(2, 3).child(5, 0);
+  const SmallGraph g = pat.block_graph();
+  for (int u = 0; u < 24; ++u)
+    for (int v = u + 1; v < 24; ++v)
+      EXPECT_EQ(g.has_edge(u, v),
+                pat.member(static_cast<std::uint64_t>(u))
+                    .adjacent(pat.member(static_cast<std::uint64_t>(v))));
+}
+
+TEST(Substar, SuperEdgeEndpointCount) {
+  // An r-edge comprises (r-1)! real edges (Section 2 of the paper).
+  const auto parent = SubstarPattern::whole(6);
+  const auto kids = parent.children(3);
+  const auto eps = superedge_endpoints(kids[0], kids[1]);
+  EXPECT_EQ(eps.size(), factorial(4));  // r = 5 children: (5-1)! = 24
+  for (const auto& [u, v] : eps) {
+    EXPECT_TRUE(kids[0].contains(u));
+    EXPECT_TRUE(kids[1].contains(v));
+    EXPECT_TRUE(u.adjacent(v));
+  }
+}
+
+TEST(Substar, SuperEdgeEndpointsDistinct) {
+  const auto parent = SubstarPattern::whole(5);
+  const auto kids = parent.children(2);
+  const auto eps = superedge_endpoints(kids[1], kids[3]);
+  std::set<std::uint64_t> us;
+  std::set<std::uint64_t> vs;
+  for (const auto& [u, v] : eps) {
+    us.insert(u.bits());
+    vs.insert(v.bits());
+  }
+  EXPECT_EQ(us.size(), eps.size());
+  EXPECT_EQ(vs.size(), eps.size());
+}
+
+TEST(Substar, MemberExpanderMatchesPattern) {
+  // The allocation-free expander must agree with the reference
+  // implementation on every member of assorted patterns.
+  const std::vector<SubstarPattern> pats = {
+      SubstarPattern::whole(4),
+      SubstarPattern::whole(6).child(2, 1).child(4, 5),
+      SubstarPattern::whole(8).child(1, 7).child(3, 0).child(5, 2).child(7, 4),
+      SubstarPattern::whole(5).child(2, 3),
+  };
+  for (const auto& pat : pats) {
+    const MemberExpander ex(pat);
+    EXPECT_EQ(ex.r(), pat.r());
+    for (std::uint64_t k = 0; k < pat.num_members(); ++k) {
+      const Perm p = pat.member(k);
+      EXPECT_EQ(ex.member(k), p) << pat.to_string() << " k=" << k;
+      EXPECT_EQ(ex.local_index(p), k);
+    }
+  }
+}
+
+TEST(Substar, FromPackedRoundTrip) {
+  for (VertexId r = 0; r < factorial(6); r += 37) {
+    const Perm p = Perm::unrank(r, 6);
+    EXPECT_EQ(Perm::from_packed(p.bits(), 6), p);
+  }
+}
+
+TEST(Substar, ToStringFormat) {
+  auto pat = SubstarPattern::whole(5).child(2, 1).child(4, 3);
+  EXPECT_EQ(pat.to_string(), "<* * 2 * 4>_3");
+}
+
+TEST(Substar, HashDistinguishesPatterns) {
+  const auto a = SubstarPattern::whole(5).child(2, 1);
+  const auto b = SubstarPattern::whole(5).child(2, 3);
+  EXPECT_NE(SubstarPatternHash{}(a), SubstarPatternHash{}(b));
+  EXPECT_EQ(SubstarPatternHash{}(a), SubstarPatternHash{}(a));
+}
+
+}  // namespace
+}  // namespace starring

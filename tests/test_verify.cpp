@@ -1,0 +1,120 @@
+// Unit tests for the independent verifier — it must catch every way an
+// embedding can be wrong.
+#include <gtest/gtest.h>
+
+#include "core/ring_embedder.hpp"
+#include "core/verify.hpp"
+
+namespace starring {
+namespace {
+
+std::vector<VertexId> good_ring(const StarGraph& g) {
+  const auto res = embed_hamiltonian_cycle(g);
+  EXPECT_TRUE(res.has_value());
+  return res->ring;
+}
+
+TEST(Verify, AcceptsValidRing) {
+  const StarGraph g(5);
+  const auto rep = verify_healthy_ring(g, FaultSet{}, good_ring(g));
+  EXPECT_TRUE(rep.valid) << rep.error;
+  EXPECT_EQ(rep.length, 120u);
+}
+
+TEST(Verify, RejectsEmpty) {
+  const StarGraph g(4);
+  const auto rep = verify_healthy_ring(g, FaultSet{}, {});
+  EXPECT_FALSE(rep.valid);
+}
+
+TEST(Verify, RejectsTooShortCycle) {
+  const StarGraph g(4);
+  const auto rep = verify_healthy_ring(g, FaultSet{}, {0, 1});
+  EXPECT_FALSE(rep.valid);
+}
+
+TEST(Verify, RejectsDuplicates) {
+  const StarGraph g(5);
+  auto ring = good_ring(g);
+  ring[3] = ring[10];
+  const auto rep = verify_healthy_ring(g, FaultSet{}, ring);
+  EXPECT_FALSE(rep.valid);
+  EXPECT_NE(rep.error.find("repeated"), std::string::npos);
+}
+
+TEST(Verify, RejectsOutOfRangeId) {
+  const StarGraph g(4);
+  auto ring = good_ring(g);
+  ring[0] = factorial(4) + 1;
+  const auto rep = verify_healthy_ring(g, FaultSet{}, ring);
+  EXPECT_FALSE(rep.valid);
+  EXPECT_NE(rep.error.find("out of range"), std::string::npos);
+}
+
+TEST(Verify, RejectsNonAdjacentStep) {
+  const StarGraph g(5);
+  auto ring = good_ring(g);
+  std::swap(ring[2], ring[40]);
+  const auto rep = verify_healthy_ring(g, FaultSet{}, ring);
+  EXPECT_FALSE(rep.valid);
+}
+
+TEST(Verify, RejectsFaultyVertexOnRing) {
+  const StarGraph g(5);
+  const auto ring = good_ring(g);
+  FaultSet f;
+  f.add_vertex(g.vertex(ring[7]));
+  const auto rep = verify_healthy_ring(g, f, ring);
+  EXPECT_FALSE(rep.valid);
+  EXPECT_NE(rep.error.find("faulty vertex"), std::string::npos);
+}
+
+TEST(Verify, RejectsFaultyEdgeOnRing) {
+  const StarGraph g(5);
+  const auto ring = good_ring(g);
+  FaultSet f;
+  f.add_edge(g.vertex(ring[4]), g.vertex(ring[5]));
+  const auto rep = verify_healthy_ring(g, f, ring);
+  EXPECT_FALSE(rep.valid);
+  EXPECT_NE(rep.error.find("faulty edge"), std::string::npos);
+}
+
+TEST(Verify, WrapAroundEdgeIsChecked) {
+  const StarGraph g(5);
+  const auto ring = good_ring(g);
+  FaultSet f;
+  f.add_edge(g.vertex(ring.back()), g.vertex(ring.front()));
+  const auto rep = verify_healthy_ring(g, f, ring);
+  EXPECT_FALSE(rep.valid);
+}
+
+TEST(Verify, PathVariantAcceptsOpenPath) {
+  const StarGraph g(5);
+  auto ring = good_ring(g);
+  // Drop the last vertex: still a valid open path even though the ends
+  // may not be adjacent.
+  ring.pop_back();
+  const auto rep = verify_healthy_path(g, FaultSet{}, ring);
+  EXPECT_TRUE(rep.valid) << rep.error;
+}
+
+TEST(Verify, PathVariantSingleVertex) {
+  const StarGraph g(4);
+  const auto rep = verify_healthy_path(g, FaultSet{}, {5});
+  EXPECT_TRUE(rep.valid);
+  EXPECT_EQ(rep.length, 1u);
+}
+
+TEST(Verify, PathVariantRejectsFaultyInterior) {
+  const StarGraph g(4);
+  const Perm p = g.vertex(3);
+  const Perm q = p.star_move(1);
+  FaultSet f;
+  f.add_vertex(q);
+  const auto rep =
+      verify_healthy_path(g, f, {p.rank(), q.rank(), q.star_move(2).rank()});
+  EXPECT_FALSE(rep.valid);
+}
+
+}  // namespace
+}  // namespace starring
