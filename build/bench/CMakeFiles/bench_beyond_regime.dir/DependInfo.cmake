@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_beyond_regime.cpp" "bench/CMakeFiles/bench_beyond_regime.dir/bench_beyond_regime.cpp.o" "gcc" "bench/CMakeFiles/bench_beyond_regime.dir/bench_beyond_regime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/starring_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypercube/CMakeFiles/starring_hypercube.dir/DependInfo.cmake"
+  "/root/repo/build/src/pancake/CMakeFiles/starring_pancake.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/starring_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/starring_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/starring_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/starring_extensions.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/starring_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/starring_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/stargraph/CMakeFiles/starring_stargraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/starring_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/starring_perm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

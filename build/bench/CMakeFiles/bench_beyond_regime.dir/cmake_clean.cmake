@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_beyond_regime.dir/bench_beyond_regime.cpp.o"
+  "CMakeFiles/bench_beyond_regime.dir/bench_beyond_regime.cpp.o.d"
+  "bench_beyond_regime"
+  "bench_beyond_regime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_beyond_regime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

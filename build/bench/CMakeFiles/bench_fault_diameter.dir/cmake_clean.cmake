@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_diameter.dir/bench_fault_diameter.cpp.o"
+  "CMakeFiles/bench_fault_diameter.dir/bench_fault_diameter.cpp.o.d"
+  "bench_fault_diameter"
+  "bench_fault_diameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

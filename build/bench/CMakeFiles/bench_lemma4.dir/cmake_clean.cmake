@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma4.dir/bench_lemma4.cpp.o"
+  "CMakeFiles/bench_lemma4.dir/bench_lemma4.cpp.o.d"
+  "bench_lemma4"
+  "bench_lemma4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_longest_path.dir/bench_longest_path.cpp.o"
+  "CMakeFiles/bench_longest_path.dir/bench_longest_path.cpp.o.d"
+  "bench_longest_path"
+  "bench_longest_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_longest_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed_faults.dir/bench_mixed_faults.cpp.o"
+  "CMakeFiles/bench_mixed_faults.dir/bench_mixed_faults.cpp.o.d"
+  "bench_mixed_faults"
+  "bench_mixed_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

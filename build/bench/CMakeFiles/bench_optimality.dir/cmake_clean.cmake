@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimality.dir/bench_optimality.cpp.o"
+  "CMakeFiles/bench_optimality.dir/bench_optimality.cpp.o.d"
+  "bench_optimality"
+  "bench_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pancyclic.dir/bench_pancyclic.cpp.o"
+  "CMakeFiles/bench_pancyclic.dir/bench_pancyclic.cpp.o.d"
+  "bench_pancyclic"
+  "bench_pancyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pancyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

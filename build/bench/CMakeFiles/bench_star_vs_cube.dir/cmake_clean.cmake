@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_star_vs_cube.dir/bench_star_vs_cube.cpp.o"
+  "CMakeFiles/bench_star_vs_cube.dir/bench_star_vs_cube.cpp.o.d"
+  "bench_star_vs_cube"
+  "bench_star_vs_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_star_vs_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_star_vs_pancake.dir/bench_star_vs_pancake.cpp.o"
+  "CMakeFiles/bench_star_vs_pancake.dir/bench_star_vs_pancake.cpp.o.d"
+  "bench_star_vs_pancake"
+  "bench_star_vs_pancake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_star_vs_pancake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_sweep.dir/checkpoint_sweep.cpp.o"
+  "CMakeFiles/checkpoint_sweep.dir/checkpoint_sweep.cpp.o.d"
+  "checkpoint_sweep"
+  "checkpoint_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degradation_study.dir/degradation_study.cpp.o"
+  "CMakeFiles/degradation_study.dir/degradation_study.cpp.o.d"
+  "degradation_study"
+  "degradation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degradation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_allreduce.dir/fault_tolerant_allreduce.cpp.o"
+  "CMakeFiles/fault_tolerant_allreduce.dir/fault_tolerant_allreduce.cpp.o.d"
+  "fault_tolerant_allreduce"
+  "fault_tolerant_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

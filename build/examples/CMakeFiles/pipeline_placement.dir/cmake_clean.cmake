@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_placement.dir/pipeline_placement.cpp.o"
+  "CMakeFiles/pipeline_placement.dir/pipeline_placement.cpp.o.d"
+  "pipeline_placement"
+  "pipeline_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

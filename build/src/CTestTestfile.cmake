@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("perm")
+subdirs("util")
+subdirs("graph")
+subdirs("hypercube")
+subdirs("pancake")
+subdirs("stargraph")
+subdirs("fault")
+subdirs("routing")
+subdirs("core")
+subdirs("baselines")
+subdirs("extensions")
+subdirs("sim")

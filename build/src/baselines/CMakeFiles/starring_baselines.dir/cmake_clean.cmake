@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starring_baselines.dir/latifi.cpp.o"
+  "CMakeFiles/starring_baselines.dir/latifi.cpp.o.d"
+  "CMakeFiles/starring_baselines.dir/tseng.cpp.o"
+  "CMakeFiles/starring_baselines.dir/tseng.cpp.o.d"
+  "libstarring_baselines.a"
+  "libstarring_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starring_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_oracle.cpp" "src/core/CMakeFiles/starring_core.dir/block_oracle.cpp.o" "gcc" "src/core/CMakeFiles/starring_core.dir/block_oracle.cpp.o.d"
+  "/root/repo/src/core/chaining.cpp" "src/core/CMakeFiles/starring_core.dir/chaining.cpp.o" "gcc" "src/core/CMakeFiles/starring_core.dir/chaining.cpp.o.d"
+  "/root/repo/src/core/partition_selector.cpp" "src/core/CMakeFiles/starring_core.dir/partition_selector.cpp.o" "gcc" "src/core/CMakeFiles/starring_core.dir/partition_selector.cpp.o.d"
+  "/root/repo/src/core/ring_embedder.cpp" "src/core/CMakeFiles/starring_core.dir/ring_embedder.cpp.o" "gcc" "src/core/CMakeFiles/starring_core.dir/ring_embedder.cpp.o.d"
+  "/root/repo/src/core/super_ring.cpp" "src/core/CMakeFiles/starring_core.dir/super_ring.cpp.o" "gcc" "src/core/CMakeFiles/starring_core.dir/super_ring.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/starring_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/starring_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stargraph/CMakeFiles/starring_stargraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/starring_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/starring_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/starring_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

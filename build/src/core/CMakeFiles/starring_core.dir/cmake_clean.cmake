@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starring_core.dir/block_oracle.cpp.o"
+  "CMakeFiles/starring_core.dir/block_oracle.cpp.o.d"
+  "CMakeFiles/starring_core.dir/chaining.cpp.o"
+  "CMakeFiles/starring_core.dir/chaining.cpp.o.d"
+  "CMakeFiles/starring_core.dir/partition_selector.cpp.o"
+  "CMakeFiles/starring_core.dir/partition_selector.cpp.o.d"
+  "CMakeFiles/starring_core.dir/ring_embedder.cpp.o"
+  "CMakeFiles/starring_core.dir/ring_embedder.cpp.o.d"
+  "CMakeFiles/starring_core.dir/super_ring.cpp.o"
+  "CMakeFiles/starring_core.dir/super_ring.cpp.o.d"
+  "CMakeFiles/starring_core.dir/verify.cpp.o"
+  "CMakeFiles/starring_core.dir/verify.cpp.o.d"
+  "libstarring_core.a"
+  "libstarring_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starring_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

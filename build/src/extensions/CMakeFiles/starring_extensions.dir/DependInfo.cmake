@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extensions/longest_path.cpp" "src/extensions/CMakeFiles/starring_extensions.dir/longest_path.cpp.o" "gcc" "src/extensions/CMakeFiles/starring_extensions.dir/longest_path.cpp.o.d"
+  "/root/repo/src/extensions/mixed_faults.cpp" "src/extensions/CMakeFiles/starring_extensions.dir/mixed_faults.cpp.o" "gcc" "src/extensions/CMakeFiles/starring_extensions.dir/mixed_faults.cpp.o.d"
+  "/root/repo/src/extensions/pancyclic.cpp" "src/extensions/CMakeFiles/starring_extensions.dir/pancyclic.cpp.o" "gcc" "src/extensions/CMakeFiles/starring_extensions.dir/pancyclic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/starring_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/starring_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/stargraph/CMakeFiles/starring_stargraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/starring_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/starring_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

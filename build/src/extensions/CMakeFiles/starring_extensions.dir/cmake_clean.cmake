@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starring_extensions.dir/longest_path.cpp.o"
+  "CMakeFiles/starring_extensions.dir/longest_path.cpp.o.d"
+  "CMakeFiles/starring_extensions.dir/mixed_faults.cpp.o"
+  "CMakeFiles/starring_extensions.dir/mixed_faults.cpp.o.d"
+  "CMakeFiles/starring_extensions.dir/pancyclic.cpp.o"
+  "CMakeFiles/starring_extensions.dir/pancyclic.cpp.o.d"
+  "libstarring_extensions.a"
+  "libstarring_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starring_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starring_fault.dir/generators.cpp.o"
+  "CMakeFiles/starring_fault.dir/generators.cpp.o.d"
+  "libstarring_fault.a"
+  "libstarring_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starring_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starring_graph.dir/disjoint_paths.cpp.o"
+  "CMakeFiles/starring_graph.dir/disjoint_paths.cpp.o.d"
+  "CMakeFiles/starring_graph.dir/graph.cpp.o"
+  "CMakeFiles/starring_graph.dir/graph.cpp.o.d"
+  "libstarring_graph.a"
+  "libstarring_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starring_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

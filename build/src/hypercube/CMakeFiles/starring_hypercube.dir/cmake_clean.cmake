@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starring_hypercube.dir/hypercube.cpp.o"
+  "CMakeFiles/starring_hypercube.dir/hypercube.cpp.o.d"
+  "libstarring_hypercube.a"
+  "libstarring_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starring_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pancake/pancake.cpp" "src/pancake/CMakeFiles/starring_pancake.dir/pancake.cpp.o" "gcc" "src/pancake/CMakeFiles/starring_pancake.dir/pancake.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/starring_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/starring_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/stargraph/CMakeFiles/starring_stargraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/perm/CMakeFiles/starring_perm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

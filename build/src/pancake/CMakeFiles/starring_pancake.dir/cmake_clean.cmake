@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starring_pancake.dir/pancake.cpp.o"
+  "CMakeFiles/starring_pancake.dir/pancake.cpp.o.d"
+  "libstarring_pancake.a"
+  "libstarring_pancake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starring_pancake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

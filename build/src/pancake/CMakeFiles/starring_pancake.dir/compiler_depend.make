@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for starring_pancake.
+# This may be replaced when dependencies are built.

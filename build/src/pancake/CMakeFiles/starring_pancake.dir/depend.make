@@ -1,0 +1,2 @@
+# Empty dependencies file for starring_pancake.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starring_perm.dir/permutation.cpp.o"
+  "CMakeFiles/starring_perm.dir/permutation.cpp.o.d"
+  "libstarring_perm.a"
+  "libstarring_perm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starring_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starring_routing.dir/routing.cpp.o"
+  "CMakeFiles/starring_routing.dir/routing.cpp.o.d"
+  "libstarring_routing.a"
+  "libstarring_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starring_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starring_sim.dir/ring_sim.cpp.o"
+  "CMakeFiles/starring_sim.dir/ring_sim.cpp.o.d"
+  "CMakeFiles/starring_sim.dir/self_healing.cpp.o"
+  "CMakeFiles/starring_sim.dir/self_healing.cpp.o.d"
+  "libstarring_sim.a"
+  "libstarring_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starring_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

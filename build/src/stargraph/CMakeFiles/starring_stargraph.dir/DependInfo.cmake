@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stargraph/decomposition.cpp" "src/stargraph/CMakeFiles/starring_stargraph.dir/decomposition.cpp.o" "gcc" "src/stargraph/CMakeFiles/starring_stargraph.dir/decomposition.cpp.o.d"
+  "/root/repo/src/stargraph/star_graph.cpp" "src/stargraph/CMakeFiles/starring_stargraph.dir/star_graph.cpp.o" "gcc" "src/stargraph/CMakeFiles/starring_stargraph.dir/star_graph.cpp.o.d"
+  "/root/repo/src/stargraph/substar.cpp" "src/stargraph/CMakeFiles/starring_stargraph.dir/substar.cpp.o" "gcc" "src/stargraph/CMakeFiles/starring_stargraph.dir/substar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perm/CMakeFiles/starring_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/starring_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starring_stargraph.dir/decomposition.cpp.o"
+  "CMakeFiles/starring_stargraph.dir/decomposition.cpp.o.d"
+  "CMakeFiles/starring_stargraph.dir/star_graph.cpp.o"
+  "CMakeFiles/starring_stargraph.dir/star_graph.cpp.o.d"
+  "CMakeFiles/starring_stargraph.dir/substar.cpp.o"
+  "CMakeFiles/starring_stargraph.dir/substar.cpp.o.d"
+  "libstarring_stargraph.a"
+  "libstarring_stargraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starring_stargraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starring_util.dir/io.cpp.o"
+  "CMakeFiles/starring_util.dir/io.cpp.o.d"
+  "libstarring_util.a"
+  "libstarring_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starring_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstarring_util.a"
+)

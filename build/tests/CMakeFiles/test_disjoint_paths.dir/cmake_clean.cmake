@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disjoint_paths.dir/test_disjoint_paths.cpp.o"
+  "CMakeFiles/test_disjoint_paths.dir/test_disjoint_paths.cpp.o.d"
+  "test_disjoint_paths"
+  "test_disjoint_paths.pdb"
+  "test_disjoint_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disjoint_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

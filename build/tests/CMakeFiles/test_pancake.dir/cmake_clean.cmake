@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pancake.dir/test_pancake.cpp.o"
+  "CMakeFiles/test_pancake.dir/test_pancake.cpp.o.d"
+  "test_pancake"
+  "test_pancake.pdb"
+  "test_pancake[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pancake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

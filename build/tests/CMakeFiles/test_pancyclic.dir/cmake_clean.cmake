@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pancyclic.dir/test_pancyclic.cpp.o"
+  "CMakeFiles/test_pancyclic.dir/test_pancyclic.cpp.o.d"
+  "test_pancyclic"
+  "test_pancyclic.pdb"
+  "test_pancyclic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pancyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_selector.dir/test_partition_selector.cpp.o"
+  "CMakeFiles/test_partition_selector.dir/test_partition_selector.cpp.o.d"
+  "test_partition_selector"
+  "test_partition_selector.pdb"
+  "test_partition_selector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_substar.dir/test_substar.cpp.o"
+  "CMakeFiles/test_substar.dir/test_substar.cpp.o.d"
+  "test_substar"
+  "test_substar.pdb"
+  "test_substar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_substar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

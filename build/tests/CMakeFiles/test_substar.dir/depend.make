@@ -1,0 +1,2 @@
+# Empty dependencies file for test_substar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_super_ring.dir/test_super_ring.cpp.o"
+  "CMakeFiles/test_super_ring.dir/test_super_ring.cpp.o.d"
+  "test_super_ring"
+  "test_super_ring.pdb"
+  "test_super_ring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_super_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

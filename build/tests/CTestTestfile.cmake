@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_perm[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_substar[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_lemmas[1]_include.cmake")
+include("/root/repo/build/tests/test_star_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_fault[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_disjoint_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_decomposition[1]_include.cmake")
+include("/root/repo/build/tests/test_hypercube[1]_include.cmake")
+include("/root/repo/build/tests/test_pancake[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_partition_selector[1]_include.cmake")
+include("/root/repo/build/tests/test_super_ring[1]_include.cmake")
+include("/root/repo/build/tests/test_block_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_embedder[1]_include.cmake")
+include("/root/repo/build/tests/test_verify[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_mixed_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_longest_path[1]_include.cmake")
+include("/root/repo/build/tests/test_pancyclic[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_self_healing[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_exhaustive[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
