@@ -1,0 +1,20 @@
+// Shared main() for the google-benchmark based benches: identical to
+// BENCHMARK_MAIN() plus a BenchRecorder, so the binary also emits a
+// BENCH_<name>.json artifact (schema in obs/bench_io.hpp).  The
+// recorder enables the obs metrics layer, so pipeline counters (oracle
+// cache hits, backtracks, phase times) land in the artifact.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "obs/bench_io.hpp"
+
+#define STARRING_BENCH_JSON_MAIN(name)                                  \
+  int main(int argc, char** argv) {                                     \
+    starring::obs::BenchRecorder starring_bench_recorder(name);         \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }

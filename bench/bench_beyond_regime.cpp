@@ -12,11 +12,14 @@
 #include "core/ring_embedder.hpp"
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("beyond_regime");
   const int max_n = argc > 1 ? std::atoi(argv[1]) : 7;
+  rec.note_n(max_n);
   const int trials = argc > 2 ? std::atoi(argv[2]) : 10;
 
   std::printf("E15: past the regime boundary (random faults; the paper "

@@ -8,11 +8,14 @@
 #include "baselines/tseng.hpp"
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("edge_faults");
   const int max_n = argc > 1 ? std::atoi(argv[1]) : 8;
+  rec.note_n(max_n);
   const int trials = argc > 2 ? std::atoi(argv[2]) : 5;
 
   std::printf("E5: edge-fault ring embedding — full n! despite |Fe| <= n-3\n");

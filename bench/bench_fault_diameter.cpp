@@ -13,11 +13,14 @@
 
 #include "fault/generators.hpp"
 #include "routing/routing.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("fault_diameter");
   const int max_n = argc > 1 ? std::atoi(argv[1]) : 6;
+  rec.note_n(max_n);
   const int trials = argc > 2 ? std::atoi(argv[2]) : 5;
 
   std::printf("E16: healthy-subgraph diameter under vertex faults\n");

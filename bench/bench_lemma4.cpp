@@ -12,6 +12,7 @@
 
 #include "core/block_oracle.hpp"
 #include "graph/graph.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
@@ -88,6 +89,7 @@ BENCHMARK(BM_HamiltonianPathSearch);
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("lemma4");
   if (!check_lemma4_exhaustive()) {
     std::printf("RESULT: Lemma 4 FAILED\n");
     return 1;

@@ -8,6 +8,7 @@
 #include "core/verify.hpp"
 #include "extensions/longest_path.hpp"
 #include "fault/generators.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
@@ -25,7 +26,9 @@ Perm healthy_vertex(const StarGraph& g, const FaultSet& f, int parity,
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("longest_path");
   const int max_n = argc > 1 ? std::atoi(argv[1]) : 8;
+  rec.note_n(max_n);
   const int trials = argc > 2 ? std::atoi(argv[2]) : 3;
 
   std::printf("E10: longest healthy s-t paths (extension)\n");

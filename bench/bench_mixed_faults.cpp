@@ -7,11 +7,14 @@
 #include "core/verify.hpp"
 #include "extensions/mixed_faults.hpp"
 #include "fault/generators.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("mixed_faults");
   const int max_n = argc > 1 ? std::atoi(argv[1]) : 8;
+  rec.note_n(max_n);
   const int trials = argc > 2 ? std::atoi(argv[2]) : 3;
 
   std::printf("E6: mixed faults — ring of n!-2|Fv| with |Fv|+|Fe| <= n-3\n");

@@ -15,6 +15,7 @@
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
 #include "graph/graph.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
@@ -104,7 +105,9 @@ bool ceiling_large(int max_n, int trials) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("optimality");
   const int max_n = argc > 1 ? std::atoi(argv[1]) : 8;
+  rec.note_n(max_n);
   const int trials = argc > 2 ? std::atoi(argv[2]) : 3;
   bool ok = exhaustive_s4();
   ok &= exhaustive_s5_pairs(10);

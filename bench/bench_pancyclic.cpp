@@ -11,11 +11,14 @@
 
 #include "core/verify.hpp"
 #include "extensions/pancyclic.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("pancyclic");
   const int max_n = argc > 1 ? std::atoi(argv[1]) : 7;
+  rec.note_n(max_n);
   bool ok = true;
 
   std::printf("E17: rings of every even length (bipartite: odd impossible)\n");

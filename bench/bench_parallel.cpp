@@ -7,6 +7,8 @@
 // bit-identical at every setting (asserted in tests/test_parallel.cpp).
 #include <benchmark/benchmark.h>
 
+#include "bench_artifact.hpp"
+
 #include "core/ring_embedder.hpp"
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
@@ -60,4 +62,4 @@ BENCHMARK(BM_VerifyThreads)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+STARRING_BENCH_JSON_MAIN("parallel");

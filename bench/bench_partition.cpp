@@ -3,6 +3,8 @@
 // choice) vs max-splitting (greedy group maximization).
 #include <benchmark/benchmark.h>
 
+#include "bench_artifact.hpp"
+
 #include "core/partition_selector.hpp"
 #include "fault/generators.hpp"
 #include "stargraph/star_graph.hpp"
@@ -53,4 +55,4 @@ BENCHMARK(BM_SelectPathologicalPrefix)->DenseRange(6, 10);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+STARRING_BENCH_JSON_MAIN("partition");

@@ -3,6 +3,8 @@
 // fault-tolerant BFS, and single-port broadcast round counts.
 #include <benchmark/benchmark.h>
 
+#include "bench_artifact.hpp"
+
 #include "fault/generators.hpp"
 #include "routing/routing.hpp"
 
@@ -68,4 +70,4 @@ BENCHMARK(BM_BroadcastSchedule)->DenseRange(4, 7);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+STARRING_BENCH_JSON_MAIN("routing");

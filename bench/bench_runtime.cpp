@@ -7,6 +7,8 @@
 // the number to watch.
 #include <benchmark/benchmark.h>
 
+#include "bench_artifact.hpp"
+
 #include "core/ring_embedder.hpp"
 #include "fault/generators.hpp"
 
@@ -80,4 +82,4 @@ BENCHMARK(BM_VerifyRing)->DenseRange(5, 9)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+STARRING_BENCH_JSON_MAIN("runtime");

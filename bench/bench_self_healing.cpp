@@ -13,11 +13,14 @@
 #include "baselines/tseng.hpp"
 #include "fault/generators.hpp"
 #include "sim/self_healing.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("self_healing");
   const int n = argc > 1 ? std::atoi(argv[1]) : 8;
+  rec.note_n(n);
   const StarGraph g(n);
 
   // One shared failure sequence (uniform random, seeded).

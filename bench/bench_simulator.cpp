@@ -14,11 +14,14 @@
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
 #include "sim/ring_sim.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("simulator");
   const int n = argc > 1 ? std::atoi(argv[1]) : 7;
+  rec.note_n(n);
   const StarGraph g(n);
 
   std::printf("E7: ring all-reduce on S_%d embeddings (message 4 KiB)\n", n);

@@ -18,6 +18,7 @@
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
 #include "hypercube/hypercube.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
@@ -34,6 +35,7 @@ CubeFaults cube_faults(int n, int count, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("star_vs_cube");
   const int trials = argc > 1 ? std::atoi(argv[1]) : 3;
   struct Pairing {
     int star_n;

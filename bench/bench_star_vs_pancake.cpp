@@ -17,11 +17,14 @@
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
 #include "pancake/pancake.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("star_vs_pancake");
   const int max_n = argc > 1 ? std::atoi(argv[1]) : 7;
+  rec.note_n(max_n);
   const int trials = argc > 2 ? std::atoi(argv[2]) : 3;
 
   std::printf("E18: ring degradation, star vs pancake (same fault sets)\n");

@@ -11,6 +11,7 @@
 #include "core/ring_embedder.hpp"
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
+#include "obs/bench_io.hpp"
 
 using namespace starring;
 
@@ -43,7 +44,9 @@ void run_shape(Row& row, const StarGraph& g, const FaultSet& f) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::BenchRecorder rec("theorem1");
   const int max_n = argc > 1 ? std::atoi(argv[1]) : 8;
+  rec.note_n(max_n);
   const int trials = argc > 2 ? std::atoi(argv[2]) : 5;
 
   std::printf("E1: Theorem 1 — ring length n! - 2|Fv| (|Fv| <= n-3)\n");

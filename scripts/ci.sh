@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 verify line, then an ASan+UBSan build of
+# the test suite so the threading and instrumentation code is
+# sanitizer-checked on every PR.
+#
+# Usage: scripts/ci.sh [--tier1-only | --san-only]
+# Env:   JOBS=<n> to cap build/test parallelism (default: nproc).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+run_tier1=1
+run_san=1
+case "${1:-}" in
+  --tier1-only) run_san=0 ;;
+  --san-only) run_tier1=0 ;;
+  "") ;;
+  *) echo "unknown flag: $1" >&2; exit 2 ;;
+esac
+
+if [[ "$run_tier1" == 1 ]]; then
+  echo "== tier-1: RelWithDebInfo build + full ctest =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  (cd build && ctest --output-on-failure -j "$JOBS")
+fi
+
+if [[ "$run_san" == 1 ]]; then
+  echo "== sanitizers: ASan+UBSan Debug build + full ctest =="
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+  cmake --build build-asan -j "$JOBS"
+  (cd build-asan && \
+    ASAN_OPTIONS=detect_leaks=0 \
+    UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --output-on-failure -j "$JOBS")
+fi
+
+echo "== ci.sh: all requested stages passed =="

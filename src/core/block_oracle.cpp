@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
 #include "perm/permutation.hpp"
 #include "stargraph/substar.hpp"
 
@@ -36,11 +37,17 @@ std::optional<std::vector<int>> BlockOracle::find_path(
                             (static_cast<std::uint64_t>(to) << 5) |
                             (static_cast<std::uint64_t>(forbidden) << 10) |
                             (static_cast<std::uint64_t>(target_vertices) << 34);
+  // Function-local statics: one registry lookup per process, then a
+  // relaxed atomic add per query (and only while metrics are enabled).
+  static obs::Counter& hit_counter = obs::counter("oracle.cache_hits");
+  static obs::Counter& miss_counter = obs::counter("oracle.cache_misses");
   if (const auto it = cache_.find(key); it != cache_.end()) {
     ++hits_;
+    hit_counter.add();
     return it->second;
   }
   ++misses_;
+  miss_counter.add();
   auto result =
       path_with_exact_vertices(graph_, from, to, forbidden, target_vertices);
   cache_.emplace(key, result);

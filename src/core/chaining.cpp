@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "core/block_oracle.hpp"
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace starring {
@@ -133,6 +134,7 @@ int required_exit_parity(const BlockOracle& oracle, int entry, int target) {
 std::vector<VertexId> emit(const std::vector<MemberExpander>& expand,
                            const std::vector<std::vector<int>>& paths,
                            unsigned threads) {
+  obs::ScopedPhase phase("chain_emit");
   std::vector<std::size_t> offset(paths.size() + 1, 0);
   for (std::size_t j = 0; j < paths.size(); ++j)
     offset[j + 1] = offset[j] + paths[j].size();
@@ -151,6 +153,8 @@ bool compute_all_exits(const std::vector<SubstarPattern>& blocks_pat,
                        const std::vector<MemberExpander>& expand,
                        std::vector<BlockInfo>& blocks, const FaultSet& faults,
                        bool cyclic, unsigned threads) {
+  obs::ScopedPhase phase("chain_exits");
+  obs::counter("chain.threads").record_max(threads);
   const std::size_t m = blocks_pat.size();
   const std::size_t pairs = cyclic ? m : m - 1;
   std::vector<std::uint8_t> ok(pairs, 0);
@@ -206,6 +210,9 @@ std::optional<EmbedResult> chain_block_ring(const StarGraph& g,
   std::vector<std::vector<int>> paths(m);
   std::vector<int> entry(m);
 
+  // Spans the backtracking search; the nested chain_emit span on
+  // success is contained in (not additional to) this one.
+  obs::ScopedPhase phase("chain_search");
   for (const ExitCandidate& closure : blocks[m - 1].exits) {
     ++stats.closure_attempts;
     std::fill(failed.begin(), failed.end(), 0u);
@@ -312,6 +319,7 @@ std::optional<EmbedResult> chain_block_path(const StarGraph& g,
   std::vector<std::vector<int>> paths(m);
   std::vector<int> entry(m);
 
+  obs::ScopedPhase phase("chain_search");
   std::size_t k = 0;
   entry[0] = s_local;
   exit_idx[0] = 0;

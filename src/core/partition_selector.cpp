@@ -5,6 +5,8 @@
 #include <cassert>
 #include <map>
 
+#include "obs/metrics.hpp"
+
 namespace starring {
 
 namespace {
@@ -138,11 +140,16 @@ std::vector<int> edge_fault_dims(int n, const FaultSet& faults) {
 PartitionSelection select_partition_positions(int n, const FaultSet& faults,
                                               SplitHeuristic heuristic) {
   assert(n >= 5);
+  obs::ScopedPhase phase("partition_select");
   const std::vector<Perm> items = faults.vertex_faults();
   // Faulty-link swap dimensions, most frequent first: using them as
   // partition positions turns those links into super-edge crossings.
   const std::vector<int> preferred = edge_fault_dims(n, faults);
-  return select_positions_for(n, items, n - 4, heuristic, preferred);
+  PartitionSelection sel =
+      select_positions_for(n, items, n - 4, heuristic, preferred);
+  obs::counter("partition.selections").add();
+  obs::counter("partition.effective_splits").add(sel.effective_splits);
+  return sel;
 }
 
 }  // namespace starring

@@ -8,6 +8,7 @@
 #include "core/block_oracle.hpp"
 #include "core/chaining.hpp"
 #include "core/super_ring.hpp"
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace starring {
@@ -63,9 +64,12 @@ std::optional<EmbedResult> embed_small(const StarGraph& g,
 
 }  // namespace
 
-std::optional<EmbedResult> embed_longest_ring(const StarGraph& g,
-                                              const FaultSet& faults,
-                                              const EmbedOptions& opts) {
+namespace {
+
+/// The driver proper; embed_longest_ring wraps it in instrumentation.
+std::optional<EmbedResult> embed_longest_ring_impl(const StarGraph& g,
+                                                   const FaultSet& faults,
+                                                   const EmbedOptions& opts) {
   const int n = g.n();
   if (n < 3) return std::nullopt;  // S_1, S_2 contain no cycle
   if (n <= 4) return embed_small(g, faults);
@@ -73,7 +77,10 @@ std::optional<EmbedResult> embed_longest_ring(const StarGraph& g,
   const PartitionSelection sel =
       select_partition_positions(n, faults, opts.heuristic);
   for (int restart = 0; restart < std::max(1, opts.max_restarts); ++restart) {
-    const auto sr = build_block_ring(n, sel.positions, faults, restart);
+    const auto sr = [&] {
+      obs::ScopedPhase phase("super_ring");
+      return build_block_ring(n, sel.positions, faults, restart);
+    }();
     if (!sr) continue;
     auto res = chain_block_ring(g, *sr, faults, opts);
     if (res) {
@@ -82,6 +89,37 @@ std::optional<EmbedResult> embed_longest_ring(const StarGraph& g,
     }
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<EmbedResult> embed_longest_ring(const StarGraph& g,
+                                              const FaultSet& faults,
+                                              const EmbedOptions& opts) {
+  if (!obs::enabled()) return embed_longest_ring_impl(g, faults, opts);
+
+  const obs::Snapshot before = obs::snapshot();
+
+  // Gauges the bench artifact reads back as its n / faults extents.
+  obs::counter("embed.max_n").record_max(g.n());
+  obs::counter("embed.max_faults")
+      .record_max(static_cast<std::int64_t>(faults.num_vertex_faults() +
+                                            faults.num_edge_faults()));
+  obs::counter("embed.calls").add();
+  obs::counter("embed.threads").record_max(opts.effective_threads());
+  auto res = [&] {
+    obs::ScopedPhase phase("embed");
+    return embed_longest_ring_impl(g, faults, opts);
+  }();
+  if (res) {
+    obs::counter("embed.restarts").add(res->stats.restarts);
+    obs::counter("embed.backtracks").add(res->stats.backtracks);
+    obs::counter("embed.closure_attempts").add(res->stats.closure_attempts);
+    res->stats.counters = obs::snapshot_delta(before);
+  } else {
+    obs::counter("embed.failures").add();
+  }
+  return res;
 }
 
 std::optional<EmbedResult> embed_hamiltonian_cycle(const StarGraph& g,

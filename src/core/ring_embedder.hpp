@@ -25,6 +25,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/partition_selector.hpp"
@@ -54,6 +56,10 @@ struct EmbedStats {
   std::int64_t backtracks = 0;
   int restarts = 0;
   int closure_attempts = 0;
+  /// Snapshot of the obs counters this embed call moved (sorted by
+  /// name): phase wall times, oracle cache hits/misses, threads used.
+  /// Empty unless the metrics layer is enabled (obs/metrics.hpp).
+  std::vector<std::pair<std::string, std::int64_t>> counters;
 };
 
 struct EmbedResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace starring {
@@ -14,14 +15,19 @@ constexpr std::size_t kOk = std::numeric_limits<std::size_t>::max();
 RingReport verify_sequence(const StarGraph& g, const FaultSet& faults,
                            const std::vector<VertexId>& seq, bool cyclic,
                            unsigned threads) {
+  obs::ScopedPhase phase("verify");
+  obs::counter("verify.calls").add();
   RingReport rep;
   rep.length = seq.size();
-  if (cyclic && seq.size() < 3) {
-    rep.error = "a cycle needs at least 3 vertices";
-    return rep;
-  }
+  // Degenerate shapes are rejected up front with fixed messages — the
+  // adjacency scan below must never be what trips on them.
   if (seq.empty()) {
     rep.error = "empty sequence";
+    return rep;
+  }
+  if (cyclic && seq.size() < 3) {
+    rep.error = "a cycle needs at least 3 vertices, got " +
+                std::to_string(seq.size());
     return rep;
   }
 
@@ -94,13 +100,17 @@ RingReport verify_sequence(const StarGraph& g, const FaultSet& faults,
 RingReport verify_healthy_ring(const StarGraph& g, const FaultSet& faults,
                                const std::vector<VertexId>& ring,
                                unsigned threads) {
-  return verify_sequence(g, faults, ring, /*cyclic=*/true, threads);
+  RingReport rep = verify_sequence(g, faults, ring, /*cyclic=*/true, threads);
+  if (!rep.valid) obs::counter("verify.rejects").add();
+  return rep;
 }
 
 RingReport verify_healthy_path(const StarGraph& g, const FaultSet& faults,
                                const std::vector<VertexId>& path,
                                unsigned threads) {
-  return verify_sequence(g, faults, path, /*cyclic=*/false, threads);
+  RingReport rep = verify_sequence(g, faults, path, /*cyclic=*/false, threads);
+  if (!rep.valid) obs::counter("verify.rejects").add();
+  return rep;
 }
 
 }  // namespace starring

@@ -1,0 +1,266 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace starring::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const JsonValue* hit = nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) hit = &v;
+  return hit;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    JsonValue v;
+    if (!value(v)) {
+      if (error != nullptr) *error = err_.empty() ? "parse error" : err_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (at_ < text_.size()) {
+      if (error != nullptr) *error = "trailing characters";
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  bool fail(const char* why) {
+    if (err_.empty())
+      err_ = std::string(why) + " at offset " + std::to_string(at_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (at_ < text_.size() &&
+           (text_[at_] == ' ' || text_[at_] == '\t' || text_[at_] == '\n' ||
+            text_[at_] == '\r'))
+      ++at_;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(at_, word.size()) != word) return fail("bad literal");
+    at_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (at_ >= text_.size()) return fail("unexpected end");
+    switch (text_[at_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++at_;  // '{'
+    skip_ws();
+    if (at_ < text_.size() && text_[at_] == '}') {
+      ++at_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (at_ >= text_.size() || text_[at_] != '"')
+        return fail("expected object key");
+      if (!string(key)) return false;
+      skip_ws();
+      if (at_ >= text_.size() || text_[at_] != ':') return fail("expected ':'");
+      ++at_;
+      JsonValue v;
+      if (!value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (at_ >= text_.size()) return fail("unterminated object");
+      if (text_[at_] == ',') {
+        ++at_;
+        continue;
+      }
+      if (text_[at_] == '}') {
+        ++at_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++at_;  // '['
+    skip_ws();
+    if (at_ < text_.size() && text_[at_] == ']') {
+      ++at_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (at_ >= text_.size()) return fail("unterminated array");
+      if (text_[at_] == ',') {
+        ++at_;
+        continue;
+      }
+      if (text_[at_] == ']') {
+        ++at_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool string(std::string& out) {
+    ++at_;  // opening quote
+    while (at_ < text_.size()) {
+      const char c = text_[at_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_ >= text_.size()) break;
+      const char esc = text_[at_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (at_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[at_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = at_;
+    if (at_ < text_.size() && text_[at_] == '-') ++at_;
+    while (at_ < text_.size() &&
+           ((text_[at_] >= '0' && text_[at_] <= '9') || text_[at_] == '.' ||
+            text_[at_] == 'e' || text_[at_] == 'E' || text_[at_] == '+' ||
+            text_[at_] == '-'))
+      ++at_;
+    if (at_ == start) return fail("expected value");
+    const std::string token(text_.substr(start, at_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("bad number");
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t at_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace starring::obs

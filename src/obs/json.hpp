@@ -1,0 +1,47 @@
+// Minimal JSON support for the observability layer: string escaping
+// for the emitter and a small recursive-descent parser so tests (and
+// tooling) can validate the BENCH_*.json artifacts without an external
+// dependency.  Not a general-purpose JSON library: numbers are doubles
+// and duplicate object keys keep the last value only on lookup.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace starring::obs {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes not
+/// added).  Control characters become \u00XX.
+std::string json_escape(std::string_view s);
+
+/// Format a double as a JSON number (no nan/inf — those clamp to 0,
+/// which JSON cannot represent).
+std::string json_number(double v);
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // source order
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Last value under `key` when this is an object, else nullptr.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document (trailing garbage is an error).
+/// Returns nullopt with a short reason in *error on malformed input.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace starring::obs

@@ -1,0 +1,89 @@
+#include "obs/metrics.hpp"
+
+#if !defined(STARRING_OBS_DISABLED)
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace starring::obs {
+
+namespace detail {
+
+namespace {
+bool env_enabled() {
+  const char* v = std::getenv("STARRING_METRICS");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // std::map: stable iteration order for snapshot(); unique_ptr keeps
+  // Counter addresses stable across rehash-free inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+};
+
+Registry& registry() {
+  // Leaked singleton: counters referenced from function-local statics
+  // in other TUs must outlive every destructor.
+  static Registry* r = new Registry;
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end())
+    it = r.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Snapshot out;
+  out.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters)
+    out.emplace_back(name, c->value());
+  return out;
+}
+
+Snapshot snapshot_delta(const Snapshot& before) {
+  const Snapshot now = snapshot();
+  Snapshot out;
+  std::size_t j = 0;
+  for (const auto& [name, value] : now) {
+    std::int64_t prev = 0;
+    while (j < before.size() && before[j].first < name) ++j;
+    if (j < before.size() && before[j].first == name) prev = before[j].second;
+    if (value != prev) out.emplace_back(name, value - prev);
+  }
+  return out;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters)
+    c->value_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace starring::obs
+
+#endif  // !STARRING_OBS_DISABLED

@@ -1,0 +1,144 @@
+// Lightweight observability layer: named monotonic counters and
+// phase wall-clock timers for the embedding pipeline.
+//
+// Design constraints, in order:
+//   1. Disabled cost ~ zero.  The runtime switch is OFF by default; a
+//      counter op behind it is one relaxed atomic load and a branch.
+//      Configuring with -DSTARRING_OBS=OFF compiles the layer down to
+//      empty inline stubs (STARRING_OBS_DISABLED).
+//   2. No dependencies.  obs sits below every other library in the
+//      repo (core, sim, util all may link it); it depends only on the
+//      standard library.
+//   3. Concurrency-safe.  Counters are atomics; the registry hands out
+//      stable references, so hot paths cache a `Counter&` in a
+//      function-local static and never re-lookup.
+//
+// Naming convention for counters (what lands in BENCH_*.json):
+//   <area>.<what>           e.g. chain.backtracks, oracle.cache_hits
+//   phase.<name>_ns         wall time accumulated by ScopedPhase
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace starring::obs {
+
+/// Ordered (name, value) view of the registry; the unit of exchange
+/// for EmbedStats::counters and the bench artifact writer.
+using Snapshot = std::vector<std::pair<std::string, std::int64_t>>;
+
+#if defined(STARRING_OBS_DISABLED)
+
+// Compile-time kill switch: every operation is an empty inline.
+inline bool enabled() { return false; }
+inline void set_enabled(bool) {}
+
+class Counter {
+ public:
+  void add(std::int64_t = 1) {}
+  void record_max(std::int64_t) {}
+  std::int64_t value() const { return 0; }
+};
+
+inline Counter& counter(std::string_view) {
+  static Counter dummy;
+  return dummy;
+}
+
+inline Snapshot snapshot() { return {}; }
+inline Snapshot snapshot_delta(const Snapshot&) { return {}; }
+inline void reset() {}
+
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string_view) {}
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+};
+
+#else  // metrics compiled in, gated at runtime
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Runtime switch.  Defaults to off unless the environment sets
+/// STARRING_METRICS=1; benches flip it on via BenchRecorder.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+class Counter {
+ public:
+  /// Monotonic increment; dropped while the layer is disabled.
+  void add(std::int64_t delta = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Keep the largest value seen (gauge-style: max n, threads used).
+  void record_max(std::int64_t v) {
+    if (!enabled()) return;
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend Snapshot snapshot();
+  friend void reset();
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Registry lookup; creates the counter on first use.  The reference
+/// stays valid for the process lifetime, so call sites may cache it:
+///   static obs::Counter& c = obs::counter("chain.backtracks");
+Counter& counter(std::string_view name);
+
+/// All registered counters, sorted by name (zeros included).
+Snapshot snapshot();
+
+/// Counters that grew since `before`, as deltas (zero deltas dropped).
+Snapshot snapshot_delta(const Snapshot& before);
+
+/// Zero every counter (test isolation; not thread-safe vs. writers).
+void reset();
+
+/// RAII span: accumulates the enclosed wall time (steady clock) into
+/// the counter `phase.<name>_ns`.  Cheap no-op when disabled — the
+/// clock is only read if the layer was enabled at entry.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string_view name) {
+    if (!enabled()) return;
+    c_ = &counter(std::string("phase.").append(name).append("_ns"));
+    t0_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedPhase() {
+    if (c_ == nullptr) return;
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    c_->add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Counter* c_ = nullptr;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+#endif  // STARRING_OBS_DISABLED
+
+}  // namespace starring::obs

@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace starring {
+
+namespace {
+
+/// Publish one finished workload run to the obs counters (one shot at
+/// the end of each run_* so the hot event loops stay untouched).
+void publish(const char* workload, const SimMetrics& m) {
+  if (!obs::enabled()) return;
+  obs::counter("sim.runs").add();
+  obs::counter("sim.messages").add(static_cast<std::int64_t>(m.messages));
+  obs::counter("sim.bytes_moved")
+      .add(static_cast<std::int64_t>(m.bytes_moved));
+  obs::counter(std::string("sim.") + workload + "_runs").add();
+}
+
+}  // namespace
 
 RingNetworkSim::RingNetworkSim(std::vector<VertexId> ring, SimParams params)
     : ring_(std::move(ring)), params_(params) {
@@ -23,6 +40,7 @@ double RingNetworkSim::hop_time(std::size_t from_idx,
 }
 
 SimMetrics RingNetworkSim::run_token_ring(int rounds) {
+  obs::ScopedPhase phase("sim_token_ring");
   SimMetrics m;
   m.participants = ring_.size();
   const std::size_t p = ring_.size();
@@ -47,10 +65,12 @@ SimMetrics RingNetworkSim::run_token_ring(int rounds) {
   m.completion_time_us = end;
   m.participants_per_us =
       end > 0.0 ? static_cast<double>(m.participants) / end : 0.0;
+  publish("token_ring", m);
   return m;
 }
 
 SimMetrics RingNetworkSim::run_allreduce() {
+  obs::ScopedPhase phase("sim_allreduce");
   SimMetrics m;
   const std::size_t p = ring_.size();
   m.participants = p;
@@ -79,10 +99,12 @@ SimMetrics RingNetworkSim::run_allreduce() {
       m.completion_time_us > 0.0
           ? static_cast<double>(p) / m.completion_time_us
           : 0.0;
+  publish("allreduce", m);
   return m;
 }
 
 SimMetrics RingNetworkSim::run_neighbor_exchange(int rounds) {
+  obs::ScopedPhase phase("sim_neighbor_exchange");
   SimMetrics m;
   const std::size_t p = ring_.size();
   m.participants = p;
@@ -108,6 +130,7 @@ SimMetrics RingNetworkSim::run_neighbor_exchange(int rounds) {
       m.completion_time_us > 0.0
           ? static_cast<double>(p) / m.completion_time_us
           : 0.0;
+  publish("neighbor_exchange", m);
   return m;
 }
 

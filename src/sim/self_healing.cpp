@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "core/verify.hpp"
+#include "obs/metrics.hpp"
 
 namespace starring {
 
@@ -11,6 +12,7 @@ HealingTrace run_self_healing(const StarGraph& g,
                               const SimParams& params,
                               const EmbedStrategy& strategy) {
   using clock = std::chrono::steady_clock;
+  obs::ScopedPhase phase("self_healing");
   HealingTrace trace;
   FaultSet faults;
   for (int step = 0; step <= static_cast<int>(fault_sequence.size()); ++step) {
@@ -25,7 +27,9 @@ HealingTrace run_self_healing(const StarGraph& g,
     ev.faults_so_far = step;
     ev.reembed_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    obs::counter("healing.reembeds").add();
     if (!res || !verify_healthy_ring(g, faults, res->ring).valid) {
+      obs::counter("healing.incomplete_traces").add();
       trace.completed = false;
       trace.events.push_back(ev);
       return trace;

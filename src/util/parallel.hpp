@@ -8,14 +8,45 @@
 // with threads == 1 it degenerates to a plain loop (no thread spawn),
 // which is also the deterministic default everywhere correctness tests
 // care about ordering.
+// Exception safety: a throw from fn escapes to the caller.  With
+// threads > 1 the first exception any worker raises is captured via
+// std::exception_ptr and rethrown after all workers join (the other
+// workers stop at their next iteration boundary instead of calling
+// std::terminate); with threads <= 1 it propagates directly.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace starring {
+
+namespace parallel_detail {
+
+/// First-exception capture shared by a worker pool.
+struct ErrorSlot {
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::exception_ptr error;
+
+  void capture() noexcept {
+    failed.store(true, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mu);
+    if (!error) error = std::current_exception();
+  }
+  bool tripped() const {
+    return failed.load(std::memory_order_relaxed);
+  }
+  void rethrow_if_set() {
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace parallel_detail
 
 /// Largest worker count that makes sense on this host.
 inline unsigned default_threads() {
@@ -37,6 +68,7 @@ void parallel_for(std::size_t begin, std::size_t end, unsigned threads,
   }
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads, count));
+  parallel_detail::ErrorSlot err;
   std::vector<std::thread> pool;
   pool.reserve(workers);
   const std::size_t chunk = (count + workers - 1) / workers;
@@ -44,11 +76,19 @@ void parallel_for(std::size_t begin, std::size_t end, unsigned threads,
     const std::size_t lo = begin + static_cast<std::size_t>(w) * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    pool.emplace_back([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    pool.emplace_back([lo, hi, &fn, &err] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (err.tripped()) return;
+          fn(i);
+        }
+      } catch (...) {
+        err.capture();
+      }
     });
   }
   for (auto& t : pool) t.join();
+  err.rethrow_if_set();
 }
 
 /// Parallel reduction: combine per-index values with a commutative
@@ -66,6 +106,7 @@ T parallel_reduce(std::size_t begin, std::size_t end, unsigned threads,
   }
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads, count));
+  parallel_detail::ErrorSlot err;
   std::vector<T> partial(workers, init);
   std::vector<std::thread> pool;
   pool.reserve(workers);
@@ -74,13 +115,21 @@ T parallel_reduce(std::size_t begin, std::size_t end, unsigned threads,
     const std::size_t lo = begin + static_cast<std::size_t>(w) * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    pool.emplace_back([lo, hi, w, &partial, &map, &combine] {
-      T acc = partial[w];
-      for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
-      partial[w] = acc;
+    pool.emplace_back([lo, hi, w, &partial, &map, &combine, &err] {
+      try {
+        T acc = partial[w];
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (err.tripped()) return;
+          acc = combine(acc, map(i));
+        }
+        partial[w] = acc;
+      } catch (...) {
+        err.capture();
+      }
     });
   }
   for (auto& t : pool) t.join();
+  err.rethrow_if_set();
   T acc = init;
   for (const T& p : partial) acc = combine(acc, p);
   return acc;

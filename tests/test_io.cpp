@@ -57,6 +57,53 @@ TEST(Io, RoundTripWithEdgeFaults) {
     EXPECT_TRUE(back->faults.edge_faulty(f.u, f.v));
 }
 
+TEST(Io, RoundTripOpenPathWithEdgeFaults) {
+  // An open path plus the edge fault that broke the ring: the shape the
+  // self-healing runtime checkpoints after a link failure.
+  const StarGraph g(5);
+  const auto res = embed_hamiltonian_cycle(g);
+  ASSERT_TRUE(res.has_value());
+  EmbeddingFile e;
+  e.n = 5;
+  e.is_ring = false;
+  e.sequence = res->ring;
+  e.sequence.pop_back();  // open the ring: drop one endpoint
+  e.faults.add_edge(g.vertex(res->ring[res->ring.size() - 2]),
+                    g.vertex(res->ring.back()));
+  ASSERT_TRUE(verify_healthy_path(g, e.faults, e.sequence).valid);
+
+  std::stringstream ss;
+  ASSERT_TRUE(write_embedding(ss, e));
+  std::string err;
+  const auto back = read_embedding(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_FALSE(back->is_ring);
+  EXPECT_EQ(back->sequence, e.sequence);
+  ASSERT_EQ(back->faults.num_edge_faults(), 1u);
+  for (const EdgeFault& f : e.faults.edge_faults())
+    EXPECT_TRUE(back->faults.edge_faulty(f.u, f.v));
+  // The deserialized open path still verifies against its fault set.
+  EXPECT_TRUE(verify_healthy_path(g, back->faults, back->sequence).valid);
+}
+
+TEST(Io, RoundTripMixedFaultsRing) {
+  const StarGraph g(6);
+  EmbeddingFile e;
+  e.n = 6;
+  e.faults = mixed_faults(g, 2, 1, 17);
+  const auto res = embed_longest_ring(g, e.faults);
+  ASSERT_TRUE(res.has_value());
+  e.sequence = res->ring;
+
+  std::stringstream ss;
+  ASSERT_TRUE(write_embedding(ss, e));
+  const auto back = read_embedding(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->faults.num_vertex_faults(), 2u);
+  EXPECT_EQ(back->faults.num_edge_faults(), 1u);
+  EXPECT_TRUE(verify_healthy_ring(g, back->faults, back->sequence).valid);
+}
+
 TEST(Io, RejectsBadHeader) {
   std::stringstream ss("starring-embedding v9\nn 5\n");
   std::string err;
@@ -104,6 +151,66 @@ TEST(Io, RejectsOutOfRangeId) {
   std::string err;
   EXPECT_FALSE(read_embedding(ss, &err).has_value());
   EXPECT_NE(err.find("out of range"), std::string::npos);
+}
+
+TEST(Io, RejectsBadKindLine) {
+  std::stringstream ss("starring-embedding v1\nn 5\nkind torus\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_EQ(err, "bad kind line");
+}
+
+TEST(Io, RejectsTruncatedVertexFaults) {
+  std::stringstream ss(
+      "starring-embedding v1\nn 4\nkind ring\nvertex_faults 2\n2134\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_EQ(err, "truncated vertex faults");
+}
+
+TEST(Io, RejectsTruncatedEdgeFaults) {
+  std::stringstream ss(
+      "starring-embedding v1\nn 4\nkind ring\nvertex_faults 0\n"
+      "edge_faults 1\n2134\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_EQ(err, "truncated edge faults");
+}
+
+TEST(Io, RejectsMissingSequenceHeader) {
+  std::stringstream ss(
+      "starring-embedding v1\nn 4\nkind ring\nvertex_faults 0\n"
+      "edge_faults 0\nvertices 3\n1 2 3\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_EQ(err, "bad sequence line");
+}
+
+TEST(Io, RejectsWrongLengthPermLiteral) {
+  // A 3-symbol literal in an n=4 file names the offending token.
+  std::stringstream ss(
+      "starring-embedding v1\nn 4\nkind ring\nvertex_faults 1\n213\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_EQ(err, "bad vertex fault '213'");
+}
+
+TEST(Io, RejectsMalformedDotSeparatedLiteral) {
+  std::stringstream ss(
+      "starring-embedding v1\nn 11\nkind ring\nvertex_faults 1\n"
+      "1.2.3.4.5.6.7.8.9.10.x\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_NE(err.find("bad vertex fault"), std::string::npos);
+}
+
+TEST(Io, RejectsNonNumericSequenceEntry) {
+  std::stringstream ss(
+      "starring-embedding v1\nn 4\nkind ring\nvertex_faults 0\n"
+      "edge_faults 0\nsequence 3\n1 two 3\n");
+  std::string err;
+  EXPECT_FALSE(read_embedding(ss, &err).has_value());
+  EXPECT_EQ(err, "truncated sequence");
 }
 
 TEST(Io, LargeNDotSeparatedFaults) {

@@ -1,0 +1,236 @@
+// Tests for the observability layer: counters, phase spans, the JSON
+// emitter/parser, the BENCH_*.json artifact schema, and the pipeline
+// wiring (EmbedStats carries the counter snapshot; disabled means
+// zero-footprint).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/ring_embedder.hpp"
+#include "fault/generators.hpp"
+#include "obs/bench_io.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace starring {
+namespace {
+
+#if !defined(STARRING_OBS_DISABLED)
+
+/// Enable metrics for one test, restoring the previous state after.
+class MetricsOn {
+ public:
+  MetricsOn() : was_(obs::enabled()) {
+    obs::set_enabled(true);
+    obs::reset();
+  }
+  ~MetricsOn() { obs::set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(ObsMetrics, CounterAccumulates) {
+  MetricsOn on;
+  obs::Counter& c = obs::counter("test.adds");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(&obs::counter("test.adds"), &c);
+}
+
+TEST(ObsMetrics, RecordMaxKeepsLargest) {
+  MetricsOn on;
+  obs::Counter& c = obs::counter("test.max");
+  c.record_max(7);
+  c.record_max(3);
+  c.record_max(9);
+  EXPECT_EQ(c.value(), 9);
+}
+
+TEST(ObsMetrics, DisabledCounterDropsWrites) {
+  MetricsOn on;
+  obs::Counter& c = obs::counter("test.disabled");
+  obs::set_enabled(false);
+  c.add(100);
+  c.record_max(100);
+  EXPECT_EQ(c.value(), 0);
+  obs::set_enabled(true);
+}
+
+TEST(ObsMetrics, SnapshotListsRegisteredCounters) {
+  MetricsOn on;
+  obs::counter("test.snap_a").add(3);
+  obs::counter("test.snap_b").add(5);
+  const obs::Snapshot snap = obs::snapshot();
+  std::int64_t a = -1;
+  std::int64_t b = -1;
+  for (const auto& [name, value] : snap) {
+    if (name == "test.snap_a") a = value;
+    if (name == "test.snap_b") b = value;
+  }
+  EXPECT_EQ(a, 3);
+  EXPECT_EQ(b, 5);
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+}
+
+TEST(ObsMetrics, SnapshotDeltaReportsOnlyGrowth) {
+  MetricsOn on;
+  obs::counter("test.delta_stale").add(10);
+  const obs::Snapshot before = obs::snapshot();
+  obs::counter("test.delta_grown").add(4);
+  const obs::Snapshot delta = obs::snapshot_delta(before);
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta[0].first, "test.delta_grown");
+  EXPECT_EQ(delta[0].second, 4);
+}
+
+TEST(ObsMetrics, ScopedPhaseAccumulatesWallTime) {
+  MetricsOn on;
+  {
+    obs::ScopedPhase p("test_sleep");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(obs::counter("phase.test_sleep_ns").value(), 1'000'000);
+}
+
+TEST(ObsMetrics, EmbedStatsCarryCounterSnapshot) {
+  MetricsOn on;
+  const StarGraph g(5);
+  const FaultSet f = random_vertex_faults(g, 2, 3);
+  const auto res = embed_longest_ring(g, f);
+  ASSERT_TRUE(res.has_value());
+  ASSERT_FALSE(res->stats.counters.empty());
+  const auto find = [&](const std::string& name) -> std::int64_t {
+    for (const auto& [k, v] : res->stats.counters)
+      if (k == name) return v;
+    return -1;
+  };
+  EXPECT_EQ(find("embed.calls"), 1);
+  EXPECT_GT(find("oracle.cache_misses") + find("oracle.cache_hits"), 0);
+  EXPECT_GT(find("phase.embed_ns"), 0);
+}
+
+TEST(ObsMetrics, EmbedStatsEmptyWhenDisabled) {
+  MetricsOn on;
+  obs::set_enabled(false);
+  const StarGraph g(5);
+  const auto res = embed_hamiltonian_cycle(g);
+  obs::set_enabled(true);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->stats.counters.empty());
+}
+
+TEST(ObsBench, RecorderWritesValidArtifact) {
+  MetricsOn on;
+  const std::string dir = ::testing::TempDir();
+  setenv("STARRING_BENCH_DIR", dir.c_str(), 1);
+  std::string path;
+  {
+    obs::BenchRecorder rec("unit_test");
+    rec.note_n(6);
+    rec.note_faults(3);
+    rec.add_counter("extra.value", 1.5);
+    obs::counter("test.from_recorder_scope").add(2);
+    path = rec.path();
+  }
+  unsetenv("STARRING_BENCH_DIR");
+  EXPECT_NE(path.find("BENCH_unit_test.json"), std::string::npos);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good()) << path;
+  std::stringstream buf;
+  buf << is.rdbuf();
+  std::string err;
+  EXPECT_TRUE(obs::validate_bench_artifact_json(buf.str(), &err)) << err;
+  const auto doc = obs::json_parse(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("bench")->string, "unit_test");
+  EXPECT_EQ(doc->find("n")->number, 6.0);
+  EXPECT_EQ(doc->find("faults")->number, 3.0);
+  EXPECT_GE(doc->find("wall_ms")->number, 0.0);
+  EXPECT_FALSE(doc->find("git_rev")->string.empty());
+  const obs::JsonValue* counters = doc->find("counters");
+  EXPECT_EQ(counters->find("extra.value")->number, 1.5);
+  EXPECT_EQ(counters->find("test.from_recorder_scope")->number, 2.0);
+}
+
+#endif  // !STARRING_OBS_DISABLED
+
+TEST(ObsJson, EscapeCoversSpecials) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(obs::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(ObsJson, NumberFormatting) {
+  EXPECT_EQ(obs::json_number(42.0), "42");
+  EXPECT_EQ(obs::json_number(-3.0), "-3");
+  // nan/inf are not representable in JSON; they clamp to 0.
+  EXPECT_EQ(obs::json_number(std::nan("")), "0");
+}
+
+TEST(ObsJson, ParseRoundTrip) {
+  const char* text =
+      "{\"a\": 1, \"b\": [true, null, \"x\\ny\"], \"c\": {\"d\": -2.5}}";
+  std::string err;
+  const auto doc = obs::json_parse(text, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->find("a")->number, 1.0);
+  ASSERT_EQ(doc->find("b")->array.size(), 3u);
+  EXPECT_TRUE(doc->find("b")->array[0].boolean);
+  EXPECT_EQ(doc->find("b")->array[2].string, "x\ny");
+  EXPECT_EQ(doc->find("c")->find("d")->number, -2.5);
+}
+
+TEST(ObsJson, ParseRejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "{\"a\":}", "[1,]", "{\"a\" 1}", "tru", "{} trailing",
+        "\"unterminated", "{\"a\": 01x}"}) {
+    std::string err;
+    EXPECT_FALSE(obs::json_parse(bad, &err).has_value()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(ObsJson, ParseDecodesUnicodeEscape) {
+  const auto doc = obs::json_parse("{\"s\": \"\\u0041\\u00e9\"}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("s")->string, "A\xc3\xa9");
+}
+
+TEST(ObsBench, ArtifactJsonMatchesSchema) {
+  obs::BenchArtifact a;
+  a.bench = "schema_check";
+  a.n = 9;
+  a.faults = 6;
+  a.wall_ms = 12.25;
+  a.counters = {{"chain.backtracks", 17.0}, {"phase.embed_ns", 1e9}};
+  a.git_rev = obs::git_rev();
+  const std::string json = obs::bench_artifact_json(a);
+  std::string err;
+  EXPECT_TRUE(obs::validate_bench_artifact_json(json, &err)) << err << json;
+}
+
+TEST(ObsBench, ValidatorRejectsMissingOrWrongTypes) {
+  std::string err;
+  EXPECT_FALSE(obs::validate_bench_artifact_json("{}", &err));
+  EXPECT_NE(err.find("missing key"), std::string::npos);
+  EXPECT_FALSE(obs::validate_bench_artifact_json(
+      "{\"bench\": 1, \"n\": 0, \"faults\": 0, \"wall_ms\": 0, "
+      "\"counters\": {}, \"git_rev\": \"x\"}",
+      &err));
+  EXPECT_NE(err.find("wrong type"), std::string::npos);
+  EXPECT_FALSE(obs::validate_bench_artifact_json(
+      "{\"bench\": \"b\", \"n\": 0, \"faults\": 0, \"wall_ms\": 0, "
+      "\"counters\": {\"k\": \"not a number\"}, \"git_rev\": \"x\"}",
+      &err));
+  EXPECT_NE(err.find("non-numeric counter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starring

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 #include "core/ring_embedder.hpp"
 #include "core/verify.hpp"
@@ -62,6 +63,86 @@ TEST(Parallel, ReduceMinFindsFirstOffender) {
 }
 
 TEST(Parallel, DefaultThreadsPositive) { EXPECT_GE(default_threads(), 1u); }
+
+// Regression: a throw from a worker used to hit the thread boundary and
+// std::terminate the process.  It must surface at the call site.
+TEST(Parallel, ForPropagatesWorkerException) {
+  try {
+    parallel_for(0, 1000, 8, [](std::size_t i) {
+      if (i == 137) throw std::runtime_error("boom at 137");
+    });
+    FAIL() << "exception was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 137");
+  }
+}
+
+TEST(Parallel, ForPropagatesInlineException) {
+  // threads == 1 takes the no-thread path; it must behave the same.
+  EXPECT_THROW(
+      parallel_for(0, 10, 1,
+                   [](std::size_t) { throw std::runtime_error("inline"); }),
+      std::runtime_error);
+}
+
+TEST(Parallel, ForDeliversExactlyOneExceptionWhenManyThrow) {
+  // Every index throws; the call site must see a single exception (the
+  // first captured), not an abort or a second in-flight throw.
+  int caught = 0;
+  try {
+    parallel_for(0, 64, 8, [](std::size_t i) {
+      throw std::runtime_error("worker " + std::to_string(i));
+    });
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+}
+
+TEST(Parallel, ForStopsSchedulingAfterException) {
+  // Workers poll the failure flag: after one throws, the others stop at
+  // an iteration boundary, so nowhere near all 1<<20 indices run.
+  std::atomic<std::size_t> executed{0};
+  const std::size_t total = std::size_t{1} << 20;
+  EXPECT_THROW(parallel_for(0, total, 4,
+                            [&](std::size_t) {
+                              executed.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                              throw std::runtime_error("early");
+                            }),
+               std::runtime_error);
+  EXPECT_LE(executed.load(), 8u);  // one per worker before the flag trips
+}
+
+TEST(Parallel, ReducePropagatesWorkerException) {
+  try {
+    (void)parallel_reduce(
+        std::size_t{0}, std::size_t{500}, 4, 0,
+        [](std::size_t i) -> int {
+          if (i == 250) throw std::logic_error("map failed");
+          return static_cast<int>(i);
+        },
+        [](int a, int b) { return a + b; });
+    FAIL() << "exception was swallowed";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "map failed");
+  }
+}
+
+TEST(Parallel, ReduceUnaffectedAfterThrowingCall) {
+  // The helpers hold no global state: a failed call must not poison the
+  // next one.
+  EXPECT_THROW(parallel_for(0, 100, 4,
+                            [](std::size_t) {
+                              throw std::runtime_error("first call");
+                            }),
+               std::runtime_error);
+  const auto sum = parallel_reduce(
+      std::size_t{1}, std::size_t{11}, 4, std::uint64_t{0},
+      [](std::size_t i) { return static_cast<std::uint64_t>(i); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, 55u);
+}
 
 TEST(Parallel, EmbeddingInvariantUnderThreadCount) {
   const StarGraph g(6);

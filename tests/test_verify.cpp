@@ -25,12 +25,60 @@ TEST(Verify, RejectsEmpty) {
   const StarGraph g(4);
   const auto rep = verify_healthy_ring(g, FaultSet{}, {});
   EXPECT_FALSE(rep.valid);
+  // Degenerate input has a fixed message, independent of the adjacency
+  // scan (and identical for the ring and path variants).
+  EXPECT_EQ(rep.error, "empty sequence");
+  EXPECT_EQ(rep.length, 0u);
+  EXPECT_EQ(verify_healthy_path(g, FaultSet{}, {}).error, "empty sequence");
 }
 
 TEST(Verify, RejectsTooShortCycle) {
   const StarGraph g(4);
   const auto rep = verify_healthy_ring(g, FaultSet{}, {0, 1});
   EXPECT_FALSE(rep.valid);
+  EXPECT_EQ(rep.error, "a cycle needs at least 3 vertices, got 2");
+  const auto rep1 = verify_healthy_ring(g, FaultSet{}, {0});
+  EXPECT_FALSE(rep1.valid);
+  EXPECT_EQ(rep1.error, "a cycle needs at least 3 vertices, got 1");
+}
+
+TEST(Verify, TooShortCycleBeatsOtherDefects) {
+  // Even when the short sequence also holds an out-of-range id, the
+  // shape error wins: the scan must never touch the bad id.
+  const StarGraph g(4);
+  const auto rep =
+      verify_healthy_ring(g, FaultSet{}, {0, factorial(4) + 7});
+  EXPECT_FALSE(rep.valid);
+  EXPECT_EQ(rep.error, "a cycle needs at least 3 vertices, got 2");
+}
+
+TEST(Verify, RejectsDuplicatesDeterministically) {
+  // A two-vertex "path" that repeats one vertex: the duplicate check
+  // reports it, not the adjacency scan (a vertex is not self-adjacent,
+  // but the error must name the repetition).
+  const StarGraph g(4);
+  const auto rep = verify_healthy_path(g, FaultSet{}, {5, 5});
+  EXPECT_FALSE(rep.valid);
+  EXPECT_NE(rep.error.find("repeated vertex"), std::string::npos);
+  // The first repeated occurrence is the one reported.
+  auto ring = good_ring(g);
+  ring[9] = ring[2];
+  ring[15] = ring[4];
+  const auto rep2 = verify_healthy_ring(g, FaultSet{}, ring);
+  EXPECT_FALSE(rep2.valid);
+  EXPECT_NE(rep2.error.find(g.vertex(ring[2]).to_string()),
+            std::string::npos);
+}
+
+TEST(Verify, DuplicateCheckRunsAtAnyThreadCount) {
+  const StarGraph g(5);
+  auto ring = good_ring(g);
+  ring[50] = ring[10];
+  for (const unsigned threads : {1u, 4u}) {
+    const auto rep = verify_healthy_ring(g, FaultSet{}, ring, threads);
+    EXPECT_FALSE(rep.valid);
+    EXPECT_NE(rep.error.find("repeated vertex"), std::string::npos);
+  }
 }
 
 TEST(Verify, RejectsDuplicates) {
