@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_options.hpp"
 #include "obs/bench_io.hpp"
 
 #define STARRING_BENCH_JSON_MAIN(name)                                  \

@@ -15,6 +15,7 @@
 #include "baselines/tseng.hpp"
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
+#include "bench_options.hpp"
 #include "obs/bench_io.hpp"
 
 using namespace starring;
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
           const FaultSet f = shape.clustered
                                  ? substar_clustered_faults(g, nf, seed)
                                  : random_vertex_faults(g, nf, seed);
-          const auto o = embed_longest_ring(g, f);
+          const auto o = embed_longest_ring(g, f, bench_embed_options());
           const auto ts = tseng_vertex_fault_ring(g, f);
           const auto la = latifi_clustered_ring(g, f);
           if (!o || !verify_healthy_ring(g, f, o->ring).valid ||

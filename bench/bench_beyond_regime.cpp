@@ -12,6 +12,7 @@
 #include "core/ring_embedder.hpp"
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
+#include "bench_options.hpp"
 #include "obs/bench_io.hpp"
 
 using namespace starring;
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
       for (int t = 0; t < trials; ++t) {
         const FaultSet f =
             random_vertex_faults(g, nf, static_cast<std::uint64_t>(t));
-        const auto res = embed_longest_ring(g, f);
+        const auto res = embed_longest_ring(g, f, bench_embed_options());
         if (!res) continue;
         const auto rep = verify_healthy_ring(g, f, res->ring);
         if (!rep.valid) {

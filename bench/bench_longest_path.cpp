@@ -8,6 +8,7 @@
 #include "core/verify.hpp"
 #include "extensions/longest_path.hpp"
 #include "fault/generators.hpp"
+#include "bench_options.hpp"
 #include "obs/bench_io.hpp"
 
 using namespace starring;
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
           if (dst == s) dst = healthy_vertex(g, f, s.parity(), seed * 57 + 91);
           if (dst == s) continue;
           promise = expected_path_vertices(n, f.num_vertex_faults(), s, dst);
-          const auto res = embed_longest_path(g, f, s, dst);
+          const auto res = embed_longest_path(g, f, s, dst, bench_embed_options());
           if (!res) continue;
           const auto rep = verify_healthy_path(g, f, res->embed.ring);
           if (rep.valid && rep.length == promise &&

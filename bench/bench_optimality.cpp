@@ -15,6 +15,7 @@
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
 #include "graph/graph.hpp"
+#include "bench_options.hpp"
 #include "obs/bench_io.hpp"
 
 using namespace starring;
@@ -32,7 +33,7 @@ bool exhaustive_s4() {
     const auto brute = longest_cycle(block, 1u << fault);
     FaultSet f;
     f.add_vertex(whole.member(static_cast<std::uint64_t>(fault)));
-    const auto ours = embed_longest_ring(sg, f);
+    const auto ours = embed_longest_ring(sg, f, bench_embed_options());
     const bool match =
         ours && static_cast<int>(ours->ring.size()) == brute.length &&
         brute.length == 22;
@@ -54,7 +55,7 @@ bool exhaustive_s5_pairs(int samples) {
   for (int s = 0; s < samples; ++s) {
     const FaultSet f =
         same_partite_vertex_faults(sg, 2, 0, static_cast<std::uint64_t>(s));
-    const auto ours = embed_longest_ring(sg, f);
+    const auto ours = embed_longest_ring(sg, f, bench_embed_options());
     if (!ours || !verify_healthy_ring(sg, f, ours->ring).valid) {
       ok = false;
       continue;
@@ -84,7 +85,7 @@ bool ceiling_large(int max_n, int trials) {
     for (int t = 0; t < trials; ++t) {
       const FaultSet f =
           same_partite_vertex_faults(g, nf, 0, static_cast<std::uint64_t>(t));
-      const auto res = embed_longest_ring(g, f);
+      const auto res = embed_longest_ring(g, f, bench_embed_options());
       if (!res || !verify_healthy_ring(g, f, res->ring).valid) {
         all = false;
         continue;

@@ -1,0 +1,18 @@
+// Embedding options shared by every bench binary.
+#pragma once
+
+#include "core/ring_embedder.hpp"
+
+namespace starring {
+
+/// Options every bench embeds with: one thread per hardware core (still
+/// overridable at run time via STARRING_THREADS) and a pre-warmed
+/// block-path cache, so timings reflect the steady state.
+inline EmbedOptions bench_embed_options() {
+  EmbedOptions opts;
+  opts.num_threads = 0;
+  opts.prewarm_oracle = true;
+  return opts;
+}
+
+}  // namespace starring

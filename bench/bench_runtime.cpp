@@ -22,7 +22,7 @@ void BM_EmbedMaxFaults(benchmark::State& state) {
   const FaultSet f = random_vertex_faults(g, n - 3, 42);
   std::uint64_t len = 0;
   for (auto _ : state) {
-    auto res = embed_longest_ring(g, f);
+    auto res = embed_longest_ring(g, f, bench_embed_options());
     if (!res) state.SkipWithError("embedding failed");
     len = res->ring.size();
     benchmark::DoNotOptimize(res->ring.data());
@@ -47,7 +47,7 @@ void BM_HamiltonianCycle(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const StarGraph g(n);
   for (auto _ : state) {
-    auto res = embed_hamiltonian_cycle(g);
+    auto res = embed_hamiltonian_cycle(g, bench_embed_options());
     if (!res) state.SkipWithError("embedding failed");
     benchmark::DoNotOptimize(res->ring.data());
   }
@@ -59,7 +59,7 @@ BENCHMARK(BM_HamiltonianCycle)->DenseRange(5, 9)->Unit(benchmark::kMillisecond);
 void BM_VerifyRing(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const StarGraph g(n);
-  const auto res = embed_hamiltonian_cycle(g);
+  const auto res = embed_hamiltonian_cycle(g, bench_embed_options());
   if (!res) {
     state.SkipWithError("embedding failed");
     return;

@@ -13,6 +13,7 @@
 #include "baselines/tseng.hpp"
 #include "fault/generators.hpp"
 #include "sim/self_healing.hpp"
+#include "bench_options.hpp"
 #include "obs/bench_io.hpp"
 
 using namespace starring;
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
   const auto ours = run_self_healing(
       g, sequence, params,
       [](const StarGraph& sg, const FaultSet& f) {
-        return embed_longest_ring(sg, f);
+        return embed_longest_ring(sg, f, bench_embed_options());
       });
   const auto base = run_self_healing(
       g, sequence, params,

@@ -14,6 +14,7 @@
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
 #include "sim/ring_sim.hpp"
+#include "bench_options.hpp"
 #include "obs/bench_io.hpp"
 
 using namespace starring;
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
   bool ok = true;
   for (int nf = 0; nf <= n - 3; ++nf) {
     const FaultSet f = random_vertex_faults(g, nf, 1234 + nf);
-    const auto ours = embed_longest_ring(g, f);
+    const auto ours = embed_longest_ring(g, f, bench_embed_options());
     const auto base = tseng_vertex_fault_ring(g, f);
     if (!ours || !base ||
         !verify_healthy_ring(g, f, ours->ring).valid ||

@@ -18,6 +18,7 @@
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
 #include "hypercube/hypercube.hpp"
+#include "bench_options.hpp"
 #include "obs/bench_io.hpp"
 
 using namespace starring;
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
       for (int t = 0; t < trials; ++t) {
         const auto seed = static_cast<std::uint64_t>(t);
         const FaultSet sf = random_vertex_faults(g, f, seed);
-        const auto sring = embed_longest_ring(g, sf);
+        const auto sring = embed_longest_ring(g, sf, bench_embed_options());
         if (!sring || !verify_healthy_ring(g, sf, sring->ring).valid) {
           ok = false;
           continue;

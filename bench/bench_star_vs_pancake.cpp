@@ -17,6 +17,7 @@
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
 #include "pancake/pancake.hpp"
+#include "bench_options.hpp"
 #include "obs/bench_io.hpp"
 
 using namespace starring;
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
       for (int t = 0; t < trials; ++t) {
         const FaultSet f =
             random_vertex_faults(g, nf, static_cast<std::uint64_t>(t));
-        const auto star = embed_longest_ring(g, f);
+        const auto star = embed_longest_ring(g, f, bench_embed_options());
         const auto pan = pancake_fault_ring(n, f);
         if (!star || !verify_healthy_ring(g, f, star->ring).valid ||
             !pan || !verify_pancake_ring(n, f, *pan)) {

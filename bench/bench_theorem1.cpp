@@ -11,6 +11,7 @@
 #include "core/ring_embedder.hpp"
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
+#include "bench_options.hpp"
 #include "obs/bench_io.hpp"
 
 using namespace starring;
@@ -31,7 +32,7 @@ struct Row {
 
 void run_shape(Row& row, const StarGraph& g, const FaultSet& f) {
   ++row.trials;
-  const auto res = embed_longest_ring(g, f);
+  const auto res = embed_longest_ring(g, f, bench_embed_options());
   if (!res) return;
   const auto rep = verify_healthy_ring(g, f, res->ring);
   if (!rep.valid) return;

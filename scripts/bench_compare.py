@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json artifacts (schema in obs/bench_io.hpp).
+
+Usage: scripts/bench_compare.py BASELINE.json CANDIDATE.json
+           [--regression-pct PCT] [--ignore-counters]
+
+Prints a table of wall_ms and every counter present in either artifact
+(value, delta, percent change), then flags regressions: wall_ms or any
+phase.*_ns counter growing by more than PCT percent (default 10) AND
+by more than an absolute floor (1 ms), so sub-millisecond phases do
+not false-flag on timer granularity.  Exits 0 when clean, 1 on a
+flagged regression, 2 on a usage or schema error.  Non-phase counters
+are informational only -- cache hit counts and thread gauges move
+legitimately between configurations.  With --normalize-by embed.calls
+the comparison is per embedding call, which is what you want when the
+two runs used different google-benchmark iteration counts.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = ("bench", "n", "faults", "wall_ms", "counters", "git_rev")
+
+# Gauge-style counters record a maximum, not a sum; they are never
+# normalized by iteration count.
+GAUGES = ("embed.max_n", "embed.max_faults", "embed.threads",
+          "chain.threads", "pool.workers")
+
+
+def load_artifact(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    missing = [k for k in REQUIRED_KEYS if k not in doc]
+    if missing:
+        sys.exit(f"bench_compare: {path} missing keys: {', '.join(missing)}")
+    if not isinstance(doc["counters"], dict):
+        sys.exit(f"bench_compare: {path}: counters is not an object")
+    return doc
+
+
+def pct_change(base, cand):
+    if base == 0:
+        return None
+    return 100.0 * (cand - base) / base
+
+
+def fmt_pct(p):
+    return "n/a" if p is None else f"{p:+.1f}%"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two BENCH_<name>.json artifacts")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--regression-pct", type=float, default=10.0,
+                    help="flag wall_ms / phase.*_ns growth beyond this "
+                         "percentage (default: 10)")
+    ap.add_argument("--ignore-counters", action="store_true",
+                    help="compare wall_ms only")
+    ap.add_argument("--normalize-by", metavar="COUNTER", default=None,
+                    help="divide wall_ms and additive counters by this "
+                         "counter's value in each artifact (e.g. "
+                         "embed.calls), so runs with different "
+                         "google-benchmark iteration counts compare "
+                         "per-call instead of per-process")
+    args = ap.parse_args()
+
+    base = load_artifact(args.baseline)
+    cand = load_artifact(args.candidate)
+
+    base_div = cand_div = 1.0
+    if args.normalize_by is not None:
+        base_div = float(base["counters"].get(args.normalize_by, 0.0))
+        cand_div = float(cand["counters"].get(args.normalize_by, 0.0))
+        if base_div <= 0 or cand_div <= 0:
+            sys.exit(f"bench_compare: counter {args.normalize_by} missing or "
+                     f"zero; cannot normalize")
+        print(f"(normalized per {args.normalize_by}: "
+              f"baseline /{base_div:.0f}, candidate /{cand_div:.0f})")
+    if base["bench"] != cand["bench"]:
+        print(f"warning: comparing different benches "
+              f"({base['bench']} vs {cand['bench']})", file=sys.stderr)
+
+    print(f"bench: {base['bench']}  "
+          f"baseline rev {base['git_rev']} -> candidate rev {cand['git_rev']}")
+    print(f"{'metric':<32} {'baseline':>14} {'candidate':>14} {'change':>9}")
+    print("-" * 72)
+
+    regressions = []
+
+    def row(name, b, c, guard, min_delta=0.0):
+        p = pct_change(b, c)
+        mark = ""
+        if guard and p is not None and p > args.regression_pct \
+                and c - b > min_delta:
+            mark = "  << REGRESSION"
+            regressions.append((name, p))
+        print(f"{name:<32} {b:>14.3f} {c:>14.3f} {fmt_pct(p):>9}{mark}")
+
+    row("wall_ms", float(base["wall_ms"]) / base_div,
+        float(cand["wall_ms"]) / cand_div, True, min_delta=1.0)
+
+    if not args.ignore_counters:
+        names = sorted(set(base["counters"]) | set(cand["counters"]))
+        for name in names:
+            b = float(base["counters"].get(name, 0.0))
+            c = float(cand["counters"].get(name, 0.0))
+            if name != args.normalize_by and name not in GAUGES:
+                b /= base_div
+                c /= cand_div
+            # A phase regression must be both relatively and absolutely
+            # meaningful: sub-millisecond phases jitter by large
+            # percentages from timer granularity alone.
+            row(name, b, c, name.startswith("phase.") and name.endswith("_ns"),
+                min_delta=1e6)
+
+    print("-" * 72)
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.regression_pct:.0f}% (worst: {worst[0]} {worst[1]:+.1f}%)")
+        return 1
+    print(f"no regressions beyond {args.regression_pct:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

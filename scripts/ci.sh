@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 verify line, then an ASan+UBSan build of
-# the test suite so the threading and instrumentation code is
-# sanitizer-checked on every PR.
+# CI entry point: the tier-1 verify line, then sanitizer builds of the
+# test suite (ASan+UBSan, and TSan for the worker pool), then a
+# Release-mode bench smoke diffed against the committed baseline
+# artifact with scripts/bench_compare.py.
 #
-# Usage: scripts/ci.sh [--tier1-only | --san-only]
+# Usage: scripts/ci.sh [--tier1-only | --san-only | --tsan-only | --bench-only]
 # Env:   JOBS=<n> to cap build/test parallelism (default: nproc).
 set -euo pipefail
 
@@ -12,9 +13,13 @@ JOBS="${JOBS:-$(nproc)}"
 
 run_tier1=1
 run_san=1
+run_tsan=1
+run_bench=1
 case "${1:-}" in
-  --tier1-only) run_san=0 ;;
-  --san-only) run_tier1=0 ;;
+  --tier1-only) run_san=0; run_tsan=0; run_bench=0 ;;
+  --san-only) run_tier1=0; run_tsan=0; run_bench=0 ;;
+  --tsan-only) run_tier1=0; run_san=0; run_bench=0 ;;
+  --bench-only) run_tier1=0; run_san=0; run_tsan=0 ;;
   "") ;;
   *) echo "unknown flag: $1" >&2; exit 2 ;;
 esac
@@ -38,6 +43,35 @@ if [[ "$run_san" == 1 ]]; then
     ASAN_OPTIONS=detect_leaks=0 \
     UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --output-on-failure -j "$JOBS")
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== sanitizers: TSan build + full ctest (worker pool, shared oracle cache) =="
+  TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -O1 -g"
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j "$JOBS"
+  (cd build-tsan && \
+    TSAN_OPTIONS=halt_on_error=1 \
+    ctest --output-on-failure -j "$JOBS")
+fi
+
+if [[ "$run_bench" == 1 ]]; then
+  echo "== bench smoke: Release BM_EmbedMaxFaults vs committed baseline =="
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-bench -j "$JOBS" --target bench_runtime
+  SMOKE_DIR="build-bench/bench-smoke"
+  mkdir -p "$SMOKE_DIR"
+  STARRING_BENCH_DIR="$SMOKE_DIR" ./build-bench/bench/bench_runtime \
+    --benchmark_filter='BM_EmbedMaxFaults/(8|9)'
+  # The committed artifact was measured on a different machine, so only
+  # order-of-magnitude per-call wall-clock growth is flagged; the
+  # counters in the diff are the signal reviewers read.
+  python3 scripts/bench_compare.py \
+    bench/artifacts/BENCH_runtime.json "$SMOKE_DIR/BENCH_runtime.json" \
+    --normalize-by embed.calls --regression-pct 100
 fi
 
 echo "== ci.sh: all requested stages passed =="

@@ -1,12 +1,78 @@
 #include "core/block_oracle.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "perm/permutation.hpp"
 #include "stargraph/substar.hpp"
 
 namespace starring {
+
+namespace {
+
+/// Process-wide memo, striped so concurrent embeds contend on at most
+/// one shard per query.  Lookups take a shared lock (read-mostly: after
+/// warmup virtually every query is a hit), inserts upgrade to exclusive
+/// on the one shard.
+struct OracleCache {
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    std::shared_mutex mu;
+    std::unordered_map<std::uint64_t, std::optional<std::vector<int>>> map;
+  };
+  Shard shards[kShards];
+  std::atomic<bool> prewarmed{false};
+
+  static OracleCache& instance() {
+    static OracleCache cache;
+    return cache;
+  }
+
+  Shard& shard_for(std::uint64_t key) {
+    // splitmix-style spread so consecutive keys hit different stripes.
+    std::uint64_t x = key * 0x9E3779B97F4A7C15ULL;
+    return shards[(x >> 60) & (kShards - 1)];
+  }
+
+  bool lookup(std::uint64_t key, std::optional<std::vector<int>>* out) {
+    Shard& s = shard_for(key);
+    const std::shared_lock<std::shared_mutex> lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  void insert(std::uint64_t key, const std::optional<std::vector<int>>& val) {
+    Shard& s = shard_for(key);
+    const std::unique_lock<std::shared_mutex> lock(s.mu);
+    s.map.emplace(key, val);  // racing computers produce identical values
+  }
+
+  void clear() {
+    for (Shard& s : shards) {
+      const std::unique_lock<std::shared_mutex> lock(s.mu);
+      s.map.clear();
+    }
+    prewarmed.store(false, std::memory_order_release);
+  }
+};
+
+std::uint64_t cache_key(int from, int to, std::uint32_t forbidden,
+                        int target_vertices) {
+  // Packs (from, to, forbidden, target): 5+5+24+5 bits.
+  return static_cast<std::uint64_t>(from) |
+         (static_cast<std::uint64_t>(to) << 5) |
+         (static_cast<std::uint64_t>(forbidden) << 10) |
+         (static_cast<std::uint64_t>(target_vertices) << 34);
+}
+
+}  // namespace
 
 BlockOracle::BlockOracle() : graph_(kBlockSize) {
   // Materialize the abstract block graph from the one canonical S_4:
@@ -33,25 +99,37 @@ std::optional<std::vector<int>> BlockOracle::find_path(
     for (const auto& [u, v] : removed_edges) g.remove_edge(u, v);
     return path_with_exact_vertices(g, from, to, forbidden, target_vertices);
   }
-  const std::uint64_t key = static_cast<std::uint64_t>(from) |
-                            (static_cast<std::uint64_t>(to) << 5) |
-                            (static_cast<std::uint64_t>(forbidden) << 10) |
-                            (static_cast<std::uint64_t>(target_vertices) << 34);
+  const std::uint64_t key = cache_key(from, to, forbidden, target_vertices);
   // Function-local statics: one registry lookup per process, then a
   // relaxed atomic add per query (and only while metrics are enabled).
   static obs::Counter& hit_counter = obs::counter("oracle.cache_hits");
   static obs::Counter& miss_counter = obs::counter("oracle.cache_misses");
-  if (const auto it = cache_.find(key); it != cache_.end()) {
+  OracleCache& cache = OracleCache::instance();
+  std::optional<std::vector<int>> result;
+  if (cache.lookup(key, &result)) {
     ++hits_;
     hit_counter.add();
-    return it->second;
+    return result;
   }
   ++misses_;
   miss_counter.add();
-  auto result =
+  result =
       path_with_exact_vertices(graph_, from, to, forbidden, target_vertices);
-  cache_.emplace(key, result);
+  cache.insert(key, result);
   return result;
 }
+
+void BlockOracle::prewarm_fault_free() {
+  OracleCache& cache = OracleCache::instance();
+  if (cache.prewarmed.load(std::memory_order_acquire)) return;
+  BlockOracle oracle;
+  for (int from = 0; from < kBlockSize; ++from)
+    for (int to = 0; to < kBlockSize; ++to)
+      if (from != to) (void)oracle.find_path(from, to, 0, kBlockSize);
+  // Set AFTER the fill so a racing prewarmer merely duplicates lookups.
+  cache.prewarmed.store(true, std::memory_order_release);
+}
+
+void BlockOracle::clear_cache() { OracleCache::instance().clear(); }
 
 }  // namespace starring

@@ -12,12 +12,18 @@
 // queries O(1).  This is strictly stronger than the paper's
 // construction — it finds a path whenever one exists — while the
 // verifier (core/verify.hpp) keeps the results honest.
+//
+// The memo is process-wide and sharded: every BlockOracle instance (and
+// every thread) reads the same cache through striped read-mostly
+// shared_mutex shards, so concurrent embeds never recompute a path
+// another thread already found.  prewarm_fault_free() optionally
+// populates every fault-free Hamiltonian key up front so worker threads
+// start hot.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -43,21 +49,32 @@ class BlockOracle {
   /// A path from local vertex `from` to `to` visiting exactly
   /// `target_vertices` vertices, avoiding vertices in `forbidden`
   /// (bitmask) and the undirected local edges in `removed_edges`.
-  /// Results for the common removed_edges-empty case are memoized
-  /// globally.  Returns nullopt when no such path exists.
+  /// Results for the common removed_edges-empty case are memoized in the
+  /// process-wide shared cache.  Returns nullopt when no such path
+  /// exists.  Safe to call concurrently from many threads (the
+  /// hit/miss tallies below are per-instance and not synchronized).
   std::optional<std::vector<int>> find_path(
       int from, int to, std::uint32_t forbidden, int target_vertices,
       std::span<const std::pair<int, int>> removed_edges = {});
 
-  /// Memo statistics (for the ablation bench).
+  /// Populate the shared cache with every fault-free Hamiltonian query
+  /// (from, to, forbidden=0, target=24) — 24*23 keys — so no embed pays
+  /// the cold search.  Runs once per process (cleared by clear_cache);
+  /// subsequent calls are a single atomic load.
+  static void prewarm_fault_free();
+
+  /// Drop every memoized entry (test isolation / cold-cache benchmarks).
+  static void clear_cache();
+
+  /// Memo statistics for THIS instance's queries (for the ablation
+  /// bench and tests; the process totals live in the obs counters
+  /// oracle.cache_hits / oracle.cache_misses).
   std::size_t cache_hits() const { return hits_; }
   std::size_t cache_misses() const { return misses_; }
 
  private:
   SmallGraph graph_;
   std::vector<int> parity_;
-  // Key packs (from, to, forbidden, target): 5+5+24+5 bits.
-  std::unordered_map<std::uint64_t, std::optional<std::vector<int>>> cache_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };

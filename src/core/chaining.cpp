@@ -50,17 +50,21 @@ std::uint64_t signature(const SubstarPattern& pat,
 /// when some block is damaged beyond threading.
 std::optional<std::vector<BlockInfo>> build_block_infos(
     const std::vector<SubstarPattern>& blocks_pat, const FaultSet& faults,
-    int per_fault_loss, const SubstarPattern* excise) {
+    int per_fault_loss, const SubstarPattern* excise, unsigned threads) {
+  obs::ScopedPhase phase("chain_block_infos");
   const std::size_t m = blocks_pat.size();
   std::vector<int> fixed_pos;
   for (int i = 0; i < blocks_pat.front().n(); ++i)
     if (!blocks_pat.front().is_free(i)) fixed_pos.push_back(i);
 
+  std::vector<std::uint64_t> sigs(m);
+  parallel_for(0, m, threads, [&](std::size_t k) {
+    sigs[k] = signature(blocks_pat[k], fixed_pos);
+  });
   std::unordered_map<std::uint64_t, std::uint32_t> block_of;
   block_of.reserve(m * 2);
   for (std::size_t k = 0; k < m; ++k)
-    block_of.emplace(signature(blocks_pat[k], fixed_pos),
-                     static_cast<std::uint32_t>(k));
+    block_of.emplace(sigs[k], static_cast<std::uint32_t>(k));
 
   std::vector<BlockInfo> blocks(m);
   for (const Perm& f : faults.vertex_faults()) {
@@ -109,15 +113,35 @@ bool compute_exits(const std::vector<SubstarPattern>& blocks_pat,
   assert(adj);
   if (!adj) return false;
   const int b_sym = next.slot(p);
-  for (int y = 0; y < BlockOracle::kBlockSize; ++y) {
-    const Perm u = expand[k].member(static_cast<std::uint64_t>(y));
-    if (u.get(0) != b_sym) continue;
-    if ((blocks[k].forbidden() >> y) & 1u) continue;
-    const Perm v = u.star_move(p);
-    if (faults.vertex_faulty(v)) continue;
-    if (faults.edge_faulty(u, v)) continue;
-    const auto partner = static_cast<int>(expand[knext].local_index(v));
-    if ((blocks[knext].forbidden() >> partner) & 1u) continue;
+  const int a_sym = a.slot(p);
+  // Only members with b_sym at position 0 can cross, and those occupy
+  // one contiguous local-index range (the leading Lehmer digit picks
+  // the position-0 symbol): (r-1)! candidates instead of scanning all
+  // r! members.  The crossing u -> v = u.star_move(p) swaps position 0
+  // (holding b_sym) with the differing fixed position p (holding a_sym);
+  // the trailing free symbols are untouched and form the same set in
+  // both blocks, so the sub-Lehmer index t carries over verbatim:
+  //   y = b_idx*(r-1)! + t in block k  <=>  partner = a_idx*(r-1)! + t.
+  const int b_idx = expand[k].free_symbol_index(b_sym);
+  const int a_idx = expand[knext].free_symbol_index(a_sym);
+  assert(b_idx >= 0);  // next fixes b_sym at p, so it is free in a
+  assert(a_idx >= 0);
+  constexpr int kCrossings = BlockOracle::kBlockSize / 4;  // (4-1)!
+  // Vertex faults are already folded into each block's forbidden mask, so
+  // only cross-block edge faults need the actual permutations.
+  const bool check_edges = faults.num_edge_faults() != 0;
+  const std::uint32_t fa = blocks[k].forbidden();
+  const std::uint32_t fb = blocks[knext].forbidden();
+  for (int t = 0; t < kCrossings; ++t) {
+    const int y = b_idx * kCrossings + t;
+    if ((fa >> y) & 1u) continue;
+    const int partner = a_idx * kCrossings + t;
+    if ((fb >> partner) & 1u) continue;
+    if (check_edges) {
+      const Perm u = expand[k].member(static_cast<std::uint64_t>(y));
+      assert(u.get(0) == b_sym);
+      if (faults.edge_faulty(u, u.star_move(p))) continue;
+    }
     blocks[k].exits.push_back({y, partner});
   }
   return !blocks[k].exits.empty();
@@ -142,7 +166,7 @@ std::vector<VertexId> emit(const std::vector<MemberExpander>& expand,
   parallel_for(0, expand.size(), threads, [&](std::size_t j) {
     std::size_t at = offset[j];
     for (const int local : paths[j])
-      out[at++] = expand[j].member(static_cast<std::uint64_t>(local)).rank();
+      out[at++] = expand[j].member_rank(static_cast<std::uint64_t>(local));
   });
   return out;
 }
@@ -169,10 +193,15 @@ bool compute_all_exits(const std::vector<SubstarPattern>& blocks_pat,
 }
 
 std::vector<MemberExpander> make_expanders(
-    const std::vector<SubstarPattern>& blocks_pat) {
-  std::vector<MemberExpander> expand;
-  expand.reserve(blocks_pat.size());
-  for (const auto& pat : blocks_pat) expand.emplace_back(pat);
+    const std::vector<SubstarPattern>& blocks_pat, unsigned threads) {
+  obs::ScopedPhase phase("chain_expanders");
+  // Expander construction precomputes the member_rank tables, so build
+  // the n!/24 of them in parallel into pre-sized slots.
+  std::vector<MemberExpander> expand(blocks_pat.size(),
+                                     MemberExpander(blocks_pat.front()));
+  parallel_for(1, blocks_pat.size(), threads, [&](std::size_t k) {
+    expand[k] = MemberExpander(blocks_pat[k]);
+  });
   return expand;
 }
 
@@ -190,12 +219,18 @@ std::optional<EmbedResult> chain_block_ring(const StarGraph& g,
   const std::size_t m = ring.size();
   if (m < 3 || ring.front().r() != 4) return std::nullopt;
 
-  static thread_local BlockOracle oracle;
+  // The oracle is stateless apart from tallies: every instance shares
+  // the process-wide path cache, so constructing one per call is cheap
+  // and thread-clean.
+  BlockOracle oracle;
+  if (opts.prewarm_oracle) BlockOracle::prewarm_fault_free();
 
-  auto blocks_opt = build_block_infos(ring, faults, per_fault_loss, excise);
+  auto blocks_opt = build_block_infos(ring, faults, per_fault_loss, excise,
+                                      opts.effective_threads());
   if (!blocks_opt) return std::nullopt;
   std::vector<BlockInfo>& blocks = *blocks_opt;
-  const std::vector<MemberExpander> expand = make_expanders(ring);
+  const std::vector<MemberExpander> expand =
+      make_expanders(ring, opts.effective_threads());
   if (!compute_all_exits(ring, expand, blocks, faults, /*cyclic=*/true,
                          opts.effective_threads()))
     return std::nullopt;
@@ -288,12 +323,15 @@ std::optional<EmbedResult> chain_block_path(const StarGraph& g,
     return std::nullopt;
   if (faults.vertex_faulty(s) || faults.vertex_faulty(t)) return std::nullopt;
 
-  static thread_local BlockOracle oracle;
+  BlockOracle oracle;
+  if (opts.prewarm_oracle) BlockOracle::prewarm_fault_free();
 
-  auto blocks_opt = build_block_infos(chain, faults, per_fault_loss, nullptr);
+  auto blocks_opt = build_block_infos(chain, faults, per_fault_loss, nullptr,
+                                      opts.effective_threads());
   if (!blocks_opt) return std::nullopt;
   std::vector<BlockInfo>& blocks = *blocks_opt;
-  const std::vector<MemberExpander> expand = make_expanders(chain);
+  const std::vector<MemberExpander> expand =
+      make_expanders(chain, opts.effective_threads());
   if (m >= 2 && !compute_all_exits(chain, expand, blocks, faults,
                                    /*cyclic=*/false,
                                    opts.effective_threads()))

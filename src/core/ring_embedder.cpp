@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstdlib>
 #include <unordered_map>
 
 #include "core/block_oracle.hpp"
@@ -13,8 +14,29 @@
 
 namespace starring {
 
+namespace {
+
+/// STARRING_THREADS, parsed once: -1 = unset/invalid (no override),
+/// otherwise the requested count with 0 meaning hardware concurrency.
+long env_thread_override() {
+  static const long parsed = [] {
+    const char* env = std::getenv("STARRING_THREADS");
+    if (env == nullptr || *env == '\0') return -1L;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0) return -1L;
+    return v;
+  }();
+  return parsed;
+}
+
+}  // namespace
+
 unsigned EmbedOptions::effective_threads() const {
-  return num_threads == 0 ? default_threads() : num_threads;
+  const long env = env_thread_override();
+  const unsigned requested =
+      env >= 0 ? static_cast<unsigned>(env) : num_threads;
+  return requested == 0 ? default_threads() : requested;
 }
 
 std::uint64_t expected_ring_length(int n, std::size_t num_vertex_faults) {

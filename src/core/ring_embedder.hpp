@@ -46,7 +46,14 @@ struct EmbedOptions {
   /// vertex emission).  The embedding produced is identical for any
   /// value; 0 means one thread per hardware core.
   unsigned num_threads = 1;
+  /// Populate the shared block-path cache with every fault-free
+  /// Hamiltonian key before chaining (once per process), so no worker
+  /// pays a cold in-block search.
+  bool prewarm_oracle = false;
 
+  /// num_threads with the conventions applied: the STARRING_THREADS
+  /// environment variable (parsed once per process) overrides the
+  /// field, and 0 — from either source — means hardware concurrency.
   unsigned effective_threads() const;
 };
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "graph/graph.hpp"
+#include "util/parallel.hpp"
 
 namespace starring {
 
@@ -23,16 +24,39 @@ SubstarPattern pattern_of(const Perm& p, int r) {
   return pat;
 }
 
+unsigned resolve_threads(unsigned threads) {
+  return threads == 0 ? default_threads() : threads;
+}
+
+/// The n!-cost part of every decomposition: unrank each vertex once and
+/// collect the canonical representatives, in id order.  The flag pass
+/// runs in parallel; the cheap ordinal-assigning sweep stays serial so
+/// the output order never depends on the schedule.
+std::vector<VertexId> canonical_reps(const StarGraph& g, int r,
+                                     unsigned threads) {
+  const std::size_t nv = g.num_vertices();
+  std::vector<std::uint8_t> canon(nv, 0);
+  parallel_for(0, nv, threads, [&](std::size_t id) {
+    canon[id] = canonical_rep(g.vertex(static_cast<VertexId>(id)), r) ? 1 : 0;
+  });
+  std::vector<VertexId> reps;
+  reps.reserve(nv / (r == 3 ? 6 : 24));
+  for (std::size_t id = 0; id < nv; ++id)
+    if (canon[id]) reps.push_back(static_cast<VertexId>(id));
+  return reps;
+}
+
 }  // namespace
 
-std::vector<std::vector<VertexId>> six_ring_decomposition(const StarGraph& g) {
+std::vector<std::vector<VertexId>> six_ring_decomposition(const StarGraph& g,
+                                                          unsigned threads) {
   assert(g.n() >= 3);
-  std::vector<std::vector<VertexId>> rings;
-  rings.reserve(g.num_vertices() / 6);
-  for (VertexId id = 0; id < g.num_vertices(); ++id) {
-    const Perm p = g.vertex(id);
-    if (!canonical_rep(p, 3)) continue;
+  const unsigned workers = resolve_threads(threads);
+  const std::vector<VertexId> reps = canonical_reps(g, 3, workers);
+  std::vector<std::vector<VertexId>> rings(reps.size());
+  parallel_for(0, reps.size(), workers, [&](std::size_t j) {
     // Walk the 6-cycle: alternating swaps of position 0 with 1 and 2.
+    const Perm p = g.vertex(reps[j]);
     std::vector<VertexId> ring;
     ring.reserve(6);
     Perm cur = p;
@@ -41,48 +65,47 @@ std::vector<std::vector<VertexId>> six_ring_decomposition(const StarGraph& g) {
       cur = cur.star_move(step % 2 == 0 ? 1 : 2);
     }
     assert(cur == p);
-    rings.push_back(std::move(ring));
-  }
+    rings[j] = std::move(ring);
+  });
   return rings;
 }
 
 std::vector<std::vector<VertexId>> block_ring_decomposition(
-    const StarGraph& g) {
+    const StarGraph& g, unsigned threads) {
   assert(g.n() >= 4);
+  const unsigned workers = resolve_threads(threads);
   // One Hamiltonian cycle of the abstract 24-vertex block, reused for
   // every block through its local indexing.
   const SmallGraph block = SubstarPattern::whole(4).block_graph();
   const auto cycle = hamiltonian_cycle(block, 0);
   assert(cycle.has_value());
-  std::vector<std::vector<VertexId>> rings;
-  rings.reserve(g.num_vertices() / 24);
-  for (VertexId id = 0; id < g.num_vertices(); ++id) {
-    const Perm p = g.vertex(id);
-    if (!canonical_rep(p, 4)) continue;
-    const SubstarPattern pat = pattern_of(p, 4);
+  const std::vector<VertexId> reps = canonical_reps(g, 4, workers);
+  std::vector<std::vector<VertexId>> rings(reps.size());
+  parallel_for(0, reps.size(), workers, [&](std::size_t j) {
+    const MemberExpander expand(pattern_of(g.vertex(reps[j]), 4));
     std::vector<VertexId> ring;
     ring.reserve(24);
     for (const int local : *cycle)
-      ring.push_back(pat.member(static_cast<std::uint64_t>(local)).rank());
-    rings.push_back(std::move(ring));
-  }
+      ring.push_back(expand.member_rank(static_cast<std::uint64_t>(local)));
+    rings[j] = std::move(ring);
+  });
   return rings;
 }
 
 std::vector<std::vector<VertexId>> faulty_block_ring_decomposition(
-    const StarGraph& g, const FaultSet& faults) {
+    const StarGraph& g, const FaultSet& faults, unsigned threads) {
   assert(g.n() >= 4);
+  const unsigned workers = resolve_threads(threads);
   const SmallGraph block = SubstarPattern::whole(4).block_graph();
   const auto full_cycle = hamiltonian_cycle(block, 0);
   assert(full_cycle.has_value());
-  std::vector<std::vector<VertexId>> rings;
-  rings.reserve(g.num_vertices() / 24);
-  for (VertexId id = 0; id < g.num_vertices(); ++id) {
-    const Perm p = g.vertex(id);
-    if (!canonical_rep(p, 4)) continue;
-    const SubstarPattern pat = pattern_of(p, 4);
+  const std::vector<VertexId> reps = canonical_reps(g, 4, workers);
+  const std::vector<Perm> vfaults = faults.vertex_faults();
+  std::vector<std::vector<VertexId>> rings(reps.size());
+  parallel_for(0, reps.size(), workers, [&](std::size_t j) {
+    const SubstarPattern pat = pattern_of(g.vertex(reps[j]), 4);
     std::uint32_t forbidden = 0;
-    for (const Perm& f : faults.vertex_faults())
+    for (const Perm& f : vfaults)
       if (pat.contains(f)) forbidden |= 1u << pat.local_index(f);
     const std::vector<int>* cycle = nullptr;
     LongestCycleResult faulty_cycle;
@@ -90,15 +113,24 @@ std::vector<std::vector<VertexId>> faulty_block_ring_decomposition(
       cycle = &*full_cycle;
     } else {
       faulty_cycle = longest_cycle(block, forbidden);
-      if (faulty_cycle.length < 3) continue;  // ring destroyed
+      if (faulty_cycle.length < 3) return;  // ring destroyed: slot stays empty
       cycle = &faulty_cycle.cycle;
     }
+    const MemberExpander expand(pat);
     std::vector<VertexId> ring;
     ring.reserve(cycle->size());
     for (const int local : *cycle)
-      ring.push_back(pat.member(static_cast<std::uint64_t>(local)).rank());
-    rings.push_back(std::move(ring));
-  }
+      ring.push_back(expand.member_rank(static_cast<std::uint64_t>(local)));
+    rings[j] = std::move(ring);
+  });
+  // Drop the blocks whose ring was destroyed (too damaged to cycle).
+  std::size_t keep = 0;
+  for (std::size_t j = 0; j < rings.size(); ++j)
+    if (!rings[j].empty()) {
+      if (keep != j) rings[keep] = std::move(rings[j]);
+      ++keep;
+    }
+  rings.resize(keep);
   return rings;
 }
 

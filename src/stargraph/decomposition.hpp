@@ -22,19 +22,22 @@ namespace starring {
 
 /// Partition S_n into n!/6 vertex-disjoint 6-cycles (one per 3-vertex
 /// of the canonical partition along the highest positions).  Each entry
-/// is the cyclic vertex sequence of one ring.
-std::vector<std::vector<VertexId>> six_ring_decomposition(const StarGraph& g);
+/// is the cyclic vertex sequence of one ring.  `threads` workers share
+/// the n! unranking scan and the per-ring walks (0 = hardware
+/// concurrency); the cover is identical at any count.
+std::vector<std::vector<VertexId>> six_ring_decomposition(
+    const StarGraph& g, unsigned threads = 1);
 
 /// Partition S_n into n!/24 vertex-disjoint 24-rings (a Hamiltonian
 /// ring inside every S_4 block of the canonical partition).
 std::vector<std::vector<VertexId>> block_ring_decomposition(
-    const StarGraph& g);
+    const StarGraph& g, unsigned threads = 1);
 
 /// Fault-aware variant: rings of the 24-ring cover that contain a fault
 /// shrink to 24 - 2*(faults inside) vertices (or drop out entirely when
 /// too damaged); healthy rings stay full.  The usable-cycle count and
 /// sizes quantify how gracefully a multiprogrammed machine degrades.
 std::vector<std::vector<VertexId>> faulty_block_ring_decomposition(
-    const StarGraph& g, const FaultSet& faults);
+    const StarGraph& g, const FaultSet& faults, unsigned threads = 1);
 
 }  // namespace starring

@@ -4,6 +4,40 @@
 
 namespace starring {
 
+namespace {
+
+/// Precomputed Lehmer decode of every local index of a 24-member block:
+/// digit[k][m] is the m-th Lehmer digit of k and sym[k][m] the index (into
+/// the sorted free symbols) chosen for the m-th free position.  Lets
+/// member_rank run table-lookups only, with no division or array shifting.
+struct Lehmer4 {
+  std::array<std::array<std::uint8_t, 4>, 24> digit{};
+  std::array<std::array<std::uint8_t, 4>, 24> sym{};
+};
+
+constexpr Lehmer4 make_lehmer4() {
+  Lehmer4 t{};
+  for (int k = 0; k < 24; ++k) {
+    int rem[4] = {0, 1, 2, 3};
+    int kk = k;
+    for (int m = 0; m < 4; ++m) {
+      const int f = static_cast<int>(factorial(3 - m));
+      const int d = kk / f;
+      kk %= f;
+      t.digit[static_cast<std::size_t>(k)][static_cast<std::size_t>(m)] =
+          static_cast<std::uint8_t>(d);
+      t.sym[static_cast<std::size_t>(k)][static_cast<std::size_t>(m)] =
+          static_cast<std::uint8_t>(rem[d]);
+      for (int j = d; j + 1 < 4 - m; ++j) rem[j] = rem[j + 1];
+    }
+  }
+  return t;
+}
+
+inline constexpr Lehmer4 kLehmer4 = make_lehmer4();
+
+}  // namespace
+
 SubstarPattern SubstarPattern::whole(int n) {
   assert(n >= 1 && n <= kMaxN);
   SubstarPattern p;
@@ -182,6 +216,66 @@ MemberExpander::MemberExpander(const SubstarPattern& pat)
   for (int s = 0; s < pat.n(); ++s)
     if ((mask >> s) & 1u) free_sym_[static_cast<std::size_t>(fs++)] =
         static_cast<std::int8_t>(s);
+
+  if (r_ > kRankTableMaxR) return;
+  // Precompute the member_rank decomposition.  Global Lehmer rank is
+  // sum_i c_i * (n-1-i)! with c_i the count of smaller symbols right of
+  // position i; split each c_i into fixed-vs-fixed (constant),
+  // fixed-vs-free (depends only on which free symbol a slot holds) and
+  // free-vs-free (the local Lehmer digit) parts.
+  const int n = pat.n();
+  for (int i = 0; i < n; ++i) {
+    if (pat.is_free(i)) continue;
+    const int si = pat.slot(i);
+    int smaller_fixed = 0;
+    for (int j = i + 1; j < n; ++j)
+      if (!pat.is_free(j) && pat.slot(j) < si) ++smaller_fixed;
+    rank_base_ += static_cast<VertexId>(smaller_fixed) *
+                  factorial(n - 1 - i);
+  }
+  // Left-to-right: acc[a] accumulates the weight of fixed positions seen
+  // so far whose symbol exceeds f_a (they count the free slot holding f_a
+  // among their right-side inversions); snapshot it at each free slot.
+  {
+    std::array<std::uint64_t, 4> acc{};
+    int m = 0;
+    for (int i = 0; i < n; ++i) {
+      if (pat.is_free(i)) {
+        rank_weight_[static_cast<std::size_t>(m)] = factorial(n - 1 - i);
+        for (int a = 0; a < r_; ++a)
+          rank_sym_[static_cast<std::size_t>(m)][static_cast<std::size_t>(a)] =
+              acc[static_cast<std::size_t>(a)];
+        ++m;
+        continue;
+      }
+      const int si = pat.slot(i);
+      const std::uint64_t w = factorial(n - 1 - i);
+      for (int a = 0; a < r_; ++a)
+        if (free_sym_[static_cast<std::size_t>(a)] < si)
+          acc[static_cast<std::size_t>(a)] += w;
+    }
+  }
+  // Right-to-left: cnt[a] counts fixed symbols to the right smaller than
+  // f_a -- the free slot's own right-side inversions against the fixed
+  // part, each worth the slot's weight.
+  {
+    std::array<std::uint32_t, 4> cnt{};
+    int m = r_ - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (pat.is_free(i)) {
+        for (int a = 0; a < r_; ++a)
+          rank_sym_[static_cast<std::size_t>(m)][static_cast<std::size_t>(a)] +=
+              cnt[static_cast<std::size_t>(a)] *
+              rank_weight_[static_cast<std::size_t>(m)];
+        --m;
+        continue;
+      }
+      const int si = pat.slot(i);
+      for (int a = 0; a < r_; ++a)
+        if (si < free_sym_[static_cast<std::size_t>(a)])
+          ++cnt[static_cast<std::size_t>(a)];
+    }
+  }
 }
 
 Perm MemberExpander::member(std::uint64_t k) const {
@@ -200,6 +294,38 @@ Perm MemberExpander::member(std::uint64_t k) const {
       syms[static_cast<std::size_t>(j)] = syms[static_cast<std::size_t>(j + 1)];
   }
   return Perm::from_packed(bits, n_);
+}
+
+VertexId MemberExpander::member_rank(std::uint64_t k) const {
+  assert(k < factorial(r_));
+  if (r_ == 4) {
+    const auto& d = kLehmer4.digit[static_cast<std::size_t>(k)];
+    const auto& a = kLehmer4.sym[static_cast<std::size_t>(k)];
+    return rank_base_ + rank_sym_[0][a[0]] + d[0] * rank_weight_[0] +
+           rank_sym_[1][a[1]] + d[1] * rank_weight_[1] + rank_sym_[2][a[2]] +
+           d[2] * rank_weight_[2] + rank_sym_[3][a[3]];  // d[3] == 0 always
+  }
+  if (r_ > kRankTableMaxR) return member(k).rank();
+  // One Lehmer decode over the free-symbol indices: digit d_m IS the
+  // free-vs-free inversion count of slot m, and the chosen index a_m
+  // selects the fixed-vs-free table entry.
+  std::array<std::int8_t, static_cast<std::size_t>(kRankTableMaxR)> rem{};
+  const int r = r_;
+  for (int i = 0; i < r; ++i) rem[static_cast<std::size_t>(i)] =
+      static_cast<std::int8_t>(i);
+  VertexId out = rank_base_;
+  for (int m = 0; m < r; ++m) {
+    const std::uint64_t f = factorial(r - 1 - m);
+    const auto d = static_cast<int>(k / f);
+    k %= f;
+    const auto a = static_cast<std::size_t>(rem[static_cast<std::size_t>(d)]);
+    for (int j = d; j + 1 < r - m; ++j)
+      rem[static_cast<std::size_t>(j)] = rem[static_cast<std::size_t>(j + 1)];
+    out += rank_sym_[static_cast<std::size_t>(m)][a] +
+           static_cast<std::uint64_t>(d) *
+               rank_weight_[static_cast<std::size_t>(m)];
+  }
+  return out;
 }
 
 std::uint64_t MemberExpander::local_index(const Perm& p) const {

@@ -132,7 +132,30 @@ class MemberExpander {
   /// Same value as pat.local_index(p) (p must be a member).
   std::uint64_t local_index(const Perm& p) const;
 
+  /// Same value as pat.member(k).rank(), without materializing the
+  /// permutation.  For r <= kRankTableMaxR the global Lehmer rank
+  /// decomposes into a per-pattern constant plus per-free-slot table
+  /// lookups (precomputed at construction), so each call is one local
+  /// Lehmer decode — the O(n^2) unrank+rank round-trip the vertex
+  /// emission hot loop used to pay disappears.  Larger r falls back to
+  /// member(k).rank().
+  VertexId member_rank(std::uint64_t k) const;
+
+  /// Index of symbol s among the ascending free symbols, or -1 when s
+  /// is fixed.  Members whose position-0 symbol is free symbol j are
+  /// exactly the local indices [j*(r-1)!, (j+1)*(r-1)!): position 0 is
+  /// always free and is decoded from the leading Lehmer digit.
+  int free_symbol_index(int s) const {
+    for (int j = 0; j < r_; ++j)
+      if (free_sym_[static_cast<std::size_t>(j)] == s) return j;
+    return -1;
+  }
+
   int r() const { return r_; }
+
+  /// Largest r with precomputed rank tables (S_4 blocks and below; the
+  /// chaining engine only ever expands r = 4).
+  static constexpr int kRankTableMaxR = 4;
 
  private:
   std::uint64_t base_bits_ = 0;  // fixed slots, free slots zero
@@ -140,6 +163,24 @@ class MemberExpander {
   std::array<std::int8_t, kMaxN> free_sym_{};
   std::int8_t r_ = 0;
   std::int8_t n_ = 0;
+
+  // Rank decomposition (r <= kRankTableMaxR): member_rank(k) =
+  // rank_base_ + sum over free slots m of
+  //   rank_sym_[m][a_m] + lehmer_digit_m(k) * rank_weight_[m]
+  // where a_m is the index of the free symbol the arrangement k puts at
+  // free position m.  rank_base_ collects the fixed-over-fixed Lehmer
+  // contributions; rank_sym_[m][a] collects both the fixed-position
+  // contributions that count free symbol f_a behind them and the fixed
+  // symbols counted behind free position m; rank_weight_[m] is
+  // (n-1-free_pos_[m])!, the weight of the free-over-free inversions
+  // the local Lehmer digit already counts.
+  VertexId rank_base_ = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(kRankTableMaxR)>
+      rank_weight_{};
+  std::array<std::array<std::uint64_t,
+                        static_cast<std::size_t>(kRankTableMaxR)>,
+             static_cast<std::size_t>(kRankTableMaxR)>
+      rank_sym_{};
 };
 
 /// The real edges of S_n forming the super-edge between adjacent patterns

@@ -1,0 +1,127 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace starring {
+
+namespace {
+
+// Workers spawn on demand up to this cap, independent of hardware
+// concurrency, so oversubscribed requests (tests asking for 16 lanes on
+// a small host) still exercise real cross-thread schedules.
+constexpr unsigned kMaxWorkers = 64;
+
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+unsigned ThreadPool::workers() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<unsigned>(threads_.size());
+}
+
+void ThreadPool::ensure_workers(unsigned want) {
+  want = std::min(want, kMaxWorkers);
+  const std::lock_guard<std::mutex> lk(mu_);
+  while (threads_.size() < want)
+    threads_.emplace_back([this] { worker_loop(); });
+  static obs::Counter& workers_gauge = obs::counter("pool.workers");
+  workers_gauge.record_max(static_cast<std::int64_t>(threads_.size()));
+}
+
+void ThreadPool::run(std::size_t begin, std::size_t end, unsigned lanes,
+                     Invoke invoke, void* ctx,
+                     const std::atomic<bool>* cancel) {
+  static obs::Counter& tasks_counter = obs::counter("pool.tasks");
+  // Registered here (not only in worker_loop) so a snapshot taken right
+  // after a region lists the counter regardless of worker scheduling.
+  [[maybe_unused]] static obs::Counter& wakeups_registration =
+      obs::counter("pool.wakeups");
+  const std::lock_guard<std::mutex> region(region_mu_);
+  ensure_workers(lanes - 1);
+  tasks_counter.add();
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    ++epoch_;
+    live_ = true;
+    max_extra_ = lanes - 1;
+    joined_ = 0;
+    active_ = 0;
+    end_index_ = end;
+    // Dynamic scheduling: several chunks per lane, so a lane stuck on an
+    // expensive block sheds the rest of its work to idle lanes.
+    chunk_ = std::max<std::size_t>(
+        1, (end - begin) / (static_cast<std::size_t>(lanes) * 8));
+    invoke_ = invoke;
+    ctx_ = ctx;
+    cancel_ = cancel;
+    next_.store(begin, std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+  // The caller is lane 0.  While it executes chunks it counts as "in a
+  // region" exactly like a worker, so a nested parallel_for issued from
+  // the user callable runs inline instead of re-entering run() and
+  // self-deadlocking on region_mu_.
+  const bool was_in_worker = t_in_worker;
+  t_in_worker = true;
+  work(0);
+  t_in_worker = was_in_worker;
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return active_ == 0; });
+  live_ = false;  // stale wakeups must not touch the dead region
+}
+
+void ThreadPool::work(unsigned lane) {
+  static obs::Counter& chunks_counter = obs::counter("pool.chunks");
+  for (;;) {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed))
+      return;
+    const std::size_t lo = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (lo >= end_index_) return;
+    const std::size_t hi = std::min(end_index_, lo + chunk_);
+    chunks_counter.add();
+    invoke_(ctx_, lo, hi, lane);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  static obs::Counter& wakeups_counter = obs::counter("pool.wakeups");
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    // Join only a region that is still live and under its lane budget;
+    // a stale wakeup (region already drained) parks again.
+    if (!live_ || joined_ >= max_extra_) continue;
+    const unsigned lane = ++joined_;  // caller is lane 0
+    ++active_;
+    lk.unlock();
+    wakeups_counter.add();
+    work(lane);
+    lk.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+}  // namespace starring

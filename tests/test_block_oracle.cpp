@@ -162,6 +162,9 @@ TEST(BlockOracle, RemovedEdgesAreAvoided) {
 }
 
 TEST(BlockOracle, CacheCountsHitsAndMisses) {
+  // The path cache is process-wide; start from a clean slate so the
+  // first query is a guaranteed miss even when other tests ran first.
+  BlockOracle::clear_cache();
   BlockOracle oracle;
   const auto m0 = oracle.cache_misses();
   (void)oracle.find_path(0, 1, 0, 24);
@@ -169,6 +172,32 @@ TEST(BlockOracle, CacheCountsHitsAndMisses) {
   const auto h0 = oracle.cache_hits();
   (void)oracle.find_path(0, 1, 0, 24);
   EXPECT_EQ(oracle.cache_hits(), h0 + 1);
+}
+
+TEST(BlockOracle, CacheSharedAcrossInstances) {
+  BlockOracle::clear_cache();
+  BlockOracle first;
+  (void)first.find_path(2, 5, 0, 24);
+  BlockOracle second;
+  const auto h0 = second.cache_hits();
+  (void)second.find_path(2, 5, 0, 24);
+  EXPECT_EQ(second.cache_hits(), h0 + 1);
+  EXPECT_EQ(second.cache_misses(), 0u);
+}
+
+TEST(BlockOracle, PrewarmMakesFaultFreeQueriesHits) {
+  BlockOracle::clear_cache();
+  BlockOracle::prewarm_fault_free();
+  BlockOracle oracle;
+  for (int a = 0; a < 24; ++a)
+    for (int b = 0; b < 24; ++b) {
+      if (a == b) continue;
+      (void)oracle.find_path(a, b, 0, 24);
+    }
+  EXPECT_EQ(oracle.cache_misses(), 0u);
+  EXPECT_EQ(oracle.cache_hits(), 24u * 23u);
+  // Idempotent: a second prewarm is a no-op.
+  BlockOracle::prewarm_fault_free();
 }
 
 TEST(BlockOracle, ReturnedPathsAreValid) {

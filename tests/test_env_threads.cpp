@@ -1,0 +1,32 @@
+// STARRING_THREADS is parsed once per process (first call to
+// EmbedOptions::effective_threads()), so these tests live in their own
+// binary where nothing else touches the embedder: the env var set below
+// is guaranteed to be what the latch sees, both under ctest's
+// per-test processes and when the binary is run directly.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/ring_embedder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace starring {
+namespace {
+
+TEST(EnvThreads, OverridesProgrammaticValue) {
+  ASSERT_EQ(setenv("STARRING_THREADS", "3", /*overwrite=*/1), 0);
+
+  EmbedOptions opts;
+  opts.num_threads = 1;
+  EXPECT_EQ(opts.effective_threads(), 3u);
+
+  // The override applies regardless of the programmatic value, and the
+  // parse is latched: changing the variable later has no effect.
+  opts.num_threads = 0;
+  EXPECT_EQ(opts.effective_threads(), 3u);
+  ASSERT_EQ(setenv("STARRING_THREADS", "9", 1), 0);
+  EXPECT_EQ(opts.effective_threads(), 3u);
+}
+
+}  // namespace
+}  // namespace starring

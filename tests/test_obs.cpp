@@ -117,6 +117,32 @@ TEST(ObsMetrics, EmbedStatsCarryCounterSnapshot) {
   EXPECT_GT(find("phase.embed_ns"), 0);
 }
 
+TEST(ObsMetrics, OracleAndPoolCountersInSchema) {
+  // The artifact schema relies on these counter names existing; a
+  // multithreaded embed must register and move them.
+  MetricsOn on;
+  const StarGraph g(5);
+  const FaultSet f = random_vertex_faults(g, 2, 11);
+  EmbedOptions opts;
+  opts.num_threads = 4;
+  opts.prewarm_oracle = true;
+  const auto res = embed_longest_ring(g, f, opts);
+  ASSERT_TRUE(res.has_value());
+  const obs::Snapshot snap = obs::snapshot();
+  const auto value = [&](const std::string& name) -> std::int64_t {
+    for (const auto& [k, v] : snap)
+      if (k == name) return v;
+    return -1;  // absent: distinguishable from a present zero
+  };
+  EXPECT_GT(value("oracle.cache_hits") + value("oracle.cache_misses"), 0);
+  EXPECT_GE(value("oracle.cache_hits"), 0);
+  EXPECT_GE(value("oracle.cache_misses"), 0);
+  EXPECT_GT(value("pool.tasks"), 0);
+  EXPECT_GT(value("pool.chunks"), 0);
+  EXPECT_GE(value("pool.wakeups"), 0);
+  EXPECT_GE(value("pool.workers"), 3);  // lanes - 1 spawned for 4 lanes
+}
+
 TEST(ObsMetrics, EmbedStatsEmptyWhenDisabled) {
   MetricsOn on;
   obs::set_enabled(false);

@@ -157,6 +157,31 @@ TEST(Parallel, EmbeddingInvariantUnderThreadCount) {
   EXPECT_EQ(a->ring, b->ring);
 }
 
+TEST(Parallel, RingIdenticalAcrossThreadCountsAtMaxFaults) {
+  // The full guarantee-regime sweep: at the paper's maximum fault count
+  // the embedded ring must be bit-identical for one, two, and all
+  // hardware threads (exit enumeration order and emission offsets are
+  // schedule-independent by construction).
+  for (int n = 5; n <= 7; ++n) {
+    const StarGraph g(n);
+    const FaultSet f =
+        random_vertex_faults(g, n - 3, static_cast<std::uint64_t>(7 * n + 1));
+    std::vector<VertexId> reference;
+    for (const unsigned threads : {1u, 2u, default_threads()}) {
+      EmbedOptions opts;
+      opts.num_threads = threads;
+      const auto res = embed_longest_ring(g, f, opts);
+      ASSERT_TRUE(res.has_value()) << "n=" << n << " threads=" << threads;
+      if (reference.empty()) {
+        reference = res->ring;
+      } else {
+        EXPECT_EQ(res->ring, reference)
+            << "n=" << n << " threads=" << threads;
+      }
+    }
+  }
+}
+
 TEST(Parallel, VerifierInvariantUnderThreadCount) {
   const StarGraph g(6);
   const FaultSet f = random_vertex_faults(g, 2, 4);

@@ -213,6 +213,49 @@ TEST(Substar, MemberExpanderMatchesPattern) {
   }
 }
 
+TEST(Substar, MemberRankMatchesUnrankRoundTrip) {
+  // member_rank(k) must equal member(k).rank() everywhere: r == 4 takes
+  // the table fast path, r < 4 the generic decomposition, r > 4 the
+  // unrank fallback.
+  const std::vector<SubstarPattern> pats = {
+      SubstarPattern::whole(4),                                    // r=4, n=4
+      SubstarPattern::whole(6).child(4, 0).child(5, 3),            // r=4, n=6
+      SubstarPattern::whole(8).child(2, 6).child(5, 1).child(7, 3),  // r=5
+      SubstarPattern::whole(9)
+          .child(1, 8)
+          .child(4, 2)
+          .child(6, 0)
+          .child(8, 5),                                            // r=5, n=9
+      SubstarPattern::whole(9)
+          .child(1, 8)
+          .child(4, 2)
+          .child(6, 0)
+          .child(8, 5)
+          .child(3, 7),                                            // r=4, n=9
+      SubstarPattern::whole(7).child(2, 4).child(3, 0).child(5, 6)
+          .child(6, 1),                                            // r=3
+      SubstarPattern::whole(5).child(1, 0).child(2, 4).child(3, 1)
+          .child(4, 2),                                            // r=1
+  };
+  for (const auto& pat : pats) {
+    const MemberExpander ex(pat);
+    for (std::uint64_t k = 0; k < pat.num_members(); ++k)
+      EXPECT_EQ(ex.member_rank(k), ex.member(k).rank())
+          << pat.to_string() << " k=" << k;
+  }
+}
+
+TEST(Substar, FreeSymbolIndexMatchesSortedFreeSymbols) {
+  const auto pat = SubstarPattern::whole(7).child(2, 4).child(5, 0).child(6, 2);
+  const MemberExpander ex(pat);
+  const auto syms = pat.free_symbols();  // ascending
+  for (int idx = 0; idx < static_cast<int>(syms.size()); ++idx)
+    EXPECT_EQ(ex.free_symbol_index(syms[static_cast<std::size_t>(idx)]), idx);
+  EXPECT_EQ(ex.free_symbol_index(4), -1);  // fixed symbol
+  EXPECT_EQ(ex.free_symbol_index(0), -1);
+  EXPECT_EQ(ex.free_symbol_index(2), -1);
+}
+
 TEST(Substar, FromPackedRoundTrip) {
   for (VertexId r = 0; r < factorial(6); r += 37) {
     const Perm p = Perm::unrank(r, 6);

@@ -1,0 +1,172 @@
+// Regression tests for the persistent worker pool behind parallel_for
+// and parallel_reduce: exception delivery, reuse across regions, nested
+// regions, and concurrent user threads.  The pool is process-wide, so
+// every test here shares (and stresses) the same instance.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace starring {
+namespace {
+
+TEST(ThreadPool, RunCoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(512);
+  struct Ctx {
+    std::vector<std::atomic<int>>* hits;
+  } ctx{&hits};
+  ThreadPool::instance().run(
+      16, 480, 4,
+      [](void* c, std::size_t lo, std::size_t hi, unsigned) {
+        auto* h = static_cast<Ctx*>(c)->hits;
+        for (std::size_t i = lo; i < hi; ++i)
+          (*h)[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      &ctx, nullptr);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), (i >= 16 && i < 480) ? 1 : 0) << i;
+}
+
+TEST(ThreadPool, ReusableAcrossManyRegions) {
+  // The same pool must serve back-to-back regions without leaking
+  // region state; each region sums a different range.
+  for (int round = 0; round < 50; ++round) {
+    const auto count = static_cast<std::size_t>(100 + round);
+    const auto sum = parallel_reduce(
+        std::size_t{0}, count, 4, std::uint64_t{0},
+        [](std::size_t i) { return static_cast<std::uint64_t>(i); },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(sum, count * (count - 1) / 2) << round;
+  }
+}
+
+TEST(ThreadPool, PropagatesSingleWorkerException) {
+  try {
+    parallel_for(0, 1000, 8, [](std::size_t i) {
+      if (i == 421) throw std::runtime_error("boom at 421");
+    });
+    FAIL() << "exception was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 421");
+  }
+}
+
+TEST(ThreadPool, DeliversExactlyOneExceptionWhenAllThrow) {
+  int caught = 0;
+  try {
+    parallel_for(0, 128, 8, [](std::size_t i) {
+      throw std::runtime_error("lane " + std::to_string(i));
+    });
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+}
+
+TEST(ThreadPool, NoCrossRegionPoisoningAfterThrow) {
+  // A failed region must leave the pool fully serviceable: the next
+  // regions run to completion and deliver correct results.
+  EXPECT_THROW(
+      parallel_for(0, 64, 4,
+                   [](std::size_t) { throw std::runtime_error("poison"); }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  parallel_for(0, 1000, 4, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 1000);
+  const auto sum = parallel_reduce(
+      std::size_t{1}, std::size_t{11}, 4, std::uint64_t{0},
+      [](std::size_t i) { return static_cast<std::uint64_t>(i); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, 55u);
+}
+
+TEST(ThreadPool, CancellationStopsHandingOutChunks) {
+  std::atomic<bool> cancel{false};
+  std::atomic<std::size_t> executed{0};
+  struct Ctx {
+    std::atomic<bool>* cancel;
+    std::atomic<std::size_t>* executed;
+  } ctx{&cancel, &executed};
+  const std::size_t total = std::size_t{1} << 20;
+  ThreadPool::instance().run(
+      0, total, 4,
+      [](void* c, std::size_t lo, std::size_t hi, unsigned) {
+        auto* x = static_cast<Ctx*>(c);
+        x->executed->fetch_add(hi - lo, std::memory_order_relaxed);
+        x->cancel->store(true, std::memory_order_relaxed);
+      },
+      &ctx, &cancel);
+  // Each of the <= 4 lanes runs at most one chunk before observing the
+  // flag; a chunk is total / (lanes * 8) indices.
+  EXPECT_LT(executed.load(), total / 2);
+}
+
+TEST(ThreadPool, NestedRegionRunsInline) {
+  // A parallel_for issued from inside a pool worker must not deadlock
+  // re-entering the pool; it runs inline on that worker.
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  std::atomic<int> nested_in_worker{0};
+  parallel_for(0, 8, 4, [&](std::size_t) {
+    outer.fetch_add(1, std::memory_order_relaxed);
+    const bool in_worker = ThreadPool::in_worker();
+    parallel_for(0, 16, 4, [&](std::size_t) {
+      inner.fetch_add(1, std::memory_order_relaxed);
+      if (in_worker) {
+        // The nested region must not have migrated to another worker.
+        EXPECT_TRUE(ThreadPool::in_worker());
+      }
+    });
+    if (in_worker) nested_in_worker.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 8 * 16);
+}
+
+TEST(ThreadPool, ConcurrentUserThreadsSerializeSafely) {
+  // Two user threads issuing regions at once: the pool serializes them;
+  // both must complete with exact coverage.
+  std::vector<std::atomic<int>> a(2048), b(2048);
+  std::thread t1([&] {
+    for (int round = 0; round < 20; ++round)
+      parallel_for(0, a.size(), 4, [&](std::size_t i) {
+        a[i].fetch_add(1, std::memory_order_relaxed);
+      });
+  });
+  std::thread t2([&] {
+    for (int round = 0; round < 20; ++round)
+      parallel_for(0, b.size(), 4, [&](std::size_t i) {
+        b[i].fetch_add(1, std::memory_order_relaxed);
+      });
+  });
+  t1.join();
+  t2.join();
+  for (auto& h : a) EXPECT_EQ(h.load(), 20);
+  for (auto& h : b) EXPECT_EQ(h.load(), 20);
+}
+
+TEST(ThreadPool, WorkersSpawnOnDemandAndPersist) {
+  parallel_for(0, 1024, 3, [](std::size_t) {});
+  const unsigned after_first = ThreadPool::instance().workers();
+  EXPECT_GE(after_first, 2u);  // lanes - 1 workers for the region above
+  parallel_for(0, 1024, 2, [](std::size_t) {});
+  // A smaller region must not shrink the pool.
+  EXPECT_GE(ThreadPool::instance().workers(), after_first);
+}
+
+TEST(ThreadPool, InWorkerFalseOnUserThreads) {
+  EXPECT_FALSE(ThreadPool::in_worker());
+  std::thread t([] { EXPECT_FALSE(ThreadPool::in_worker()); });
+  t.join();
+}
+
+}  // namespace
+}  // namespace starring
