@@ -2,14 +2,17 @@
 """Compare two BENCH_<name>.json artifacts (schema in obs/bench_io.hpp).
 
 Usage: scripts/bench_compare.py BASELINE.json CANDIDATE.json
-           [--regression-pct PCT] [--ignore-counters]
+           [--regression-pct PCT] [--ignore-counters] [--json]
 
 Prints a table of wall_ms and every counter present in either artifact
 (value, delta, percent change), then flags regressions: wall_ms or any
 phase.*_ns counter growing by more than PCT percent (default 10) AND
 by more than an absolute floor (1 ms), so sub-millisecond phases do
 not false-flag on timer granularity.  Exits 0 when clean, 1 on a
-flagged regression, 2 on a usage or schema error.  Non-phase counters
+flagged regression, 2 on a usage or schema error.  With --json the
+table is replaced by one machine-readable JSON document on stdout
+(metrics, regressions, exit semantics unchanged) for dashboards and
+scripted gates.  Non-phase counters
 are informational only -- cache hit counts and thread gauges move
 legitimately between configurations.  With --normalize-by embed.calls
 the comparison is per embedding call, which is what you want when the
@@ -62,6 +65,10 @@ def main():
                          "percentage (default: 10)")
     ap.add_argument("--ignore-counters", action="store_true",
                     help="compare wall_ms only")
+    ap.add_argument("--json", action="store_true",
+                    help="emit one machine-readable JSON document instead "
+                         "of the table (same regression logic and exit "
+                         "codes)")
     ap.add_argument("--normalize-by", metavar="COUNTER", default=None,
                     help="divide wall_ms and additive counters by this "
                          "counter's value in each artifact (e.g. "
@@ -73,6 +80,8 @@ def main():
     base = load_artifact(args.baseline)
     cand = load_artifact(args.candidate)
 
+    table = not args.json
+
     base_div = cand_div = 1.0
     if args.normalize_by is not None:
         base_div = float(base["counters"].get(args.normalize_by, 0.0))
@@ -80,27 +89,34 @@ def main():
         if base_div <= 0 or cand_div <= 0:
             sys.exit(f"bench_compare: counter {args.normalize_by} missing or "
                      f"zero; cannot normalize")
-        print(f"(normalized per {args.normalize_by}: "
-              f"baseline /{base_div:.0f}, candidate /{cand_div:.0f})")
+        if table:
+            print(f"(normalized per {args.normalize_by}: "
+                  f"baseline /{base_div:.0f}, candidate /{cand_div:.0f})")
     if base["bench"] != cand["bench"]:
         print(f"warning: comparing different benches "
               f"({base['bench']} vs {cand['bench']})", file=sys.stderr)
 
-    print(f"bench: {base['bench']}  "
-          f"baseline rev {base['git_rev']} -> candidate rev {cand['git_rev']}")
-    print(f"{'metric':<32} {'baseline':>14} {'candidate':>14} {'change':>9}")
-    print("-" * 72)
+    if table:
+        print(f"bench: {base['bench']}  baseline rev {base['git_rev']} -> "
+              f"candidate rev {cand['git_rev']}")
+        print(f"{'metric':<32} {'baseline':>14} {'candidate':>14} "
+              f"{'change':>9}")
+        print("-" * 72)
 
     regressions = []
+    metrics = {}
 
     def row(name, b, c, guard, min_delta=0.0):
         p = pct_change(b, c)
-        mark = ""
-        if guard and p is not None and p > args.regression_pct \
-                and c - b > min_delta:
-            mark = "  << REGRESSION"
+        flagged = bool(guard and p is not None and p > args.regression_pct
+                       and c - b > min_delta)
+        if flagged:
             regressions.append((name, p))
-        print(f"{name:<32} {b:>14.3f} {c:>14.3f} {fmt_pct(p):>9}{mark}")
+        metrics[name] = {"baseline": b, "candidate": c, "pct_change": p,
+                         "regression": flagged}
+        if table:
+            mark = "  << REGRESSION" if flagged else ""
+            print(f"{name:<32} {b:>14.3f} {c:>14.3f} {fmt_pct(p):>9}{mark}")
 
     row("wall_ms", float(base["wall_ms"]) / base_div,
         float(cand["wall_ms"]) / cand_div, True, min_delta=1.0)
@@ -118,6 +134,20 @@ def main():
             # percentages from timer granularity alone.
             row(name, b, c, name.startswith("phase.") and name.endswith("_ns"),
                 min_delta=1e6)
+
+    if args.json:
+        json.dump({
+            "bench": base["bench"],
+            "baseline_rev": base["git_rev"],
+            "candidate_rev": cand["git_rev"],
+            "normalize_by": args.normalize_by,
+            "regression_pct": args.regression_pct,
+            "metrics": metrics,
+            "regressions": [{"metric": n, "pct_change": p}
+                            for n, p in regressions],
+        }, sys.stdout, indent=2)
+        print()
+        return 1 if regressions else 0
 
     print("-" * 72)
     if regressions:

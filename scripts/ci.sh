@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 verify line, then sanitizer builds of the
-# test suite (ASan+UBSan, and TSan for the worker pool), then a
-# Release-mode bench smoke diffed against the committed baseline
-# artifact with scripts/bench_compare.py.
+# test suite (ASan+UBSan with an end-to-end starringd/starring-cli
+# service smoke, and TSan for the worker pool), then a Release-mode
+# bench smoke diffed against the committed baseline artifact with
+# scripts/bench_compare.py.
 #
-# Usage: scripts/ci.sh [--tier1-only | --san-only | --tsan-only | --bench-only]
+# Usage: scripts/ci.sh [--tier1-only | --san-only | --tsan-only |
+#                       --bench-only | --service-only]
 # Env:   JOBS=<n> to cap build/test parallelism (default: nproc).
 set -euo pipefail
 
@@ -15,14 +17,39 @@ run_tier1=1
 run_san=1
 run_tsan=1
 run_bench=1
+run_service=1
 case "${1:-}" in
-  --tier1-only) run_san=0; run_tsan=0; run_bench=0 ;;
-  --san-only) run_tier1=0; run_tsan=0; run_bench=0 ;;
-  --tsan-only) run_tier1=0; run_san=0; run_bench=0 ;;
-  --bench-only) run_tier1=0; run_san=0; run_tsan=0 ;;
+  --tier1-only) run_san=0; run_tsan=0; run_bench=0; run_service=0 ;;
+  --san-only) run_tier1=0; run_tsan=0; run_bench=0; run_service=0 ;;
+  --tsan-only) run_tier1=0; run_san=0; run_bench=0; run_service=0 ;;
+  --bench-only) run_tier1=0; run_san=0; run_tsan=0; run_service=0 ;;
+  --service-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0 ;;
   "") ;;
   *) echo "unknown flag: $1" >&2; exit 2 ;;
 esac
+
+# Drives ~100 mixed requests through a spawned daemon over stdio pipes
+# (drive mode asserts every response, a nonzero cache-hit count, and a
+# clean EOF-triggered drain), using whichever build tree is passed in.
+service_smoke() {
+  local build_dir="$1"
+  local smoke_dir="$build_dir/service-smoke"
+  mkdir -p "$smoke_dir"
+  STARRING_BENCH_DIR="$smoke_dir" \
+    "$build_dir/src/service/starring-cli" drive \
+    --count 100 --seed 7 --nmin 5 --nmax 7 --verify --expect-hits -- \
+    "$build_dir/src/service/starringd" --verify-on-hit --bench-artifact service
+  python3 - "$smoke_dir/BENCH_service.json" <<'EOF'
+import json, sys
+c = json.load(open(sys.argv[1]))["counters"]
+assert c["svc.requests"] == 100, c
+assert c["svc.cache_hits"] > 0, c
+assert c.get("svc.verify_failures", 0) == 0, c
+assert c.get("svc.embed_failures", 0) == 0, c
+print(f"service smoke: {int(c['svc.cache_hits'])} hits / "
+      f"{int(c['svc.requests'])} requests, artifact ok")
+EOF
+}
 
 if [[ "$run_tier1" == 1 ]]; then
   echo "== tier-1: RelWithDebInfo build + full ctest =="
@@ -43,6 +70,16 @@ if [[ "$run_san" == 1 ]]; then
     ASAN_OPTIONS=detect_leaks=0 \
     UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --output-on-failure -j "$JOBS")
+  echo "== service smoke under ASan+UBSan: starringd drain + cache hits =="
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    service_smoke build-asan
+fi
+
+if [[ "$run_service" == 1 && "$run_san" == 0 ]]; then
+  echo "== service smoke: starringd drain + cache hits (tier-1 build) =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target starringd starring-cli
+  service_smoke build
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

@@ -68,6 +68,18 @@ class FaultSet {
     return {edge_faults_.begin(), edge_faults_.end()};
   }
 
+  /// The image of this fault set under the symbol relabeling g.  A
+  /// relabeling is an automorphism of S_n, so the image describes an
+  /// isomorphic faulty graph with the same fault counts; the service's
+  /// canonical cache exploits this (service/canonical.hpp).
+  FaultSet relabeled(const Perm& g) const {
+    FaultSet out;
+    for (const Perm& v : vertex_faults_) out.add_vertex(relabel(g, v));
+    for (const EdgeFault& e : edge_faults_)
+      out.add_edge(relabel(g, e.u), relabel(g, e.v));
+    return out;
+  }
+
  private:
   std::unordered_set<Perm, PermHash> vertex_faults_;
   std::unordered_set<EdgeFault, EdgeFaultHash> edge_faults_;

@@ -61,6 +61,12 @@ class ScopedPhase {
   ScopedPhase& operator=(const ScopedPhase&) = delete;
 };
 
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::string_view) {}
+  void record(std::chrono::nanoseconds) {}
+};
+
 #else  // metrics compiled in, gated at runtime
 
 namespace detail {
@@ -137,6 +143,45 @@ class ScopedPhase {
  private:
   Counter* c_ = nullptr;
   std::chrono::steady_clock::time_point t0_{};
+};
+
+/// Fixed-bucket latency histogram over plain counters, so distributions
+/// ride the existing snapshot/JSON machinery without a new exchange
+/// type.  One record() increments the first bucket whose upper bound
+/// holds plus the running count and total:
+///   <prefix>.le_100us .le_1ms .le_10ms .le_100ms .le_1s .gt_1s
+///   <prefix>.count   <prefix>.total_us
+/// Counter references are resolved once at construction; record() is
+/// two relaxed atomic adds plus a small scan when the layer is enabled.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::string_view prefix) {
+    static constexpr std::string_view kSuffix[kBuckets] = {
+        ".le_100us", ".le_1ms", ".le_10ms", ".le_100ms", ".le_1s",
+        ".gt_1s"};
+    for (int i = 0; i < kBuckets; ++i)
+      bucket_[i] = &counter(std::string(prefix).append(kSuffix[i]));
+    count_ = &counter(std::string(prefix).append(".count"));
+    total_us_ = &counter(std::string(prefix).append(".total_us"));
+  }
+
+  void record(std::chrono::nanoseconds elapsed) {
+    if (!enabled()) return;
+    const std::int64_t us = elapsed.count() / 1000;
+    int i = 0;
+    while (i < kBuckets - 1 && us > kBoundUs[i]) ++i;
+    bucket_[i]->add();
+    count_->add();
+    total_us_->add(us);
+  }
+
+ private:
+  static constexpr int kBuckets = 6;
+  static constexpr std::int64_t kBoundUs[kBuckets - 1] = {
+      100, 1'000, 10'000, 100'000, 1'000'000};
+  Counter* bucket_[kBuckets];
+  Counter* count_;
+  Counter* total_us_;
 };
 
 #endif  // STARRING_OBS_DISABLED

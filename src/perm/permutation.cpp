@@ -54,6 +54,23 @@ std::string Perm::to_string() const {
   return out;
 }
 
+Perm inverse_of(const Perm& p) {
+  const int n = p.size();
+  std::uint64_t bits = 0;
+  for (int i = 0; i < n; ++i)
+    bits |= static_cast<std::uint64_t>(i) << (4 * p.get(i));
+  return Perm::from_packed(bits, n);
+}
+
+Perm relabel(const Perm& g, const Perm& p) {
+  assert(g.size() == p.size());
+  const int n = p.size();
+  std::uint64_t bits = 0;
+  for (int i = 0; i < n; ++i)
+    bits |= static_cast<std::uint64_t>(g.get(p.get(i))) << (4 * i);
+  return Perm::from_packed(bits, n);
+}
+
 std::vector<Perm> neighbors(const Perm& p) {
   std::vector<Perm> out;
   out.reserve(static_cast<std::size_t>(p.size() - 1));

@@ -175,6 +175,17 @@ class Perm {
 /// All n-1 neighbours of `p` in S_n, in dimension order.
 std::vector<Perm> neighbors(const Perm& p);
 
+/// The group inverse: inverse_of(p).get(s) == i iff p.get(i) == s.
+Perm inverse_of(const Perm& p);
+
+/// Symbol relabeling g∘p: slot i holds g(p(i)).  For a fixed g the map
+/// p -> relabel(g, p) is an automorphism of S_n — a star move swaps two
+/// slots, and renaming every symbol uniformly commutes with slot swaps
+/// — and the family acts transitively on vertices (g = q∘p⁻¹ maps p to
+/// q).  This is the symmetry the service's canonical result cache
+/// quotients by (service/canonical.hpp).
+Perm relabel(const Perm& g, const Perm& p);
+
 struct PermHash {
   std::size_t operator()(const Perm& p) const {
     // splitmix64 over the packed bits; n is implied by usage context.

@@ -1,0 +1,50 @@
+#include "service/cache.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace starring {
+
+CanonicalRingCache::CanonicalRingCache(std::size_t capacity)
+    : per_shard_(std::max<std::size_t>(1, capacity / kShards)) {}
+
+CanonicalRingCache::RingPtr CanonicalRingCache::lookup(
+    const std::string& key) {
+  Shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) return nullptr;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  return it->second->second;
+}
+
+void CanonicalRingCache::insert(const std::string& key, RingPtr ring) {
+  static obs::Counter& evictions = obs::counter("svc.cache_evictions");
+  Shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    it->second->second = std::move(ring);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.emplace_front(key, std::move(ring));
+  s.index.emplace(key, s.lru.begin());
+  if (s.lru.size() > per_shard_) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
+    evictions.add();
+  }
+}
+
+std::size_t CanonicalRingCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    total += s.lru.size();
+  }
+  return total;
+}
+
+}  // namespace starring

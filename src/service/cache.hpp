@@ -1,0 +1,62 @@
+// Sharded LRU cache of canonical embeddings.
+//
+// Keyed by CanonicalForm::key, valued by the ring computed in the
+// canonical frame.  Striped into independently locked shards the way
+// BlockOracle stripes its path memo, so concurrent scheduler lanes and
+// embedded callers never contend on one lock.  Values are shared_ptrs:
+// a hit hands out a reference to the stored ring, which stays alive for
+// the response's lifetime even if the entry is evicted mid-flight.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "perm/permutation.hpp"
+
+namespace starring {
+
+class CanonicalRingCache {
+ public:
+  using RingPtr = std::shared_ptr<const std::vector<VertexId>>;
+
+  /// Total entry budget across shards (each shard holds its share,
+  /// at least one entry).
+  explicit CanonicalRingCache(std::size_t capacity);
+
+  /// nullptr on miss; a hit refreshes the entry's LRU position.
+  RingPtr lookup(const std::string& key);
+
+  /// Insert (or refresh) key -> ring, evicting the shard's least
+  /// recently used entry beyond capacity.
+  void insert(const std::string& key, RingPtr ring);
+
+  /// Entries currently held (sums shard sizes; approximate under
+  /// concurrent writers).
+  std::size_t size() const;
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<std::string, RingPtr>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, RingPtr>>::iterator>
+        index;
+  };
+
+  Shard& shard_for(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % kShards];
+  }
+
+  std::size_t per_shard_;
+  Shard shards_[kShards];
+};
+
+}  // namespace starring

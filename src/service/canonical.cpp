@@ -1,0 +1,95 @@
+#include "service/canonical.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace starring {
+
+namespace {
+
+void append_hex(std::string* out, std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out->push_back(kDigits[(v >> shift) & 0xF]);
+}
+
+/// Fixed-width serialization of (n, faults); lexicographic order on the
+/// strings is a total order on fault sets, which is all the canonical
+/// minimum needs.
+std::string serialize(int n, const FaultSet& faults) {
+  auto vf = faults.vertex_faults();
+  std::vector<std::uint64_t> vbits;
+  vbits.reserve(vf.size());
+  for (const Perm& p : vf) vbits.push_back(p.bits());
+  std::sort(vbits.begin(), vbits.end());
+
+  auto ef = faults.edge_faults();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ebits;
+  ebits.reserve(ef.size());
+  for (const EdgeFault& e : ef) ebits.emplace_back(e.u.bits(), e.v.bits());
+  std::sort(ebits.begin(), ebits.end());
+
+  std::string out;
+  out.reserve(4 + 17 * vbits.size() + 34 * ebits.size());
+  out.push_back(static_cast<char>('a' + n));  // n <= kMaxN = 16
+  out.push_back('V');
+  for (const std::uint64_t b : vbits) append_hex(&out, b);
+  out.push_back('E');
+  for (const auto& [u, v] : ebits) {
+    append_hex(&out, u);
+    append_hex(&out, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+CanonicalForm canonicalize(int n, const FaultSet& faults) {
+  // Pivot candidates: every relabeling that sends a fault vertex (or a
+  // faulty-edge endpoint) to the identity.  Under a relabeling h the
+  // candidate set maps to itself composed with h⁻¹, so the minimum
+  // below is a class invariant.
+  std::vector<Perm> pivots = faults.vertex_faults();
+  if (pivots.empty()) {
+    for (const EdgeFault& e : faults.edge_faults()) {
+      pivots.push_back(e.u);
+      pivots.push_back(e.v);
+    }
+  }
+
+  // The caller's own frame is NOT a candidate when pivots exist — it is
+  // not relabeling-equivariant (two members of one class would then
+  // compete with different extra candidates and could pick different
+  // minima).  Only the fault-free class keeps the identity.
+  CanonicalForm best;
+  best.to_canonical = Perm::identity(n);
+  if (pivots.empty()) {
+    best.faults = faults;
+    best.key = serialize(n, faults);
+    return best;
+  }
+  bool first = true;
+  for (const Perm& pivot : pivots) {
+    const Perm g = inverse_of(pivot);
+    FaultSet image = faults.relabeled(g);
+    std::string key = serialize(n, image);
+    if (first || key < best.key) {
+      first = false;
+      best.to_canonical = g;
+      best.faults = std::move(image);
+      best.key = std::move(key);
+    }
+  }
+  return best;
+}
+
+std::vector<VertexId> relabel_ring(std::span<const VertexId> ring,
+                                   const Perm& g, int n) {
+  std::vector<VertexId> out;
+  out.reserve(ring.size());
+  for (const VertexId id : ring)
+    out.push_back(relabel(g, Perm::unrank(id, n)).rank());
+  return out;
+}
+
+}  // namespace starring

@@ -1,0 +1,52 @@
+// Symmetry canonicalization of fault sets.
+//
+// S_n is vertex-transitive under symbol relabelings (perm relabel()):
+// the instance (n, F) and the instance (n, g∘F) are isomorphic, and a
+// healthy ring of one relabels into a healthy ring of the other.  The
+// paper leans on the same symmetry when Lemma 2 may assume a convenient
+// partition position; the service leans on it to make its result cache
+// count: every request is first mapped to a canonical representative of
+// its equivalence class, so one stored embedding answers the whole
+// class.
+//
+// Canonical choice: among the relabelings that move some fault vertex
+// (or, failing vertex faults, some faulty-edge endpoint) to the
+// identity permutation, take the one whose image fault set serializes
+// lexicographically smallest.  The candidate set is itself
+// relabeling-equivariant, so the canonical form is an invariant of the
+// class: canonicalize(n, F.relabeled(h)) and canonicalize(n, F) agree
+// on `faults` and `key` for every h (test_canonical asserts this).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "perm/permutation.hpp"
+
+namespace starring {
+
+struct CanonicalForm {
+  /// The relabeling g with faults == original.relabeled(g); apply
+  /// inverse_of(to_canonical) to canonical-frame vertices to return to
+  /// the caller's frame.
+  Perm to_canonical;
+  /// The canonical representative of the fault-set class.
+  FaultSet faults;
+  /// Deterministic serialization of (n, faults): the cache key.
+  std::string key;
+};
+
+/// Canonicalize the instance (n, faults).  n must be in [1, kMaxN];
+/// the fault-free class canonicalizes to itself under the identity.
+CanonicalForm canonicalize(int n, const FaultSet& faults);
+
+/// Apply the relabeling g to every vertex of a ring/path given as
+/// Lehmer ranks of S_n.  Relabelings are automorphisms, so adjacency,
+/// simplicity, and fault avoidance (w.r.t. the relabeled fault set)
+/// are preserved vertex by vertex.
+std::vector<VertexId> relabel_ring(std::span<const VertexId> ring,
+                                   const Perm& g, int n);
+
+}  // namespace starring

@@ -1,0 +1,300 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/verify.hpp"
+#include "stargraph/star_graph.hpp"
+#include "util/parallel.hpp"
+
+namespace starring {
+
+namespace {
+
+obs::Counter& c_requests() {
+  static obs::Counter& c = obs::counter("svc.requests");
+  return c;
+}
+obs::Counter& c_rejected() {
+  static obs::Counter& c = obs::counter("svc.rejected");
+  return c;
+}
+obs::Counter& c_hits() {
+  static obs::Counter& c = obs::counter("svc.cache_hits");
+  return c;
+}
+obs::Counter& c_misses() {
+  static obs::Counter& c = obs::counter("svc.cache_misses");
+  return c;
+}
+obs::Counter& c_batches() {
+  static obs::Counter& c = obs::counter("svc.batches");
+  return c;
+}
+obs::Counter& c_batch_size_max() {
+  static obs::Counter& c = obs::counter("svc.batch_size_max");
+  return c;
+}
+obs::Counter& c_queue_depth_max() {
+  static obs::Counter& c = obs::counter("svc.queue_depth_max");
+  return c;
+}
+obs::Counter& c_embed_failures() {
+  static obs::Counter& c = obs::counter("svc.embed_failures");
+  return c;
+}
+obs::Counter& c_verify_failures() {
+  static obs::Counter& c = obs::counter("svc.verify_failures");
+  return c;
+}
+obs::Counter& c_verified() {
+  static obs::Counter& c = obs::counter("svc.verified");
+  return c;
+}
+
+ServiceResponse error_response(std::uint64_t id, std::string reason) {
+  ServiceResponse r;
+  r.id = id;
+  r.status = ServiceStatus::kError;
+  r.reason = std::move(reason);
+  return r;
+}
+
+}  // namespace
+
+EmbedService::EmbedService(ServiceOptions opts)
+    : opts_(opts), cache_(opts.cache_capacity) {
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+EmbedService::~EmbedService() {
+  drain();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+bool EmbedService::submit(ServiceRequest req, Callback on_done, bool wait) {
+  Pending p{std::move(req), std::move(on_done),
+            std::chrono::steady_clock::now()};
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (wait) {
+      admit_cv_.wait(lock, [this] {
+        return queue_.size() < opts_.queue_depth || draining_;
+      });
+    }
+    if (draining_ || queue_.size() >= opts_.queue_depth) {
+      c_rejected().add();
+      return false;
+    }
+    queue_.push_back(std::move(p));
+    c_queue_depth_max().record_max(
+        static_cast<std::int64_t>(queue_.size()));
+  }
+  c_requests().add();
+  work_cv_.notify_one();
+  return true;
+}
+
+std::optional<ServiceResponse> EmbedService::next_response() {
+  std::unique_lock<std::mutex> lock(mu_);
+  resp_cv_.wait(lock,
+                [this] { return !responses_.empty() || stopped_; });
+  if (responses_.empty()) return std::nullopt;
+  ServiceResponse r = std::move(responses_.front());
+  responses_.pop_front();
+  return r;
+}
+
+void EmbedService::drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  admit_cv_.notify_all();
+  work_cv_.notify_all();
+}
+
+std::vector<EmbedService::Pending> EmbedService::take_batch() {
+  std::vector<Pending> batch;
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+  if (queue_.empty()) return batch;  // draining with nothing left
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const int n = batch.front().req.n;
+  // Compatible = same dimension: those requests share StarGraph sizing,
+  // oracle working set, and (via canonical dedup) possibly embeddings.
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < opts_.batch_max;) {
+    if (it->req.n == n) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  lock.unlock();
+  admit_cv_.notify_all();
+  return batch;
+}
+
+CanonicalRingCache::RingPtr EmbedService::compute_canonical(
+    int n, const CanonicalForm& canon) {
+  const StarGraph g(n);
+  const auto res = embed_longest_ring(g, canon.faults, opts_.embed);
+  if (!res.has_value()) {
+    c_embed_failures().add();
+    return nullptr;
+  }
+  auto ring = std::make_shared<const std::vector<VertexId>>(
+      std::move(res->ring));
+  cache_.insert(canon.key, ring);
+  return ring;
+}
+
+ServiceResponse EmbedService::finish(const ServiceRequest& req,
+                                     const CanonicalForm& canon,
+                                     const CanonicalRingCache::RingPtr& ring,
+                                     bool cache_hit) {
+  if (req.n < 3 || req.n > kMaxN)
+    return error_response(req.id, "unsupported dimension");
+  if (ring == nullptr)
+    return error_response(
+        req.id, "embedding failed (outside the guarantee regime?)");
+  ServiceResponse resp;
+  resp.id = req.id;
+  resp.status = ServiceStatus::kOk;
+  resp.cache_hit = cache_hit;
+  resp.ring = relabel_ring(*ring, inverse_of(canon.to_canonical), req.n);
+  if (req.verify || (cache_hit && opts_.verify_on_hit)) {
+    const StarGraph g(req.n);
+    const RingReport report = verify_healthy_ring(g, req.faults, resp.ring);
+    if (!report.valid) {
+      c_verify_failures().add();
+      return error_response(req.id, "verifier: " + report.error);
+    }
+    c_verified().add();
+    resp.verified = true;
+  }
+  return resp;
+}
+
+void EmbedService::run_batch(std::vector<Pending> batch) {
+  obs::ScopedPhase phase("svc_batch");
+  c_batches().add();
+  c_batch_size_max().record_max(static_cast<std::int64_t>(batch.size()));
+
+  const int n = batch.front().req.n;
+  struct Slot {
+    CanonicalForm canon;
+    CanonicalRingCache::RingPtr ring;
+    bool hit = false;
+  };
+  std::vector<Slot> slots(batch.size());
+
+  // Canonicalize and consult the cache; each distinct canonical
+  // instance is computed at most once per batch, so intra-batch
+  // duplicates are hits even when the cache was cold.
+  std::vector<std::size_t> compute;  // slot index owning each distinct miss
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    slots[i].canon = canonicalize(n, batch[i].req.faults);
+    slots[i].ring = cache_.lookup(slots[i].canon.key);
+    if (slots[i].ring != nullptr) {
+      slots[i].hit = true;
+      continue;
+    }
+    bool owned = false;
+    for (const std::size_t j : compute) {
+      if (slots[j].canon.key == slots[i].canon.key) {
+        slots[i].hit = true;  // served by slot j's computation
+        owned = true;
+        break;
+      }
+    }
+    if (!owned) compute.push_back(i);
+  }
+
+  std::vector<ServiceResponse> out(batch.size());
+  try {
+    // Compute the distinct misses.  A single miss keeps the pipeline's
+    // own data parallelism; several misses fan out one embedding per
+    // pool lane instead (nested regions run inline).  n < 3 has no
+    // embedding to compute; finish() reports it per request.
+    const unsigned threads = opts_.embed.effective_threads();
+    if (n >= 3 && compute.size() == 1) {
+      Slot& s = slots[compute.front()];
+      s.ring = compute_canonical(n, s.canon);
+    } else if (n >= 3 && !compute.empty()) {
+      parallel_for(0, compute.size(), threads, [&](std::size_t k) {
+        Slot& s = slots[compute[k]];
+        s.ring = compute_canonical(n, s.canon);
+      });
+    }
+    for (const Slot& s : slots) (s.hit ? c_hits() : c_misses()).add();
+    // Batch-local duplicates of a miss share the owner's ring.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (slots[i].ring != nullptr || !slots[i].hit) continue;
+      for (const std::size_t j : compute)
+        if (slots[j].canon.key == slots[i].canon.key) {
+          slots[i].ring = slots[j].ring;
+          break;
+        }
+    }
+
+    // Relabel into each caller's frame and verify as asked —
+    // per-request work, fanned out across the pool.
+    parallel_for(0, batch.size(), threads, [&](std::size_t i) {
+      out[i] = finish(batch[i].req, slots[i].canon, slots[i].ring,
+                      slots[i].hit);
+    });
+  } catch (const std::exception& e) {
+    // Deliver something for every request even if a stage threw
+    // (allocation failure, ...): callers blocked on these ids.
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      out[i] = error_response(batch[i].req.id,
+                              std::string("internal: ") + e.what());
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    latency_.record(now - batch[i].admitted);
+    if (batch[i].done) {
+      batch[i].done(std::move(out[i]));
+    } else {
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        responses_.push_back(std::move(out[i]));
+      }
+      resp_cv_.notify_all();
+    }
+  }
+}
+
+void EmbedService::scheduler_loop() {
+  while (true) {
+    std::vector<Pending> batch = take_batch();
+    if (batch.empty()) break;  // drained
+    run_batch(std::move(batch));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  resp_cv_.notify_all();
+}
+
+ServiceResponse EmbedService::process_now(const ServiceRequest& req) {
+  obs::ScopedPhase phase("svc_request");
+  c_requests().add();
+  if (req.n < 3 || req.n > kMaxN)
+    return error_response(req.id, "unsupported dimension");
+  const CanonicalForm canon = canonicalize(req.n, req.faults);
+  CanonicalRingCache::RingPtr ring = cache_.lookup(canon.key);
+  const bool hit = ring != nullptr;
+  (hit ? c_hits() : c_misses()).add();
+  if (!hit) ring = compute_canonical(req.n, canon);
+  return finish(req, canon, ring, hit);
+}
+
+}  // namespace starring

@@ -1,0 +1,139 @@
+// Long-running embedding service: admission queue, batch scheduler,
+// symmetry-canonical result cache.
+//
+// Request flow:
+//   submit()            bounded admission queue (blocking backpressure
+//      |                or immediate rejection, caller's choice)
+//   scheduler thread    pops a batch of same-dimension requests
+//      |
+//   canonicalize        map (n, F) to its relabeling-class
+//      |                representative (service/canonical.hpp)
+//   cache lookup        sharded LRU keyed by canonical form; a batch
+//      |                computes each distinct canonical instance once
+//   embed (miss)        Theorem-1 pipeline on the persistent thread
+//      |                pool, in the canonical frame
+//   relabel + verify    map the canonical ring back to the caller's
+//      |                frame; optionally re-run the independent
+//   respond             verifier (always on request, and on every
+//                       cache hit with verify_on_hit)
+//
+// Computing only in the canonical frame makes responses deterministic:
+// a cache hit is bit-identical to what a fresh computation of the same
+// request would return.  Graceful drain: drain() stops admission,
+// everything already queued is processed and delivered, then
+// next_response() returns nullopt.
+//
+// Observability (svc.* counters, emitted like every other area's):
+//   svc.requests / svc.rejected      admitted vs bounced at the queue
+//   svc.cache_hits / svc.cache_misses  canonical-cache outcomes
+//   svc.cache_evictions              LRU pressure
+//   svc.batches / svc.batch_size_max / svc.queue_depth_max
+//   svc.embed_failures / svc.verify_failures / svc.verified
+//   svc.latency.*                    submit-to-response histogram
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/ring_embedder.hpp"
+#include "obs/metrics.hpp"
+#include "service/cache.hpp"
+#include "service/canonical.hpp"
+#include "util/io.hpp"
+
+namespace starring {
+
+struct ServiceOptions {
+  /// Admission-queue bound; submit() blocks (wait=true) or returns
+  /// false (wait=false) while this many requests are queued.
+  std::size_t queue_depth = 256;
+  /// Most requests one scheduler batch may contain.
+  std::size_t batch_max = 16;
+  /// Canonical embeddings kept by the LRU cache.
+  std::size_t cache_capacity = 4096;
+  /// Re-run the independent verifier on every cache hit after
+  /// relabeling (defense against cache corruption; requests can also
+  /// ask for verification individually).
+  bool verify_on_hit = false;
+  /// Knobs for the underlying Theorem-1 pipeline.
+  EmbedOptions embed;
+};
+
+class EmbedService {
+ public:
+  using Callback = std::function<void(ServiceResponse)>;
+
+  explicit EmbedService(ServiceOptions opts = {});
+  ~EmbedService();  // drains and joins the scheduler
+  EmbedService(const EmbedService&) = delete;
+  EmbedService& operator=(const EmbedService&) = delete;
+
+  /// Admit a request.  With wait=true a full queue blocks the caller
+  /// until space frees (backpressure); with wait=false it returns false
+  /// instead.  Returns false once drain() has begun.  A null on_done
+  /// routes the response to next_response(); otherwise on_done runs on
+  /// the scheduler thread.
+  bool submit(ServiceRequest req, Callback on_done = nullptr,
+              bool wait = true);
+
+  /// Block for the next completed callback-less response; nullopt once
+  /// the service has drained and every response was consumed.
+  std::optional<ServiceResponse> next_response();
+
+  /// Stop admitting; queued requests still complete.  Idempotent and
+  /// non-blocking — destruction (or a next_response() nullopt) marks
+  /// the drain finished.
+  void drain();
+
+  /// Synchronous single request on the caller's thread, sharing the
+  /// cache and counters but bypassing queue and batcher.  For tests,
+  /// benches, and embedded callers.
+  ServiceResponse process_now(const ServiceRequest& req);
+
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  struct Pending {
+    ServiceRequest req;
+    Callback done;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void scheduler_loop();
+  /// Pop up to batch_max requests of one dimension (the front's),
+  /// preserving the relative order of what stays queued.
+  std::vector<Pending> take_batch();
+  void run_batch(std::vector<Pending> batch);
+  /// Canonical-frame embedding for a cache miss; inserts on success.
+  CanonicalRingCache::RingPtr compute_canonical(int n,
+                                                const CanonicalForm& canon);
+  /// Relabel a canonical ring into the request's frame and verify as
+  /// asked; fills everything but the latency accounting.
+  ServiceResponse finish(const ServiceRequest& req,
+                         const CanonicalForm& canon,
+                         const CanonicalRingCache::RingPtr& ring,
+                         bool cache_hit);
+
+  ServiceOptions opts_;
+  CanonicalRingCache cache_;
+  obs::LatencyHistogram latency_{"svc.latency"};
+
+  std::mutex mu_;
+  std::condition_variable admit_cv_;  // submitters waiting for space
+  std::condition_variable work_cv_;   // scheduler waiting for work
+  std::condition_variable resp_cv_;   // consumers waiting for responses
+  std::deque<Pending> queue_;
+  std::deque<ServiceResponse> responses_;
+  bool draining_ = false;
+  bool stopped_ = false;  // scheduler exited; no more responses coming
+  std::thread scheduler_;
+};
+
+}  // namespace starring

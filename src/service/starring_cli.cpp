@@ -1,0 +1,349 @@
+// starring-cli — client and soak driver for starringd.
+//
+// Three modes over one deterministic workload generator (mixed
+// dimensions, vertex-fault counts up to n-3, optionally a slice of
+// mixed vertex+edge fault requests), so requests never need to be
+// stored to be checked — any mode can regenerate request i from
+// (seed, i):
+//
+//   generate  write the request stream to stdout (pipe into starringd)
+//   check     read a response stream from stdin, regenerate the
+//             matching requests, verify every ring independently
+//   drive     spawn starringd itself (argv after `--`), stream the
+//             workload through its stdio, verify responses in flight,
+//             and require a clean drain (daemon exit 0); or --connect
+//             PORT to drive a TCP daemon instead
+//
+// drive is the soak harness CI uses: it exits non-zero on any
+// embedding/verifier failure, on response/request count mismatch, on
+// an unclean daemon exit, and (with --expect-hits) when the canonical
+// cache never hit.
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <ext/stdio_filebuf.h>  // libstdc++; the repo targets the gcc toolchain
+#include <iostream>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ring_embedder.hpp"
+#include "core/verify.hpp"
+#include "fault/generators.hpp"
+#include "stargraph/star_graph.hpp"
+#include "util/io.hpp"
+
+namespace starring {
+namespace {
+
+struct CliConfig {
+  std::string mode;
+  std::size_t count = 100;
+  std::uint64_t seed = 1;
+  int nmin = 5;
+  int nmax = 7;
+  bool verify = false;       // set the per-request verify flag
+  int edge_pct = 10;         // % of requests that carry one edge fault
+  bool expect_hits = false;  // drive: fail if the cache never hit
+  int connect_port = -1;     // drive: TCP instead of spawning
+  std::vector<std::string> daemon_argv;  // drive: after `--`
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " <generate|check|drive> [options]\n"
+      << "  --count N        requests in the workload (default 100)\n"
+      << "  --seed S         workload seed (default 1)\n"
+      << "  --nmin N         smallest dimension (default 5)\n"
+      << "  --nmax N         largest dimension (default 7)\n"
+      << "  --verify         set the verify flag on every request\n"
+      << "  --edge-pct P     percent of requests with an edge fault "
+         "(default 10)\n"
+      << "  --expect-hits    drive: fail when cache hits == 0\n"
+      << "  --connect PORT   drive: use a TCP daemon on 127.0.0.1\n"
+      << "  -- CMD ARGS...   drive: daemon command line to spawn\n";
+  return 2;
+}
+
+std::optional<CliConfig> parse_args(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  CliConfig cfg;
+  cfg.mode = argv[1];
+  if (cfg.mode != "generate" && cfg.mode != "check" && cfg.mode != "drive")
+    return std::nullopt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto num = [&]() -> long {
+      return i + 1 < argc ? std::atol(argv[++i]) : -1;
+    };
+    long v = 0;
+    if (a == "--count" && (v = num()) > 0) {
+      cfg.count = static_cast<std::size_t>(v);
+    } else if (a == "--seed" && (v = num()) >= 0) {
+      cfg.seed = static_cast<std::uint64_t>(v);
+    } else if (a == "--nmin" && (v = num()) >= 3) {
+      cfg.nmin = static_cast<int>(v);
+    } else if (a == "--nmax" && (v = num()) >= 3) {
+      cfg.nmax = static_cast<int>(v);
+    } else if (a == "--verify") {
+      cfg.verify = true;
+    } else if (a == "--edge-pct" && (v = num()) >= 0 && v <= 100) {
+      cfg.edge_pct = static_cast<int>(v);
+    } else if (a == "--expect-hits") {
+      cfg.expect_hits = true;
+    } else if (a == "--connect" && (v = num()) > 0 && v < 65536) {
+      cfg.connect_port = static_cast<int>(v);
+    } else if (a == "--") {
+      for (++i; i < argc; ++i) cfg.daemon_argv.emplace_back(argv[i]);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (cfg.nmax < cfg.nmin || cfg.nmax > kMaxN) return std::nullopt;
+  return cfg;
+}
+
+/// Request i of the workload, a pure function of (cfg, i).
+ServiceRequest make_request(const CliConfig& cfg, std::size_t i) {
+  std::mt19937_64 rng(cfg.seed * 0x9E3779B97F4A7C15ULL + i);
+  ServiceRequest req;
+  req.id = i;
+  req.n = cfg.nmin + static_cast<int>(
+                         rng() % static_cast<std::uint64_t>(
+                                     cfg.nmax - cfg.nmin + 1));
+  req.verify = cfg.verify;
+  const StarGraph g(req.n);
+  const int budget = req.n - 3;  // the paper's guarantee regime
+  const int nf =
+      budget > 0 ? static_cast<int>(rng() % static_cast<std::uint64_t>(
+                                                budget + 1))
+                 : 0;
+  const std::uint64_t fault_seed = rng();
+  const bool with_edge =
+      nf >= 1 && static_cast<int>(rng() % 100) < cfg.edge_pct;
+  req.faults = with_edge ? mixed_faults(g, nf - 1, 1, fault_seed)
+                         : random_vertex_faults(g, nf, fault_seed);
+  return req;
+}
+
+/// Independent check of one response against its regenerated request.
+/// Returns an empty string on success, else the failure reason.
+std::string check_response(const CliConfig& cfg, const ServiceResponse& resp,
+                           std::size_t* hits) {
+  if (resp.id >= cfg.count) return "response id out of workload range";
+  const ServiceRequest req = make_request(cfg, resp.id);
+  if (resp.status == ServiceStatus::kRejected) return "rejected by daemon";
+  if (resp.status != ServiceStatus::kOk)
+    return "status error: " + resp.reason;
+  if (resp.cache_hit) ++*hits;
+  const StarGraph g(req.n);
+  const std::uint64_t want =
+      expected_ring_length(req.n, req.faults.num_vertex_faults());
+  if (resp.ring.size() != want)
+    return "ring length " + std::to_string(resp.ring.size()) +
+           " != " + std::to_string(want);
+  const RingReport report = verify_healthy_ring(g, req.faults, resp.ring);
+  if (!report.valid) return "verifier: " + report.error;
+  return "";
+}
+
+int run_generate(const CliConfig& cfg) {
+  for (std::size_t i = 0; i < cfg.count; ++i)
+    if (!write_request(std::cout, make_request(cfg, i))) return 1;
+  return 0;
+}
+
+/// Drain a response stream, verifying everything.  Returns the number
+/// of failed responses (parse errors count as one failure and stop).
+int consume_responses(const CliConfig& cfg, std::istream& in,
+                      std::size_t* received, std::size_t* hits) {
+  int failures = 0;
+  std::string err;
+  while (true) {
+    const auto resp = read_response(in, &err);
+    if (!resp) {
+      if (!err.empty()) {
+        std::cerr << "starring-cli: response parse error: " << err << "\n";
+        ++failures;
+      }
+      break;
+    }
+    ++*received;
+    const std::string why = check_response(cfg, *resp, hits);
+    if (!why.empty()) {
+      std::cerr << "starring-cli: request " << resp->id << ": " << why
+                << "\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+int report(const CliConfig& cfg, std::size_t received, std::size_t hits,
+           int failures, double wall_s) {
+  std::cout << "starring-cli: " << received << "/" << cfg.count
+            << " responses, " << hits << " cache hits, " << failures
+            << " failures";
+  if (wall_s > 0)
+    std::cout << ", " << static_cast<double>(received) / wall_s
+              << " req/s";
+  std::cout << "\n";
+  if (received != cfg.count) {
+    std::cerr << "starring-cli: missing responses\n";
+    return 1;
+  }
+  if (cfg.expect_hits && hits == 0) {
+    std::cerr << "starring-cli: expected cache hits, saw none\n";
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int run_check(const CliConfig& cfg) {
+  std::size_t received = 0;
+  std::size_t hits = 0;
+  const int failures = consume_responses(cfg, std::cin, &received, &hits);
+  return report(cfg, received, hits, failures, 0.0);
+}
+
+/// Stream the workload into `out` from a helper thread (the main
+/// thread is the response reader; streaming both directions at once
+/// avoids the full-pipe/full-queue deadlock a half-duplex client
+/// would hit).
+std::thread start_sender(const CliConfig& cfg, std::ostream& out,
+                         int close_fd_after) {
+  return std::thread([&cfg, &out, close_fd_after] {
+    for (std::size_t i = 0; i < cfg.count; ++i) {
+      if (!write_request(out, make_request(cfg, i))) break;
+    }
+    out.flush();
+    if (close_fd_after >= 0) {
+      // Half-close announces end-of-workload; the daemon drains.
+      ::shutdown(close_fd_after, SHUT_WR);
+    }
+  });
+}
+
+int drive_spawned(const CliConfig& cfg) {
+  int to_child[2];
+  int from_child[2];
+  if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+    std::cerr << "starring-cli: pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::cerr << "starring-cli: fork: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    std::vector<char*> argv;
+    argv.reserve(cfg.daemon_argv.size() + 1);
+    for (const std::string& a : cfg.daemon_argv)
+      argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    std::cerr << "starring-cli: exec " << cfg.daemon_argv[0] << ": "
+              << std::strerror(errno) << "\n";
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  __gnu_cxx::stdio_filebuf<char> out_buf(to_child[1], std::ios::out);
+  __gnu_cxx::stdio_filebuf<char> in_buf(from_child[0], std::ios::in);
+  std::ostream out(&out_buf);
+  std::istream in(&in_buf);
+
+  std::thread sender([&] {
+    for (std::size_t i = 0; i < cfg.count; ++i)
+      if (!write_request(out, make_request(cfg, i))) break;
+    out.flush();
+    out_buf.close();  // EOF on the daemon's stdin: begin graceful drain
+  });
+
+  std::size_t received = 0;
+  std::size_t hits = 0;
+  int failures = consume_responses(cfg, in, &received, &hits);
+  sender.join();
+
+  int status = 0;
+  if (::waitpid(pid, &status, 0) < 0 ||
+      !(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+    std::cerr << "starring-cli: daemon did not drain cleanly (status "
+              << status << ")\n";
+    ++failures;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report(cfg, received, hits, failures, wall_s);
+}
+
+int drive_tcp(const CliConfig& cfg) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "starring-cli: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg.connect_port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    std::cerr << "starring-cli: connect: " << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 1;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  __gnu_cxx::stdio_filebuf<char> out_buf(::dup(fd), std::ios::out);
+  __gnu_cxx::stdio_filebuf<char> in_buf(fd, std::ios::in);
+  std::ostream out(&out_buf);
+  std::istream in(&in_buf);
+  std::thread sender = start_sender(cfg, out, fd);
+
+  std::size_t received = 0;
+  std::size_t hits = 0;
+  const int failures = consume_responses(cfg, in, &received, &hits);
+  sender.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report(cfg, received, hits, failures, wall_s);
+}
+
+int cli_main(int argc, char** argv) {
+  const auto cfg = parse_args(argc, argv);
+  if (!cfg) return usage(argv[0]);
+  if (cfg->mode == "generate") return run_generate(*cfg);
+  if (cfg->mode == "check") return run_check(*cfg);
+  if (cfg->connect_port > 0) return drive_tcp(*cfg);
+  if (cfg->daemon_argv.empty()) {
+    std::cerr << "starring-cli: drive needs --connect PORT or -- CMD...\n";
+    return 2;
+  }
+  return drive_spawned(*cfg);
+}
+
+}  // namespace
+}  // namespace starring
+
+int main(int argc, char** argv) {
+  return starring::cli_main(argc, argv);
+}

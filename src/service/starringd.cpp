@@ -1,0 +1,362 @@
+// starringd — long-running embedding daemon.
+//
+// Speaks the versioned starring-request/starring-response line protocol
+// (util/io.hpp) over stdio (default) or TCP (--listen PORT, loopback).
+// Requests flow through the EmbedService: bounded admission queue,
+// same-dimension batching on the persistent thread pool, and the
+// symmetry-canonical result cache.
+//
+// Shutdown/drain semantics:
+//   stdio: EOF on stdin stops admission; every queued request is still
+//          answered, stdout is flushed, exit 0.
+//   TCP:   SIGINT/SIGTERM stops accepting, half-closes live
+//          connections (their reads see EOF), drains, exits 0.
+// Backpressure: the stdio reader blocks on a full queue, which stops
+// consuming the pipe — the OS pipe buffer then backpressures the
+// client.  TCP connections instead get `status rejected` responses so
+// remote callers can retry elsewhere.
+//
+// With --bench-artifact NAME the daemon enables the metrics layer and
+// writes BENCH_<NAME>.json (svc.* counters, latency histogram, cache
+// hit rate) to $STARRING_BENCH_DIR on clean drain.
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/bench_io.hpp"
+#include "obs/metrics.hpp"
+#include "service/service.hpp"
+#include "util/io.hpp"
+
+namespace starring {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+// --- minimal fd <-> iostream glue (TCP connections) ------------------
+
+class FdInBuf : public std::streambuf {
+ public:
+  explicit FdInBuf(int fd) : fd_(fd) {}
+
+ private:
+  int_type underflow() override {
+    ssize_t k;
+    do {
+      k = ::read(fd_, buf_, sizeof buf_);
+    } while (k < 0 && errno == EINTR);
+    if (k <= 0) return traits_type::eof();
+    setg(buf_, buf_, buf_ + k);
+    return traits_type::to_int_type(buf_[0]);
+  }
+
+  int fd_;
+  char buf_[4096];
+};
+
+class FdOutBuf : public std::streambuf {
+ public:
+  explicit FdOutBuf(int fd) : fd_(fd) {}
+
+ private:
+  int_type overflow(int_type c) override {
+    if (traits_type::eq_int_type(c, traits_type::eof())) return c;
+    const char ch = traits_type::to_char_type(c);
+    return write_all(&ch, 1) ? c : traits_type::eof();
+  }
+  std::streamsize xsputn(const char* s, std::streamsize count) override {
+    return write_all(s, static_cast<std::size_t>(count))
+               ? count
+               : std::streamsize{0};
+  }
+  bool write_all(const char* p, std::size_t count) {
+    while (count > 0) {
+      const ssize_t k = ::write(fd_, p, count);
+      if (k < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += k;
+      count -= static_cast<std::size_t>(k);
+    }
+    return true;
+  }
+
+  int fd_;
+};
+
+struct DaemonConfig {
+  ServiceOptions svc;
+  int listen_port = -1;  // -1: stdio mode
+  std::string bench_artifact;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --queue-depth N      admission queue bound (default 256)\n"
+      << "  --batch-max N        max requests per batch (default 16)\n"
+      << "  --cache-capacity N   canonical embeddings kept (default 4096)\n"
+      << "  --verify-on-hit      re-verify relabeled cache hits\n"
+      << "  --threads N          embedding worker threads (0 = cores)\n"
+      << "  --listen PORT        serve TCP on 127.0.0.1:PORT (default: "
+         "stdio)\n"
+      << "  --bench-artifact S   write BENCH_<S>.json on clean drain\n";
+  return 2;
+}
+
+std::optional<DaemonConfig> parse_args(int argc, char** argv) {
+  DaemonConfig cfg;
+  cfg.svc.embed.prewarm_oracle = true;  // a daemon amortizes the warmup
+  const auto num = [&](int* i) -> long {
+    if (*i + 1 >= argc) return -1;
+    return std::atol(argv[++*i]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    long v = 0;
+    if (a == "--queue-depth" && (v = num(&i)) > 0) {
+      cfg.svc.queue_depth = static_cast<std::size_t>(v);
+    } else if (a == "--batch-max" && (v = num(&i)) > 0) {
+      cfg.svc.batch_max = static_cast<std::size_t>(v);
+    } else if (a == "--cache-capacity" && (v = num(&i)) > 0) {
+      cfg.svc.cache_capacity = static_cast<std::size_t>(v);
+    } else if (a == "--verify-on-hit") {
+      cfg.svc.verify_on_hit = true;
+    } else if (a == "--threads" && (v = num(&i)) >= 0) {
+      cfg.svc.embed.num_threads = static_cast<unsigned>(v);
+    } else if (a == "--listen" && (v = num(&i)) > 0 && v < 65536) {
+      cfg.listen_port = static_cast<int>(v);
+    } else if (a == "--bench-artifact" && i + 1 < argc) {
+      cfg.bench_artifact = argv[++i];
+    } else {
+      return std::nullopt;
+    }
+  }
+  return cfg;
+}
+
+// --- stdio transport --------------------------------------------------
+
+int serve_stdio(const DaemonConfig& cfg) {
+  EmbedService svc(cfg.svc);
+  std::mutex out_mu;
+  std::thread writer([&] {
+    while (auto resp = svc.next_response()) {
+      const std::lock_guard<std::mutex> lock(out_mu);
+      write_response(std::cout, *resp);
+      std::cout.flush();
+    }
+  });
+
+  int rc = 0;
+  std::string err;
+  while (g_stop == 0) {
+    auto req = read_request(std::cin, &err);
+    if (!req) {
+      if (!err.empty()) {
+        // Framing is token-based; a malformed record poisons the
+        // stream.  Report once and drain what was admitted.
+        const std::lock_guard<std::mutex> lock(out_mu);
+        ServiceResponse bad;
+        bad.status = ServiceStatus::kError;
+        bad.reason = "parse: " + err;
+        write_response(std::cout, bad);
+        std::cout.flush();
+        rc = 1;
+      }
+      break;
+    }
+    // wait=true: a full queue stops the reader, and the pipe buffer
+    // backpressures the writer on the other side.
+    svc.submit(std::move(*req));
+  }
+  svc.drain();
+  writer.join();
+  return rc;
+}
+
+// --- TCP transport ----------------------------------------------------
+
+struct ConnRegistry {
+  std::mutex mu;
+  std::vector<int> fds;
+
+  void add(int fd) {
+    const std::lock_guard<std::mutex> lock(mu);
+    fds.push_back(fd);
+  }
+  void remove(int fd) {
+    const std::lock_guard<std::mutex> lock(mu);
+    std::erase(fds, fd);
+  }
+  void shutdown_all() {
+    const std::lock_guard<std::mutex> lock(mu);
+    // Half-close: readers see EOF, pending responses still flow out.
+    for (const int fd : fds) ::shutdown(fd, SHUT_RD);
+  }
+};
+
+void serve_connection(int fd, EmbedService& svc, ConnRegistry& reg) {
+  FdInBuf in_buf(fd);
+  FdOutBuf out_buf(fd);
+  std::istream in(&in_buf);
+  std::ostream out(&out_buf);
+  // Per-connection response routing; responses may complete out of
+  // submission order across batches, ids correlate them.
+  std::mutex out_mu;
+  std::condition_variable done_cv;
+  std::mutex done_mu;
+  int outstanding = 0;
+
+  std::string err;
+  while (true) {
+    auto req = read_request(in, &err);
+    if (!req) {
+      if (!err.empty()) {
+        const std::lock_guard<std::mutex> lock(out_mu);
+        ServiceResponse bad;
+        bad.status = ServiceStatus::kError;
+        bad.reason = "parse: " + err;
+        write_response(out, bad);
+        out.flush();
+      }
+      break;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(done_mu);
+      ++outstanding;
+    }
+    const std::uint64_t id = req->id;
+    const bool admitted = svc.submit(
+        *req,
+        [&, id](ServiceResponse resp) {
+          {
+            const std::lock_guard<std::mutex> lock(out_mu);
+            write_response(out, resp);
+            out.flush();
+          }
+          {
+            // Notify under the lock: the connection thread may destroy
+            // the cv the moment it observes outstanding == 0.
+            const std::lock_guard<std::mutex> lock(done_mu);
+            --outstanding;
+            done_cv.notify_all();
+          }
+        },
+        /*wait=*/false);
+    if (!admitted) {
+      // Remote callers get an explicit bounce instead of a stalled
+      // socket, so they can back off or retry elsewhere.
+      {
+        const std::lock_guard<std::mutex> lock(out_mu);
+        ServiceResponse rej;
+        rej.id = id;
+        rej.status = ServiceStatus::kRejected;
+        rej.reason = "queue full";
+        write_response(out, rej);
+        out.flush();
+      }
+      const std::lock_guard<std::mutex> lock(done_mu);
+      --outstanding;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return outstanding == 0; });
+  }
+  reg.remove(fd);
+  ::close(fd);
+}
+
+int serve_tcp(const DaemonConfig& cfg) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::cerr << "starringd: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg.listen_port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::cerr << "starringd: bind/listen: " << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  std::cerr << "starringd: listening on 127.0.0.1:" << cfg.listen_port
+            << "\n";
+
+  EmbedService svc(cfg.svc);
+  ConnRegistry reg;
+  std::vector<std::thread> conns;
+  while (g_stop == 0) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 200 /*ms*/);
+    if (r <= 0) continue;  // timeout or EINTR: re-check g_stop
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    reg.add(fd);
+    conns.emplace_back(
+        [fd, &svc, &reg] { serve_connection(fd, svc, reg); });
+  }
+  ::close(listen_fd);
+  reg.shutdown_all();
+  for (std::thread& t : conns) t.join();
+  svc.drain();
+  return 0;
+}
+
+int daemon_main(int argc, char** argv) {
+  const auto cfg = parse_args(argc, argv);
+  if (!cfg) return usage(argv[0]);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::unique_ptr<obs::BenchRecorder> rec;
+  if (!cfg->bench_artifact.empty())
+    rec = std::make_unique<obs::BenchRecorder>(cfg->bench_artifact);
+
+  const int rc = cfg->listen_port > 0 ? serve_tcp(*cfg) : serve_stdio(*cfg);
+
+  if (rec) {
+    const double hits =
+        static_cast<double>(obs::counter("svc.cache_hits").value());
+    const double misses =
+        static_cast<double>(obs::counter("svc.cache_misses").value());
+    rec->add_counter("svc.cache_hit_rate",
+                     hits + misses > 0 ? hits / (hits + misses) : 0.0);
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace starring
+
+int main(int argc, char** argv) {
+  return starring::daemon_main(argc, argv);
+}

@@ -33,6 +33,9 @@
 #include "pancake/pancake.hpp"
 #include "perm/permutation.hpp"
 #include "routing/routing.hpp"
+#include "service/cache.hpp"
+#include "service/canonical.hpp"
+#include "service/service.hpp"
 #include "sim/ring_sim.hpp"
 #include "sim/self_healing.hpp"
 #include "stargraph/decomposition.hpp"

@@ -43,19 +43,88 @@ std::optional<Perm> parse_perm(const std::string& text, int n) {
   return Perm::of(syms);
 }
 
+void write_faults(std::ostream& os, const FaultSet& faults) {
+  const auto vf = faults.vertex_faults();
+  os << "vertex_faults " << vf.size() << "\n";
+  for (const Perm& f : vf) os << f.to_string() << "\n";
+  const auto ef = faults.edge_faults();
+  os << "edge_faults " << ef.size() << "\n";
+  for (const EdgeFault& f : ef)
+    os << f.u.to_string() << ' ' << f.v.to_string() << "\n";
+}
+
+/// Read the `vertex_faults`/`edge_faults` sections shared by embedding
+/// files and service requests.
+bool read_faults(std::istream& is, int n, FaultSet* out, std::string* error) {
+  std::string word;
+  std::size_t count = 0;
+  if (!(is >> word >> count) || word != "vertex_faults") {
+    fail(error, "bad vertex_faults line");
+    return false;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string lit;
+    if (!(is >> lit)) {
+      fail(error, "truncated vertex faults");
+      return false;
+    }
+    const auto p = parse_perm(lit, n);
+    if (!p) {
+      fail(error, "bad vertex fault '" + lit + "'");
+      return false;
+    }
+    out->add_vertex(*p);
+  }
+
+  if (!(is >> word >> count) || word != "edge_faults") {
+    fail(error, "bad edge_faults line");
+    return false;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string la;
+    std::string lb;
+    if (!(is >> la >> lb)) {
+      fail(error, "truncated edge faults");
+      return false;
+    }
+    const auto a = parse_perm(la, n);
+    const auto b = parse_perm(lb, n);
+    if (!a || !b || !a->adjacent(*b)) {
+      fail(error, "bad edge fault '" + la + " " + lb + "'");
+      return false;
+    }
+    out->add_edge(*a, *b);
+  }
+  return true;
+}
+
+/// Read `count` whitespace-separated vertex ids of S_n.
+bool read_sequence(std::istream& is, int n, std::size_t count,
+                   std::vector<VertexId>* out, std::string* error) {
+  out->reserve(count);
+  const std::uint64_t limit = factorial(n);
+  for (std::size_t i = 0; i < count; ++i) {
+    VertexId id = 0;
+    if (!(is >> id)) {
+      fail(error, "truncated sequence");
+      return false;
+    }
+    if (id >= limit) {
+      fail(error, "vertex id out of range: " + std::to_string(id));
+      return false;
+    }
+    out->push_back(id);
+  }
+  return true;
+}
+
 }  // namespace
 
 bool write_embedding(std::ostream& os, const EmbeddingFile& e) {
   os << "starring-embedding v1\n";
   os << "n " << e.n << "\n";
   os << "kind " << (e.is_ring ? "ring" : "path") << "\n";
-  const auto vf = e.faults.vertex_faults();
-  os << "vertex_faults " << vf.size() << "\n";
-  for (const Perm& f : vf) os << f.to_string() << "\n";
-  const auto ef = e.faults.edge_faults();
-  os << "edge_faults " << ef.size() << "\n";
-  for (const EdgeFault& f : ef)
-    os << f.u.to_string() << ' ' << f.v.to_string() << "\n";
+  write_faults(os, e.faults);
   os << "sequence " << e.sequence.size() << "\n";
   for (std::size_t i = 0; i < e.sequence.size(); ++i)
     os << e.sequence[i] << ((i + 1) % 16 == 0 ? '\n' : ' ');
@@ -85,64 +154,165 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
   }
   e.is_ring = kind == "ring";
 
+  if (!read_faults(is, e.n, &e.faults, error)) return std::nullopt;
+
   std::size_t count = 0;
-  if (!(is >> word >> count) || word != "vertex_faults") {
-    fail(error, "bad vertex_faults line");
-    return std::nullopt;
-  }
-  for (std::size_t i = 0; i < count; ++i) {
-    std::string lit;
-    if (!(is >> lit)) {
-      fail(error, "truncated vertex faults");
-      return std::nullopt;
-    }
-    const auto p = parse_perm(lit, e.n);
-    if (!p) {
-      fail(error, "bad vertex fault '" + lit + "'");
-      return std::nullopt;
-    }
-    e.faults.add_vertex(*p);
-  }
-
-  if (!(is >> word >> count) || word != "edge_faults") {
-    fail(error, "bad edge_faults line");
-    return std::nullopt;
-  }
-  for (std::size_t i = 0; i < count; ++i) {
-    std::string la;
-    std::string lb;
-    if (!(is >> la >> lb)) {
-      fail(error, "truncated edge faults");
-      return std::nullopt;
-    }
-    const auto a = parse_perm(la, e.n);
-    const auto b = parse_perm(lb, e.n);
-    if (!a || !b || !a->adjacent(*b)) {
-      fail(error, "bad edge fault '" + la + " " + lb + "'");
-      return std::nullopt;
-    }
-    e.faults.add_edge(*a, *b);
-  }
-
   if (!(is >> word >> count) || word != "sequence") {
     fail(error, "bad sequence line");
     return std::nullopt;
   }
-  e.sequence.reserve(count);
-  const std::uint64_t limit = factorial(e.n);
-  for (std::size_t i = 0; i < count; ++i) {
-    VertexId id = 0;
-    if (!(is >> id)) {
-      fail(error, "truncated sequence");
-      return std::nullopt;
-    }
-    if (id >= limit) {
-      fail(error, "vertex id out of range: " + std::to_string(id));
-      return std::nullopt;
-    }
-    e.sequence.push_back(id);
-  }
+  if (!read_sequence(is, e.n, count, &e.sequence, error)) return std::nullopt;
   return e;
+}
+
+bool write_request(std::ostream& os, const ServiceRequest& r) {
+  os << "starring-request v1\n";
+  os << "id " << r.id << "\n";
+  os << "n " << r.n << "\n";
+  write_faults(os, r.faults);
+  os << "verify " << (r.verify ? 1 : 0) << "\n";
+  os << "end\n";
+  return static_cast<bool>(os);
+}
+
+bool write_response(std::ostream& os, const ServiceResponse& r) {
+  os << "starring-response v1\n";
+  os << "id " << r.id << "\n";
+  switch (r.status) {
+    case ServiceStatus::kOk: {
+      os << "status ok\n";
+      os << "cache " << (r.cache_hit ? "hit" : "miss") << "\n";
+      os << "verified " << (r.verified ? 1 : 0) << "\n";
+      os << "ring " << r.ring.size() << "\n";
+      for (std::size_t i = 0; i < r.ring.size(); ++i)
+        os << r.ring[i] << ((i + 1) % 16 == 0 ? '\n' : ' ');
+      os << "\n";
+      break;
+    }
+    case ServiceStatus::kError:
+      os << "status error\nreason " << r.reason << "\n";
+      break;
+    case ServiceStatus::kRejected:
+      os << "status rejected\nreason " << r.reason << "\n";
+      break;
+  }
+  os << "end\n";
+  return static_cast<bool>(os);
+}
+
+namespace {
+
+/// Shared header handling: `starring-<what> v1` then `id <u64>`.  At a
+/// clean end of stream (no header token at all) reports success=false
+/// with *error cleared — the caller returns nullopt and the daemon
+/// treats it as an orderly shutdown.
+bool read_record_header(std::istream& is, const char* magic,
+                        std::uint64_t* id, std::string* error) {
+  std::string word;
+  if (!(is >> word)) {
+    fail(error, "");  // clean EOF
+    return false;
+  }
+  std::string version;
+  if (word != magic || !(is >> version) || version != "v1") {
+    fail(error, "bad header");
+    return false;
+  }
+  if (!(is >> word >> *id) || word != "id") {
+    fail(error, "bad id line");
+    return false;
+  }
+  return true;
+}
+
+/// The record terminator keeps a stream of records self-framing.
+bool read_end(std::istream& is, std::string* error) {
+  std::string word;
+  if (!(is >> word) || word != "end") {
+    fail(error, "missing end line");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<ServiceRequest> read_request(std::istream& is,
+                                           std::string* error) {
+  ServiceRequest r;
+  if (!read_record_header(is, "starring-request", &r.id, error))
+    return std::nullopt;
+  std::string word;
+  if (!(is >> word >> r.n) || word != "n" || r.n < 1 || r.n > kMaxN) {
+    fail(error, "bad dimension line");
+    return std::nullopt;
+  }
+  if (!read_faults(is, r.n, &r.faults, error)) return std::nullopt;
+  int verify = 0;
+  if (!(is >> word >> verify) || word != "verify" ||
+      (verify != 0 && verify != 1)) {
+    fail(error, "bad verify line");
+    return std::nullopt;
+  }
+  r.verify = verify == 1;
+  if (!read_end(is, error)) return std::nullopt;
+  return r;
+}
+
+std::optional<ServiceResponse> read_response(std::istream& is,
+                                             std::string* error) {
+  ServiceResponse r;
+  if (!read_record_header(is, "starring-response", &r.id, error))
+    return std::nullopt;
+  std::string word;
+  std::string status;
+  if (!(is >> word >> status) || word != "status") {
+    fail(error, "bad status line");
+    return std::nullopt;
+  }
+  if (status == "error" || status == "rejected") {
+    r.status = status == "error" ? ServiceStatus::kError
+                                 : ServiceStatus::kRejected;
+    if (!(is >> word) || word != "reason") {
+      fail(error, "bad reason line");
+      return std::nullopt;
+    }
+    std::getline(is, r.reason);
+    if (!r.reason.empty() && r.reason.front() == ' ')
+      r.reason.erase(r.reason.begin());
+    if (!read_end(is, error)) return std::nullopt;
+    return r;
+  }
+  if (status != "ok") {
+    fail(error, "bad status '" + status + "'");
+    return std::nullopt;
+  }
+  r.status = ServiceStatus::kOk;
+  std::string token;
+  if (!(is >> word >> token) || word != "cache" ||
+      (token != "hit" && token != "miss")) {
+    fail(error, "bad cache line");
+    return std::nullopt;
+  }
+  r.cache_hit = token == "hit";
+  int verified = 0;
+  if (!(is >> word >> verified) || word != "verified" ||
+      (verified != 0 && verified != 1)) {
+    fail(error, "bad verified line");
+    return std::nullopt;
+  }
+  r.verified = verified == 1;
+  std::size_t count = 0;
+  if (!(is >> word >> count) || word != "ring") {
+    fail(error, "bad ring line");
+    return std::nullopt;
+  }
+  // The ring sequence has no dimension context of its own; responses
+  // are validated against n! by the caller, which knows the request.
+  // Structurally we only bound ids by kMaxN!.
+  if (!read_sequence(is, kMaxN, count, &r.ring, error)) return std::nullopt;
+  if (!read_end(is, error)) return std::nullopt;
+  return r;
 }
 
 }  // namespace starring

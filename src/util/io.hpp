@@ -43,4 +43,59 @@ bool write_embedding(std::ostream& os, const EmbeddingFile& e);
 std::optional<EmbeddingFile> read_embedding(std::istream& is,
                                             std::string* error = nullptr);
 
+// --- Service line protocol -------------------------------------------
+//
+// The embedding service (src/service) speaks a versioned line protocol
+// over stdio or TCP, one record per request/response, reusing the
+// EmbeddingFile conventions (1-based permutation literals, whitespace-
+// separated vertex ids).  Records are terminated by an `end` line so a
+// stream of them is self-framing:
+//
+//   starring-request v1          starring-response v1
+//   id <u64>                     id <u64>
+//   n <dim>                      status <ok|error|rejected>
+//   vertex_faults <count>        [reason <one line>]        (non-ok)
+//   <one permutation per line>   [cache <hit|miss>]         (ok)
+//   edge_faults <count>          [verified <0|1>]           (ok)
+//   <two permutations per line>  [ring <length>]            (ok)
+//   verify <0|1>                 [<vertex ids ...>]         (ok)
+//   end                          end
+
+struct ServiceRequest {
+  /// Caller-chosen correlation id, echoed on the response.
+  std::uint64_t id = 0;
+  int n = 0;
+  FaultSet faults;
+  /// Ask the service to run the independent verifier on the response
+  /// ring before sending it (hits are additionally verified when the
+  /// daemon runs with --verify-on-hit).
+  bool verify = false;
+};
+
+enum class ServiceStatus { kOk, kError, kRejected };
+
+struct ServiceResponse {
+  std::uint64_t id = 0;
+  ServiceStatus status = ServiceStatus::kError;
+  /// Whether the canonical embedding came out of the result cache.
+  bool cache_hit = false;
+  /// Whether the service verified the ring before responding.
+  bool verified = false;
+  /// The healthy ring in the caller's frame (ok responses only).
+  std::vector<VertexId> ring;
+  /// Failure reason (non-ok responses only; single line).
+  std::string reason;
+};
+
+bool write_request(std::ostream& os, const ServiceRequest& r);
+bool write_response(std::ostream& os, const ServiceResponse& r);
+
+/// Parse one record.  Clean end-of-stream before the header yields
+/// nullopt with *error set to "" — that is how a daemon distinguishes
+/// an orderly shutdown from a framing error (non-empty *error).
+std::optional<ServiceRequest> read_request(std::istream& is,
+                                           std::string* error = nullptr);
+std::optional<ServiceResponse> read_response(std::istream& is,
+                                             std::string* error = nullptr);
+
 }  // namespace starring

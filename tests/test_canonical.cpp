@@ -1,0 +1,192 @@
+// Tests for the relabeling symmetry helpers and the service's
+// canonical form: group identities, automorphism property, class
+// invariance of the canonical key, and the cache-hit correctness
+// argument (a canonical embedding relabeled back is a healthy ring of
+// the promised length in the caller's frame).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/ring_embedder.hpp"
+#include "core/verify.hpp"
+#include "fault/generators.hpp"
+#include "service/canonical.hpp"
+#include "stargraph/star_graph.hpp"
+
+namespace starring {
+namespace {
+
+Perm random_perm(int n, std::mt19937_64* rng) {
+  return Perm::unrank((*rng)() % factorial(n), n);
+}
+
+TEST(Relabel, GroupIdentities) {
+  std::mt19937_64 rng(11);
+  for (int n = 3; n <= 9; ++n) {
+    const Perm id = Perm::identity(n);
+    for (int trial = 0; trial < 50; ++trial) {
+      const Perm p = random_perm(n, &rng);
+      const Perm g = random_perm(n, &rng);
+      EXPECT_EQ(relabel(id, p), p);
+      EXPECT_EQ(relabel(g, id), g);
+      EXPECT_EQ(relabel(inverse_of(p), p), id);
+      EXPECT_EQ(inverse_of(inverse_of(p)), p);
+      EXPECT_EQ(relabel(inverse_of(g), relabel(g, p)), p);
+    }
+  }
+}
+
+TEST(Relabel, IsStarGraphAutomorphism) {
+  std::mt19937_64 rng(23);
+  for (int n = 4; n <= 8; ++n) {
+    for (int trial = 0; trial < 30; ++trial) {
+      const Perm p = random_perm(n, &rng);
+      const Perm g = random_perm(n, &rng);
+      for (const Perm& q : neighbors(p)) {
+        EXPECT_TRUE(relabel(g, p).adjacent(relabel(g, q)));
+      }
+      // Non-neighbours stay non-neighbours (automorphism, not just
+      // homomorphism): check against a random distinct vertex.
+      const Perm r = random_perm(n, &rng);
+      if (!(r == p)) {
+        EXPECT_EQ(p.adjacent(r), relabel(g, p).adjacent(relabel(g, r)));
+      }
+    }
+  }
+}
+
+TEST(Relabel, ActsTransitively) {
+  // g = q ∘ p⁻¹ maps p to q: the relabeling family can move any vertex
+  // anywhere, which is why one canonical instance per class suffices.
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 4 + static_cast<int>(rng() % 5);
+    const Perm p = random_perm(n, &rng);
+    const Perm q = random_perm(n, &rng);
+    const Perm g = relabel(q, inverse_of(p));
+    EXPECT_EQ(relabel(g, p), q);
+  }
+}
+
+TEST(Canonical, KeyInvariantUnderRelabeling) {
+  std::mt19937_64 rng(47);
+  for (int n = 5; n <= 7; ++n) {
+    const StarGraph g(n);
+    for (int trial = 0; trial < 40; ++trial) {
+      const int nf = static_cast<int>(rng() % static_cast<std::uint64_t>(
+                                                  n - 2));  // 0..n-3
+      const FaultSet faults = random_vertex_faults(g, nf, rng());
+      const CanonicalForm base = canonicalize(n, faults);
+      for (int k = 0; k < 5; ++k) {
+        const Perm h = random_perm(n, &rng);
+        const CanonicalForm moved = canonicalize(n, faults.relabeled(h));
+        EXPECT_EQ(moved.key, base.key)
+            << "n=" << n << " trial=" << trial << " relabeling " << k;
+      }
+    }
+  }
+}
+
+TEST(Canonical, KeyInvariantWithEdgeFaults) {
+  std::mt19937_64 rng(53);
+  for (int n = 5; n <= 6; ++n) {
+    const StarGraph g(n);
+    for (int trial = 0; trial < 20; ++trial) {
+      const FaultSet faults = mixed_faults(g, 1, 1, rng());
+      const FaultSet edge_only = random_edge_faults(g, 2, rng());
+      for (const FaultSet* f : {&faults, &edge_only}) {
+        const CanonicalForm base = canonicalize(n, *f);
+        const Perm h = random_perm(n, &rng);
+        EXPECT_EQ(canonicalize(n, f->relabeled(h)).key, base.key);
+      }
+    }
+  }
+}
+
+TEST(Canonical, ToCanonicalReproducesCanonicalFaults) {
+  std::mt19937_64 rng(59);
+  const int n = 6;
+  const StarGraph g(n);
+  for (int trial = 0; trial < 30; ++trial) {
+    const FaultSet faults = random_vertex_faults(g, 3, rng());
+    const CanonicalForm c = canonicalize(n, faults);
+    const FaultSet image = faults.relabeled(c.to_canonical);
+    for (const Perm& v : c.faults.vertex_faults())
+      EXPECT_TRUE(image.vertex_faulty(v));
+    EXPECT_EQ(image.num_vertex_faults(), c.faults.num_vertex_faults());
+    // Some fault landed on the identity vertex (the pivot).
+    EXPECT_TRUE(c.faults.vertex_faulty(Perm::identity(n)));
+  }
+}
+
+TEST(Canonical, SingleVertexFaultClassIsUnique) {
+  // Vertex-transitivity collapses every 1-fault instance of S_n into
+  // one class: the cache answers all n! of them with one embedding.
+  const int n = 6;
+  const StarGraph g(n);
+  std::mt19937_64 rng(61);
+  FaultSet first;
+  first.add_vertex(Perm::unrank(0, n));
+  const std::string key = canonicalize(n, first).key;
+  for (int trial = 0; trial < 50; ++trial) {
+    FaultSet f;
+    f.add_vertex(Perm::unrank(rng() % factorial(n), n));
+    EXPECT_EQ(canonicalize(n, f).key, key);
+  }
+}
+
+TEST(Canonical, FaultFreeUsesIdentity) {
+  const CanonicalForm c = canonicalize(7, FaultSet{});
+  EXPECT_EQ(c.to_canonical, Perm::identity(7));
+  EXPECT_TRUE(c.faults.empty());
+}
+
+TEST(Canonical, DistinctClassesGetDistinctKeys) {
+  // Different fault cardinalities can never collide (the key encodes
+  // every fault), and n is part of the key.
+  const StarGraph g(6);
+  const FaultSet f1 = random_vertex_faults(g, 1, 5);
+  const FaultSet f2 = random_vertex_faults(g, 2, 5);
+  EXPECT_NE(canonicalize(6, f1).key, canonicalize(6, f2).key);
+  EXPECT_NE(canonicalize(6, FaultSet{}).key, canonicalize(5, FaultSet{}).key);
+}
+
+TEST(Canonical, CacheHitRingRelabelsBackHealthy) {
+  // The service's cache-hit path end to end: embed the canonical
+  // instance once, then answer a relabeled request by mapping the ring
+  // back; the result must pass the independent verifier with length
+  // n! - 2|Fv| in the caller's frame.
+  std::mt19937_64 rng(67);
+  for (int n = 5; n <= 7; ++n) {
+    const StarGraph g(n);
+    for (int trial = 0; trial < 5; ++trial) {
+      const int nf = 1 + static_cast<int>(rng() % static_cast<std::uint64_t>(
+                                                      n - 3));  // 1..n-3
+      const FaultSet faults = random_vertex_faults(g, nf, rng());
+      const CanonicalForm canon = canonicalize(n, faults);
+      const auto res = embed_longest_ring(g, canon.faults);
+      ASSERT_TRUE(res.has_value()) << "n=" << n << " nf=" << nf;
+      const std::vector<VertexId> back =
+          relabel_ring(res->ring, inverse_of(canon.to_canonical), n);
+      const RingReport report = verify_healthy_ring(g, faults, back);
+      EXPECT_TRUE(report.valid) << report.error;
+      EXPECT_EQ(back.size(), expected_ring_length(n, faults.num_vertex_faults()));
+    }
+  }
+}
+
+TEST(Canonical, RelabelRingMatchesVertexwiseRelabel) {
+  const int n = 5;
+  const StarGraph g(n);
+  std::mt19937_64 rng(71);
+  const Perm h = random_perm(n, &rng);
+  const auto res = embed_hamiltonian_cycle(g);
+  ASSERT_TRUE(res.has_value());
+  const auto mapped = relabel_ring(res->ring, h, n);
+  ASSERT_EQ(mapped.size(), res->ring.size());
+  for (std::size_t i = 0; i < mapped.size(); ++i)
+    EXPECT_EQ(mapped[i], relabel(h, Perm::unrank(res->ring[i], n)).rank());
+}
+
+}  // namespace
+}  // namespace starring

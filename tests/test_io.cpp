@@ -213,6 +213,177 @@ TEST(Io, RejectsNonNumericSequenceEntry) {
   EXPECT_EQ(err, "truncated sequence");
 }
 
+// ---------------------------------------------------------------------------
+// Service protocol: starring-request v1 / starring-response v1.
+
+TEST(IoService, RoundTripRequest) {
+  const StarGraph g(6);
+  ServiceRequest r;
+  r.id = 42;
+  r.n = 6;
+  r.faults = mixed_faults(g, 2, 1, 13);
+  r.verify = true;
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, r));
+  std::string err;
+  const auto back = read_request(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->id, 42u);
+  EXPECT_EQ(back->n, 6);
+  EXPECT_TRUE(back->verify);
+  EXPECT_EQ(back->faults.num_vertex_faults(), 2u);
+  EXPECT_EQ(back->faults.num_edge_faults(), 1u);
+  for (const Perm& f : r.faults.vertex_faults())
+    EXPECT_TRUE(back->faults.vertex_faulty(f));
+  for (const EdgeFault& f : r.faults.edge_faults())
+    EXPECT_TRUE(back->faults.edge_faulty(f.u, f.v));
+}
+
+TEST(IoService, RoundTripOkResponse) {
+  const StarGraph g(5);
+  const auto res = embed_hamiltonian_cycle(g);
+  ASSERT_TRUE(res.has_value());
+  ServiceResponse r;
+  r.id = 7;
+  r.status = ServiceStatus::kOk;
+  r.cache_hit = true;
+  r.verified = true;
+  r.ring = res->ring;
+  std::stringstream ss;
+  ASSERT_TRUE(write_response(ss, r));
+  std::string err;
+  const auto back = read_response(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->id, 7u);
+  EXPECT_EQ(back->status, ServiceStatus::kOk);
+  EXPECT_TRUE(back->cache_hit);
+  EXPECT_TRUE(back->verified);
+  EXPECT_EQ(back->ring, r.ring);
+}
+
+TEST(IoService, RoundTripErrorAndRejectedResponses) {
+  for (const ServiceStatus status :
+       {ServiceStatus::kError, ServiceStatus::kRejected}) {
+    ServiceResponse r;
+    r.id = 9;
+    r.status = status;
+    r.reason = "queue full: try again later";
+    std::stringstream ss;
+    ASSERT_TRUE(write_response(ss, r));
+    const auto back = read_response(ss);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->status, status);
+    EXPECT_EQ(back->reason, r.reason) << "reason must survive with spaces";
+    EXPECT_TRUE(back->ring.empty());
+  }
+}
+
+TEST(IoService, StreamOfRecordsThenCleanEof) {
+  std::stringstream ss;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ServiceRequest r;
+    r.id = i;
+    r.n = 4;
+    ASSERT_TRUE(write_request(ss, r));
+  }
+  std::string err = "sentinel";
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const auto back = read_request(ss, &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(back->id, i);
+  }
+  // End of stream is not an error: nullopt with *error cleared, the
+  // daemon's orderly-shutdown signal.
+  EXPECT_FALSE(read_request(ss, &err).has_value());
+  EXPECT_TRUE(err.empty());
+}
+
+TEST(IoService, RequestRejectsBadHeader) {
+  std::stringstream ss("starring-request v2\nid 1\n");
+  std::string err;
+  EXPECT_FALSE(read_request(ss, &err).has_value());
+  EXPECT_EQ(err, "bad header");
+}
+
+TEST(IoService, RequestRejectsBadIdLine) {
+  std::stringstream ss("starring-request v1\nident 1\n");
+  std::string err;
+  EXPECT_FALSE(read_request(ss, &err).has_value());
+  EXPECT_EQ(err, "bad id line");
+}
+
+TEST(IoService, RequestRejectsBadDimension) {
+  std::stringstream ss("starring-request v1\nid 1\nn 99\n");
+  std::string err;
+  EXPECT_FALSE(read_request(ss, &err).has_value());
+  EXPECT_EQ(err, "bad dimension line");
+}
+
+TEST(IoService, RequestRejectsBadVerifyFlag) {
+  std::stringstream ss(
+      "starring-request v1\nid 1\nn 4\nvertex_faults 0\nedge_faults 0\n"
+      "verify 2\nend\n");
+  std::string err;
+  EXPECT_FALSE(read_request(ss, &err).has_value());
+  EXPECT_EQ(err, "bad verify line");
+}
+
+TEST(IoService, RequestRejectsMissingEnd) {
+  std::stringstream ss(
+      "starring-request v1\nid 1\nn 4\nvertex_faults 0\nedge_faults 0\n"
+      "verify 0\n");
+  std::string err;
+  EXPECT_FALSE(read_request(ss, &err).has_value());
+  EXPECT_EQ(err, "missing end line");
+}
+
+TEST(IoService, RequestRejectsBadFaultLiteral) {
+  std::stringstream ss(
+      "starring-request v1\nid 1\nn 4\nvertex_faults 1\n1135\n");
+  std::string err;
+  EXPECT_FALSE(read_request(ss, &err).has_value());
+  EXPECT_NE(err.find("bad vertex fault"), std::string::npos);
+}
+
+TEST(IoService, ResponseRejectsBadStatus) {
+  std::stringstream ss("starring-response v1\nid 1\nstatus maybe\n");
+  std::string err;
+  EXPECT_FALSE(read_response(ss, &err).has_value());
+  EXPECT_EQ(err, "bad status 'maybe'");
+}
+
+TEST(IoService, ResponseRejectsBadCacheToken) {
+  std::stringstream ss(
+      "starring-response v1\nid 1\nstatus ok\ncache warm\n");
+  std::string err;
+  EXPECT_FALSE(read_response(ss, &err).has_value());
+  EXPECT_EQ(err, "bad cache line");
+}
+
+TEST(IoService, ResponseRejectsBadVerifiedFlag) {
+  std::stringstream ss(
+      "starring-response v1\nid 1\nstatus ok\ncache miss\nverified yes\n");
+  std::string err;
+  EXPECT_FALSE(read_response(ss, &err).has_value());
+  EXPECT_EQ(err, "bad verified line");
+}
+
+TEST(IoService, ResponseRejectsTruncatedRing) {
+  std::stringstream ss(
+      "starring-response v1\nid 1\nstatus ok\ncache miss\nverified 0\n"
+      "ring 4\n1 2 3\n");
+  std::string err;
+  EXPECT_FALSE(read_response(ss, &err).has_value());
+  EXPECT_EQ(err, "truncated sequence");
+}
+
+TEST(IoService, ResponseRejectsMissingReason) {
+  std::stringstream ss("starring-response v1\nid 1\nstatus error\n");
+  std::string err;
+  EXPECT_FALSE(read_response(ss, &err).has_value());
+  EXPECT_EQ(err, "bad reason line");
+}
+
 TEST(Io, LargeNDotSeparatedFaults) {
   const StarGraph g(11);
   EmbeddingFile e;

@@ -16,6 +16,7 @@
 #include "obs/bench_io.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "service/service.hpp"
 
 namespace starring {
 namespace {
@@ -184,6 +185,89 @@ TEST(ObsBench, RecorderWritesValidArtifact) {
   const obs::JsonValue* counters = doc->find("counters");
   EXPECT_EQ(counters->find("extra.value")->number, 1.5);
   EXPECT_EQ(counters->find("test.from_recorder_scope")->number, 2.0);
+}
+
+TEST(ObsMetrics, LatencyHistogramBucketsAndTotals) {
+  MetricsOn on;
+  obs::LatencyHistogram h("test.lat");
+  h.record(std::chrono::microseconds(50));        // -> le_100us
+  h.record(std::chrono::microseconds(500));       // -> le_1ms
+  h.record(std::chrono::milliseconds(5));         // -> le_10ms
+  h.record(std::chrono::milliseconds(50));        // -> le_100ms
+  h.record(std::chrono::milliseconds(500));       // -> le_1s
+  h.record(std::chrono::seconds(2));              // -> gt_1s
+  h.record(std::chrono::microseconds(100));       // boundary: still le_100us
+  EXPECT_EQ(obs::counter("test.lat.le_100us").value(), 2);
+  EXPECT_EQ(obs::counter("test.lat.le_1ms").value(), 1);
+  EXPECT_EQ(obs::counter("test.lat.le_10ms").value(), 1);
+  EXPECT_EQ(obs::counter("test.lat.le_100ms").value(), 1);
+  EXPECT_EQ(obs::counter("test.lat.le_1s").value(), 1);
+  EXPECT_EQ(obs::counter("test.lat.gt_1s").value(), 1);
+  EXPECT_EQ(obs::counter("test.lat.count").value(), 7);
+  EXPECT_EQ(obs::counter("test.lat.total_us").value(),
+            50 + 500 + 5'000 + 50'000 + 500'000 + 2'000'000 + 100);
+}
+
+TEST(ObsMetrics, ServiceCountersAfterBatchedRun) {
+  MetricsOn on;
+  const StarGraph g(5);
+  const FaultSet faults = random_vertex_faults(g, 1, /*seed=*/3);
+  const int kRequests = 8;
+  {
+    EmbedService svc;
+    for (int i = 0; i < kRequests; ++i) {
+      ServiceRequest r;
+      r.id = i;
+      r.n = 5;
+      r.faults = faults;  // one canonical class: 1 miss, the rest hits
+      ASSERT_TRUE(svc.submit(std::move(r)));
+    }
+    svc.drain();
+    while (svc.next_response()) {
+    }
+  }
+  const auto value = [](const std::string& name) {
+    return obs::counter(name).value();
+  };
+  EXPECT_EQ(value("svc.requests"), kRequests);
+  EXPECT_EQ(value("svc.rejected"), 0);
+  EXPECT_GE(value("svc.batches"), 1);
+  EXPECT_GE(value("svc.batch_size_max"), 1);
+  EXPECT_GE(value("svc.queue_depth_max"), 1);
+  EXPECT_EQ(value("svc.cache_misses"), 1);
+  EXPECT_EQ(value("svc.cache_hits"), kRequests - 1);
+  EXPECT_EQ(value("svc.embed_failures"), 0);
+  EXPECT_EQ(value("svc.verify_failures"), 0);
+  // Every request's submit-to-response latency was recorded.
+  EXPECT_EQ(value("svc.latency.count"), kRequests);
+  EXPECT_GT(value("svc.latency.total_us"), 0);
+  std::int64_t bucketed = 0;
+  for (const char* b : {"svc.latency.le_100us", "svc.latency.le_1ms",
+                        "svc.latency.le_10ms", "svc.latency.le_100ms",
+                        "svc.latency.le_1s", "svc.latency.gt_1s"})
+    bucketed += value(b);
+  EXPECT_EQ(bucketed, kRequests);
+}
+
+TEST(ObsMetrics, ServiceVerifyCountersViaProcessNow) {
+  MetricsOn on;
+  const StarGraph g(5);
+  EmbedService svc;
+  ServiceRequest r;
+  r.id = 1;
+  r.n = 5;
+  r.faults = random_vertex_faults(g, 2, 7);
+  r.verify = true;
+  const ServiceResponse first = svc.process_now(r);
+  ASSERT_EQ(first.status, ServiceStatus::kOk) << first.reason;
+  r.id = 2;
+  const ServiceResponse second = svc.process_now(r);
+  ASSERT_EQ(second.status, ServiceStatus::kOk) << second.reason;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(obs::counter("svc.verified").value(), 2);
+  EXPECT_EQ(obs::counter("svc.verify_failures").value(), 0);
+  EXPECT_EQ(obs::counter("svc.cache_hits").value(), 1);
+  EXPECT_EQ(obs::counter("svc.cache_misses").value(), 1);
 }
 
 #endif  // !STARRING_OBS_DISABLED

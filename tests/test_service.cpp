@@ -1,0 +1,239 @@
+// Tests for the embedding service: cache semantics (bit-identical
+// hits, cross-relabeling sharing, eviction), the batched scheduler
+// (submit/drain, callbacks, backpressure rejection), verification
+// plumbing, and failure surfaces.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "core/verify.hpp"
+#include "fault/generators.hpp"
+#include "service/cache.hpp"
+#include "service/service.hpp"
+#include "stargraph/star_graph.hpp"
+
+namespace starring {
+namespace {
+
+ServiceRequest make_request(std::uint64_t id, int n, FaultSet faults,
+                            bool verify = false) {
+  ServiceRequest r;
+  r.id = id;
+  r.n = n;
+  r.faults = std::move(faults);
+  r.verify = verify;
+  return r;
+}
+
+TEST(EmbedService, ProcessNowHitIsBitIdentical) {
+  const StarGraph g(6);
+  const FaultSet faults = random_vertex_faults(g, 2, /*seed=*/3);
+  EmbedService svc;
+  const ServiceResponse fresh = svc.process_now(make_request(1, 6, faults));
+  ASSERT_EQ(fresh.status, ServiceStatus::kOk);
+  EXPECT_FALSE(fresh.cache_hit);
+  const ServiceResponse hit = svc.process_now(make_request(2, 6, faults));
+  ASSERT_EQ(hit.status, ServiceStatus::kOk);
+  EXPECT_TRUE(hit.cache_hit);
+  // The acceptance bar: a hit's ring is bit-identical to the fresh
+  // computation's, because both were computed in the canonical frame
+  // and relabeled with the same map.
+  EXPECT_EQ(hit.ring, fresh.ring);
+}
+
+TEST(EmbedService, EquivalentRelabeledRequestsShareTheCache) {
+  const int n = 6;
+  const StarGraph g(n);
+  const FaultSet faults = random_vertex_faults(g, 2, /*seed=*/9);
+  EmbedService svc;
+  ASSERT_EQ(svc.process_now(make_request(1, n, faults)).status,
+            ServiceStatus::kOk);
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Perm h = Perm::unrank(rng() % factorial(n), n);
+    const FaultSet moved = faults.relabeled(h);
+    const ServiceResponse r =
+        svc.process_now(make_request(10 + trial, n, moved, /*verify=*/true));
+    ASSERT_EQ(r.status, ServiceStatus::kOk) << r.reason;
+    EXPECT_TRUE(r.cache_hit) << "relabeled instance missed the cache";
+    EXPECT_TRUE(r.verified);
+    const RingReport rep = verify_healthy_ring(g, moved, r.ring);
+    EXPECT_TRUE(rep.valid) << rep.error;
+  }
+}
+
+TEST(EmbedService, SubmitDrainNextResponse) {
+  const StarGraph g(5);
+  EmbedService svc;
+  std::mt19937_64 rng(29);
+  const int kRequests = 24;
+  for (int i = 0; i < kRequests; ++i) {
+    const int nf = static_cast<int>(rng() % 3);  // 0..2 = n-3
+    ASSERT_TRUE(svc.submit(
+        make_request(i, 5, random_vertex_faults(g, nf, rng()), true)));
+  }
+  svc.drain();
+  EXPECT_FALSE(svc.submit(make_request(999, 5, FaultSet{})))
+      << "submit after drain must be refused";
+  std::map<std::uint64_t, ServiceResponse> got;
+  while (auto r = svc.next_response()) got.emplace(r->id, std::move(*r));
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kRequests));
+  for (const auto& [id, r] : got) {
+    EXPECT_EQ(r.status, ServiceStatus::kOk) << "id=" << id << ": " << r.reason;
+    EXPECT_TRUE(r.verified);
+  }
+}
+
+TEST(EmbedService, CallbacksRunForEveryRequest) {
+  const StarGraph g(5);
+  EmbedService svc;
+  std::atomic<int> done{0};
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(svc.submit(
+        make_request(i, 5, random_vertex_faults(g, i % 3, i)),
+        [&](ServiceResponse r) {
+          done.fetch_add(1);
+          if (r.status == ServiceStatus::kOk) ok.fetch_add(1);
+        }));
+  }
+  svc.drain();
+  while (svc.next_response()) {
+  }
+  EXPECT_EQ(done.load(), 16);
+  EXPECT_EQ(ok.load(), 16);
+}
+
+TEST(EmbedService, MixedDimensionsBatchCorrectly) {
+  // Batches are same-n; interleaved dimensions must still all complete.
+  EmbedService svc;
+  for (int i = 0; i < 18; ++i) {
+    const int n = 4 + i % 3;  // 4,5,6 interleaved
+    const StarGraph g(n);
+    ASSERT_TRUE(svc.submit(
+        make_request(i, n, random_vertex_faults(g, i % 2, i), true)));
+  }
+  svc.drain();
+  int count = 0;
+  while (auto r = svc.next_response()) {
+    EXPECT_EQ(r->status, ServiceStatus::kOk) << r->reason;
+    ++count;
+  }
+  EXPECT_EQ(count, 18);
+}
+
+TEST(EmbedService, NonBlockingSubmitRejectsWhenFull) {
+  // One-slot queue, one-request batches, and slow n=7 work: keep
+  // stuffing without waiting until a rejection is observed.
+  ServiceOptions opts;
+  opts.queue_depth = 1;
+  opts.batch_max = 1;
+  EmbedService svc(opts);
+  const StarGraph g(7);
+  std::mt19937_64 rng(41);
+  bool rejected = false;
+  for (int i = 0; i < 64 && !rejected; ++i) {
+    const FaultSet faults = random_vertex_faults(g, 4, rng());
+    rejected = !svc.submit(make_request(i, 7, faults), nullptr,
+                           /*wait=*/false);
+  }
+  EXPECT_TRUE(rejected) << "a one-deep queue never filled under load";
+  svc.drain();
+  while (svc.next_response()) {
+  }
+}
+
+TEST(EmbedService, VerifyOnHitMarksResponsesVerified) {
+  ServiceOptions opts;
+  opts.verify_on_hit = true;
+  EmbedService svc(opts);
+  const StarGraph g(5);
+  const FaultSet faults = random_vertex_faults(g, 1, /*seed=*/7);
+  const ServiceResponse fresh = svc.process_now(make_request(1, 5, faults));
+  ASSERT_EQ(fresh.status, ServiceStatus::kOk);
+  EXPECT_FALSE(fresh.verified) << "misses only verify when asked";
+  const ServiceResponse hit = svc.process_now(make_request(2, 5, faults));
+  ASSERT_EQ(hit.status, ServiceStatus::kOk);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_TRUE(hit.verified);
+}
+
+TEST(EmbedService, UnsupportedDimensionIsAnErrorNotACrash) {
+  EmbedService svc;
+  const ServiceResponse r = svc.process_now(make_request(1, 2, FaultSet{}));
+  EXPECT_EQ(r.status, ServiceStatus::kError);
+  EXPECT_FALSE(r.reason.empty());
+  EXPECT_TRUE(r.ring.empty());
+}
+
+TEST(EmbedService, TooManyFaultsReportsEmbedFailure) {
+  // n - 2 vertex faults is outside the Theorem-1 guarantee; the
+  // pipeline may fail, and the service must answer with kError rather
+  // than a bogus ring.  (With n = 4 and 2 faults placed adjacent to
+  // each other the 4-cycle-free structure makes failure reliable.)
+  const int n = 4;
+  const StarGraph g(n);
+  EmbedService svc;
+  FaultSet faults;
+  // Fault every even permutation's first two: id and one neighbor.
+  const Perm id = Perm::identity(n);
+  faults.add_vertex(id);
+  for (const Perm& q : neighbors(id)) faults.add_vertex(q);
+  const ServiceResponse r = svc.process_now(make_request(1, n, faults));
+  if (r.status == ServiceStatus::kOk) {
+    const RingReport rep = verify_healthy_ring(g, faults, r.ring);
+    EXPECT_TRUE(rep.valid) << rep.error;
+  } else {
+    EXPECT_FALSE(r.reason.empty());
+  }
+}
+
+TEST(CanonicalRingCache, LookupInsertAndEvictionBound) {
+  CanonicalRingCache cache(/*capacity=*/8);  // 1 entry per shard
+  EXPECT_EQ(cache.lookup("absent"), nullptr);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back("key-" + std::to_string(i));
+    cache.insert(keys.back(),
+                 std::make_shared<const std::vector<VertexId>>(
+                     std::vector<VertexId>{static_cast<VertexId>(i)}));
+  }
+  // Per-shard LRU keeps the total bounded by capacity.
+  EXPECT_LE(cache.size(), 8u);
+  // Whatever survived still resolves to its own value.
+  int survivors = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (auto p = cache.lookup(keys[i])) {
+      ++survivors;
+      ASSERT_EQ(p->size(), 1u);
+      EXPECT_EQ((*p)[0], static_cast<VertexId>(i));
+    }
+  }
+  EXPECT_EQ(static_cast<std::size_t>(survivors), cache.size());
+}
+
+TEST(CanonicalRingCache, HitRefreshesLruPosition) {
+  // Capacity 8 over 8 shards = 1 entry/shard, so two same-shard keys
+  // evict each other; with a big per-shard budget a refreshed key
+  // outlives later inserts.
+  CanonicalRingCache cache(/*capacity=*/16);
+  auto ring = [](VertexId v) {
+    return std::make_shared<const std::vector<VertexId>>(
+        std::vector<VertexId>{v});
+  };
+  cache.insert("a", ring(1));
+  cache.insert("b", ring(2));
+  EXPECT_NE(cache.lookup("a"), nullptr);  // refresh "a"
+  // Re-insert refreshes rather than duplicating.
+  cache.insert("a", ring(3));
+  auto p = cache.lookup("a");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ((*p)[0], 3u);
+  EXPECT_LE(cache.size(), 16u);
+}
+
+}  // namespace
+}  // namespace starring
