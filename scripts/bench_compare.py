@@ -3,13 +3,17 @@
 
 Usage: scripts/bench_compare.py BASELINE.json CANDIDATE.json
            [--regression-pct PCT] [--ignore-counters] [--json]
+           [--gate METRIC[,METRIC...]]
 
 Prints a table of wall_ms and every counter present in either artifact
 (value, delta, percent change), then flags regressions: wall_ms or any
 phase.*_ns counter growing by more than PCT percent (default 10) AND
 by more than an absolute floor (1 ms), so sub-millisecond phases do
-not false-flag on timer granularity.  Exits 0 when clean, 1 on a
-flagged regression, 2 on a usage or schema error.  With --json the
+not false-flag on timer granularity.  With --gate only the listed
+metrics are eligible for flagging (everything else stays
+informational) — use it to hold one stable statistic to a tight
+threshold without subjecting every noisy phase total to it.  Exits 0
+when clean, 1 on a flagged regression, 2 on a usage or schema error.  With --json the
 table is replaced by one machine-readable JSON document on stdout
 (metrics, regressions, exit semantics unchanged) for dashboards and
 scripted gates.  Non-phase counters
@@ -69,6 +73,10 @@ def main():
                     help="emit one machine-readable JSON document instead "
                          "of the table (same regression logic and exit "
                          "codes)")
+    ap.add_argument("--gate", metavar="METRIC[,METRIC...]", default=None,
+                    help="comma-separated metric names; when given, only "
+                         "these are eligible for regression flagging "
+                         "(wall_ms included only if listed)")
     ap.add_argument("--normalize-by", metavar="COUNTER", default=None,
                     help="divide wall_ms and additive counters by this "
                          "counter's value in each artifact (e.g. "
@@ -105,8 +113,11 @@ def main():
 
     regressions = []
     metrics = {}
+    gate = None if args.gate is None else set(args.gate.split(","))
 
     def row(name, b, c, guard, min_delta=0.0):
+        if gate is not None:
+            guard = name in gate
         p = pct_change(b, c)
         flagged = bool(guard and p is not None and p > args.regression_pct
                        and c - b > min_delta)

@@ -31,13 +31,17 @@ esac
 # Drives ~100 mixed requests through a spawned daemon over stdio pipes
 # (drive mode asserts every response, a nonzero cache-hit count, and a
 # clean EOF-triggered drain), using whichever build tree is passed in.
+# Collects the flight-recorder trace and the STATS exposition on the
+# way and validates both with scripts/trace_validate.py.
 service_smoke() {
   local build_dir="$1"
   local smoke_dir="$build_dir/service-smoke"
   mkdir -p "$smoke_dir"
   STARRING_BENCH_DIR="$smoke_dir" \
     "$build_dir/src/service/starring-cli" drive \
-    --count 100 --seed 7 --nmin 5 --nmax 7 --verify --expect-hits -- \
+    --count 100 --seed 7 --nmin 5 --nmax 7 --verify --expect-hits \
+    --trace-out "$smoke_dir/trace.json" \
+    --stats-out "$smoke_dir/stats.prom" -- \
     "$build_dir/src/service/starringd" --verify-on-hit --bench-artifact service
   python3 - "$smoke_dir/BENCH_service.json" <<'EOF'
 import json, sys
@@ -49,6 +53,56 @@ assert c.get("svc.embed_failures", 0) == 0, c
 print(f"service smoke: {int(c['svc.cache_hits'])} hits / "
       f"{int(c['svc.requests'])} requests, artifact ok")
 EOF
+  python3 scripts/trace_validate.py \
+    --trace "$smoke_dir/trace.json" --expect-hit-miss \
+    --require-span svc.request --require-span svc.queue_wait \
+    --require-span svc.canonicalize --require-span svc.cache_probe \
+    --require-span svc.embed --require-span svc.relabel \
+    --require-span svc.verify --require-span embed \
+    --require-span super_ring --require-span verify \
+    --prom "$smoke_dir/stats.prom" \
+    --require-histogram starring_svc_latency_seconds
+}
+
+# TCP variant: a live daemon serving loopback, dump-on-SIGUSR1 for the
+# flight recorder, STATS scraped over the wire by the driving client.
+service_smoke_tcp() {
+  local build_dir="$1"
+  local smoke_dir="$build_dir/service-smoke-tcp"
+  local port=47113
+  mkdir -p "$smoke_dir"
+  "$build_dir/src/service/starringd" --listen "$port" \
+    --trace-out "$smoke_dir/trace.json" &
+  local daemon_pid=$!
+  # shellcheck disable=SC2064
+  trap "kill -9 $daemon_pid 2>/dev/null || true" RETURN
+  for _ in $(seq 50); do
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+      echo "service smoke (tcp): daemon died during startup" >&2; return 1
+    fi
+    (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null && break
+    sleep 0.1
+  done
+  "$build_dir/src/service/starring-cli" drive \
+    --count 60 --seed 11 --nmin 5 --nmax 6 --verify --expect-hits \
+    --connect "$port" --stats-out "$smoke_dir/stats.prom"
+  # Live flight-recorder dump: SIGUSR1 is picked up by the daemon's
+  # watcher thread within ~200ms.
+  kill -USR1 "$daemon_pid"
+  for _ in $(seq 50); do
+    [[ -s "$smoke_dir/trace.json" ]] && break
+    sleep 0.1
+  done
+  [[ -s "$smoke_dir/trace.json" ]] || {
+    echo "service smoke (tcp): no trace after SIGUSR1" >&2; return 1; }
+  python3 scripts/trace_validate.py \
+    --trace "$smoke_dir/trace.json" --expect-hit-miss \
+    --require-span svc.request --require-span svc.embed \
+    --prom "$smoke_dir/stats.prom" \
+    --require-histogram starring_svc_latency_seconds
+  kill -TERM "$daemon_pid"
+  wait "$daemon_pid"
+  echo "service smoke (tcp): SIGUSR1 dump + STATS scrape ok"
 }
 
 if [[ "$run_tier1" == 1 ]]; then
@@ -73,6 +127,9 @@ if [[ "$run_san" == 1 ]]; then
   echo "== service smoke under ASan+UBSan: starringd drain + cache hits =="
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
     service_smoke build-asan
+  echo "== service smoke under ASan+UBSan: TCP + SIGUSR1 dump + STATS =="
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    service_smoke_tcp build-asan
 fi
 
 if [[ "$run_service" == 1 && "$run_san" == 0 ]]; then
@@ -80,6 +137,8 @@ if [[ "$run_service" == 1 && "$run_san" == 0 ]]; then
   cmake -B build -S .
   cmake --build build -j "$JOBS" --target starringd starring-cli
   service_smoke build
+  echo "== service smoke: TCP + SIGUSR1 dump + STATS (tier-1 build) =="
+  service_smoke_tcp build
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -109,6 +168,24 @@ if [[ "$run_bench" == 1 ]]; then
   python3 scripts/bench_compare.py \
     bench/artifacts/BENCH_runtime.json "$SMOKE_DIR/BENCH_runtime.json" \
     --normalize-by embed.calls --regression-pct 100
+  echo "== bench smoke: tracing overhead on BM_EmbedMaxFaults (n=9) =="
+  cmake --build build-bench -j "$JOBS" --target bench_trace
+  STARRING_BENCH_DIR="$SMOKE_DIR" ./build-bench/bench/bench_trace
+  # Disabled-tracing cost is gated hard: the fastest-iteration CPU time
+  # of the span-sites-disabled pipeline must stay within 2% (plus the
+  # 1ms granularity floor) of the committed baseline.  Only the min
+  # statistic is gated — the phase sums and wall_ms jitter far beyond
+  # 2% on a shared box and stay informational.
+  python3 scripts/bench_compare.py \
+    bench/artifacts/BENCH_trace.json "$SMOKE_DIR/BENCH_trace.json" \
+    --regression-pct 2 --gate phase.trace_off_embed_min_ns
+  python3 - "$SMOKE_DIR/BENCH_trace.json" <<'EOF'
+import json, sys
+c = json.load(open(sys.argv[1]))["counters"]
+pct = c.get("trace.overhead_pct")
+assert pct is not None, "bench_trace artifact lacks trace.overhead_pct"
+print(f"tracing enabled-vs-disabled overhead: {pct:+.2f}%")
+EOF
 fi
 
 echo "== ci.sh: all requested stages passed =="

@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Validate observability exports from starringd / starring-cli.
+
+Two independent checks, selected by flags (both may be given):
+
+  --trace FILE   Chrome trace_event JSON produced by --trace-out.
+                 Asserts the document is well-formed, every event is a
+                 complete ("X") event with non-negative ts/dur, span ids
+                 are unique, parent links resolve within the same trace,
+                 and every child interval nests inside its parent (with
+                 a small clock tolerance).
+  --prom FILE    Prometheus text exposition produced by the STATS
+                 command.  Asserts every non-comment line matches the
+                 0.0.4 text grammar and every # TYPE has >= 1 sample.
+
+Extra assertions:
+  --require-span NAME        (repeatable) span NAME occurs >= 1 time
+  --require-histogram NAME   (repeatable) a full histogram family
+                             (NAME_bucket le=..., +Inf, _sum, _count)
+                             with monotone non-decreasing buckets
+  --expect-hit-miss          the trace holds >= 1 svc.request with an
+                             svc.embed descendant (miss) and >= 1
+                             without (hit)
+
+Exit 0 when every requested check passes; exit 1 with a message per
+failure otherwise.  stdlib only.
+"""
+import argparse
+import json
+import re
+import sys
+
+# One scheduler tick of slack for cross-thread intervals whose endpoints
+# were captured on different threads (microseconds).
+NEST_TOLERANCE_US = 1e-3
+
+
+def fail(errors, msg):
+    errors.append(msg)
+
+
+def validate_trace(path, require_spans, expect_hit_miss, errors):
+    before = len(errors)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(errors, f"{path}: not readable as JSON: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(errors, f"{path}: missing traceEvents array")
+        return
+
+    by_span = {}
+    for i, e in enumerate(events):
+        where = f"{path}: event {i}"
+        for key in ("name", "ph", "ts", "dur", "pid", "tid", "args"):
+            if key not in e:
+                fail(errors, f"{where}: missing key '{key}'")
+                return
+        if e["ph"] != "X":
+            fail(errors, f"{where}: ph {e['ph']!r}, expected complete 'X'")
+        if e["dur"] < 0:
+            fail(errors, f"{where}: negative duration {e['dur']}")
+        if e["ts"] < 0:
+            fail(errors, f"{where}: negative timestamp {e['ts']}")
+        args = e["args"]
+        for key in ("trace", "span", "parent"):
+            if not isinstance(args.get(key), int):
+                fail(errors, f"{where}: args.{key} missing or non-integer")
+                return
+        if args["span"] in by_span:
+            fail(errors, f"{where}: duplicate span id {args['span']}")
+        by_span[args["span"]] = e
+
+    for e in events:
+        parent_id = e["args"]["parent"]
+        if parent_id == 0:
+            continue
+        pe = by_span.get(parent_id)
+        if pe is None:
+            fail(errors,
+                 f"{path}: span {e['args']['span']} ({e['name']}) links to "
+                 f"unknown parent {parent_id}")
+            continue
+        if pe["args"]["trace"] != e["args"]["trace"]:
+            fail(errors,
+                 f"{path}: span {e['args']['span']} ({e['name']}) crosses "
+                 f"traces to parent {parent_id} ({pe['name']})")
+        if (e["ts"] + NEST_TOLERANCE_US < pe["ts"]
+                or e["ts"] + e["dur"]
+                > pe["ts"] + pe["dur"] + NEST_TOLERANCE_US):
+            fail(errors,
+                 f"{path}: span {e['args']['span']} ({e['name']}) "
+                 f"[{e['ts']}, {e['ts'] + e['dur']}] escapes parent "
+                 f"{pe['name']} [{pe['ts']}, {pe['ts'] + pe['dur']}]")
+
+    names = [e["name"] for e in events]
+    for want in require_spans:
+        if want not in names:
+            fail(errors, f"{path}: required span '{want}' never recorded")
+
+    if expect_hit_miss:
+        # A miss request trace contains an svc.embed span; a hit's does not.
+        embed_traces = {e["args"]["trace"] for e in events
+                        if e["name"] == "svc.embed"}
+        roots = [e for e in events if e["name"] == "svc.request"]
+        hits = [e for e in roots if e["args"]["trace"] not in embed_traces]
+        misses = [e for e in roots if e["args"]["trace"] in embed_traces]
+        if not roots:
+            fail(errors, f"{path}: no svc.request root spans")
+        if not misses:
+            fail(errors, f"{path}: no cache-miss trace (svc.embed) found")
+        if not hits:
+            fail(errors, f"{path}: no cache-hit trace (embed-free) found")
+
+    if len(errors) == before:
+        print(f"trace ok: {path}: {len(events)} events, "
+              f"{len(set(e['args']['trace'] for e in events))} traces, "
+              f"{len(set(names))} distinct span names")
+
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$")
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(text)
+
+
+def validate_prom(path, require_histograms, errors):
+    before = len(errors)
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(errors, f"{path}: {e}")
+        return
+    samples = {}  # full sample key (name + labels) -> value
+    typed = {}  # family name -> declared type
+    for i, line in enumerate(lines, 1):
+        where = f"{path}:{i}"
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not METRIC_RE.match(parts[2]):
+                fail(errors, f"{where}: malformed comment line: {line!r}")
+            elif parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                    fail(errors, f"{where}: bad TYPE {parts[3]!r}")
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(errors, f"{where}: unparsable sample line: {line!r}")
+            continue
+        if m.group("labels"):
+            body = m.group("labels")[1:-1]
+            for pair in filter(None, body.split(",")):
+                if not LABEL_RE.match(pair):
+                    fail(errors, f"{where}: malformed label {pair!r}")
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            fail(errors, f"{where}: non-numeric value: {line!r}")
+            continue
+        samples[m.group("name") + (m.group("labels") or "")] = value
+
+    for family, kind in typed.items():
+        suffixes = ("_bucket", "_sum", "_count") if kind in (
+            "histogram", "summary") else ("",)
+        if not any(k.startswith(family + s) for k in samples
+                   for s in suffixes):
+            fail(errors, f"{path}: TYPE {family} declared but no samples")
+
+    for family in require_histograms:
+        if typed.get(family) != "histogram":
+            fail(errors, f"{path}: {family} not declared as a histogram")
+            continue
+        buckets = []
+        for key, value in samples.items():
+            m = re.match(
+                re.escape(family) + r'_bucket\{le="([^"]+)"\}$', key)
+            if m:
+                buckets.append((parse_value(m.group(1)), value))
+        buckets.sort()
+        if not buckets or buckets[-1][0] != float("inf"):
+            fail(errors, f"{path}: {family} lacks an le=\"+Inf\" bucket")
+            continue
+        for (lo_le, lo), (hi_le, hi) in zip(buckets, buckets[1:]):
+            if lo > hi:
+                fail(errors,
+                     f"{path}: {family} bucket le={lo_le} count {lo} > "
+                     f"le={hi_le} count {hi} (not cumulative)")
+        count = samples.get(f"{family}_count")
+        if count is None or f"{family}_sum" not in samples:
+            fail(errors, f"{path}: {family} missing _sum/_count")
+        elif buckets[-1][1] < count:
+            fail(errors,
+                 f"{path}: {family} +Inf bucket {buckets[-1][1]} < "
+                 f"_count {count}")
+
+    if len(errors) == before:
+        hist = sum(1 for t in typed.values() if t == "histogram")
+        print(f"prom ok: {path}: {len(samples)} samples, "
+              f"{len(typed)} typed families ({hist} histograms)")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate trace JSON / Prometheus exposition exports.")
+    ap.add_argument("--trace", help="Chrome trace_event JSON file")
+    ap.add_argument("--prom", help="Prometheus text exposition file")
+    ap.add_argument("--require-span", action="append", default=[],
+                    metavar="NAME")
+    ap.add_argument("--require-histogram", action="append", default=[],
+                    metavar="NAME")
+    ap.add_argument("--expect-hit-miss", action="store_true")
+    args = ap.parse_args()
+    if not args.trace and not args.prom:
+        ap.error("nothing to do: pass --trace and/or --prom")
+
+    errors = []
+    if args.trace:
+        validate_trace(args.trace, args.require_span, args.expect_hit_miss,
+                       errors)
+    if args.prom:
+        validate_prom(args.prom, args.require_histogram, errors)
+    for msg in errors:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

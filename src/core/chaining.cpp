@@ -7,6 +7,7 @@
 
 #include "core/block_oracle.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace starring {
@@ -52,6 +53,7 @@ std::optional<std::vector<BlockInfo>> build_block_infos(
     const std::vector<SubstarPattern>& blocks_pat, const FaultSet& faults,
     int per_fault_loss, const SubstarPattern* excise, unsigned threads) {
   obs::ScopedPhase phase("chain_block_infos");
+  obs::trace::ScopedSpan span("chain_block_infos");
   const std::size_t m = blocks_pat.size();
   std::vector<int> fixed_pos;
   for (int i = 0; i < blocks_pat.front().n(); ++i)
@@ -159,6 +161,7 @@ std::vector<VertexId> emit(const std::vector<MemberExpander>& expand,
                            const std::vector<std::vector<int>>& paths,
                            unsigned threads) {
   obs::ScopedPhase phase("chain_emit");
+  obs::trace::ScopedSpan span("chain_emit");
   std::vector<std::size_t> offset(paths.size() + 1, 0);
   for (std::size_t j = 0; j < paths.size(); ++j)
     offset[j + 1] = offset[j] + paths[j].size();
@@ -178,6 +181,7 @@ bool compute_all_exits(const std::vector<SubstarPattern>& blocks_pat,
                        std::vector<BlockInfo>& blocks, const FaultSet& faults,
                        bool cyclic, unsigned threads) {
   obs::ScopedPhase phase("chain_exits");
+  obs::trace::ScopedSpan span("chain_exits");
   obs::counter("chain.threads").record_max(threads);
   const std::size_t m = blocks_pat.size();
   const std::size_t pairs = cyclic ? m : m - 1;
@@ -195,6 +199,7 @@ bool compute_all_exits(const std::vector<SubstarPattern>& blocks_pat,
 std::vector<MemberExpander> make_expanders(
     const std::vector<SubstarPattern>& blocks_pat, unsigned threads) {
   obs::ScopedPhase phase("chain_expanders");
+  obs::trace::ScopedSpan span("chain_expanders");
   // Expander construction precomputes the member_rank tables, so build
   // the n!/24 of them in parallel into pre-sized slots.
   std::vector<MemberExpander> expand(blocks_pat.size(),
@@ -248,6 +253,7 @@ std::optional<EmbedResult> chain_block_ring(const StarGraph& g,
   // Spans the backtracking search; the nested chain_emit span on
   // success is contained in (not additional to) this one.
   obs::ScopedPhase phase("chain_search");
+  obs::trace::ScopedSpan span("chain_search");
   for (const ExitCandidate& closure : blocks[m - 1].exits) {
     ++stats.closure_attempts;
     std::fill(failed.begin(), failed.end(), 0u);
@@ -358,6 +364,7 @@ std::optional<EmbedResult> chain_block_path(const StarGraph& g,
   std::vector<int> entry(m);
 
   obs::ScopedPhase phase("chain_search");
+  obs::trace::ScopedSpan span("chain_search");
   std::size_t k = 0;
   entry[0] = s_local;
   exit_idx[0] = 0;

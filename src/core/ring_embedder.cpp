@@ -10,6 +10,7 @@
 #include "core/chaining.hpp"
 #include "core/super_ring.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace starring {
@@ -101,6 +102,7 @@ std::optional<EmbedResult> embed_longest_ring_impl(const StarGraph& g,
   for (int restart = 0; restart < std::max(1, opts.max_restarts); ++restart) {
     const auto sr = [&] {
       obs::ScopedPhase phase("super_ring");
+      obs::trace::ScopedSpan span("super_ring");
       return build_block_ring(n, sel.positions, faults, restart);
     }();
     if (!sr) continue;
@@ -131,6 +133,7 @@ std::optional<EmbedResult> embed_longest_ring(const StarGraph& g,
   obs::counter("embed.threads").record_max(opts.effective_threads());
   auto res = [&] {
     obs::ScopedPhase phase("embed");
+    obs::trace::ScopedSpan span("embed");
     return embed_longest_ring_impl(g, faults, opts);
   }();
   if (res) {

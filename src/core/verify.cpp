@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace starring {
@@ -16,6 +17,7 @@ RingReport verify_sequence(const StarGraph& g, const FaultSet& faults,
                            const std::vector<VertexId>& seq, bool cyclic,
                            unsigned threads) {
   obs::ScopedPhase phase("verify");
+  obs::trace::ScopedSpan span("verify");
   obs::counter("verify.calls").add();
   RingReport rep;
   rep.length = seq.size();

@@ -66,12 +66,20 @@ Snapshot snapshot() {
 
 Snapshot snapshot_delta(const Snapshot& before) {
   const Snapshot now = snapshot();
+  // The baseline is looked up by name, not merged positionally: an
+  // earlier implementation walked `before` with a monotone cursor,
+  // which silently mis-attributed values whenever the baseline was not
+  // sorted exactly like the live registry — e.g. a filtered snapshot,
+  // or a previous delta reused as the next baseline while counters kept
+  // registering in between.  A map lookup is insensitive to baseline
+  // order and trivially includes counters first registered after the
+  // baseline (absent name -> prev 0).
+  std::map<std::string_view, std::int64_t> prev_by_name;
+  for (const auto& [name, value] : before) prev_by_name[name] = value;
   Snapshot out;
-  std::size_t j = 0;
   for (const auto& [name, value] : now) {
-    std::int64_t prev = 0;
-    while (j < before.size() && before[j].first < name) ++j;
-    if (j < before.size() && before[j].first == name) prev = before[j].second;
+    const auto it = prev_by_name.find(name);
+    const std::int64_t prev = it == prev_by_name.end() ? 0 : it->second;
     if (value != prev) out.emplace_back(name, value - prev);
   }
   return out;

@@ -115,7 +115,10 @@ Counter& counter(std::string_view name);
 /// All registered counters, sorted by name (zeros included).
 Snapshot snapshot();
 
-/// Counters that grew since `before`, as deltas (zero deltas dropped).
+/// Counters that changed since `before`, as deltas (zero deltas
+/// dropped).  The baseline is matched by name, so it may be unsorted or
+/// filtered (e.g. a previous delta), and counters first registered
+/// after the baseline was taken are reported in full.
 Snapshot snapshot_delta(const Snapshot& before);
 
 /// Zero every counter (test isolation; not thread-safe vs. writers).

@@ -1,0 +1,195 @@
+#include "obs/prometheus.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <set>
+#include <string>
+
+namespace starring::obs {
+
+namespace {
+
+// Mirror of LatencyHistogram's layout (obs/metrics.hpp): member suffixes
+// in bucket order and the matching upper bounds in seconds.
+constexpr std::array<std::string_view, 6> kBucketSuffix = {
+    ".le_100us", ".le_1ms", ".le_10ms", ".le_100ms", ".le_1s", ".gt_1s"};
+constexpr std::array<std::string_view, 6> kBucketLe = {
+    "0.0001", "0.001", "0.01", "0.1", "1", "+Inf"};
+
+std::string mangle(std::string_view name) {
+  std::string out = "starring_";
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9');
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+bool is_gauge(std::string_view name) {
+  // record_max() counters: high-water marks, not monotone sums.
+  return name.find(".max_") != std::string_view::npos ||
+         (name.size() > 4 && name.substr(name.size() - 4) == "_max") ||
+         (name.size() > 8 && name.substr(name.size() - 8) == ".threads") ||
+         name == "pool.workers";
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::int64_t lookup(const Snapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap)
+    if (n == name) return v;
+  return 0;
+}
+
+/// Histogram family prefixes present in `snap`: every member counter of
+/// the LatencyHistogram layout must exist for `p` to qualify.
+std::vector<std::string> histogram_prefixes(const Snapshot& snap) {
+  std::set<std::string> names;
+  for (const auto& [n, v] : snap) names.insert(n);
+  std::vector<std::string> out;
+  for (const auto& name : names) {
+    constexpr std::string_view kCount = ".count";
+    if (name.size() <= kCount.size() ||
+        name.substr(name.size() - kCount.size()) != kCount)
+      continue;
+    const std::string p = name.substr(0, name.size() - kCount.size());
+    bool complete = names.count(p + ".total_us") > 0;
+    for (const auto suffix : kBucketSuffix)
+      complete = complete && names.count(p + std::string(suffix)) > 0;
+    if (complete) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const Snapshot& snap) {
+  const std::vector<std::string> prefixes = histogram_prefixes(snap);
+  std::set<std::string> folded;
+  for (const auto& p : prefixes) {
+    folded.insert(p + ".count");
+    folded.insert(p + ".total_us");
+    for (const auto suffix : kBucketSuffix)
+      folded.insert(p + std::string(suffix));
+  }
+
+  std::string out;
+  for (const auto& [name, value] : snap) {
+    if (folded.count(name) > 0) continue;
+    const std::string m = mangle(name);
+    out += "# HELP " + m + " starring counter " + name + "\n";
+    out += "# TYPE " + m + (is_gauge(name) ? " gauge\n" : " counter\n");
+    out += m + " " + std::to_string(value) + "\n";
+  }
+
+  for (const auto& p : prefixes) {
+    const std::string m = mangle(p) + "_seconds";
+    out += "# HELP " + m + " starring latency histogram " + p + "\n";
+    out += "# TYPE " + m + " histogram\n";
+    std::int64_t cum = 0;
+    for (std::size_t i = 0; i + 1 < kBucketSuffix.size(); ++i) {
+      cum += lookup(snap, p + std::string(kBucketSuffix[i]));
+      out += m + "_bucket{le=\"" + std::string(kBucketLe[i]) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    cum += lookup(snap, p + std::string(kBucketSuffix.back()));
+    // The registry is sampled counter-by-counter while writers may be
+    // recording, so .count can momentarily exceed the bucket sum; pin
+    // +Inf to the larger of the two to keep the family monotone.
+    const std::int64_t count =
+        std::max(cum, lookup(snap, p + ".count"));
+    out += m + "_bucket{le=\"+Inf\"} " + std::to_string(count) + "\n";
+    out += m + "_sum " +
+           fmt_double(static_cast<double>(lookup(snap, p + ".total_us")) /
+                      1e6) +
+           "\n";
+    out += m + "_count " + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+std::string render_prometheus() { return render_prometheus(snapshot()); }
+
+std::optional<HistogramSample> parse_histogram(std::string_view prom_text,
+                                               std::string_view metric) {
+  HistogramSample h;
+  bool saw_inf = false;
+  const std::string bucket_head = std::string(metric) + "_bucket{le=\"";
+  const std::string sum_head = std::string(metric) + "_sum ";
+  const std::string count_head = std::string(metric) + "_count ";
+
+  std::size_t pos = 0;
+  while (pos < prom_text.size()) {
+    std::size_t eol = prom_text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = prom_text.size();
+    const std::string_view line = prom_text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind(bucket_head, 0) == 0) {
+      const std::size_t close = line.find('"', bucket_head.size());
+      if (close == std::string_view::npos) return std::nullopt;
+      const std::string le(line.substr(bucket_head.size(),
+                                       close - bucket_head.size()));
+      const std::size_t sp = line.find(' ', close);
+      if (sp == std::string_view::npos) return std::nullopt;
+      const std::string val(line.substr(sp + 1));
+      double bound;
+      if (le == "+Inf") {
+        bound = std::numeric_limits<double>::infinity();
+        saw_inf = true;
+      } else {
+        bound = std::strtod(le.c_str(), nullptr);
+      }
+      h.buckets.emplace_back(
+          bound, static_cast<std::int64_t>(std::strtoll(val.c_str(),
+                                                        nullptr, 10)));
+    } else if (line.rfind(sum_head, 0) == 0) {
+      h.sum_seconds =
+          std::strtod(std::string(line.substr(sum_head.size())).c_str(),
+                      nullptr);
+    } else if (line.rfind(count_head, 0) == 0) {
+      h.count = static_cast<std::int64_t>(std::strtoll(
+          std::string(line.substr(count_head.size())).c_str(), nullptr,
+          10));
+    }
+  }
+  if (h.buckets.empty() || !saw_inf) return std::nullopt;
+  std::sort(h.buckets.begin(), h.buckets.end());
+  return h;
+}
+
+double histogram_quantile(const HistogramSample& h, double q) {
+  if (h.buckets.empty()) return 0.0;
+  const std::int64_t total = h.buckets.back().second;
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+
+  double lo = 0.0;
+  std::int64_t below = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const auto [hi, cum] = h.buckets[i];
+    if (static_cast<double>(cum) >= target && cum > below) {
+      if (hi == std::numeric_limits<double>::infinity()) {
+        // Open-ended tail: clamp to the largest finite bound, matching
+        // promql's histogram_quantile.
+        return i > 0 ? h.buckets[i - 1].first : 0.0;
+      }
+      const double in_bucket = static_cast<double>(cum - below);
+      return lo + (hi - lo) * (target - static_cast<double>(below)) /
+                      in_bucket;
+    }
+    if (hi != std::numeric_limits<double>::infinity()) lo = hi;
+    below = cum;
+  }
+  return lo;
+}
+
+}  // namespace starring::obs

@@ -74,8 +74,17 @@ EmbedService::~EmbedService() {
 }
 
 bool EmbedService::submit(ServiceRequest req, Callback on_done, bool wait) {
+  // `admitted` is stamped at entry, before any backpressure wait: the
+  // latency histogram and the svc.request root span both cover the full
+  // submit-to-response interval the caller experienced.
   Pending p{std::move(req), std::move(on_done),
-            std::chrono::steady_clock::now()};
+            std::chrono::steady_clock::now(), {}};
+  if (obs::trace::enabled()) {
+    p.span.trace_id = obs::trace::new_trace_id();
+    p.span.span_id = obs::trace::new_span_id();
+  }
+  const obs::trace::Context root = p.span;
+  const auto admitted_at = p.admitted;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (wait) {
@@ -90,6 +99,14 @@ bool EmbedService::submit(ServiceRequest req, Callback on_done, bool wait) {
     queue_.push_back(std::move(p));
     c_queue_depth_max().record_max(
         static_cast<std::int64_t>(queue_.size()));
+  }
+  // Admission span: time spent blocked on queue backpressure (plus the
+  // queue push itself).  Rejected submissions record nothing — their
+  // trace never delivers a svc.request root.
+  if (root.valid()) {
+    obs::trace::emit("svc.admit", root.trace_id, obs::trace::new_span_id(),
+                     root.span_id, admitted_at,
+                     std::chrono::steady_clock::now());
   }
   c_requests().add();
   work_cv_.notify_one();
@@ -166,8 +183,12 @@ ServiceResponse EmbedService::finish(const ServiceRequest& req,
   resp.id = req.id;
   resp.status = ServiceStatus::kOk;
   resp.cache_hit = cache_hit;
-  resp.ring = relabel_ring(*ring, inverse_of(canon.to_canonical), req.n);
+  {
+    obs::trace::ScopedSpan span("svc.relabel");
+    resp.ring = relabel_ring(*ring, inverse_of(canon.to_canonical), req.n);
+  }
   if (req.verify || (cache_hit && opts_.verify_on_hit)) {
+    obs::trace::ScopedSpan span("svc.verify");
     const StarGraph g(req.n);
     const RingReport report = verify_healthy_ring(g, req.faults, resp.ring);
     if (!report.valid) {
@@ -182,8 +203,22 @@ ServiceResponse EmbedService::finish(const ServiceRequest& req,
 
 void EmbedService::run_batch(std::vector<Pending> batch) {
   obs::ScopedPhase phase("svc_batch");
+  // The batch itself is its own trace (the scheduler has no request
+  // context); per-request spans below parent into each request's trace
+  // via explicit ContextGuards, not into this one.
+  obs::trace::ScopedSpan batch_span("svc.batch");
   c_batches().add();
   c_batch_size_max().record_max(static_cast<std::int64_t>(batch.size()));
+
+  // Close out each request's queue-wait interval: admitted on the
+  // submitter's thread, picked up here.
+  const auto batch_start = std::chrono::steady_clock::now();
+  for (const Pending& p : batch) {
+    if (p.span.valid())
+      obs::trace::emit("svc.queue_wait", p.span.trace_id,
+                       obs::trace::new_span_id(), p.span.span_id,
+                       p.admitted, batch_start);
+  }
 
   const int n = batch.front().req.n;
   struct Slot {
@@ -198,8 +233,15 @@ void EmbedService::run_batch(std::vector<Pending> batch) {
   // duplicates are hits even when the cache was cold.
   std::vector<std::size_t> compute;  // slot index owning each distinct miss
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    slots[i].canon = canonicalize(n, batch[i].req.faults);
-    slots[i].ring = cache_.lookup(slots[i].canon.key);
+    const obs::trace::ContextGuard as_request(batch[i].span);
+    {
+      obs::trace::ScopedSpan span("svc.canonicalize");
+      slots[i].canon = canonicalize(n, batch[i].req.faults);
+    }
+    {
+      obs::trace::ScopedSpan span("svc.cache_probe");
+      slots[i].ring = cache_.lookup(slots[i].canon.key);
+    }
     if (slots[i].ring != nullptr) {
       slots[i].hit = true;
       continue;
@@ -223,10 +265,15 @@ void EmbedService::run_batch(std::vector<Pending> batch) {
     // embedding to compute; finish() reports it per request.
     const unsigned threads = opts_.embed.effective_threads();
     if (n >= 3 && compute.size() == 1) {
+      const obs::trace::ContextGuard as_request(
+          batch[compute.front()].span);
+      obs::trace::ScopedSpan span("svc.embed");
       Slot& s = slots[compute.front()];
       s.ring = compute_canonical(n, s.canon);
     } else if (n >= 3 && !compute.empty()) {
       parallel_for(0, compute.size(), threads, [&](std::size_t k) {
+        const obs::trace::ContextGuard as_request(batch[compute[k]].span);
+        obs::trace::ScopedSpan span("svc.embed");
         Slot& s = slots[compute[k]];
         s.ring = compute_canonical(n, s.canon);
       });
@@ -245,6 +292,7 @@ void EmbedService::run_batch(std::vector<Pending> batch) {
     // Relabel into each caller's frame and verify as asked —
     // per-request work, fanned out across the pool.
     parallel_for(0, batch.size(), threads, [&](std::size_t i) {
+      const obs::trace::ContextGuard as_request(batch[i].span);
       out[i] = finish(batch[i].req, slots[i].canon, slots[i].ring,
                       slots[i].hit);
     });
@@ -259,6 +307,11 @@ void EmbedService::run_batch(std::vector<Pending> batch) {
   const auto now = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < batch.size(); ++i) {
     latency_.record(now - batch[i].admitted);
+    // Emit each request's root span now that every child has closed:
+    // the whole admitted-to-delivered interval, parent 0.
+    if (batch[i].span.valid())
+      obs::trace::emit("svc.request", batch[i].span.trace_id,
+                       batch[i].span.span_id, 0, batch[i].admitted, now);
     if (batch[i].done) {
       batch[i].done(std::move(out[i]));
     } else {
@@ -286,14 +339,28 @@ void EmbedService::scheduler_loop() {
 
 ServiceResponse EmbedService::process_now(const ServiceRequest& req) {
   obs::ScopedPhase phase("svc_request");
+  // Synchronous path: the whole request is one scope, so the root and
+  // its children all come from plain ScopedSpan nesting.
+  obs::trace::ScopedSpan root("svc.request");
   c_requests().add();
   if (req.n < 3 || req.n > kMaxN)
     return error_response(req.id, "unsupported dimension");
-  const CanonicalForm canon = canonicalize(req.n, req.faults);
-  CanonicalRingCache::RingPtr ring = cache_.lookup(canon.key);
+  CanonicalForm canon;
+  {
+    obs::trace::ScopedSpan span("svc.canonicalize");
+    canon = canonicalize(req.n, req.faults);
+  }
+  CanonicalRingCache::RingPtr ring;
+  {
+    obs::trace::ScopedSpan span("svc.cache_probe");
+    ring = cache_.lookup(canon.key);
+  }
   const bool hit = ring != nullptr;
   (hit ? c_hits() : c_misses()).add();
-  if (!hit) ring = compute_canonical(req.n, canon);
+  if (!hit) {
+    obs::trace::ScopedSpan span("svc.embed");
+    ring = compute_canonical(req.n, canon);
+  }
   return finish(req, canon, ring, hit);
 }
 

@@ -44,6 +44,7 @@
 
 #include "core/ring_embedder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/cache.hpp"
 #include "service/canonical.hpp"
 #include "util/io.hpp"
@@ -104,6 +105,11 @@ class EmbedService {
     ServiceRequest req;
     Callback done;
     std::chrono::steady_clock::time_point admitted;
+    // Root span context of this request's trace (invalid while tracing
+    // is off).  Allocated at admission; every stage the request passes
+    // through parents its spans here, and the svc.request root itself
+    // is emitted with explicit [admitted, delivered] endpoints.
+    obs::trace::Context span;
   };
 
   void scheduler_loop();

@@ -25,10 +25,13 @@
 
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ext/stdio_filebuf.h>  // libstdc++; the repo targets the gcc toolchain
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <random>
@@ -39,6 +42,7 @@
 #include "core/ring_embedder.hpp"
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
+#include "obs/prometheus.hpp"
 #include "stargraph/star_graph.hpp"
 #include "util/io.hpp"
 
@@ -55,6 +59,8 @@ struct CliConfig {
   int edge_pct = 10;         // % of requests that carry one edge fault
   bool expect_hits = false;  // drive: fail if the cache never hit
   int connect_port = -1;     // drive: TCP instead of spawning
+  std::string trace_out;     // drive (spawned): daemon trace JSON path
+  std::string stats_out;     // drive: save the raw STATS promtext here
   std::vector<std::string> daemon_argv;  // drive: after `--`
 };
 
@@ -70,6 +76,9 @@ int usage(const char* argv0) {
          "(default 10)\n"
       << "  --expect-hits    drive: fail when cache hits == 0\n"
       << "  --connect PORT   drive: use a TCP daemon on 127.0.0.1\n"
+      << "  --trace-out F    drive: pass --trace-out F to the spawned "
+         "daemon\n"
+      << "  --stats-out F    drive: save the end-of-run STATS promtext\n"
       << "  -- CMD ARGS...   drive: daemon command line to spawn\n";
   return 2;
 }
@@ -102,6 +111,10 @@ std::optional<CliConfig> parse_args(int argc, char** argv) {
       cfg.expect_hits = true;
     } else if (a == "--connect" && (v = num()) > 0 && v < 65536) {
       cfg.connect_port = static_cast<int>(v);
+    } else if (a == "--trace-out" && i + 1 < argc) {
+      cfg.trace_out = argv[++i];
+    } else if (a == "--stats-out" && i + 1 < argc) {
+      cfg.stats_out = argv[++i];
     } else if (a == "--") {
       for (++i; i < argc; ++i) cfg.daemon_argv.emplace_back(argv[i]);
     } else {
@@ -162,13 +175,17 @@ int run_generate(const CliConfig& cfg) {
   return 0;
 }
 
-/// Drain a response stream, verifying everything.  Returns the number
-/// of failed responses (parse errors count as one failure and stop).
+/// Drain a response stream, verifying everything, until end of stream
+/// or `max_count` responses were consumed (drive modes stop at the
+/// workload size so a STATS exchange can follow on the same stream).
+/// Returns the number of failed responses (parse errors count as one
+/// failure and stop).
 int consume_responses(const CliConfig& cfg, std::istream& in,
-                      std::size_t* received, std::size_t* hits) {
+                      std::size_t* received, std::size_t* hits,
+                      std::size_t max_count = SIZE_MAX) {
   int failures = 0;
   std::string err;
-  while (true) {
+  while (*received < max_count) {
     const auto resp = read_response(in, &err);
     if (!resp) {
       if (!err.empty()) {
@@ -186,6 +203,53 @@ int consume_responses(const CliConfig& cfg, std::istream& in,
     }
   }
   return failures;
+}
+
+/// End-of-run STATS exchange on a drive stream: request the daemon's
+/// live Prometheus snapshot, optionally save it, and print the
+/// p50/p95/p99 submit-to-response latency summary from the
+/// svc.latency.* histogram.  Call only after every workload response
+/// was consumed, so the stats record is the next record on the stream.
+/// Returns 1 on a failed exchange.
+int fetch_and_report_stats(const CliConfig& cfg, std::ostream& out,
+                           std::istream& in) {
+  ServiceRequest stats_req;
+  stats_req.kind = RequestKind::kStats;
+  if (!write_request(out, stats_req)) {
+    std::cerr << "starring-cli: cannot send STATS\n";
+    return 1;
+  }
+  out.flush();
+  std::string err;
+  const auto body = read_stats(in, &err);
+  if (!body) {
+    std::cerr << "starring-cli: STATS reply: "
+              << (err.empty() ? "unexpected end of stream" : err) << "\n";
+    return 1;
+  }
+  if (!cfg.stats_out.empty()) {
+    std::ofstream f(cfg.stats_out, std::ios::trunc);
+    f << *body;
+    if (!f) {
+      std::cerr << "starring-cli: cannot write " << cfg.stats_out << "\n";
+      return 1;
+    }
+  }
+  const auto h = obs::parse_histogram(*body, "starring_svc_latency_seconds");
+  if (!h || h->count == 0) {
+    std::cout << "starring-cli: latency: no samples reported\n";
+    return 0;
+  }
+  const auto ms = [&](double q) {
+    return obs::histogram_quantile(*h, q) * 1e3;
+  };
+  std::printf(
+      "starring-cli: latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, "
+      "mean %.3f ms (%lld samples)\n",
+      ms(0.5), ms(0.95), ms(0.99),
+      h->sum_seconds / static_cast<double>(h->count) * 1e3,
+      static_cast<long long>(h->count));
+  return 0;
 }
 
 int report(const CliConfig& cfg, std::size_t received, std::size_t hits,
@@ -240,6 +304,13 @@ int drive_spawned(const CliConfig& cfg) {
     std::cerr << "starring-cli: pipe: " << std::strerror(errno) << "\n";
     return 1;
   }
+  // The spawned daemon owns the flight recorder; --trace-out is
+  // forwarded so the dump lands where the daemon runs (here: locally).
+  std::vector<std::string> child_argv = cfg.daemon_argv;
+  if (!cfg.trace_out.empty()) {
+    child_argv.push_back("--trace-out");
+    child_argv.push_back(cfg.trace_out);
+  }
   const pid_t pid = ::fork();
   if (pid < 0) {
     std::cerr << "starring-cli: fork: " << std::strerror(errno) << "\n";
@@ -253,8 +324,8 @@ int drive_spawned(const CliConfig& cfg) {
     ::close(from_child[0]);
     ::close(from_child[1]);
     std::vector<char*> argv;
-    argv.reserve(cfg.daemon_argv.size() + 1);
-    for (const std::string& a : cfg.daemon_argv)
+    argv.reserve(child_argv.size() + 1);
+    for (const std::string& a : child_argv)
       argv.push_back(const_cast<char*>(a.c_str()));
     argv.push_back(nullptr);
     ::execvp(argv[0], argv.data());
@@ -275,13 +346,19 @@ int drive_spawned(const CliConfig& cfg) {
     for (std::size_t i = 0; i < cfg.count; ++i)
       if (!write_request(out, make_request(cfg, i))) break;
     out.flush();
-    out_buf.close();  // EOF on the daemon's stdin: begin graceful drain
   });
 
   std::size_t received = 0;
   std::size_t hits = 0;
-  int failures = consume_responses(cfg, in, &received, &hits);
+  int failures = consume_responses(cfg, in, &received, &hits, cfg.count);
   sender.join();
+  // With every workload response consumed (and the sender done), the
+  // request stream is quiet: a STATS exchange cannot interleave with
+  // embedding responses.
+  if (received == cfg.count)
+    failures += fetch_and_report_stats(cfg, out, in);
+  out_buf.close();  // EOF on the daemon's stdin: begin graceful drain
+  failures += consume_responses(cfg, in, &received, &hits);
 
   int status = 0;
   if (::waitpid(pid, &status, 0) < 0 ||
@@ -316,12 +393,17 @@ int drive_tcp(const CliConfig& cfg) {
   __gnu_cxx::stdio_filebuf<char> in_buf(fd, std::ios::in);
   std::ostream out(&out_buf);
   std::istream in(&in_buf);
-  std::thread sender = start_sender(cfg, out, fd);
+  std::thread sender = start_sender(cfg, out, /*close_fd_after=*/-1);
 
   std::size_t received = 0;
   std::size_t hits = 0;
-  const int failures = consume_responses(cfg, in, &received, &hits);
+  int failures = consume_responses(cfg, in, &received, &hits, cfg.count);
   sender.join();
+  if (received == cfg.count)
+    failures += fetch_and_report_stats(cfg, out, in);
+  out.flush();
+  ::shutdown(fd, SHUT_WR);  // end-of-workload; the daemon drains
+  failures += consume_responses(cfg, in, &received, &hits);
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -331,9 +413,19 @@ int drive_tcp(const CliConfig& cfg) {
 int cli_main(int argc, char** argv) {
   const auto cfg = parse_args(argc, argv);
   if (!cfg) return usage(argv[0]);
+  // A dead daemon must surface as a failed read/report, not kill the
+  // CLI mid-write.
+  std::signal(SIGPIPE, SIG_IGN);
   if (cfg->mode == "generate") return run_generate(*cfg);
   if (cfg->mode == "check") return run_check(*cfg);
-  if (cfg->connect_port > 0) return drive_tcp(*cfg);
+  if (cfg->connect_port > 0) {
+    if (!cfg->trace_out.empty()) {
+      std::cerr << "starring-cli: --trace-out needs a spawned daemon; "
+                   "pass --trace-out to the remote starringd instead\n";
+      return 2;
+    }
+    return drive_tcp(*cfg);
+  }
   if (cfg->daemon_argv.empty()) {
     std::cerr << "starring-cli: drive needs --connect PORT or -- CMD...\n";
     return 2;

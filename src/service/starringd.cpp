@@ -40,8 +40,12 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "obs/bench_io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "service/service.hpp"
 #include "util/io.hpp"
 
@@ -50,6 +54,12 @@ namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 void on_signal(int) { g_stop = 1; }
+
+// SIGUSR1 asks for a flight-recorder dump without stopping the daemon;
+// a watcher thread does the actual file I/O (signal-safe handlers
+// cannot).
+volatile std::sig_atomic_t g_dump = 0;
+void on_dump_signal(int) { g_dump = 1; }
 
 // --- minimal fd <-> iostream glue (TCP connections) ------------------
 
@@ -107,6 +117,7 @@ struct DaemonConfig {
   ServiceOptions svc;
   int listen_port = -1;  // -1: stdio mode
   std::string bench_artifact;
+  std::string trace_out;  // non-empty: tracing on, dump here
 };
 
 int usage(const char* argv0) {
@@ -119,7 +130,9 @@ int usage(const char* argv0) {
       << "  --threads N          embedding worker threads (0 = cores)\n"
       << "  --listen PORT        serve TCP on 127.0.0.1:PORT (default: "
          "stdio)\n"
-      << "  --bench-artifact S   write BENCH_<S>.json on clean drain\n";
+      << "  --bench-artifact S   write BENCH_<S>.json on clean drain\n"
+      << "  --trace-out FILE     enable tracing; dump Chrome trace JSON\n"
+      << "                       on clean drain and on SIGUSR1\n";
   return 2;
 }
 
@@ -147,6 +160,8 @@ std::optional<DaemonConfig> parse_args(int argc, char** argv) {
       cfg.listen_port = static_cast<int>(v);
     } else if (a == "--bench-artifact" && i + 1 < argc) {
       cfg.bench_artifact = argv[++i];
+    } else if (a == "--trace-out" && i + 1 < argc) {
+      cfg.trace_out = argv[++i];
     } else {
       return std::nullopt;
     }
@@ -184,6 +199,14 @@ int serve_stdio(const DaemonConfig& cfg) {
         rc = 1;
       }
       break;
+    }
+    if (req->kind == RequestKind::kStats) {
+      // Answered inline on the reader thread — a live snapshot must not
+      // wait behind queued embeddings.
+      const std::lock_guard<std::mutex> lock(out_mu);
+      write_stats(std::cout, obs::render_prometheus());
+      std::cout.flush();
+      continue;
     }
     // wait=true: a full queue stops the reader, and the pipe buffer
     // backpressures the writer on the other side.
@@ -240,6 +263,12 @@ void serve_connection(int fd, EmbedService& svc, ConnRegistry& reg) {
         out.flush();
       }
       break;
+    }
+    if (req->kind == RequestKind::kStats) {
+      const std::lock_guard<std::mutex> lock(out_mu);
+      write_stats(out, obs::render_prometheus());
+      out.flush();
+      continue;
     }
     {
       const std::lock_guard<std::mutex> lock(done_mu);
@@ -337,11 +366,47 @@ int daemon_main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
   std::signal(SIGPIPE, SIG_IGN);
 
+  // A live daemon is meant to be inspected (STATS), so the metrics
+  // layer is always on here; batch tools still opt in via BenchRecorder
+  // or STARRING_METRICS.
+  obs::set_enabled(true);
+
   std::unique_ptr<obs::BenchRecorder> rec;
   if (!cfg->bench_artifact.empty())
     rec = std::make_unique<obs::BenchRecorder>(cfg->bench_artifact);
 
+  std::thread dump_watcher;
+  std::atomic<bool> dump_watcher_stop{false};
+  if (!cfg->trace_out.empty()) {
+    obs::trace::set_enabled(true);
+    std::signal(SIGUSR1, on_dump_signal);
+    const std::string path = cfg->trace_out;
+    dump_watcher = std::thread([path, &dump_watcher_stop] {
+      while (!dump_watcher_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        if (g_dump != 0) {
+          g_dump = 0;
+          if (!obs::trace::write_chrome_trace_file(path))
+            std::cerr << "starringd: cannot write trace to " << path
+                      << "\n";
+          else
+            std::cerr << "starringd: trace dumped to " << path << "\n";
+        }
+      }
+    });
+  }
+
   const int rc = cfg->listen_port > 0 ? serve_tcp(*cfg) : serve_stdio(*cfg);
+
+  if (!cfg->trace_out.empty()) {
+    dump_watcher_stop.store(true, std::memory_order_relaxed);
+    dump_watcher.join();
+    if (!obs::trace::write_chrome_trace_file(cfg->trace_out)) {
+      std::cerr << "starringd: cannot write trace to " << cfg->trace_out
+                << "\n";
+      return rc == 0 ? 1 : rc;
+    }
+  }
 
   if (rec) {
     const double hits =

@@ -166,6 +166,10 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
 }
 
 bool write_request(std::ostream& os, const ServiceRequest& r) {
+  if (r.kind == RequestKind::kStats) {
+    os << "STATS\n";
+    return static_cast<bool>(os);
+  }
   os << "starring-request v1\n";
   os << "id " << r.id << "\n";
   os << "n " << r.n << "\n";
@@ -240,8 +244,28 @@ bool read_end(std::istream& is, std::string* error) {
 std::optional<ServiceRequest> read_request(std::istream& is,
                                            std::string* error) {
   ServiceRequest r;
-  if (!read_record_header(is, "starring-request", &r.id, error))
-    return std::nullopt;
+  {
+    // The STATS command is a bare line, recognized before the normal
+    // record header; anything else must be a full request record.
+    std::string word;
+    if (!(is >> word)) {
+      fail(error, "");  // clean EOF
+      return std::nullopt;
+    }
+    if (word == "STATS") {
+      r.kind = RequestKind::kStats;
+      return r;
+    }
+    std::string version;
+    if (word != "starring-request" || !(is >> version) || version != "v1") {
+      fail(error, "bad header");
+      return std::nullopt;
+    }
+    if (!(is >> word >> r.id) || word != "id") {
+      fail(error, "bad id line");
+      return std::nullopt;
+    }
+  }
   std::string word;
   if (!(is >> word >> r.n) || word != "n" || r.n < 1 || r.n > kMaxN) {
     fail(error, "bad dimension line");
@@ -313,6 +337,51 @@ std::optional<ServiceResponse> read_response(std::istream& is,
   if (!read_sequence(is, kMaxN, count, &r.ring, error)) return std::nullopt;
   if (!read_end(is, error)) return std::nullopt;
   return r;
+}
+
+bool write_stats(std::ostream& os, const std::string& body) {
+  std::string text = body;
+  if (!text.empty() && text.back() != '\n') text.push_back('\n');
+  std::size_t lines = 0;
+  for (const char c : text)
+    if (c == '\n') ++lines;
+  os << "starring-stats v1\n";
+  os << "lines " << lines << "\n";
+  os << text;
+  os << "end\n";
+  return static_cast<bool>(os);
+}
+
+std::optional<std::string> read_stats(std::istream& is, std::string* error) {
+  std::string word;
+  if (!(is >> word)) {
+    fail(error, "");  // clean EOF
+    return std::nullopt;
+  }
+  std::string version;
+  if (word != "starring-stats" || !(is >> version) || version != "v1") {
+    fail(error, "bad header");
+    return std::nullopt;
+  }
+  std::size_t lines = 0;
+  if (!(is >> word >> lines) || word != "lines") {
+    fail(error, "bad lines line");
+    return std::nullopt;
+  }
+  std::string rest;
+  std::getline(is, rest);  // consume the remainder of the count line
+  std::string body;
+  for (std::size_t i = 0; i < lines; ++i) {
+    std::string line;
+    if (!std::getline(is, line)) {
+      fail(error, "truncated stats body");
+      return std::nullopt;
+    }
+    body += line;
+    body.push_back('\n');
+  }
+  if (!read_end(is, error)) return std::nullopt;
+  return body;
 }
 
 }  // namespace starring

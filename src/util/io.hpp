@@ -60,8 +60,23 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
 //   <two permutations per line>  [ring <length>]            (ok)
 //   verify <0|1>                 [<vertex ids ...>]         (ok)
 //   end                          end
+//
+// One out-of-band command rides the same request stream: the single
+// line `STATS` asks the daemon for a live metrics snapshot, answered
+// inline (ahead of any still-pending embedding responses) with a
+// self-framing stats record carrying Prometheus text exposition:
+//
+//   starring-stats v1
+//   lines <count>
+//   <count> body lines, verbatim promtext>
+//   end
+
+/// What a parsed request asks for: an embedding, or (the bare `STATS`
+/// line) a live metrics snapshot.
+enum class RequestKind { kEmbed, kStats };
 
 struct ServiceRequest {
+  RequestKind kind = RequestKind::kEmbed;
   /// Caller-chosen correlation id, echoed on the response.
   std::uint64_t id = 0;
   int n = 0;
@@ -97,5 +112,14 @@ std::optional<ServiceRequest> read_request(std::istream& is,
                                            std::string* error = nullptr);
 std::optional<ServiceResponse> read_response(std::istream& is,
                                              std::string* error = nullptr);
+
+/// Frame `body` (any text, normally Prometheus exposition) as a
+/// starring-stats v1 record.  A missing trailing newline is supplied.
+bool write_stats(std::ostream& os, const std::string& body);
+
+/// Parse one stats record; same clean-EOF vs malformed contract as
+/// read_request.
+std::optional<std::string> read_stats(std::istream& is,
+                                      std::string* error = nullptr);
 
 }  // namespace starring

@@ -64,6 +64,7 @@ void ThreadPool::run(std::size_t begin, std::size_t end, unsigned lanes,
     invoke_ = invoke;
     ctx_ = ctx;
     cancel_ = cancel;
+    trace_ctx_ = obs::trace::current();
     next_.store(begin, std::memory_order_relaxed);
   }
   work_cv_.notify_all();
@@ -107,9 +108,13 @@ void ThreadPool::worker_loop() {
     if (!live_ || joined_ >= max_extra_) continue;
     const unsigned lane = ++joined_;  // caller is lane 0
     ++active_;
+    const obs::trace::Context region_ctx = trace_ctx_;
     lk.unlock();
     wakeups_counter.add();
-    work(lane);
+    {
+      const obs::trace::ContextGuard adopt(region_ctx);
+      work(lane);
+    }
     lk.lock();
     if (--active_ == 0) done_cv_.notify_all();
   }

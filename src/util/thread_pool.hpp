@@ -34,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace starring {
 
 /// Largest worker count that makes sense on this host.
@@ -99,6 +101,10 @@ class ThreadPool {
   Invoke invoke_ = nullptr;
   void* ctx_ = nullptr;
   const std::atomic<bool>* cancel_ = nullptr;
+  // Submitting thread's span context, adopted by every worker of the
+  // region so spans opened inside user callables parent correctly
+  // across the fan-out.
+  obs::trace::Context trace_ctx_{};
   std::atomic<std::size_t> next_{0};
 };
 

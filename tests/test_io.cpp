@@ -384,6 +384,97 @@ TEST(IoService, ResponseRejectsMissingReason) {
   EXPECT_EQ(err, "bad reason line");
 }
 
+TEST(IoService, StatsRequestRoundTrips) {
+  ServiceRequest r;
+  r.kind = RequestKind::kStats;
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, r));
+  EXPECT_EQ(ss.str(), "STATS\n");
+  const auto back = read_request(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, RequestKind::kStats);
+}
+
+TEST(IoService, StatsLineInterleavesWithRequestRecords) {
+  // A STATS command between two normal requests must not desync the
+  // stream: all three records parse, in order.
+  ServiceRequest a;
+  a.id = 1;
+  a.n = 4;
+  ServiceRequest stats;
+  stats.kind = RequestKind::kStats;
+  ServiceRequest b;
+  b.id = 2;
+  b.n = 4;
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, a));
+  ASSERT_TRUE(write_request(ss, stats));
+  ASSERT_TRUE(write_request(ss, b));
+  const auto r1 = read_request(ss);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->kind, RequestKind::kEmbed);
+  EXPECT_EQ(r1->id, 1);
+  const auto r2 = read_request(ss);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->kind, RequestKind::kStats);
+  const auto r3 = read_request(ss);
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->kind, RequestKind::kEmbed);
+  EXPECT_EQ(r3->id, 2);
+}
+
+TEST(IoService, StatsRecordRoundTripsBody) {
+  const std::string body =
+      "# HELP starring_svc_requests Counter starring_svc_requests.\n"
+      "# TYPE starring_svc_requests counter\n"
+      "starring_svc_requests 42\n";
+  std::stringstream ss;
+  ASSERT_TRUE(write_stats(ss, body));
+  std::string err;
+  const auto back = read_stats(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(*back, body);
+}
+
+TEST(IoService, StatsRecordNormalizesMissingTrailingNewline) {
+  std::stringstream ss;
+  ASSERT_TRUE(write_stats(ss, "one\ntwo"));
+  EXPECT_EQ(ss.str(), "starring-stats v1\nlines 2\none\ntwo\nend\n");
+  const auto back = read_stats(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, "one\ntwo\n");
+}
+
+TEST(IoService, StatsRecordEmptyBody) {
+  std::stringstream ss;
+  ASSERT_TRUE(write_stats(ss, ""));
+  EXPECT_EQ(ss.str(), "starring-stats v1\nlines 0\nend\n");
+  const auto back = read_stats(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(IoService, StatsRecordRejectsBadHeader) {
+  std::stringstream ss("starring-stats v2\nlines 0\nend\n");
+  std::string err;
+  EXPECT_FALSE(read_stats(ss, &err).has_value());
+  EXPECT_EQ(err, "bad header");
+}
+
+TEST(IoService, StatsRecordRejectsTruncatedBody) {
+  std::stringstream ss("starring-stats v1\nlines 3\nonly one line\n");
+  std::string err;
+  EXPECT_FALSE(read_stats(ss, &err).has_value());
+  EXPECT_EQ(err, "truncated stats body");
+}
+
+TEST(IoService, StatsRecordRejectsMissingEnd) {
+  std::stringstream ss("starring-stats v1\nlines 1\na_metric 1\n");
+  std::string err;
+  EXPECT_FALSE(read_stats(ss, &err).has_value());
+  EXPECT_EQ(err, "missing end line");
+}
+
 TEST(Io, LargeNDotSeparatedFaults) {
   const StarGraph g(11);
   EmbeddingFile e;

@@ -17,6 +17,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "service/service.hpp"
+#include "util/parallel.hpp"
 
 namespace starring {
 namespace {
@@ -90,6 +91,51 @@ TEST(ObsMetrics, SnapshotDeltaReportsOnlyGrowth) {
   ASSERT_EQ(delta.size(), 1u);
   EXPECT_EQ(delta[0].first, "test.delta_grown");
   EXPECT_EQ(delta[0].second, 4);
+}
+
+TEST(ObsMetrics, SnapshotDeltaIncludesLateRegisteredCounters) {
+  // Counters that first appear AFTER the baseline was taken must be
+  // reported in full — regardless of where their name sorts relative
+  // to the baseline's names.  (A previous implementation walked both
+  // snapshots with a monotone cursor and could mis-attribute or skip
+  // late arrivals.)
+  MetricsOn on;
+  obs::counter("m.delta_existing").add(5);
+  const obs::Snapshot before = obs::snapshot();
+  obs::counter("a.late_first").add(2);   // sorts before every baseline name
+  obs::counter("z.late_last").add(7);    // sorts after every baseline name
+  obs::counter("m.delta_existing").add(1);
+  const obs::Snapshot delta = obs::snapshot_delta(before);
+  const auto value = [&](std::string_view name) -> std::int64_t {
+    for (const auto& [k, v] : delta)
+      if (k == name) return v;
+    return -1;
+  };
+  EXPECT_EQ(value("a.late_first"), 2);
+  EXPECT_EQ(value("z.late_last"), 7);
+  EXPECT_EQ(value("m.delta_existing"), 1);
+}
+
+TEST(ObsMetrics, SnapshotDeltaMatchesBaselineByName) {
+  // The baseline need not be sorted or complete (a previous delta is a
+  // legal baseline).  Matching must be by name, never by position.
+  MetricsOn on;
+  obs::counter("p.delta_a").add(1);
+  obs::counter("p.delta_z").add(1);
+  // Deliberately unsorted, and missing p.delta_a entirely.
+  obs::Snapshot baseline;
+  baseline.emplace_back("p.delta_z", 1);
+  obs::counter("p.delta_a").add(2);
+  obs::counter("p.delta_z").add(4);
+  const obs::Snapshot delta = obs::snapshot_delta(baseline);
+  const auto value = [&](std::string_view name) -> std::int64_t {
+    for (const auto& [k, v] : delta)
+      if (k == name) return v;
+    return -1;
+  };
+  // p.delta_a was absent from the baseline: reported in full.
+  EXPECT_EQ(value("p.delta_a"), 3);
+  EXPECT_EQ(value("p.delta_z"), 4);
 }
 
 TEST(ObsMetrics, ScopedPhaseAccumulatesWallTime) {
@@ -206,6 +252,55 @@ TEST(ObsMetrics, LatencyHistogramBucketsAndTotals) {
   EXPECT_EQ(obs::counter("test.lat.count").value(), 7);
   EXPECT_EQ(obs::counter("test.lat.total_us").value(),
             50 + 500 + 5'000 + 50'000 + 500'000 + 2'000'000 + 100);
+}
+
+TEST(ObsMetrics, LatencyHistogramExactBucketBoundaries) {
+  // record() truncates to whole microseconds and places a value in the
+  // first bucket whose upper bound is >= it, so each bound itself lands
+  // in its own bucket and bound+1us spills into the next.
+  MetricsOn on;
+  obs::LatencyHistogram h("test.edge");
+  const std::int64_t bounds_us[] = {100, 1'000, 10'000, 100'000, 1'000'000};
+  for (const std::int64_t b : bounds_us) {
+    h.record(std::chrono::microseconds(b));
+    h.record(std::chrono::microseconds(b + 1));
+  }
+  // Sub-microsecond values truncate to 0us -> first bucket.
+  h.record(std::chrono::nanoseconds(999));
+  // 100'999ns truncates to 100us: still within the first bound.
+  h.record(std::chrono::nanoseconds(100'999));
+  EXPECT_EQ(obs::counter("test.edge.le_100us").value(), 3);
+  EXPECT_EQ(obs::counter("test.edge.le_1ms").value(), 2);
+  EXPECT_EQ(obs::counter("test.edge.le_10ms").value(), 2);
+  EXPECT_EQ(obs::counter("test.edge.le_100ms").value(), 2);
+  EXPECT_EQ(obs::counter("test.edge.le_1s").value(), 2);
+  EXPECT_EQ(obs::counter("test.edge.gt_1s").value(), 1);
+  EXPECT_EQ(obs::counter("test.edge.count").value(), 12);
+}
+
+TEST(ObsMetrics, LatencyHistogramConcurrentRecordFromPoolWorkers) {
+  // record() is a few relaxed atomic adds; hammering one histogram from
+  // every pool lane must lose no increments and keep the invariant
+  // sum(buckets) == count.
+  MetricsOn on;
+  obs::LatencyHistogram h("test.conc");
+  constexpr std::size_t kRecords = 4096;
+  parallel_for(0, kRecords, 4, [&](std::size_t i) {
+    // Spread across the first three buckets deterministically.
+    h.record(std::chrono::microseconds(50 + 400 * (i % 3)));
+  });
+  EXPECT_EQ(obs::counter("test.conc.count").value(),
+            static_cast<std::int64_t>(kRecords));
+  const std::int64_t bucketed = obs::counter("test.conc.le_100us").value() +
+                                obs::counter("test.conc.le_1ms").value();
+  EXPECT_EQ(bucketed, static_cast<std::int64_t>(kRecords));
+  EXPECT_EQ(obs::counter("test.conc.le_100us").value(),
+            static_cast<std::int64_t>(kRecords / 3 + (kRecords % 3 ? 1 : 0)));
+  EXPECT_EQ(
+      obs::counter("test.conc.total_us").value(),
+      static_cast<std::int64_t>(
+          kRecords / 3 * (50 + 450 + 850) + (kRecords % 3 > 0 ? 50 : 0) +
+          (kRecords % 3 > 1 ? 450 : 0)));
 }
 
 TEST(ObsMetrics, ServiceCountersAfterBatchedRun) {
