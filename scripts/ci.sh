@@ -6,7 +6,7 @@
 # scripts/bench_compare.py.
 #
 # Usage: scripts/ci.sh [--tier1-only | --san-only | --tsan-only |
-#                       --bench-only | --service-only]
+#                       --bench-only | --service-only | --chaos-only]
 # Env:   JOBS=<n> to cap build/test parallelism (default: nproc).
 set -euo pipefail
 
@@ -18,12 +18,14 @@ run_san=1
 run_tsan=1
 run_bench=1
 run_service=1
+run_chaos=1
 case "${1:-}" in
-  --tier1-only) run_san=0; run_tsan=0; run_bench=0; run_service=0 ;;
-  --san-only) run_tier1=0; run_tsan=0; run_bench=0; run_service=0 ;;
-  --tsan-only) run_tier1=0; run_san=0; run_bench=0; run_service=0 ;;
-  --bench-only) run_tier1=0; run_san=0; run_tsan=0; run_service=0 ;;
-  --service-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0 ;;
+  --tier1-only) run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0 ;;
+  --san-only) run_tier1=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0 ;;
+  --tsan-only) run_tier1=0; run_san=0; run_bench=0; run_service=0; run_chaos=0 ;;
+  --bench-only) run_tier1=0; run_san=0; run_tsan=0; run_service=0; run_chaos=0 ;;
+  --service-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_chaos=0 ;;
+  --chaos-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0 ;;
   "") ;;
   *) echo "unknown flag: $1" >&2; exit 2 ;;
 esac
@@ -141,6 +143,15 @@ if [[ "$run_service" == 1 && "$run_san" == 0 ]]; then
   service_smoke_tcp build
 fi
 
+if [[ "$run_chaos" == 1 ]]; then
+  echo "== chaos smoke: failpoint storm + slow-client eviction + bounded drain =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target starringd
+  # The whole smoke runs under a hard wall-clock bound: the invariant
+  # under chaos is "nothing hangs", and the timeout IS that gate.
+  timeout 300 python3 scripts/chaos_smoke.py build/src/service/starringd
+fi
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== sanitizers: TSan build + full ctest (worker pool, shared oracle cache) =="
   TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -O1 -g"
@@ -156,7 +167,10 @@ fi
 
 if [[ "$run_bench" == 1 ]]; then
   echo "== bench smoke: Release BM_EmbedMaxFaults vs committed baseline =="
-  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+  # Failpoints are compiled out of the bench build: the hot path must
+  # show no regression with the reliability layer reduced to nothing.
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
+    -DSTARRING_FAILPOINTS=OFF
   cmake --build build-bench -j "$JOBS" --target bench_runtime
   SMOKE_DIR="build-bench/bench-smoke"
   mkdir -p "$SMOKE_DIR"

@@ -19,6 +19,14 @@ struct ExitCandidate {
   int partner = -1;  // local index of the entry it forces in the next block
 };
 
+/// Relaxed read of the caller's cooperative-cancel flag (see
+/// EmbedOptions::cancel); checked at block-advance granularity so a
+/// cancelled search stops within one in-block path search.
+bool cancelled(const EmbedOptions& opts) {
+  return opts.cancel != nullptr &&
+         opts.cancel->load(std::memory_order_relaxed);
+}
+
 struct BlockInfo {
   std::uint32_t fault_mask = 0;    // local indices of vertex faults
   std::uint32_t excised_mask = 0;  // healthy vertices skipped by design
@@ -255,6 +263,7 @@ std::optional<EmbedResult> chain_block_ring(const StarGraph& g,
   obs::ScopedPhase phase("chain_search");
   obs::trace::ScopedSpan span("chain_search");
   for (const ExitCandidate& closure : blocks[m - 1].exits) {
+    if (cancelled(opts)) return std::nullopt;
     ++stats.closure_attempts;
     std::fill(failed.begin(), failed.end(), 0u);
     std::size_t k = 0;
@@ -263,6 +272,7 @@ std::optional<EmbedResult> chain_block_ring(const StarGraph& g,
     std::int64_t backtracks = 0;
     bool aborted = false;
     while (k < m && !aborted) {
+      if (cancelled(opts)) return std::nullopt;
       BlockInfo& blk = blocks[k];
       bool advanced = false;
       while (!advanced) {
@@ -370,6 +380,7 @@ std::optional<EmbedResult> chain_block_path(const StarGraph& g,
   exit_idx[0] = 0;
   std::int64_t backtracks = 0;
   while (k < m) {
+    if (cancelled(opts)) return std::nullopt;
     BlockInfo& blk = blocks[k];
     bool advanced = false;
     while (!advanced) {

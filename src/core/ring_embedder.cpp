@@ -100,6 +100,9 @@ std::optional<EmbedResult> embed_longest_ring_impl(const StarGraph& g,
   const PartitionSelection sel =
       select_partition_positions(n, faults, opts.heuristic);
   for (int restart = 0; restart < std::max(1, opts.max_restarts); ++restart) {
+    if (opts.cancel != nullptr &&
+        opts.cancel->load(std::memory_order_relaxed))
+      return std::nullopt;
     const auto sr = [&] {
       obs::ScopedPhase phase("super_ring");
       obs::trace::ScopedSpan span("super_ring");

@@ -23,6 +23,7 @@
 // concluding mixed-fault corollary from the same machinery.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -50,6 +51,12 @@ struct EmbedOptions {
   /// Hamiltonian key before chaining (once per process), so no worker
   /// pays a cold in-block search.
   bool prewarm_oracle = false;
+  /// Cooperative cancellation: when non-null and set, the search stops
+  /// at the next restart / backtrack boundary and the embed returns
+  /// nullopt.  The flag must outlive the call; the embedder only reads
+  /// it (relaxed).  Deadline enforcement in the service flips it for
+  /// in-flight computations past their budget.
+  const std::atomic<bool>* cancel = nullptr;
 
   /// num_threads with the conventions applied: the STARRING_THREADS
   /// environment variable (parsed once per process) overrides the

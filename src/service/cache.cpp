@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "util/failpoint.hpp"
 
 namespace starring {
 
@@ -11,6 +12,9 @@ CanonicalRingCache::CanonicalRingCache(std::size_t capacity)
 
 CanonicalRingCache::RingPtr CanonicalRingCache::lookup(
     const std::string& key) {
+  // A fired lookup site forces a miss: the service recomputes (and
+  // re-verifies) what the cache would have served.
+  if (FAILPOINT("svc.cache_lookup")) return nullptr;
   Shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.index.find(key);
@@ -20,6 +24,9 @@ CanonicalRingCache::RingPtr CanonicalRingCache::lookup(
 }
 
 void CanonicalRingCache::insert(const std::string& key, RingPtr ring) {
+  // A fired insert site silently loses the entry — the miss path must
+  // still answer the request and the next lookup must recompute.
+  if (FAILPOINT("svc.cache_insert")) return;
   static obs::Counter& evictions = obs::counter("svc.cache_evictions");
   Shard& s = shard_for(key);
   const std::lock_guard<std::mutex> lock(s.mu);

@@ -6,6 +6,7 @@
 
 #include "core/verify.hpp"
 #include "stargraph/star_graph.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 
 namespace starring {
@@ -52,6 +53,10 @@ obs::Counter& c_verified() {
   static obs::Counter& c = obs::counter("svc.verified");
   return c;
 }
+obs::Counter& c_timeouts() {
+  static obs::Counter& c = obs::counter("svc.timeouts");
+  return c;
+}
 
 ServiceResponse error_response(std::uint64_t id, std::string reason) {
   ServiceResponse r;
@@ -61,24 +66,95 @@ ServiceResponse error_response(std::uint64_t id, std::string reason) {
   return r;
 }
 
+ServiceResponse timeout_response(std::uint64_t id, std::string reason) {
+  ServiceResponse r;
+  r.id = id;
+  r.status = ServiceStatus::kTimeout;
+  r.reason = std::move(reason);
+  return r;
+}
+
 }  // namespace
 
 EmbedService::EmbedService(ServiceOptions opts)
     : opts_(opts), cache_(opts.cache_capacity) {
   scheduler_ = std::thread([this] { scheduler_loop(); });
+  watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 EmbedService::~EmbedService() {
   drain();
   if (scheduler_.joinable()) scheduler_.join();
+  {
+    const std::lock_guard<std::mutex> lock(watch_mu_);
+    watch_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+std::uint64_t EmbedService::watch_deadline(
+    std::chrono::steady_clock::time_point deadline,
+    std::atomic<bool>* cancel) {
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(watch_mu_);
+    id = next_watch_id_++;
+    watches_.push_back({id, Watch{deadline, cancel}});
+  }
+  watch_cv_.notify_one();
+  return id;
+}
+
+void EmbedService::unwatch(std::uint64_t id) {
+  // Holding watch_mu_ for the erase guarantees the watchdog is not
+  // mid-flip on this entry when we return — the flag may be freed.
+  const std::lock_guard<std::mutex> lock(watch_mu_);
+  for (auto it = watches_.begin(); it != watches_.end(); ++it) {
+    if (it->first == id) {
+      watches_.erase(it);
+      return;
+    }
+  }
+}
+
+void EmbedService::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(watch_mu_);
+  while (!watch_stop_) {
+    if (watches_.empty()) {
+      watch_cv_.wait(lock);
+      continue;
+    }
+    auto earliest = watches_.front().second.deadline;
+    for (const auto& [id, w] : watches_)
+      earliest = std::min(earliest, w.deadline);
+    watch_cv_.wait_until(lock, earliest);
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = watches_.begin(); it != watches_.end();) {
+      if (now >= it->second.deadline) {
+        it->second.cancel->store(true, std::memory_order_relaxed);
+        it = watches_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 }
 
 bool EmbedService::submit(ServiceRequest req, Callback on_done, bool wait) {
   // `admitted` is stamped at entry, before any backpressure wait: the
-  // latency histogram and the svc.request root span both cover the full
-  // submit-to-response interval the caller experienced.
-  Pending p{std::move(req), std::move(on_done),
-            std::chrono::steady_clock::now(), {}};
+  // latency histogram, the svc.request root span, and the deadline
+  // budget all cover the full submit-to-response interval the caller
+  // experienced (a request that waited out its budget at admission is
+  // shed unprocessed).
+  Pending p;
+  p.req = std::move(req);
+  p.done = std::move(on_done);
+  p.admitted = std::chrono::steady_clock::now();
+  if (p.req.deadline_ms > 0) {
+    p.deadline = p.admitted + std::chrono::milliseconds(p.req.deadline_ms);
+    p.has_deadline = true;
+  }
   if (obs::trace::enabled()) {
     p.span.trace_id = obs::trace::new_trace_id();
     p.span.span_id = obs::trace::new_span_id();
@@ -157,17 +233,47 @@ std::vector<EmbedService::Pending> EmbedService::take_batch() {
 }
 
 CanonicalRingCache::RingPtr EmbedService::compute_canonical(
-    int n, const CanonicalForm& canon) {
-  const StarGraph g(n);
-  const auto res = embed_longest_ring(g, canon.faults, opts_.embed);
-  if (!res.has_value()) {
+    int n, const CanonicalForm& canon, const std::atomic<bool>* cancel) {
+  // Chaos: refuse the embedding outright, exercising the same branch a
+  // genuine pipeline failure takes.
+  if (FAILPOINT("svc.embed")) {
     c_embed_failures().add();
+    return nullptr;
+  }
+  const StarGraph g(n);
+  EmbedOptions eopts = opts_.embed;
+  eopts.cancel = cancel;
+  const auto res = embed_longest_ring(g, canon.faults, eopts);
+  if (!res.has_value()) {
+    // A cooperatively cancelled search is a timeout, not a pipeline
+    // failure; only the latter counts as svc.embed_failures.
+    if (cancel == nullptr || !cancel->load(std::memory_order_relaxed))
+      c_embed_failures().add();
     return nullptr;
   }
   auto ring = std::make_shared<const std::vector<VertexId>>(
       std::move(res->ring));
   cache_.insert(canon.key, ring);
   return ring;
+}
+
+void EmbedService::deliver(Pending& p, ServiceResponse resp,
+                           std::chrono::steady_clock::time_point now) {
+  latency_.record(now - p.admitted);
+  // Emit the request's root span now that every child has closed: the
+  // whole admitted-to-delivered interval, parent 0.
+  if (p.span.valid())
+    obs::trace::emit("svc.request", p.span.trace_id, p.span.span_id, 0,
+                     p.admitted, now);
+  if (p.done) {
+    p.done(std::move(resp));
+  } else {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      responses_.push_back(std::move(resp));
+    }
+    resp_cv_.notify_all();
+  }
 }
 
 ServiceResponse EmbedService::finish(const ServiceRequest& req,
@@ -220,6 +326,25 @@ void EmbedService::run_batch(std::vector<Pending> batch) {
                        p.admitted, batch_start);
   }
 
+  // Shed requests that waited out their budget in the queue before
+  // spending any work on them.
+  {
+    std::vector<Pending> live;
+    live.reserve(batch.size());
+    for (Pending& p : batch) {
+      if (p.expired(batch_start)) {
+        c_timeouts().add();
+        deliver(p,
+                timeout_response(p.req.id, "deadline expired in queue"),
+                batch_start);
+      } else {
+        live.push_back(std::move(p));
+      }
+    }
+    batch = std::move(live);
+    if (batch.empty()) return;
+  }
+
   const int n = batch.front().req.n;
   struct Slot {
     CanonicalForm canon;
@@ -227,57 +352,92 @@ void EmbedService::run_batch(std::vector<Pending> batch) {
     bool hit = false;
   };
   std::vector<Slot> slots(batch.size());
-
-  // Canonicalize and consult the cache; each distinct canonical
-  // instance is computed at most once per batch, so intra-batch
-  // duplicates are hits even when the cache was cold.
   std::vector<std::size_t> compute;  // slot index owning each distinct miss
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const obs::trace::ContextGuard as_request(batch[i].span);
-    {
-      obs::trace::ScopedSpan span("svc.canonicalize");
-      slots[i].canon = canonicalize(n, batch[i].req.faults);
-    }
-    {
-      obs::trace::ScopedSpan span("svc.cache_probe");
-      slots[i].ring = cache_.lookup(slots[i].canon.key);
-    }
-    if (slots[i].ring != nullptr) {
-      slots[i].hit = true;
-      continue;
-    }
-    bool owned = false;
-    for (const std::size_t j : compute) {
-      if (slots[j].canon.key == slots[i].canon.key) {
-        slots[i].hit = true;  // served by slot j's computation
-        owned = true;
-        break;
-      }
-    }
-    if (!owned) compute.push_back(i);
-  }
-
   std::vector<ServiceResponse> out(batch.size());
   try {
+    if (FAILPOINT("svc.batch"))
+      throw failpoint::FailpointError("svc.batch");
+
+    // Canonicalize and consult the cache; each distinct canonical
+    // instance is computed at most once per batch, so intra-batch
+    // duplicates are hits even when the cache was cold.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const obs::trace::ContextGuard as_request(batch[i].span);
+      {
+        obs::trace::ScopedSpan span("svc.canonicalize");
+        slots[i].canon = canonicalize(n, batch[i].req.faults);
+      }
+      {
+        obs::trace::ScopedSpan span("svc.cache_probe");
+        slots[i].ring = cache_.lookup(slots[i].canon.key);
+      }
+      if (slots[i].ring != nullptr) {
+        slots[i].hit = true;
+        continue;
+      }
+      bool owned = false;
+      for (const std::size_t j : compute) {
+        if (slots[j].canon.key == slots[i].canon.key) {
+          slots[i].hit = true;  // served by slot j's computation
+          owned = true;
+          break;
+        }
+      }
+      if (!owned) compute.push_back(i);
+    }
+
+    // One cancel flag per distinct computation, armed with the latest
+    // deadline among the requests sharing it — and only when every
+    // sharer carries a deadline, so the flag can never fire while an
+    // unbudgeted request still wants the result.
+    std::vector<std::atomic<bool>> cancels(compute.size());
+    for (auto& c : cancels) c.store(false, std::memory_order_relaxed);
+    std::vector<std::uint64_t> watch_ids(compute.size(), 0);
+    for (std::size_t c = 0; c < compute.size(); ++c) {
+      bool all_deadlined = true;
+      auto latest = std::chrono::steady_clock::time_point::min();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (slots[i].canon.key != slots[compute[c]].canon.key) continue;
+        if (!batch[i].has_deadline) {
+          all_deadlined = false;
+          break;
+        }
+        latest = std::max(latest, batch[i].deadline);
+      }
+      if (all_deadlined)
+        watch_ids[c] = watch_deadline(latest, &cancels[c]);
+    }
+
     // Compute the distinct misses.  A single miss keeps the pipeline's
     // own data parallelism; several misses fan out one embedding per
     // pool lane instead (nested regions run inline).  n < 3 has no
     // embedding to compute; finish() reports it per request.
     const unsigned threads = opts_.embed.effective_threads();
-    if (n >= 3 && compute.size() == 1) {
-      const obs::trace::ContextGuard as_request(
-          batch[compute.front()].span);
-      obs::trace::ScopedSpan span("svc.embed");
-      Slot& s = slots[compute.front()];
-      s.ring = compute_canonical(n, s.canon);
-    } else if (n >= 3 && !compute.empty()) {
-      parallel_for(0, compute.size(), threads, [&](std::size_t k) {
-        const obs::trace::ContextGuard as_request(batch[compute[k]].span);
+    try {
+      if (n >= 3 && compute.size() == 1) {
+        const obs::trace::ContextGuard as_request(
+            batch[compute.front()].span);
         obs::trace::ScopedSpan span("svc.embed");
-        Slot& s = slots[compute[k]];
-        s.ring = compute_canonical(n, s.canon);
-      });
+        Slot& s = slots[compute.front()];
+        s.ring = compute_canonical(n, s.canon, &cancels.front());
+      } else if (n >= 3 && !compute.empty()) {
+        parallel_for(0, compute.size(), threads, [&](std::size_t k) {
+          const obs::trace::ContextGuard as_request(batch[compute[k]].span);
+          obs::trace::ScopedSpan span("svc.embed");
+          Slot& s = slots[compute[k]];
+          s.ring = compute_canonical(n, s.canon, &cancels[k]);
+        });
+      }
+    } catch (...) {
+      // The watchdog must stop referencing the flags before their
+      // storage unwinds.
+      for (const std::uint64_t id : watch_ids)
+        if (id != 0) unwatch(id);
+      throw;
     }
+    for (const std::uint64_t id : watch_ids)
+      if (id != 0) unwatch(id);
+
     for (const Slot& s : slots) (s.hit ? c_hits() : c_misses()).add();
     // Batch-local duplicates of a miss share the owner's ring.
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -298,29 +458,33 @@ void EmbedService::run_batch(std::vector<Pending> batch) {
     });
   } catch (const std::exception& e) {
     // Deliver something for every request even if a stage threw
-    // (allocation failure, ...): callers blocked on these ids.
+    // (allocation failure, injected fault, ...): callers blocked on
+    // these ids.
     for (std::size_t i = 0; i < batch.size(); ++i)
       out[i] = error_response(batch[i].req.id,
                               std::string("internal: ") + e.what());
   }
 
+  // Response-delay chaos site.  Armed in throw mode it must not unwind
+  // past delivery — callers block on these ids — so it is absorbed.
+  try {
+    if (FAILPOINT("svc.respond")) {
+      // error mode: delivery itself has no failure branch to take.
+    }
+  } catch (const failpoint::FailpointError&) {
+  }
+
   const auto now = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    latency_.record(now - batch[i].admitted);
-    // Emit each request's root span now that every child has closed:
-    // the whole admitted-to-delivered interval, parent 0.
-    if (batch[i].span.valid())
-      obs::trace::emit("svc.request", batch[i].span.trace_id,
-                       batch[i].span.span_id, 0, batch[i].admitted, now);
-    if (batch[i].done) {
-      batch[i].done(std::move(out[i]));
-    } else {
-      {
-        const std::lock_guard<std::mutex> lock(mu_);
-        responses_.push_back(std::move(out[i]));
-      }
-      resp_cv_.notify_all();
+    // Strict deadline semantics, judged at delivery: a result computed
+    // (or delayed) past its budget goes out as `status timeout` — the
+    // ring, if any, stays cached for future callers.
+    if (batch[i].expired(now) &&
+        out[i].status != ServiceStatus::kTimeout) {
+      c_timeouts().add();
+      out[i] = timeout_response(batch[i].req.id, "deadline exceeded");
     }
+    deliver(batch[i], std::move(out[i]), now);
   }
 }
 
@@ -343,6 +507,10 @@ ServiceResponse EmbedService::process_now(const ServiceRequest& req) {
   // its children all come from plain ScopedSpan nesting.
   obs::trace::ScopedSpan root("svc.request");
   c_requests().add();
+  const auto admitted = std::chrono::steady_clock::now();
+  const bool budgeted = req.deadline_ms > 0;
+  const auto deadline =
+      admitted + std::chrono::milliseconds(budgeted ? req.deadline_ms : 0);
   if (req.n < 3 || req.n > kMaxN)
     return error_response(req.id, "unsupported dimension");
   CanonicalForm canon;
@@ -359,7 +527,20 @@ ServiceResponse EmbedService::process_now(const ServiceRequest& req) {
   (hit ? c_hits() : c_misses()).add();
   if (!hit) {
     obs::trace::ScopedSpan span("svc.embed");
-    ring = compute_canonical(req.n, canon);
+    std::atomic<bool> cancel{false};
+    const std::uint64_t watch =
+        budgeted ? watch_deadline(deadline, &cancel) : 0;
+    try {
+      ring = compute_canonical(req.n, canon, budgeted ? &cancel : nullptr);
+    } catch (...) {
+      if (watch != 0) unwatch(watch);
+      throw;
+    }
+    if (watch != 0) unwatch(watch);
+  }
+  if (budgeted && std::chrono::steady_clock::now() >= deadline) {
+    c_timeouts().add();
+    return timeout_response(req.id, "deadline exceeded");
   }
   return finish(req, canon, ring, hit);
 }

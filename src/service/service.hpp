@@ -29,12 +29,23 @@
 //   svc.cache_evictions              LRU pressure
 //   svc.batches / svc.batch_size_max / svc.queue_depth_max
 //   svc.embed_failures / svc.verify_failures / svc.verified
+//   svc.timeouts                     requests answered `status timeout`
 //   svc.latency.*                    submit-to-response histogram
+//
+// Deadlines: a request may carry a completion budget (deadline_ms,
+// measured from admission).  Expired requests still queued are shed at
+// batch formation; an in-flight embedding whose every interested
+// request is past budget is cooperatively cancelled (a watchdog thread
+// flips the EmbedOptions::cancel flag the pipeline polls).  Either way
+// the response is `status timeout` — strictly: a ring computed after
+// the budget elapsed is cached for future callers but not returned.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -105,11 +116,19 @@ class EmbedService {
     ServiceRequest req;
     Callback done;
     std::chrono::steady_clock::time_point admitted;
+    /// Absolute completion budget (admitted + deadline_ms); only
+    /// meaningful when has_deadline.
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
     // Root span context of this request's trace (invalid while tracing
     // is off).  Allocated at admission; every stage the request passes
     // through parents its spans here, and the svc.request root itself
     // is emitted with explicit [admitted, delivered] endpoints.
     obs::trace::Context span;
+
+    bool expired(std::chrono::steady_clock::time_point now) const {
+      return has_deadline && now >= deadline;
+    }
   };
 
   void scheduler_loop();
@@ -118,8 +137,23 @@ class EmbedService {
   std::vector<Pending> take_batch();
   void run_batch(std::vector<Pending> batch);
   /// Canonical-frame embedding for a cache miss; inserts on success.
-  CanonicalRingCache::RingPtr compute_canonical(int n,
-                                                const CanonicalForm& canon);
+  /// A non-null cancel is polled by the pipeline (deadline watchdog).
+  CanonicalRingCache::RingPtr compute_canonical(
+      int n, const CanonicalForm& canon,
+      const std::atomic<bool>* cancel = nullptr);
+  /// Latency accounting, root-span emission, and response routing
+  /// (callback or next_response queue) for one finished request.
+  void deliver(Pending& p, ServiceResponse resp,
+               std::chrono::steady_clock::time_point now);
+
+  // --- Deadline watchdog --------------------------------------------
+  // One thread arms per-computation cancel flags: run_batch registers
+  // (deadline, flag) pairs before embedding and unregisters after; the
+  // watchdog flips flags whose deadline passed.
+  std::uint64_t watch_deadline(std::chrono::steady_clock::time_point deadline,
+                               std::atomic<bool>* cancel);
+  void unwatch(std::uint64_t id);
+  void watchdog_loop();
   /// Relabel a canonical ring into the request's frame and verify as
   /// asked; fills everything but the latency accounting.
   ServiceResponse finish(const ServiceRequest& req,
@@ -140,6 +174,17 @@ class EmbedService {
   bool draining_ = false;
   bool stopped_ = false;  // scheduler exited; no more responses coming
   std::thread scheduler_;
+
+  struct Watch {
+    std::chrono::steady_clock::time_point deadline;
+    std::atomic<bool>* cancel;
+  };
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  std::vector<std::pair<std::uint64_t, Watch>> watches_;
+  std::uint64_t next_watch_id_ = 1;
+  bool watch_stop_ = false;
+  std::thread watchdog_;
 };
 
 }  // namespace starring

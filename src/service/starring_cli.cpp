@@ -57,8 +57,10 @@ struct CliConfig {
   int nmax = 7;
   bool verify = false;       // set the per-request verify flag
   int edge_pct = 10;         // % of requests that carry one edge fault
+  std::int64_t deadline_ms = 0;  // per-request budget; 0 = none
   bool expect_hits = false;  // drive: fail if the cache never hit
   int connect_port = -1;     // drive: TCP instead of spawning
+  int retry = 0;  // drive (TCP): reconnect rounds after rejections/drops
   std::string trace_out;     // drive (spawned): daemon trace JSON path
   std::string stats_out;     // drive: save the raw STATS promtext here
   std::vector<std::string> daemon_argv;  // drive: after `--`
@@ -74,8 +76,16 @@ int usage(const char* argv0) {
       << "  --verify         set the verify flag on every request\n"
       << "  --edge-pct P     percent of requests with an edge fault "
          "(default 10)\n"
+      << "  --deadline-ms N  completion budget per request; past-budget\n"
+      << "                   requests are answered `status timeout`\n"
       << "  --expect-hits    drive: fail when cache hits == 0\n"
       << "  --connect PORT   drive: use a TCP daemon on 127.0.0.1\n"
+      << "  --retry N        drive (TCP): reconnect and resubmit "
+         "unanswered\n"
+      << "                   requests up to N times (exponential backoff "
+         "+\n"
+      << "                   jitter) after rejections or transport "
+         "drops\n"
       << "  --trace-out F    drive: pass --trace-out F to the spawned "
          "daemon\n"
       << "  --stats-out F    drive: save the end-of-run STATS promtext\n"
@@ -107,10 +117,14 @@ std::optional<CliConfig> parse_args(int argc, char** argv) {
       cfg.verify = true;
     } else if (a == "--edge-pct" && (v = num()) >= 0 && v <= 100) {
       cfg.edge_pct = static_cast<int>(v);
+    } else if (a == "--deadline-ms" && (v = num()) > 0) {
+      cfg.deadline_ms = v;
     } else if (a == "--expect-hits") {
       cfg.expect_hits = true;
     } else if (a == "--connect" && (v = num()) > 0 && v < 65536) {
       cfg.connect_port = static_cast<int>(v);
+    } else if (a == "--retry" && (v = num()) >= 0) {
+      cfg.retry = static_cast<int>(v);
     } else if (a == "--trace-out" && i + 1 < argc) {
       cfg.trace_out = argv[++i];
     } else if (a == "--stats-out" && i + 1 < argc) {
@@ -145,16 +159,23 @@ ServiceRequest make_request(const CliConfig& cfg, std::size_t i) {
       nf >= 1 && static_cast<int>(rng() % 100) < cfg.edge_pct;
   req.faults = with_edge ? mixed_faults(g, nf - 1, 1, fault_seed)
                          : random_vertex_faults(g, nf, fault_seed);
+  req.deadline_ms = cfg.deadline_ms;
   return req;
 }
 
 /// Independent check of one response against its regenerated request.
 /// Returns an empty string on success, else the failure reason.
 std::string check_response(const CliConfig& cfg, const ServiceResponse& resp,
-                           std::size_t* hits) {
+                           std::size_t* hits, std::size_t* timeouts) {
   if (resp.id >= cfg.count) return "response id out of workload range";
   const ServiceRequest req = make_request(cfg, resp.id);
   if (resp.status == ServiceStatus::kRejected) return "rejected by daemon";
+  if (resp.status == ServiceStatus::kTimeout) {
+    ++*timeouts;
+    // A timeout is a legitimate terminal status when the workload arms
+    // deadlines; without them the daemon invented one.
+    return cfg.deadline_ms > 0 ? "" : "unexpected timeout status";
+  }
   if (resp.status != ServiceStatus::kOk)
     return "status error: " + resp.reason;
   if (resp.cache_hit) ++*hits;
@@ -182,6 +203,7 @@ int run_generate(const CliConfig& cfg) {
 /// failure and stop).
 int consume_responses(const CliConfig& cfg, std::istream& in,
                       std::size_t* received, std::size_t* hits,
+                      std::size_t* timeouts,
                       std::size_t max_count = SIZE_MAX) {
   int failures = 0;
   std::string err;
@@ -195,7 +217,7 @@ int consume_responses(const CliConfig& cfg, std::istream& in,
       break;
     }
     ++*received;
-    const std::string why = check_response(cfg, *resp, hits);
+    const std::string why = check_response(cfg, *resp, hits, timeouts);
     if (!why.empty()) {
       std::cerr << "starring-cli: request " << resp->id << ": " << why
                 << "\n";
@@ -253,10 +275,10 @@ int fetch_and_report_stats(const CliConfig& cfg, std::ostream& out,
 }
 
 int report(const CliConfig& cfg, std::size_t received, std::size_t hits,
-           int failures, double wall_s) {
+           std::size_t timeouts, int failures, double wall_s) {
   std::cout << "starring-cli: " << received << "/" << cfg.count
-            << " responses, " << hits << " cache hits, " << failures
-            << " failures";
+            << " responses, " << hits << " cache hits, " << timeouts
+            << " timeouts, " << failures << " failures";
   if (wall_s > 0)
     std::cout << ", " << static_cast<double>(received) / wall_s
               << " req/s";
@@ -275,26 +297,24 @@ int report(const CliConfig& cfg, std::size_t received, std::size_t hits,
 int run_check(const CliConfig& cfg) {
   std::size_t received = 0;
   std::size_t hits = 0;
-  const int failures = consume_responses(cfg, std::cin, &received, &hits);
-  return report(cfg, received, hits, failures, 0.0);
+  std::size_t timeouts = 0;
+  const int failures =
+      consume_responses(cfg, std::cin, &received, &hits, &timeouts);
+  return report(cfg, received, hits, timeouts, failures, 0.0);
 }
 
-/// Stream the workload into `out` from a helper thread (the main
-/// thread is the response reader; streaming both directions at once
-/// avoids the full-pipe/full-queue deadlock a half-duplex client
-/// would hit).
-std::thread start_sender(const CliConfig& cfg, std::ostream& out,
-                         int close_fd_after) {
-  return std::thread([&cfg, &out, close_fd_after] {
-    for (std::size_t i = 0; i < cfg.count; ++i) {
-      if (!write_request(out, make_request(cfg, i))) break;
-    }
-    out.flush();
-    if (close_fd_after >= 0) {
-      // Half-close announces end-of-workload; the daemon drains.
-      ::shutdown(close_fd_after, SHUT_WR);
-    }
-  });
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
 }
 
 int drive_spawned(const CliConfig& cfg) {
@@ -350,7 +370,9 @@ int drive_spawned(const CliConfig& cfg) {
 
   std::size_t received = 0;
   std::size_t hits = 0;
-  int failures = consume_responses(cfg, in, &received, &hits, cfg.count);
+  std::size_t timeouts = 0;
+  int failures =
+      consume_responses(cfg, in, &received, &hits, &timeouts, cfg.count);
   sender.join();
   // With every workload response consumed (and the sender done), the
   // request stream is quiet: a STATS exchange cannot interleave with
@@ -358,7 +380,7 @@ int drive_spawned(const CliConfig& cfg) {
   if (received == cfg.count)
     failures += fetch_and_report_stats(cfg, out, in);
   out_buf.close();  // EOF on the daemon's stdin: begin graceful drain
-  failures += consume_responses(cfg, in, &received, &hits);
+  failures += consume_responses(cfg, in, &received, &hits, &timeouts);
 
   int status = 0;
   if (::waitpid(pid, &status, 0) < 0 ||
@@ -370,44 +392,107 @@ int drive_spawned(const CliConfig& cfg) {
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  return report(cfg, received, hits, failures, wall_s);
+  return report(cfg, received, hits, timeouts, failures, wall_s);
 }
 
+/// TCP drive with resilience: each round opens a connection, submits
+/// every not-yet-answered request, and consumes one response per
+/// submission.  `status rejected` answers (queue full, connection
+/// limit) and transport drops leave their requests unanswered; with
+/// --retry N up to N further rounds resubmit them after an exponential
+/// backoff with jitter.  Responses are correlated by id, so duplicate
+/// answers across rounds are counted once.
 int drive_tcp(const CliConfig& cfg) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::cerr << "starring-cli: socket: " << std::strerror(errno) << "\n";
-    return 1;
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(cfg.connect_port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    std::cerr << "starring-cli: connect: " << std::strerror(errno) << "\n";
-    ::close(fd);
-    return 1;
-  }
   const auto t0 = std::chrono::steady_clock::now();
-  __gnu_cxx::stdio_filebuf<char> out_buf(::dup(fd), std::ios::out);
-  __gnu_cxx::stdio_filebuf<char> in_buf(fd, std::ios::in);
-  std::ostream out(&out_buf);
-  std::istream in(&in_buf);
-  std::thread sender = start_sender(cfg, out, /*close_fd_after=*/-1);
-
-  std::size_t received = 0;
+  std::vector<char> answered(cfg.count, 0);
+  std::size_t done = 0;
   std::size_t hits = 0;
-  int failures = consume_responses(cfg, in, &received, &hits, cfg.count);
-  sender.join();
-  if (received == cfg.count)
-    failures += fetch_and_report_stats(cfg, out, in);
-  out.flush();
-  ::shutdown(fd, SHUT_WR);  // end-of-workload; the daemon drains
-  failures += consume_responses(cfg, in, &received, &hits);
+  std::size_t timeouts = 0;
+  int failures = 0;
+  std::mt19937_64 jitter(cfg.seed ^ 0x6a177e5b0ff5ULL);
+  const int rounds = cfg.retry + 1;
+
+  for (int round = 0; round < rounds && done < cfg.count; ++round) {
+    const bool last_round = round + 1 == rounds;
+    if (round > 0) {
+      const long long backoff_ms =
+          (50LL << (round - 1)) + static_cast<long long>(jitter() % 50);
+      std::cerr << "starring-cli: retry round " << round << " for "
+                << (cfg.count - done) << " requests after " << backoff_ms
+                << " ms\n";
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    const int fd = connect_loopback(cfg.connect_port);
+    if (fd < 0) {
+      if (last_round) {
+        std::cerr << "starring-cli: connect: " << std::strerror(errno)
+                  << "\n";
+        ++failures;
+      }
+      continue;
+    }
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < cfg.count; ++i)
+      if (!answered[i]) pending.push_back(i);
+
+    __gnu_cxx::stdio_filebuf<char> out_buf(::dup(fd), std::ios::out);
+    __gnu_cxx::stdio_filebuf<char> in_buf(fd, std::ios::in);
+    std::ostream out(&out_buf);
+    std::istream in(&in_buf);
+    // Full-duplex: the sender streams while this thread reads, so a
+    // full daemon queue cannot deadlock the client against a full
+    // socket buffer.
+    std::thread sender([&] {
+      for (const std::size_t i : pending)
+        if (!write_request(out, make_request(cfg, i))) break;
+      out.flush();
+    });
+
+    std::size_t got = 0;
+    std::string err;
+    while (got < pending.size()) {
+      const auto resp = read_response(in, &err);
+      if (!resp) {
+        if (!err.empty()) {
+          std::cerr << "starring-cli: response parse error: " << err
+                    << "\n";
+          ++failures;
+        } else if (last_round) {
+          std::cerr << "starring-cli: connection dropped with "
+                    << (pending.size() - got) << " responses missing\n";
+        }
+        break;
+      }
+      ++got;
+      if (resp->status == ServiceStatus::kRejected && !last_round)
+        continue;  // stays unanswered; the next round resubmits it
+      if (resp->id < cfg.count && !answered[resp->id]) {
+        answered[resp->id] = 1;
+        ++done;
+      }
+      const std::string why = check_response(cfg, *resp, &hits, &timeouts);
+      if (!why.empty()) {
+        std::cerr << "starring-cli: request " << resp->id << ": " << why
+                  << "\n";
+        ++failures;
+      }
+    }
+    sender.join();
+    if (done == cfg.count) {
+      failures += fetch_and_report_stats(cfg, out, in);
+      out.flush();
+      ::shutdown(fd, SHUT_WR);  // end-of-workload; the daemon drains
+      while (read_response(in, &err)) {
+        // Drain stragglers (duplicates of already-answered ids).
+      }
+    } else {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  return report(cfg, received, hits, failures, wall_s);
+  return report(cfg, done, hits, timeouts, failures, wall_s);
 }
 
 int cli_main(int argc, char** argv) {

@@ -8,17 +8,29 @@
 //
 // Shutdown/drain semantics:
 //   stdio: EOF on stdin stops admission; every queued request is still
-//          answered, stdout is flushed, exit 0.
+//          answered, stdout is flushed, exit 0.  A SIGINT/SIGTERM drain
+//          is bounded by --drain-timeout-ms (overrun aborts the
+//          process: a hung embedding must not wedge shutdown forever).
 //   TCP:   SIGINT/SIGTERM stops accepting, half-closes live
-//          connections (their reads see EOF), drains, exits 0.
+//          connections (their reads see EOF), drains under the same
+//          bound, escalating laggards to a hard close.
 // Backpressure: the stdio reader blocks on a full queue, which stops
 // consuming the pipe — the OS pipe buffer then backpressures the
 // client.  TCP connections instead get `status rejected` responses so
 // remote callers can retry elsewhere.
 //
+// Slow-client defense (TCP): connection sockets are non-blocking and
+// every write polls POLLOUT with a --write-timeout-ms budget; a client
+// that cannot drain its socket is evicted (svc.evicted_conns) rather
+// than allowed to pin a response callback forever.  A hard write error
+// (EPIPE, reset) marks the connection dead (io.write_errors) and stops
+// servicing it.  --max-conns caps concurrent connections; excess
+// accepts are answered `status rejected` and closed.
+//
 // With --bench-artifact NAME the daemon enables the metrics layer and
 // writes BENCH_<NAME>.json (svc.* counters, latency histogram, cache
 // hit rate) to $STARRING_BENCH_DIR on clean drain.
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -47,6 +59,7 @@
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 #include "service/service.hpp"
+#include "util/failpoint.hpp"
 #include "util/io.hpp"
 
 namespace starring {
@@ -69,13 +82,27 @@ class FdInBuf : public std::streambuf {
 
  private:
   int_type underflow() override {
-    ssize_t k;
-    do {
-      k = ::read(fd_, buf_, sizeof buf_);
-    } while (k < 0 && errno == EINTR);
-    if (k <= 0) return traits_type::eof();
-    setg(buf_, buf_, buf_ + k);
-    return traits_type::to_int_type(buf_[0]);
+    while (true) {
+      const ssize_t k = ::read(fd_, buf_, sizeof buf_);
+      if (k > 0) {
+        setg(buf_, buf_, buf_ + k);
+        return traits_type::to_int_type(buf_[0]);
+      }
+      if (k == 0) return traits_type::eof();
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking socket with nothing queued: wait for data.  A
+        // drain half-close (SHUT_RD/SHUT_RDWR) wakes the poll with EOF.
+        pollfd pfd{fd_, POLLIN, 0};
+        int r;
+        do {
+          r = ::poll(&pfd, 1, -1);
+        } while (r < 0 && errno == EINTR);
+        if (r <= 0) return traits_type::eof();
+        continue;
+      }
+      return traits_type::eof();
+    }
   }
 
   int fd_;
@@ -84,7 +111,11 @@ class FdInBuf : public std::streambuf {
 
 class FdOutBuf : public std::streambuf {
  public:
-  explicit FdOutBuf(int fd) : fd_(fd) {}
+  /// write_timeout_ms < 0 means block forever.  `dead`, when non-null,
+  /// is set on eviction or hard write error so the owner stops
+  /// servicing the connection.
+  FdOutBuf(int fd, int write_timeout_ms, std::atomic<bool>* dead)
+      : fd_(fd), timeout_ms_(write_timeout_ms), dead_(dead) {}
 
  private:
   int_type overflow(int_type c) override {
@@ -97,27 +128,98 @@ class FdOutBuf : public std::streambuf {
                ? count
                : std::streamsize{0};
   }
+  void mark_dead() {
+    if (dead_ != nullptr) dead_->store(true, std::memory_order_relaxed);
+    // Both directions: wake a reader blocked in poll and refuse any
+    // queued client bytes — the connection is done.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
   bool write_all(const char* p, std::size_t count) {
+    if (dead_ != nullptr && dead_->load(std::memory_order_relaxed))
+      return false;
     while (count > 0) {
       const ssize_t k = ::write(fd_, p, count);
-      if (k < 0) {
-        if (errno == EINTR) continue;
+      if (k > 0) {
+        p += k;
+        count -= static_cast<std::size_t>(k);
+        continue;
+      }
+      if (k < 0 && errno == EINTR) continue;
+      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd pfd{fd_, POLLOUT, 0};
+        int r;
+        do {
+          r = ::poll(&pfd, 1, timeout_ms_);
+        } while (r < 0 && errno == EINTR);
+        if (r > 0) continue;
+        // The client has not drained its socket within the write
+        // budget: evict it rather than let it pin this thread (and the
+        // response lock) indefinitely.
+        obs::counter("svc.evicted_conns").add();
+        mark_dead();
         return false;
       }
-      p += k;
-      count -= static_cast<std::size_t>(k);
+      // EPIPE, ECONNRESET, ...: the peer is gone; record and stop
+      // servicing instead of erroring on every subsequent response.
+      obs::counter("io.write_errors").add();
+      mark_dead();
+      return false;
     }
     return true;
   }
 
   int fd_;
+  int timeout_ms_;
+  std::atomic<bool>* dead_;
 };
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
 
 struct DaemonConfig {
   ServiceOptions svc;
   int listen_port = -1;  // -1: stdio mode
+  int max_conns = 64;
+  int write_timeout_ms = 5000;
+  int drain_timeout_ms = 10000;
   std::string bench_artifact;
   std::string trace_out;  // non-empty: tracing on, dump here
+};
+
+/// Arms a wall-clock bound on shutdown: if the owner has not finished
+/// draining (destroyed the guard) within the budget, the process is
+/// aborted — a wedged embedding or connection must not turn SIGTERM
+/// into a hang.
+class DrainGuard {
+ public:
+  explicit DrainGuard(int budget_ms) {
+    watcher_ = std::thread([this, budget_ms] {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait_for(lock, std::chrono::milliseconds(budget_ms),
+                        [this] { return done_; })) {
+        std::cerr << "starringd: drain deadline exceeded, aborting\n";
+        std::_Exit(1);
+      }
+    });
+  }
+  ~DrainGuard() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    watcher_.join();
+  }
+  DrainGuard(const DrainGuard&) = delete;
+  DrainGuard& operator=(const DrainGuard&) = delete;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread watcher_;
 };
 
 int usage(const char* argv0) {
@@ -130,6 +232,15 @@ int usage(const char* argv0) {
       << "  --threads N          embedding worker threads (0 = cores)\n"
       << "  --listen PORT        serve TCP on 127.0.0.1:PORT (default: "
          "stdio)\n"
+      << "  --max-conns N        concurrent TCP connections; excess "
+         "accepts\n"
+      << "                       are answered `status rejected` "
+         "(default 64)\n"
+      << "  --write-timeout-ms N evict a TCP client that cannot drain "
+         "its\n"
+      << "                       socket within N ms (default 5000)\n"
+      << "  --drain-timeout-ms N abort if shutdown drain exceeds N ms\n"
+      << "                       (default 10000)\n"
       << "  --bench-artifact S   write BENCH_<S>.json on clean drain\n"
       << "  --trace-out FILE     enable tracing; dump Chrome trace JSON\n"
       << "                       on clean drain and on SIGUSR1\n";
@@ -158,6 +269,12 @@ std::optional<DaemonConfig> parse_args(int argc, char** argv) {
       cfg.svc.embed.num_threads = static_cast<unsigned>(v);
     } else if (a == "--listen" && (v = num(&i)) > 0 && v < 65536) {
       cfg.listen_port = static_cast<int>(v);
+    } else if (a == "--max-conns" && (v = num(&i)) > 0) {
+      cfg.max_conns = static_cast<int>(v);
+    } else if (a == "--write-timeout-ms" && (v = num(&i)) > 0) {
+      cfg.write_timeout_ms = static_cast<int>(v);
+    } else if (a == "--drain-timeout-ms" && (v = num(&i)) > 0) {
+      cfg.drain_timeout_ms = static_cast<int>(v);
     } else if (a == "--bench-artifact" && i + 1 < argc) {
       cfg.bench_artifact = argv[++i];
     } else if (a == "--trace-out" && i + 1 < argc) {
@@ -171,7 +288,37 @@ std::optional<DaemonConfig> parse_args(int argc, char** argv) {
 
 // --- stdio transport --------------------------------------------------
 
+/// Answer a PING or FAIL command on `out`; true when `req` was one.
+/// Both are answered inline on the reader thread — liveness probes and
+/// fault arming must not wait behind queued embeddings.
+bool answer_command(const ServiceRequest& req, std::ostream& out,
+                    std::mutex& out_mu) {
+  if (req.kind == RequestKind::kPing) {
+    const std::lock_guard<std::mutex> lock(out_mu);
+    out << "PONG\n";
+    out.flush();
+    return true;
+  }
+  if (req.kind == RequestKind::kFail) {
+    std::string why;
+    const bool ok = failpoint::set(req.fail_config, &why);
+    const std::lock_guard<std::mutex> lock(out_mu);
+    if (ok)
+      out << "FAIL ok\n";
+    else
+      out << "FAIL bad "
+          << (why.empty() ? std::string("failpoints unavailable") : why)
+          << "\n";
+    out.flush();
+    return true;
+  }
+  return false;
+}
+
 int serve_stdio(const DaemonConfig& cfg) {
+  // Declared before the service: destroyed after it, so a signal-drain
+  // bound armed below covers the scheduler join in ~EmbedService.
+  std::optional<DrainGuard> drain_guard;
   EmbedService svc(cfg.svc);
   std::mutex out_mu;
   std::thread writer([&] {
@@ -201,17 +348,19 @@ int serve_stdio(const DaemonConfig& cfg) {
       break;
     }
     if (req->kind == RequestKind::kStats) {
-      // Answered inline on the reader thread — a live snapshot must not
-      // wait behind queued embeddings.
       const std::lock_guard<std::mutex> lock(out_mu);
       write_stats(std::cout, obs::render_prometheus());
       std::cout.flush();
       continue;
     }
+    if (answer_command(*req, std::cout, out_mu)) continue;
     // wait=true: a full queue stops the reader, and the pipe buffer
     // backpressures the writer on the other side.
     svc.submit(std::move(*req));
   }
+  // A clean EOF drain is allowed to take as long as the queue needs;
+  // a signal-initiated one is bounded.
+  if (g_stop != 0) drain_guard.emplace(cfg.drain_timeout_ms);
   svc.drain();
   writer.join();
   return rc;
@@ -221,26 +370,46 @@ int serve_stdio(const DaemonConfig& cfg) {
 
 struct ConnRegistry {
   std::mutex mu;
+  std::condition_variable empty_cv;
   std::vector<int> fds;
 
+  std::size_t count() {
+    const std::lock_guard<std::mutex> lock(mu);
+    return fds.size();
+  }
   void add(int fd) {
     const std::lock_guard<std::mutex> lock(mu);
     fds.push_back(fd);
   }
   void remove(int fd) {
+    // Notify under the lock: the acceptor may tear down the registry
+    // the moment it observes the table empty.
     const std::lock_guard<std::mutex> lock(mu);
     std::erase(fds, fd);
+    if (fds.empty()) empty_cv.notify_all();
   }
-  void shutdown_all() {
+  void shutdown_all(int how) {
     const std::lock_guard<std::mutex> lock(mu);
-    // Half-close: readers see EOF, pending responses still flow out.
-    for (const int fd : fds) ::shutdown(fd, SHUT_RD);
+    // SHUT_RD: readers see EOF, pending responses still flow out.
+    // SHUT_RDWR: hard close for drain laggards.
+    for (const int fd : fds) ::shutdown(fd, how);
+  }
+  /// Wait (bounded) for every connection thread to deregister.
+  bool wait_empty(int budget_ms) {
+    std::unique_lock<std::mutex> lock(mu);
+    return empty_cv.wait_for(lock, std::chrono::milliseconds(budget_ms),
+                             [this] { return fds.empty(); });
   }
 };
 
-void serve_connection(int fd, EmbedService& svc, ConnRegistry& reg) {
+void serve_connection(int fd, EmbedService& svc, ConnRegistry& reg,
+                      int write_timeout_ms) {
+  // Set on write timeout (eviction) or hard write error; once dead the
+  // connection is no longer serviced — reads stop (the socket is
+  // hard-closed) and queued callbacks drop their responses.
+  std::atomic<bool> dead{false};
   FdInBuf in_buf(fd);
-  FdOutBuf out_buf(fd);
+  FdOutBuf out_buf(fd, write_timeout_ms, &dead);
   std::istream in(&in_buf);
   std::ostream out(&out_buf);
   // Per-connection response routing; responses may complete out of
@@ -251,10 +420,10 @@ void serve_connection(int fd, EmbedService& svc, ConnRegistry& reg) {
   int outstanding = 0;
 
   std::string err;
-  while (true) {
+  while (!dead.load(std::memory_order_relaxed)) {
     auto req = read_request(in, &err);
     if (!req) {
-      if (!err.empty()) {
+      if (!err.empty() && !dead.load(std::memory_order_relaxed)) {
         const std::lock_guard<std::mutex> lock(out_mu);
         ServiceResponse bad;
         bad.status = ServiceStatus::kError;
@@ -270,6 +439,7 @@ void serve_connection(int fd, EmbedService& svc, ConnRegistry& reg) {
       out.flush();
       continue;
     }
+    if (answer_command(*req, out, out_mu)) continue;
     {
       const std::lock_guard<std::mutex> lock(done_mu);
       ++outstanding;
@@ -278,7 +448,7 @@ void serve_connection(int fd, EmbedService& svc, ConnRegistry& reg) {
     const bool admitted = svc.submit(
         *req,
         [&, id](ServiceResponse resp) {
-          {
+          if (!dead.load(std::memory_order_relaxed)) {
             const std::lock_guard<std::mutex> lock(out_mu);
             write_response(out, resp);
             out.flush();
@@ -295,7 +465,7 @@ void serve_connection(int fd, EmbedService& svc, ConnRegistry& reg) {
     if (!admitted) {
       // Remote callers get an explicit bounce instead of a stalled
       // socket, so they can back off or retry elsewhere.
-      {
+      if (!dead.load(std::memory_order_relaxed)) {
         const std::lock_guard<std::mutex> lock(out_mu);
         ServiceResponse rej;
         rej.id = id;
@@ -313,6 +483,21 @@ void serve_connection(int fd, EmbedService& svc, ConnRegistry& reg) {
     done_cv.wait(lock, [&] { return outstanding == 0; });
   }
   reg.remove(fd);
+  ::close(fd);
+}
+
+/// Over the connection cap: one `status rejected` response, then close.
+/// The socket is still blocking here (best effort; a peer that will not
+/// read its bounce is closed on anyway when the process exits).
+void refuse_connection(int fd) {
+  obs::counter("svc.rejected_conns").add();
+  FdOutBuf out_buf(fd, /*write_timeout_ms=*/1000, nullptr);
+  std::ostream out(&out_buf);
+  ServiceResponse rej;
+  rej.status = ServiceStatus::kRejected;
+  rej.reason = "connection limit";
+  write_response(out, rej);
+  out.flush();
   ::close(fd);
 }
 
@@ -338,22 +523,48 @@ int serve_tcp(const DaemonConfig& cfg) {
   std::cerr << "starringd: listening on 127.0.0.1:" << cfg.listen_port
             << "\n";
 
+  // Declared before the service and registry: destroyed last, so the
+  // drain bound armed at shutdown covers the scheduler join too.
+  std::optional<DrainGuard> drain_guard;
   EmbedService svc(cfg.svc);
   ConnRegistry reg;
-  std::vector<std::thread> conns;
   while (g_stop == 0) {
     pollfd pfd{listen_fd, POLLIN, 0};
     const int r = ::poll(&pfd, 1, 200 /*ms*/);
     if (r <= 0) continue;  // timeout or EINTR: re-check g_stop
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) continue;
+    if (reg.count() >= static_cast<std::size_t>(cfg.max_conns)) {
+      refuse_connection(fd);
+      continue;
+    }
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
     reg.add(fd);
-    conns.emplace_back(
-        [fd, &svc, &reg] { serve_connection(fd, svc, reg); });
+    // Detached with the registry as the liveness ledger: finished
+    // connections release their thread immediately instead of
+    // accumulating joinable handles until shutdown.
+    const int timeout = cfg.write_timeout_ms;
+    std::thread([fd, &svc, &reg, timeout] {
+      serve_connection(fd, svc, reg, timeout);
+    }).detach();
   }
   ::close(listen_fd);
-  reg.shutdown_all();
-  for (std::thread& t : conns) t.join();
+  drain_guard.emplace(cfg.drain_timeout_ms);
+  reg.shutdown_all(SHUT_RD);
+  if (!reg.wait_empty(cfg.drain_timeout_ms / 2)) {
+    // Laggards lose their half-closed grace: hard-close both ways so
+    // blocked reads and writes fail and the connections unwind.
+    reg.shutdown_all(SHUT_RDWR);
+    if (!reg.wait_empty(cfg.drain_timeout_ms / 4)) {
+      // Detached threads still reference svc/reg; exiting now is the
+      // only unwind that cannot touch freed state.
+      std::cerr << "starringd: connections failed to drain, aborting\n";
+      std::_Exit(1);
+    }
+  }
   svc.drain();
   return 0;
 }

@@ -1,0 +1,269 @@
+#include "util/failpoint.hpp"
+
+#if !defined(STARRING_FAILPOINTS_DISABLED)
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace starring::failpoint {
+
+namespace {
+
+enum class Mode { kError, kThrow, kDelay };
+
+struct Site {
+  Mode mode = Mode::kError;
+  std::int64_t delay_ms = 0;
+  bool once = false;
+  std::uint64_t every = 0;  // 0: no every-N gate
+  double prob = -1.0;       // <0: no probability gate
+  std::string spec;         // the entry text, echoed by list()
+
+  std::uint64_t evals = 0;  // evaluations since armed
+  bool spent = false;       // a @once site that already fired
+  std::mt19937_64 rng;      // per-site, deterministically seeded
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Armed-site count mirrored outside the mutex: the macro's fast path
+/// reads it relaxed, so unarmed builds pay one load and a branch.
+std::atomic<int> g_armed{0};
+
+std::uint64_t env_seed() {
+  static const std::uint64_t seed = [] {
+    const char* env = std::getenv("STARRING_FAILPOINT_SEED");
+    if (env == nullptr || *env == '\0') return std::uint64_t{0x5eed};
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    return (end == env || *end != '\0') ? std::uint64_t{0x5eed}
+                                        : static_cast<std::uint64_t>(v);
+  }();
+  return seed;
+}
+
+bool parse_number(std::string_view text, std::int64_t* out) {
+  if (text.empty()) return false;
+  std::int64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// One `site=mode@mod...` entry.
+bool parse_entry(std::string_view entry, std::string* site_out, Site* out,
+                 std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr)
+      *error = "failpoint spec '" + std::string(entry) + "': " + why;
+    return false;
+  };
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) return fail("missing site=");
+  *site_out = std::string(entry.substr(0, eq));
+  std::string_view rest = entry.substr(eq + 1);
+
+  std::vector<std::string_view> parts;
+  while (!rest.empty()) {
+    const std::size_t at = rest.find('@');
+    parts.push_back(rest.substr(0, at));
+    if (at == std::string_view::npos) break;
+    rest = rest.substr(at + 1);
+  }
+  if (parts.empty() || parts.front().empty()) return fail("missing mode");
+
+  Site s;
+  s.spec = std::string(entry.substr(eq + 1));
+  const std::string_view mode = parts.front();
+  if (mode == "off") {
+    *out = s;
+    out->spec = "off";
+    return parts.size() == 1 ? true : fail("'off' takes no modifiers");
+  }
+  if (mode == "error") {
+    s.mode = Mode::kError;
+  } else if (mode == "throw") {
+    s.mode = Mode::kThrow;
+  } else if (mode.substr(0, 6) == "delay:") {
+    s.mode = Mode::kDelay;
+    if (!parse_number(mode.substr(6), &s.delay_ms))
+      return fail("bad delay milliseconds");
+  } else {
+    return fail("unknown mode '" + std::string(mode) + "'");
+  }
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string_view m = parts[i];
+    std::int64_t v = 0;
+    if (m == "once") {
+      s.once = true;
+    } else if (m.substr(0, 6) == "every:" &&
+               parse_number(m.substr(6), &v) && v > 0) {
+      s.every = static_cast<std::uint64_t>(v);
+    } else if (m.substr(0, 2) == "p:") {
+      char* end = nullptr;
+      const std::string text(m.substr(2));
+      const double p = std::strtod(text.c_str(), &end);
+      if (end != text.c_str() + text.size() || p < 0.0 || p > 1.0)
+        return fail("bad probability");
+      s.prob = p;
+    } else {
+      return fail("unknown modifier '" + std::string(m) + "'");
+    }
+  }
+  // Deterministic per-site stream: the same (site, seed) always draws
+  // the same firing sequence, so probabilistic chaos runs reproduce.
+  s.rng.seed(env_seed() ^ std::hash<std::string>{}(*site_out));
+  *out = s;
+  return true;
+}
+
+obs::Counter& c_fired() {
+  static obs::Counter& c = obs::counter("svc.failpoints_fired");
+  return c;
+}
+
+bool apply_config(std::string_view config, std::string* error);
+
+/// Read STARRING_FAILPOINTS once, before the first evaluation or
+/// mutation.  Errors go to the abyss deliberately: a daemon must not
+/// crash on a typoed env var, and set() reports the same errors when
+/// called programmatically.
+std::once_flag g_env_once;
+void ensure_env_loaded() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("STARRING_FAILPOINTS");
+    if (env != nullptr && *env != '\0') apply_config(env, nullptr);
+  });
+}
+
+void clear_impl() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  g_armed.fetch_sub(static_cast<int>(reg.sites.size()),
+                    std::memory_order_relaxed);
+  reg.sites.clear();
+}
+
+bool apply_config(std::string_view config, std::string* error) {
+  if (config == "clear") {
+    clear_impl();
+    return true;
+  }
+  Registry& reg = registry();
+  std::string_view rest = config;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(comma + 1);
+    if (entry.empty()) continue;
+    std::string site;
+    Site parsed;
+    if (!parse_entry(entry, &site, &parsed, error)) return false;
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.sites.find(site);
+    if (parsed.spec == "off") {
+      if (it != reg.sites.end()) {
+        reg.sites.erase(it);
+        g_armed.fetch_sub(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    if (it == reg.sites.end()) {
+      reg.sites.emplace(site, std::move(parsed));
+      g_armed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      it->second = std::move(parsed);  // re-arm: counters restart
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool set(std::string_view config, std::string* error) {
+  ensure_env_loaded();
+  return apply_config(config, error);
+}
+
+void clear() {
+  ensure_env_loaded();
+  clear_impl();
+}
+
+std::vector<std::pair<std::string, std::string>> list() {
+  ensure_env_loaded();
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [site, s] : reg.sites) out.emplace_back(site, s.spec);
+  return out;
+}
+
+namespace detail {
+
+bool any_armed() {
+  ensure_env_loaded();
+  return g_armed.load(std::memory_order_relaxed) > 0;
+}
+
+bool eval(std::string_view site) {
+  Registry& reg = registry();
+  Mode mode;
+  std::int64_t delay_ms = 0;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.sites.find(std::string(site));
+    if (it == reg.sites.end()) return false;
+    Site& s = it->second;
+    if (s.spent) return false;
+    ++s.evals;
+    if (s.every != 0 && s.evals % s.every != 0) return false;
+    if (s.prob >= 0.0 &&
+        std::uniform_real_distribution<double>(0.0, 1.0)(s.rng) >= s.prob)
+      return false;
+    if (s.once) s.spent = true;
+    mode = s.mode;
+    delay_ms = s.delay_ms;
+  }
+  // Act outside the registry lock: a delay must not serialize every
+  // other site, and the throw must not unwind through the guard.
+  c_fired().add();
+  obs::counter(std::string("fail.").append(site)).add();
+  switch (mode) {
+    case Mode::kError:
+      return true;
+    case Mode::kThrow:
+      throw FailpointError(std::string(site));
+    case Mode::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return false;
+  }
+  return false;  // unreachable
+}
+
+}  // namespace detail
+
+}  // namespace starring::failpoint
+
+#endif  // !STARRING_FAILPOINTS_DISABLED

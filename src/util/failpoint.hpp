@@ -1,0 +1,101 @@
+// Failpoints: named fault-injection sites for the serving stack.
+//
+// The paper's subject is computing under faults; this layer extends the
+// fault model from the topology to the runtime itself (the discipline
+// DAOS applies to its storage paths): every failure branch in the
+// service — cache insert lost, embedding refused, a stage throwing, a
+// response delayed — can be triggered deliberately, so chaos tests
+// exercise the recovery code instead of waiting for production to.
+//
+// A site is one macro invocation:
+//
+//   if (FAILPOINT("svc.cache_insert")) return;   // `error` mode fires
+//
+// Evaluating a site consults the registry: in `error` mode it returns
+// true (the caller takes its injected-failure branch), in `throw` mode
+// it throws FailpointError, in `delay` mode it sleeps then returns
+// false.  Unarmed sites cost one relaxed atomic load and a branch;
+// configuring with -DSTARRING_FAILPOINTS=OFF compiles every site to a
+// constant false (zero cost, dead-branch eliminated).
+//
+// Activation spec (env STARRING_FAILPOINTS at startup, the daemon FAIL
+// protocol command at runtime, or fail::set in tests):
+//
+//   config   := entry (',' entry)*  |  "clear"
+//   entry    := site '=' mode ( '@' modifier )*
+//   mode     := "off" | "error" | "throw" | "delay:" <ms>
+//   modifier := "once"            fire on the first hit only
+//             | "every:" <N>      fire on every Nth evaluation
+//             | "p:" <prob>       fire with probability prob in [0,1]
+//                                 (deterministic per-site PRNG, seeded
+//                                 from the site name + STARRING_FAILPOINT_SEED)
+//
+// e.g. STARRING_FAILPOINTS="svc.embed=error@p:0.2,svc.cache_insert=throw@once"
+//
+// Every firing increments svc.failpoints_fired plus a per-site counter
+// fail.<site>, so chaos harnesses can reconcile injected faults with
+// observed outcomes.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace starring::failpoint {
+
+/// Thrown by sites armed in `throw` mode.
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(const std::string& site)
+      : std::runtime_error("failpoint: " + site) {}
+};
+
+#if defined(STARRING_FAILPOINTS_DISABLED)
+
+inline constexpr bool compiled_in() { return false; }
+inline bool set(std::string_view, std::string* error = nullptr) {
+  if (error != nullptr) *error = "failpoints compiled out";
+  return false;
+}
+inline void clear() {}
+inline std::vector<std::pair<std::string, std::string>> list() { return {}; }
+
+#define FAILPOINT(site) (false)
+
+#else
+
+/// True when the build contains live sites (tests skip otherwise).
+inline constexpr bool compiled_in() { return true; }
+
+/// Apply a config string (one entry or a comma-separated list; the
+/// word "clear" disarms everything).  Returns false with *error set on
+/// a malformed entry; well-formed entries before the bad one stay
+/// applied.
+bool set(std::string_view config, std::string* error = nullptr);
+
+/// Disarm every site.
+void clear();
+
+/// The armed sites as (site, spec) pairs, for diagnostics.
+std::vector<std::pair<std::string, std::string>> list();
+
+namespace detail {
+
+/// Process-wide count of armed sites; the macro's fast-path gate.
+bool any_armed();
+
+/// Slow path: look the site up and act on its mode.  Returns true when
+/// an `error`-mode site fired.
+bool eval(std::string_view site);
+
+}  // namespace detail
+
+#define FAILPOINT(site)                       \
+  (::starring::failpoint::detail::any_armed() &&   \
+   ::starring::failpoint::detail::eval(site))
+
+#endif  // STARRING_FAILPOINTS_DISABLED
+
+}  // namespace starring::failpoint

@@ -1,8 +1,11 @@
 #include "util/io.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
+
+#include "util/failpoint.hpp"
 
 namespace starring {
 
@@ -56,10 +59,19 @@ void write_faults(std::ostream& os, const FaultSet& faults) {
 /// Read the `vertex_faults`/`edge_faults` sections shared by embedding
 /// files and service requests.
 bool read_faults(std::istream& is, int n, FaultSet* out, std::string* error) {
+  // Structural bound on any fault count: there are only n! vertices
+  // (and n!*(n-1)/2 edges, but one shared cap keeps the check simple).
+  // Rejecting oversized counts up front stops a garbage frame from
+  // driving an unbounded parse loop.
+  const std::size_t cap = factorial(n);
   std::string word;
   std::size_t count = 0;
   if (!(is >> word >> count) || word != "vertex_faults") {
     fail(error, "bad vertex_faults line");
+    return false;
+  }
+  if (count > cap) {
+    fail(error, "vertex_faults count out of range");
     return false;
   }
   for (std::size_t i = 0; i < count; ++i) {
@@ -78,6 +90,10 @@ bool read_faults(std::istream& is, int n, FaultSet* out, std::string* error) {
 
   if (!(is >> word >> count) || word != "edge_faults") {
     fail(error, "bad edge_faults line");
+    return false;
+  }
+  if (count > cap) {
+    fail(error, "edge_faults count out of range");
     return false;
   }
   for (std::size_t i = 0; i < count; ++i) {
@@ -101,8 +117,16 @@ bool read_faults(std::istream& is, int n, FaultSet* out, std::string* error) {
 /// Read `count` whitespace-separated vertex ids of S_n.
 bool read_sequence(std::istream& is, int n, std::size_t count,
                    std::vector<VertexId>* out, std::string* error) {
-  out->reserve(count);
   const std::uint64_t limit = factorial(n);
+  if (count > limit) {
+    // A sequence cannot visit more than n! vertices; an oversized count
+    // is a framing error, refused before it can size an allocation.
+    fail(error, "sequence count out of range");
+    return false;
+  }
+  // Bound the up-front reservation independently of the wire count:
+  // beyond this the vector grows as tokens actually arrive.
+  out->reserve(std::min<std::size_t>(count, 1u << 16));
   for (std::size_t i = 0; i < count; ++i) {
     VertexId id = 0;
     if (!(is >> id)) {
@@ -170,16 +194,31 @@ bool write_request(std::ostream& os, const ServiceRequest& r) {
     os << "STATS\n";
     return static_cast<bool>(os);
   }
+  if (r.kind == RequestKind::kPing) {
+    os << "PING\n";
+    return static_cast<bool>(os);
+  }
+  if (r.kind == RequestKind::kFail) {
+    os << "FAIL " << r.fail_config << "\n";
+    return static_cast<bool>(os);
+  }
   os << "starring-request v1\n";
   os << "id " << r.id << "\n";
   os << "n " << r.n << "\n";
   write_faults(os, r.faults);
   os << "verify " << (r.verify ? 1 : 0) << "\n";
+  if (r.deadline_ms > 0) os << "deadline_ms " << r.deadline_ms << "\n";
   os << "end\n";
   return static_cast<bool>(os);
 }
 
 bool write_response(std::ostream& os, const ServiceResponse& r) {
+  // Chaos site: a failed serialization looks exactly like a peer whose
+  // stream died mid-response — the caller's error path must cope.
+  if (FAILPOINT("io.write_response")) {
+    os.setstate(std::ios::failbit);
+    return false;
+  }
   os << "starring-response v1\n";
   os << "id " << r.id << "\n";
   switch (r.status) {
@@ -198,6 +237,9 @@ bool write_response(std::ostream& os, const ServiceResponse& r) {
       break;
     case ServiceStatus::kRejected:
       os << "status rejected\nreason " << r.reason << "\n";
+      break;
+    case ServiceStatus::kTimeout:
+      os << "status timeout\nreason " << r.reason << "\n";
       break;
   }
   os << "end\n";
@@ -256,6 +298,27 @@ std::optional<ServiceRequest> read_request(std::istream& is,
       r.kind = RequestKind::kStats;
       return r;
     }
+    if (word == "PING") {
+      r.kind = RequestKind::kPing;
+      return r;
+    }
+    if (word == "FAIL") {
+      r.kind = RequestKind::kFail;
+      std::getline(is, r.fail_config);
+      // Trim the separating blank and any CR so the payload is exactly
+      // the failpoint config grammar.
+      while (!r.fail_config.empty() && (r.fail_config.front() == ' ' ||
+                                        r.fail_config.front() == '\t'))
+        r.fail_config.erase(r.fail_config.begin());
+      while (!r.fail_config.empty() && (r.fail_config.back() == '\r' ||
+                                        r.fail_config.back() == ' '))
+        r.fail_config.pop_back();
+      if (r.fail_config.empty()) {
+        fail(error, "FAIL needs a config");
+        return std::nullopt;
+      }
+      return r;
+    }
     std::string version;
     if (word != "starring-request" || !(is >> version) || version != "v1") {
       fail(error, "bad header");
@@ -279,7 +342,25 @@ std::optional<ServiceRequest> read_request(std::istream& is,
     return std::nullopt;
   }
   r.verify = verify == 1;
-  if (!read_end(is, error)) return std::nullopt;
+  // Optional deadline_ms line, then the mandatory end terminator.
+  if (!(is >> word)) {
+    fail(error, "missing end line");
+    return std::nullopt;
+  }
+  if (word == "deadline_ms") {
+    if (!(is >> r.deadline_ms) || r.deadline_ms <= 0) {
+      fail(error, "bad deadline_ms line");
+      return std::nullopt;
+    }
+    if (!(is >> word)) {
+      fail(error, "missing end line");
+      return std::nullopt;
+    }
+  }
+  if (word != "end") {
+    fail(error, "missing end line");
+    return std::nullopt;
+  }
   return r;
 }
 
@@ -294,9 +375,10 @@ std::optional<ServiceResponse> read_response(std::istream& is,
     fail(error, "bad status line");
     return std::nullopt;
   }
-  if (status == "error" || status == "rejected") {
-    r.status = status == "error" ? ServiceStatus::kError
-                                 : ServiceStatus::kRejected;
+  if (status == "error" || status == "rejected" || status == "timeout") {
+    r.status = status == "error"      ? ServiceStatus::kError
+               : status == "rejected" ? ServiceStatus::kRejected
+                                      : ServiceStatus::kTimeout;
     if (!(is >> word) || word != "reason") {
       fail(error, "bad reason line");
       return std::nullopt;

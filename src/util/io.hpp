@@ -53,27 +53,38 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
 //
 //   starring-request v1          starring-response v1
 //   id <u64>                     id <u64>
-//   n <dim>                      status <ok|error|rejected>
+//   n <dim>                      status <ok|error|rejected|timeout>
 //   vertex_faults <count>        [reason <one line>]        (non-ok)
 //   <one permutation per line>   [cache <hit|miss>]         (ok)
 //   edge_faults <count>          [verified <0|1>]           (ok)
 //   <two permutations per line>  [ring <length>]            (ok)
 //   verify <0|1>                 [<vertex ids ...>]         (ok)
-//   end                          end
-//
-// One out-of-band command rides the same request stream: the single
-// line `STATS` asks the daemon for a live metrics snapshot, answered
-// inline (ahead of any still-pending embedding responses) with a
-// self-framing stats record carrying Prometheus text exposition:
-//
-//   starring-stats v1
-//   lines <count>
-//   <count> body lines, verbatim promtext>
+//   [deadline_ms <ms>]           end
 //   end
+//
+// The deadline_ms line is optional (readers written against the
+// original v1 grammar never emitted it): a positive value gives the
+// request a completion budget measured from admission; a request still
+// queued or in flight past its budget is answered `status timeout`.
+//
+// Three out-of-band commands ride the same request stream as bare
+// lines, answered inline (ahead of any still-pending embedding
+// responses):
+//
+//   STATS          live metrics snapshot, answered with a self-framing
+//                  stats record carrying Prometheus text exposition:
+//                      starring-stats v1
+//                      lines <count>
+//                      <count body lines, verbatim promtext>
+//                      end
+//   PING           liveness probe, answered with the single line `PONG`
+//   FAIL <config>  arm/disarm fault-injection sites (util/failpoint.hpp
+//                  grammar; `FAIL clear` disarms all), answered with
+//                  `FAIL ok` or `FAIL bad <reason>` on one line
 
-/// What a parsed request asks for: an embedding, or (the bare `STATS`
-/// line) a live metrics snapshot.
-enum class RequestKind { kEmbed, kStats };
+/// What a parsed request asks for: an embedding, or one of the bare
+/// command lines (`STATS`, `PING`, `FAIL <config>`).
+enum class RequestKind { kEmbed, kStats, kPing, kFail };
 
 struct ServiceRequest {
   RequestKind kind = RequestKind::kEmbed;
@@ -85,9 +96,16 @@ struct ServiceRequest {
   /// ring before sending it (hits are additionally verified when the
   /// daemon runs with --verify-on-hit).
   bool verify = false;
+  /// Completion budget in milliseconds, measured from admission; 0
+  /// means no deadline.  A request past its budget is shed from the
+  /// queue (or its in-flight embedding cooperatively cancelled) and
+  /// answered `status timeout`.
+  std::int64_t deadline_ms = 0;
+  /// Payload of a `FAIL <config>` command (kind == kFail only).
+  std::string fail_config;
 };
 
-enum class ServiceStatus { kOk, kError, kRejected };
+enum class ServiceStatus { kOk, kError, kRejected, kTimeout };
 
 struct ServiceResponse {
   std::uint64_t id = 0;

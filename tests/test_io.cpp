@@ -475,6 +475,178 @@ TEST(IoService, StatsRecordRejectsMissingEnd) {
   EXPECT_EQ(err, "missing end line");
 }
 
+// ---------------------------------------------------------------------------
+// Reliability-layer protocol surface: deadlines, the timeout status,
+// bare commands (PING / FAIL), and hostile frames.
+
+TEST(IoService, RequestDeadlineRoundTrips) {
+  ServiceRequest r;
+  r.id = 3;
+  r.n = 5;
+  r.deadline_ms = 250;
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, r));
+  EXPECT_NE(ss.str().find("deadline_ms 250\n"), std::string::npos);
+  std::string err;
+  const auto back = read_request(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->deadline_ms, 250);
+}
+
+TEST(IoService, RequestWithoutDeadlineOmitsLine) {
+  ServiceRequest r;
+  r.id = 3;
+  r.n = 5;
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, r));
+  EXPECT_EQ(ss.str().find("deadline_ms"), std::string::npos)
+      << "no budget requested, no line on the wire";
+  const auto back = read_request(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->deadline_ms, 0);
+}
+
+TEST(IoService, RequestRejectsBadDeadline) {
+  for (const char* bad : {"deadline_ms -5", "deadline_ms 0",
+                          "deadline_ms soon"}) {
+    std::stringstream ss(
+        std::string("starring-request v1\nid 1\nn 4\nvertex_faults 0\n"
+                    "edge_faults 0\nverify 0\n") +
+        bad + "\nend\n");
+    std::string err;
+    EXPECT_FALSE(read_request(ss, &err).has_value()) << bad;
+    EXPECT_EQ(err, "bad deadline_ms line") << bad;
+  }
+}
+
+TEST(IoService, TimeoutResponseRoundTrips) {
+  ServiceResponse r;
+  r.id = 11;
+  r.status = ServiceStatus::kTimeout;
+  r.reason = "deadline expired in queue";
+  std::stringstream ss;
+  ASSERT_TRUE(write_response(ss, r));
+  std::string err;
+  const auto back = read_response(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->status, ServiceStatus::kTimeout);
+  EXPECT_EQ(back->reason, r.reason);
+  EXPECT_TRUE(back->ring.empty());
+}
+
+TEST(IoService, RequestRejectsOversizedVertexFaultCount) {
+  // n=4 admits at most 4! = 24 faulty vertices; a larger count is a
+  // framing error refused before the parse loop spins.
+  std::stringstream ss(
+      "starring-request v1\nid 1\nn 4\nvertex_faults 25\n");
+  std::string err;
+  EXPECT_FALSE(read_request(ss, &err).has_value());
+  EXPECT_EQ(err, "vertex_faults count out of range");
+}
+
+TEST(IoService, RequestRejectsOversizedEdgeFaultCount) {
+  std::stringstream ss(
+      "starring-request v1\nid 1\nn 4\nvertex_faults 0\n"
+      "edge_faults 9999999\n");
+  std::string err;
+  EXPECT_FALSE(read_request(ss, &err).has_value());
+  EXPECT_EQ(err, "edge_faults count out of range");
+}
+
+TEST(IoService, ResponseRejectsOversizedRingCount) {
+  // The advertised count exceeds kMaxN! — rejected up front, never
+  // sized into an allocation.
+  std::stringstream ss(
+      "starring-response v1\nid 1\nstatus ok\ncache miss\nverified 0\n"
+      "ring 99999999999999999\n");
+  std::string err;
+  EXPECT_FALSE(read_response(ss, &err).has_value());
+  EXPECT_EQ(err, "sequence count out of range");
+}
+
+TEST(IoService, RequestRejectsGarbageFrame) {
+  std::stringstream ss("\x7f\x45LF\x02\x01 not a protocol frame at all");
+  std::string err;
+  EXPECT_FALSE(read_request(ss, &err).has_value());
+  EXPECT_EQ(err, "bad header");
+}
+
+TEST(IoService, RequestRejectsEmbeddedNulFrame) {
+  // A NUL is not whitespace: it glues onto the next token and the frame
+  // must be refused cleanly instead of desyncing the parser.
+  const char raw[] =
+      "starring-request v1\nid 1\n\0n 4\nvertex_faults 0\n"
+      "edge_faults 0\nverify 0\nend\n";
+  std::stringstream ss(std::string(raw, sizeof(raw) - 1));
+  std::string err;
+  EXPECT_FALSE(read_request(ss, &err).has_value());
+  EXPECT_EQ(err, "bad dimension line");
+}
+
+TEST(IoService, PingRoundTrips) {
+  ServiceRequest r;
+  r.kind = RequestKind::kPing;
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, r));
+  EXPECT_EQ(ss.str(), "PING\n");
+  const auto back = read_request(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, RequestKind::kPing);
+}
+
+TEST(IoService, FailCommandRoundTrips) {
+  ServiceRequest r;
+  r.kind = RequestKind::kFail;
+  r.fail_config = "svc.embed=error@once,svc.batch=off";
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, r));
+  EXPECT_EQ(ss.str(), "FAIL svc.embed=error@once,svc.batch=off\n");
+  std::string err;
+  const auto back = read_request(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->kind, RequestKind::kFail);
+  EXPECT_EQ(back->fail_config, r.fail_config);
+}
+
+TEST(IoService, FailCommandTrimsPaddingAndCr) {
+  std::stringstream ss("FAIL   svc.cache_lookup=p:0.5 \r\n");
+  const auto back = read_request(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, RequestKind::kFail);
+  EXPECT_EQ(back->fail_config, "svc.cache_lookup=p:0.5");
+}
+
+TEST(IoService, FailCommandRejectsEmptyConfig) {
+  std::stringstream ss("FAIL \n");
+  std::string err;
+  EXPECT_FALSE(read_request(ss, &err).has_value());
+  EXPECT_EQ(err, "FAIL needs a config");
+}
+
+TEST(IoService, CommandsInterleaveWithRequestRecords) {
+  ServiceRequest a;
+  a.id = 5;
+  a.n = 4;
+  a.deadline_ms = 10;
+  ServiceRequest ping;
+  ping.kind = RequestKind::kPing;
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, ping));
+  ASSERT_TRUE(write_request(ss, a));
+  ASSERT_TRUE(write_request(ss, ping));
+  const auto r1 = read_request(ss);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->kind, RequestKind::kPing);
+  const auto r2 = read_request(ss);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->kind, RequestKind::kEmbed);
+  EXPECT_EQ(r2->id, 5u);
+  EXPECT_EQ(r2->deadline_ms, 10);
+  const auto r3 = read_request(ss);
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->kind, RequestKind::kPing);
+}
+
 TEST(Io, LargeNDotSeparatedFaults) {
   const StarGraph g(11);
   EmbeddingFile e;

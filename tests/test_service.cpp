@@ -14,6 +14,7 @@
 #include "service/cache.hpp"
 #include "service/service.hpp"
 #include "stargraph/star_graph.hpp"
+#include "util/failpoint.hpp"
 
 namespace starring {
 namespace {
@@ -189,6 +190,157 @@ TEST(EmbedService, TooManyFaultsReportsEmbedFailure) {
   } else {
     EXPECT_FALSE(r.reason.empty());
   }
+}
+
+TEST(EmbedOptionsCancel, PreCancelledEmbedReturnsNothing) {
+  // The cooperative flag the deadline watchdog flips: already set, the
+  // search must stop at its first checkpoint instead of computing.
+  const StarGraph g(7);
+  const FaultSet faults = random_vertex_faults(g, 3, /*seed=*/11);
+  std::atomic<bool> cancel{true};
+  EmbedOptions opts;
+  opts.cancel = &cancel;
+  EXPECT_FALSE(embed_longest_ring(g, faults, opts).has_value());
+}
+
+TEST(EmbedServiceDeadline, ExpiredInQueueIsShedAsTimeout) {
+  // One-request batches behind a deterministically slow first batch
+  // (delay-mode failpoint): the deadlined n=5 requests expire while
+  // queued and must be shed with kTimeout, never silently dropped.
+  if (!failpoint::compiled_in()) GTEST_SKIP() << "failpoints compiled out";
+  ASSERT_TRUE(failpoint::set("svc.batch=delay:50@once"));
+  struct Cleaner {
+    ~Cleaner() { failpoint::clear(); }
+  } cleaner;
+  ServiceOptions opts;
+  opts.batch_max = 1;
+  EmbedService svc(opts);
+  const StarGraph g7(7);
+  ASSERT_TRUE(svc.submit(
+      make_request(0, 7, random_vertex_faults(g7, 4, /*seed=*/5))));
+  const StarGraph g5(5);
+  const int kDeadlined = 4;
+  for (int i = 1; i <= kDeadlined; ++i) {
+    ServiceRequest r =
+        make_request(i, 5, random_vertex_faults(g5, 1, /*seed=*/i));
+    r.deadline_ms = 1;
+    ASSERT_TRUE(svc.submit(std::move(r)));
+  }
+  svc.drain();
+  std::map<std::uint64_t, ServiceResponse> got;
+  while (auto r = svc.next_response()) got.emplace(r->id, std::move(*r));
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kDeadlined + 1))
+      << "every request must reach a terminal status";
+  EXPECT_EQ(got.at(0).status, ServiceStatus::kOk) << got.at(0).reason;
+  for (int i = 1; i <= kDeadlined; ++i) {
+    EXPECT_EQ(got.at(i).status, ServiceStatus::kTimeout)
+        << "id=" << i << ": " << got.at(i).reason;
+    EXPECT_TRUE(got.at(i).ring.empty());
+    EXPECT_FALSE(got.at(i).reason.empty());
+  }
+}
+
+TEST(EmbedServiceDeadline, DrainStillAnswersExpiredRequests) {
+  // Satellite of the reliability layer: drain() racing queued deadlines
+  // must not lose responses — drain processes everything queued, and
+  // expired entries become timeouts.
+  ServiceOptions opts;
+  opts.batch_max = 1;
+  EmbedService svc(opts);
+  const StarGraph g7(7);
+  ASSERT_TRUE(svc.submit(
+      make_request(0, 7, random_vertex_faults(g7, 4, /*seed=*/13))));
+  const StarGraph g5(5);
+  for (int i = 1; i <= 3; ++i) {
+    ServiceRequest r =
+        make_request(i, 5, random_vertex_faults(g5, 1, /*seed=*/40 + i));
+    r.deadline_ms = 1;
+    ASSERT_TRUE(svc.submit(std::move(r)));
+  }
+  svc.drain();  // immediately: deadlines expire during the drain
+  int terminal = 0;
+  while (auto r = svc.next_response()) {
+    ++terminal;
+    EXPECT_TRUE(r->status == ServiceStatus::kOk ||
+                r->status == ServiceStatus::kTimeout)
+        << "id=" << r->id << " status not terminal-clean: " << r->reason;
+  }
+  EXPECT_EQ(terminal, 4);
+}
+
+TEST(EmbedServiceDeadline, ProcessNowHonorsBudgetAroundSlowEmbed) {
+  if (!failpoint::compiled_in())
+    GTEST_SKIP() << "failpoints compiled out";
+  // Delay the pipeline past the request budget after the ring exists
+  // (the insert site runs post-embed): the response must be kTimeout
+  // even though a ring was computed (strict semantics).
+  ASSERT_TRUE(failpoint::set("svc.cache_insert=delay:60@once"));
+  EmbedService svc;
+  const StarGraph g(5);
+  ServiceRequest req =
+      make_request(1, 5, random_vertex_faults(g, 1, /*seed=*/3));
+  req.deadline_ms = 20;
+  const ServiceResponse r = svc.process_now(req);
+  failpoint::clear();
+  EXPECT_EQ(r.status, ServiceStatus::kTimeout) << r.reason;
+  // The computed ring stayed cached: the same request without a budget
+  // is now a hit.
+  const ServiceResponse again =
+      svc.process_now(make_request(2, 5, random_vertex_faults(g, 1, 3)));
+  EXPECT_EQ(again.status, ServiceStatus::kOk) << again.reason;
+  EXPECT_TRUE(again.cache_hit);
+}
+
+TEST(EmbedServiceFailpoints, InjectedEmbedFailureIsAnErrorResponse) {
+  if (!failpoint::compiled_in())
+    GTEST_SKIP() << "failpoints compiled out";
+  ASSERT_TRUE(failpoint::set("svc.embed=error@once"));
+  EmbedService svc;
+  const StarGraph g(5);
+  const FaultSet faults = random_vertex_faults(g, 1, /*seed=*/21);
+  const ServiceResponse r = svc.process_now(make_request(1, 5, faults));
+  failpoint::clear();
+  EXPECT_EQ(r.status, ServiceStatus::kError);
+  EXPECT_FALSE(r.reason.empty());
+  // @once: the next attempt computes normally.
+  const ServiceResponse ok = svc.process_now(make_request(2, 5, faults));
+  EXPECT_EQ(ok.status, ServiceStatus::kOk) << ok.reason;
+}
+
+TEST(EmbedServiceFailpoints, BatchThrowStillAnswersEveryRequest) {
+  if (!failpoint::compiled_in())
+    GTEST_SKIP() << "failpoints compiled out";
+  ASSERT_TRUE(failpoint::set("svc.batch=throw@once"));
+  EmbedService svc;
+  const StarGraph g(5);
+  for (int i = 0; i < 6; ++i)
+    ASSERT_TRUE(svc.submit(
+        make_request(i, 5, random_vertex_faults(g, i % 3, i))));
+  svc.drain();
+  int count = 0;
+  while (auto r = svc.next_response()) {
+    ++count;
+    EXPECT_TRUE(r->status == ServiceStatus::kOk ||
+                r->status == ServiceStatus::kError);
+  }
+  failpoint::clear();
+  EXPECT_EQ(count, 6) << "a thrown batch must still answer its callers";
+}
+
+TEST(EmbedServiceFailpoints, LostCacheInsertForcesRecompute) {
+  if (!failpoint::compiled_in())
+    GTEST_SKIP() << "failpoints compiled out";
+  ASSERT_TRUE(failpoint::set("svc.cache_insert=error"));
+  EmbedService svc;
+  const StarGraph g(5);
+  const FaultSet faults = random_vertex_faults(g, 1, /*seed=*/33);
+  const ServiceResponse first = svc.process_now(make_request(1, 5, faults));
+  EXPECT_EQ(first.status, ServiceStatus::kOk) << first.reason;
+  const ServiceResponse second = svc.process_now(make_request(2, 5, faults));
+  failpoint::clear();
+  EXPECT_EQ(second.status, ServiceStatus::kOk) << second.reason;
+  EXPECT_FALSE(second.cache_hit) << "insert was dropped; must recompute";
+  EXPECT_EQ(second.ring, first.ring) << "recompute stays deterministic";
 }
 
 TEST(CanonicalRingCache, LookupInsertAndEvictionBound) {
