@@ -12,7 +12,11 @@ by more than an absolute floor (1 ms), so sub-millisecond phases do
 not false-flag on timer granularity.  With --gate only the listed
 metrics are eligible for flagging (everything else stays
 informational) — use it to hold one stable statistic to a tight
-threshold without subjecting every noisy phase total to it.  Exits 0
+threshold without subjecting every noisy phase total to it.
+--gate-min-delta overrides the absolute-change floor for gated
+metrics: the default floor (1 ms for wall, 1e6 for counters) is sized
+for nanosecond phase totals and makes small-valued gated counters
+(ratios, percentages) unflaggable without it.  Exits 0
 when clean, 1 on a flagged regression, 2 on a usage or schema error.  With --json the
 table is replaced by one machine-readable JSON document on stdout
 (metrics, regressions, exit semantics unchanged) for dashboards and
@@ -77,6 +81,12 @@ def main():
                     help="comma-separated metric names; when given, only "
                          "these are eligible for regression flagging "
                          "(wall_ms included only if listed)")
+    ap.add_argument("--gate-min-delta", type=float, default=None,
+                    metavar="DELTA",
+                    help="absolute-change floor applied to gated metrics "
+                         "(default: keep the built-in floors, 1.0 for "
+                         "wall_ms and 1e6 for counters; pass a small value "
+                         "when gating ratio-scale counters)")
     ap.add_argument("--normalize-by", metavar="COUNTER", default=None,
                     help="divide wall_ms and additive counters by this "
                          "counter's value in each artifact (e.g. "
@@ -118,6 +128,8 @@ def main():
     def row(name, b, c, guard, min_delta=0.0):
         if gate is not None:
             guard = name in gate
+            if guard and args.gate_min_delta is not None:
+                min_delta = args.gate_min_delta
         p = pct_change(b, c)
         flagged = bool(guard and p is not None and p > args.regression_pct
                        and c - b > min_delta)

@@ -6,7 +6,8 @@
 # scripts/bench_compare.py.
 #
 # Usage: scripts/ci.sh [--tier1-only | --san-only | --tsan-only |
-#                       --bench-only | --service-only | --chaos-only]
+#                       --bench-only | --service-only | --chaos-only |
+#                       --load-only]
 # Env:   JOBS=<n> to cap build/test parallelism (default: nproc).
 set -euo pipefail
 
@@ -19,13 +20,15 @@ run_tsan=1
 run_bench=1
 run_service=1
 run_chaos=1
+run_load=1
 case "${1:-}" in
-  --tier1-only) run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0 ;;
-  --san-only) run_tier1=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0 ;;
-  --tsan-only) run_tier1=0; run_san=0; run_bench=0; run_service=0; run_chaos=0 ;;
-  --bench-only) run_tier1=0; run_san=0; run_tsan=0; run_service=0; run_chaos=0 ;;
-  --service-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_chaos=0 ;;
-  --chaos-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0 ;;
+  --tier1-only) run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0 ;;
+  --san-only) run_tier1=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0 ;;
+  --tsan-only) run_tier1=0; run_san=0; run_bench=0; run_service=0; run_chaos=0; run_load=0 ;;
+  --bench-only) run_tier1=0; run_san=0; run_tsan=0; run_service=0; run_chaos=0; run_load=0 ;;
+  --service-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_chaos=0; run_load=0 ;;
+  --chaos-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_load=0 ;;
+  --load-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0 ;;
   "") ;;
   *) echo "unknown flag: $1" >&2; exit 2 ;;
 esac
@@ -107,6 +110,54 @@ service_smoke_tcp() {
   echo "service smoke (tcp): SIGUSR1 dump + STATS scrape ok"
 }
 
+# Open-loop multi-tenant soak: starring-load drives a quota-enabled
+# daemon with a 10:1 zipf skew (hot vs cold) plus a low-rate one-pass
+# scan tenant.  starring-load itself holds the hard QoS gates — no
+# tenant's p99 beyond 3x the other's, aggregate cache hit rate above
+# the floor — and the scraped STATS must expose the folded per-tenant
+# histograms.  The whole run sits under a wall-clock timeout: an
+# open-loop generator that cannot finish its window is itself a
+# regression.  The resulting BENCH_load.json is then diffed against
+# the committed artifact with the fairness ratio gated (ratio-scale
+# counter, hence --gate-min-delta instead of the 1e6 phase floor).
+load_soak() {
+  local build_dir="$1"
+  local soak_dir="$build_dir/load-soak"
+  local port=47161
+  mkdir -p "$soak_dir"
+  "$build_dir/src/service/starringd" --listen "$port" \
+    --tenant-rate 500 --tenant-burst 250 &
+  local daemon_pid=$!
+  # shellcheck disable=SC2064
+  trap "kill -9 $daemon_pid 2>/dev/null || true" RETURN
+  for _ in $(seq 50); do
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+      echo "load soak: daemon died during startup" >&2; return 1
+    fi
+    (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null && break
+    sleep 0.1
+  done
+  STARRING_BENCH_DIR="$soak_dir" timeout 120 \
+    "$build_dir/src/loadgen/starring-load" \
+    --connect "$port" --duration-ms 3000 --seed 7 \
+    --tenant 'hot:rate=200:zipf=1.1:classes=24:nmin=5:nmax=6' \
+    --tenant 'cold:rate=20:zipf=1.1:classes=24:nmin=5:nmax=6' \
+    --tenant 'sweep:rate=5:pattern=scan:nmin=5:nmax=5' \
+    --assert-p99-ratio 3 --min-hit-rate 0.55 \
+    --stats-out "$soak_dir/stats.prom" --bench-artifact load
+  python3 scripts/trace_validate.py \
+    --prom "$soak_dir/stats.prom" \
+    --require-histogram starring_svc_latency_seconds \
+    --require-histogram starring_svc_tenant_hot_latency_seconds \
+    --require-histogram starring_svc_tenant_cold_latency_seconds
+  python3 scripts/bench_compare.py \
+    bench/artifacts/BENCH_load.json "$soak_dir/BENCH_load.json" \
+    --regression-pct 50 --gate load.p99_ratio_x100 --gate-min-delta 25
+  kill -TERM "$daemon_pid"
+  wait "$daemon_pid"
+  echo "load soak: fairness + hit-rate gates ok"
+}
+
 if [[ "$run_tier1" == 1 ]]; then
   echo "== tier-1: RelWithDebInfo build + full ctest =="
   cmake -B build -S .
@@ -150,6 +201,13 @@ if [[ "$run_chaos" == 1 ]]; then
   # The whole smoke runs under a hard wall-clock bound: the invariant
   # under chaos is "nothing hangs", and the timeout IS that gate.
   timeout 300 python3 scripts/chaos_smoke.py build/src/service/starringd
+fi
+
+if [[ "$run_load" == 1 ]]; then
+  echo "== load soak: open-loop multi-tenant QoS (p99 fairness + hit-rate gates) =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target starringd starring-load
+  load_soak build
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

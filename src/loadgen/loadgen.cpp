@@ -1,0 +1,180 @@
+#include "loadgen/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "fault/generators.hpp"
+#include "perm/factorial.hpp"
+#include "stargraph/star_graph.hpp"
+
+namespace starring::loadgen {
+
+ZipfSampler::ZipfSampler(std::size_t classes, double exponent) {
+  if (classes == 0) classes = 1;
+  cdf_.resize(classes);
+  double total = 0;
+  for (std::size_t i = 0; i < classes; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+std::size_t ZipfSampler::sample(double u01) const {
+  u01 = std::min(std::max(u01, 0.0), 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u01);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::optional<TenantSpec> parse_tenant_spec(const std::string& text,
+                                            std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<TenantSpec> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  TenantSpec spec;
+  std::istringstream ss(text);
+  std::string field;
+  bool first = true;
+  while (std::getline(ss, field, ':')) {
+    if (first) {
+      first = false;
+      spec.name = field;
+      continue;
+    }
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) return fail("expected key=value: " + field);
+    const std::string key = field.substr(0, eq);
+    const std::string val = field.substr(eq + 1);
+    if (val.empty()) return fail("empty value for " + key);
+    const double d = std::atof(val.c_str());
+    const long l = std::atol(val.c_str());
+    if (key == "rate") {
+      spec.rate = d;
+    } else if (key == "arrival") {
+      if (val == "poisson")
+        spec.arrival = Arrival::kPoisson;
+      else if (val == "burst" || val == "bursty")
+        spec.arrival = Arrival::kBursty;
+      else
+        return fail("arrival must be poisson|burst");
+    } else if (key == "on_ms") {
+      spec.on_ms = d;
+    } else if (key == "off_ms") {
+      spec.off_ms = d;
+    } else if (key == "zipf") {
+      spec.zipf = d;
+    } else if (key == "classes") {
+      if (l < 1) return fail("classes must be >= 1");
+      spec.classes = static_cast<std::size_t>(l);
+    } else if (key == "pattern") {
+      if (val == "zipf")
+        spec.pattern = Pattern::kZipf;
+      else if (val == "scan")
+        spec.pattern = Pattern::kScan;
+      else
+        return fail("pattern must be zipf|scan");
+    } else if (key == "nmin") {
+      spec.nmin = static_cast<int>(l);
+    } else if (key == "nmax") {
+      spec.nmax = static_cast<int>(l);
+    } else if (key == "deadline_ms") {
+      if (l < 0) return fail("deadline_ms must be >= 0");
+      spec.deadline_ms = l;
+    } else if (key == "verify") {
+      spec.verify = l != 0;
+    } else {
+      return fail("unknown key: " + key);
+    }
+  }
+  if (spec.name.empty()) return fail("empty tenant name");
+  if (spec.name.size() > kMaxTenantLen)
+    return fail("tenant name longer than the wire allows");
+  if (spec.rate <= 0) return fail("rate must be > 0");
+  if (spec.nmin < 3 || spec.nmax < spec.nmin || spec.nmax > kMaxN)
+    return fail("need 3 <= nmin <= nmax <= " + std::to_string(kMaxN));
+  if (spec.arrival == Arrival::kBursty &&
+      (spec.on_ms <= 0 || spec.off_ms < 0))
+    return fail("bursty needs on_ms > 0 and off_ms >= 0");
+  return spec;
+}
+
+ArrivalClock::ArrivalClock(const TenantSpec& spec, std::uint64_t seed)
+    : rng_(seed ^ 0xA5A5F00D5EEDULL),
+      rate_(spec.rate),
+      bursty_(spec.arrival == Arrival::kBursty) {
+  if (bursty_) {
+    on_s_ = spec.on_ms / 1e3;
+    off_s_ = spec.off_ms / 1e3;
+    window_end_ = on_s_;
+  }
+}
+
+std::chrono::nanoseconds ArrivalClock::next() {
+  // Exponential inter-arrival; 1 - u keeps log() away from 0.
+  const double u =
+      static_cast<double>(rng_()) / static_cast<double>(UINT64_MAX);
+  t_ += -std::log(1.0 - std::min(u, 0.999999999)) / rate_;
+  if (bursty_) {
+    // An arrival that lands past the on-window carries its overshoot
+    // across the silent gap into the next window, so bursts stay
+    // Poisson inside windows and the long-run rate scales by the duty
+    // cycle.
+    while (t_ > window_end_) {
+      t_ += off_s_;
+      window_end_ += on_s_ + off_s_;
+    }
+  }
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(t_ * 1e9));
+}
+
+ServiceRequest synth_request(const TenantSpec& spec, std::uint64_t seed,
+                             std::size_t cls, std::uint64_t id) {
+  // Seed by (tenant, class) only: every repeat of a class is the exact
+  // same request, which is what makes zipf-hot classes cacheable.
+  std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ULL +
+                      std::hash<std::string>{}(spec.name) + cls);
+  ServiceRequest req;
+  req.id = id;
+  req.n = spec.nmin +
+          static_cast<int>(rng() % static_cast<std::uint64_t>(
+                                       spec.nmax - spec.nmin + 1));
+  req.verify = spec.verify;
+  const StarGraph g(req.n);
+  const int budget = req.n - 3;  // the paper's guarantee regime
+  const int nf =
+      budget > 0
+          ? static_cast<int>(rng() % static_cast<std::uint64_t>(budget + 1))
+          : 0;
+  req.faults = random_vertex_faults(g, nf, rng());
+  req.deadline_ms = spec.deadline_ms;
+  req.tenant = spec.name;
+  return req;
+}
+
+std::optional<double> parse_scalar(std::string_view prom_text,
+                                   std::string_view metric) {
+  std::size_t pos = 0;
+  while (pos < prom_text.size()) {
+    std::size_t eol = prom_text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = prom_text.size();
+    const std::string_view line = prom_text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.size() <= metric.size() || line[0] == '#') continue;
+    if (line.substr(0, metric.size()) != metric) continue;
+    const char after = line[metric.size()];
+    if (after != ' ' && after != '\t') continue;  // label set or longer name
+    const std::string value(line.substr(metric.size() + 1));
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) return std::nullopt;
+    return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace starring::loadgen

@@ -1,0 +1,128 @@
+// Open-loop load-generation building blocks for starring-load.
+//
+// Closed-loop drivers (starring-cli drive) measure a system that is
+// never overloaded by construction: a slow response throttles the
+// client.  The QoS work needs the opposite — an *open-loop* generator
+// whose arrival process does not care whether the daemon keeps up, so
+// queueing delay, throttling, and fairness become visible.  This
+// library holds the deterministic pieces (all pure over explicit
+// seeds, so a run is reproducible and unit-testable without sockets):
+//
+//   ZipfSampler    skewed popularity over a tenant's fault classes —
+//                  class 0 is the hottest, tail classes are cold.
+//   ArrivalClock   arrival schedule: Poisson (exponential
+//                  inter-arrival at `rate`) or bursty on/off (Poisson
+//                  at `rate` inside on-windows of on_ms, silent for
+//                  off_ms between them; overshoot carries across the
+//                  gap, so the long-run rate is rate * on/(on+off)).
+//   TenantSpec     one tenant's workload, parsed from the CLI grammar
+//                  name[:key=value]... (see parse_tenant_spec).
+//   synth_request  deterministic request synthesis: the same (seed,
+//                  class) always yields the same faults, so popular
+//                  classes become canonical-cache hits while a `scan`
+//                  pattern (fresh class per request) never repeats.
+//   parse_scalar   read one scalar sample out of Prometheus text
+//                  exposition (counters; histograms have their own
+//                  parser in obs/prometheus.hpp).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/io.hpp"
+
+namespace starring::loadgen {
+
+/// Zipf(s) over classes {0..k-1}: P(i) proportional to 1/(i+1)^s.
+/// Inverse-CDF sampling so one uniform draw picks a class in O(log k).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t classes, double exponent);
+
+  /// Map u in [0,1) to a class index (monotone: small u, hot class).
+  std::size_t sample(double u01) const;
+  std::size_t classes() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1
+};
+
+enum class Arrival { kPoisson, kBursty };
+enum class Pattern { kZipf, kScan };
+
+/// One tenant's workload description.  Spec grammar (one CLI token):
+///
+///   name[:key=value]...
+///
+///   rate=R            mean arrival rate, requests/second (> 0)
+///   arrival=poisson|burst
+///   on_ms=N off_ms=N  bursty on/off window lengths
+///   zipf=S            popularity exponent over the classes
+///   classes=K         distinct fault classes (the cacheable universe)
+///   pattern=zipf|scan zipf: skewed repeats (cache-friendly);
+///                     scan: every request a fresh class (one-pass
+///                     scan, the cache-adversarial workload)
+///   nmin=N nmax=N     dimension range
+///   deadline_ms=N     per-request completion budget (0 = none)
+///   verify=0|1        set the request verify flag
+///
+/// e.g.  hot:rate=200:zipf=1.2:classes=64
+///       cold:rate=20:arrival=burst:on_ms=50:off_ms=450:pattern=scan
+struct TenantSpec {
+  std::string name;
+  double rate = 50.0;
+  Arrival arrival = Arrival::kPoisson;
+  double on_ms = 100.0;
+  double off_ms = 400.0;
+  double zipf = 1.1;
+  std::size_t classes = 32;
+  Pattern pattern = Pattern::kZipf;
+  int nmin = 5;
+  int nmax = 7;
+  std::int64_t deadline_ms = 0;
+  bool verify = false;
+};
+
+/// Parse the grammar above; nullopt (reason in *error) on a malformed
+/// spec — unknown key, bad value, name too long for the wire, ...
+std::optional<TenantSpec> parse_tenant_spec(const std::string& text,
+                                            std::string* error = nullptr);
+
+/// Deterministic arrival schedule for one tenant.  next() returns the
+/// absolute offset (from the run start) of the next arrival; offsets
+/// are strictly increasing.  Open loop: the schedule never depends on
+/// response times.
+class ArrivalClock {
+ public:
+  ArrivalClock(const TenantSpec& spec, std::uint64_t seed);
+
+  std::chrono::nanoseconds next();
+
+ private:
+  std::mt19937_64 rng_;
+  double rate_;      // arrivals/second inside an active window
+  bool bursty_;
+  double on_s_ = 0;  // window lengths, seconds (bursty only)
+  double off_s_ = 0;
+  double t_ = 0;           // seconds since run start
+  double window_end_ = 0;  // end of the current on-window
+};
+
+/// The request for (tenant spec, class, wire id).  Pure: one class is
+/// one (n, fault set) pair for the life of the run, chosen inside the
+/// paper's guarantee regime (vertex faults <= n - 3).
+ServiceRequest synth_request(const TenantSpec& spec, std::uint64_t seed,
+                             std::size_t cls, std::uint64_t id);
+
+/// Value of scalar sample `metric` (exact name, no labels) in a
+/// Prometheus text-exposition document; nullopt when absent.
+std::optional<double> parse_scalar(std::string_view prom_text,
+                                   std::string_view metric);
+
+}  // namespace starring::loadgen

@@ -8,7 +8,23 @@
 namespace starring {
 
 CanonicalRingCache::CanonicalRingCache(std::size_t capacity)
-    : per_shard_(std::max<std::size_t>(1, capacity / kShards)) {}
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      shards_(std::min(kMaxShards, capacity_)) {
+  // Exact distribution: base share everywhere, remainder spread one
+  // entry at a time so the shard budgets sum to capacity_ (the old
+  // max(1, capacity / kShards) both over-budgeted small capacities and
+  // truncated up to kShards-1 entries of larger ones).
+  const std::size_t base = capacity_ / shards_.size();
+  const std::size_t rem = capacity_ % shards_.size();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = shards_[i];
+    s.cap = base + (i < rem ? 1 : 0);
+    // ~80% of the shard protects the re-referenced set; at least one
+    // probation slot always remains so new entries have somewhere to
+    // land (and single-entry shards degrade to plain LRU).
+    s.protected_cap = s.cap - std::max<std::size_t>(1, (s.cap + 4) / 5);
+  }
+}
 
 CanonicalRingCache::RingPtr CanonicalRingCache::lookup(
     const std::string& key) {
@@ -19,8 +35,26 @@ CanonicalRingCache::RingPtr CanonicalRingCache::lookup(
   const std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.index.find(key);
   if (it == s.index.end()) return nullptr;
-  s.lru.splice(s.lru.begin(), s.lru, it->second);
-  return it->second->second;
+  Slot& slot = it->second;
+  if (slot.in_protected) {
+    s.protect.splice(s.protect.begin(), s.protect, slot.it);
+    return slot.it->ring;
+  }
+  // Second touch: the entry has proven it is not scan traffic.
+  if (s.protected_cap == 0) {
+    s.probation.splice(s.probation.begin(), s.probation, slot.it);
+    return slot.it->ring;
+  }
+  s.protect.splice(s.protect.begin(), s.probation, slot.it);
+  slot.in_protected = true;
+  if (s.protect.size() > s.protected_cap) {
+    // Demote the coolest protected entry instead of dropping it: it
+    // re-enters probation at the MRU end for one more chance.
+    const auto demoted = std::prev(s.protect.end());
+    s.probation.splice(s.probation.begin(), s.protect, demoted);
+    s.index[demoted->key].in_protected = false;
+  }
+  return slot.it->ring;
 }
 
 void CanonicalRingCache::insert(const std::string& key, RingPtr ring) {
@@ -32,15 +66,19 @@ void CanonicalRingCache::insert(const std::string& key, RingPtr ring) {
   const std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.index.find(key);
   if (it != s.index.end()) {
-    it->second->second = std::move(ring);
-    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    Slot& slot = it->second;
+    slot.it->ring = std::move(ring);
+    EntryList& list = slot.in_protected ? s.protect : s.probation;
+    list.splice(list.begin(), list, slot.it);
     return;
   }
-  s.lru.emplace_front(key, std::move(ring));
-  s.index.emplace(key, s.lru.begin());
-  if (s.lru.size() > per_shard_) {
-    s.index.erase(s.lru.back().first);
-    s.lru.pop_back();
+  s.probation.emplace_front(Entry{key, std::move(ring)});
+  s.index.emplace(key, Slot{false, s.probation.begin()});
+  if (s.probation.size() + s.protect.size() > s.cap) {
+    // New entries always land in probation, so it is non-empty here;
+    // scans evict only each other from its tail.
+    s.index.erase(s.probation.back().key);
+    s.probation.pop_back();
     evictions.add();
   }
 }
@@ -49,7 +87,7 @@ std::size_t CanonicalRingCache::size() const {
   std::size_t total = 0;
   for (const Shard& s : shards_) {
     const std::lock_guard<std::mutex> lock(s.mu);
-    total += s.lru.size();
+    total += s.probation.size() + s.protect.size();
   }
   return total;
 }

@@ -1,4 +1,4 @@
-// Sharded LRU cache of canonical embeddings.
+// Sharded segmented-LRU cache of canonical embeddings.
 //
 // Keyed by CanonicalForm::key, valued by the ring computed in the
 // canonical frame.  Striped into independently locked shards the way
@@ -6,6 +6,22 @@
 // embedded callers never contend on one lock.  Values are shared_ptrs:
 // a hit hands out a reference to the stored ring, which stays alive for
 // the response's lifetime even if the entry is evicted mid-flight.
+//
+// Admission policy (scan resistance): each shard is a segmented LRU.
+// A first insert lands in the *probation* segment; only a later hit
+// promotes the entry to the *protected* segment, which holds the bulk
+// of the shard's budget.  Eviction comes from the probation tail, so a
+// one-pass scan (every key touched exactly once) can only churn the
+// probation segment — the zipf hot set, promoted by its re-references,
+// stays resident.  Protected overflow demotes its LRU entry back to
+// probation instead of dropping it, so a cooling entry gets one more
+// chance before eviction.
+//
+// Capacity accounting is exact: the total budget is distributed over
+// shards with the remainder spread one entry at a time, and the shard
+// count shrinks to the capacity when the budget is smaller than the
+// stripe count, so a capacity-4 cache holds exactly 4 entries — never
+// 8, never 1.
 #pragma once
 
 #include <cstddef>
@@ -24,39 +40,57 @@ class CanonicalRingCache {
  public:
   using RingPtr = std::shared_ptr<const std::vector<VertexId>>;
 
-  /// Total entry budget across shards (each shard holds its share,
-  /// at least one entry).
+  /// Total entry budget across shards, respected exactly (a zero
+  /// capacity is clamped to one entry).
   explicit CanonicalRingCache(std::size_t capacity);
 
-  /// nullptr on miss; a hit refreshes the entry's LRU position.
+  /// nullptr on miss; a hit refreshes the entry's LRU position and
+  /// promotes probation entries into the protected segment.
   RingPtr lookup(const std::string& key);
 
-  /// Insert (or refresh) key -> ring, evicting the shard's least
-  /// recently used entry beyond capacity.
+  /// Insert (or refresh) key -> ring.  New entries start in probation;
+  /// beyond the shard budget the probation tail is evicted.
   void insert(const std::string& key, RingPtr ring);
 
   /// Entries currently held (sums shard sizes; approximate under
   /// concurrent writers).
   std::size_t size() const;
 
+  /// The exact total entry budget.
+  std::size_t capacity() const { return capacity_; }
+
  private:
-  static constexpr std::size_t kShards = 8;
+  static constexpr std::size_t kMaxShards = 8;
+
+  struct Entry {
+    std::string key;
+    RingPtr ring;
+  };
+  using EntryList = std::list<Entry>;
+
+  struct Slot {
+    bool in_protected = false;
+    EntryList::iterator it;
+  };
 
   struct Shard {
     mutable std::mutex mu;
-    /// Front = most recently used.
-    std::list<std::pair<std::string, RingPtr>> lru;
-    std::unordered_map<std::string,
-                       std::list<std::pair<std::string, RingPtr>>::iterator>
-        index;
+    /// Exact entry budget of this shard (probation + protected).
+    std::size_t cap = 0;
+    /// Budget of the protected segment (< cap; the rest is probation).
+    std::size_t protected_cap = 0;
+    /// Front = most recently used in both segments.
+    EntryList probation;
+    EntryList protect;
+    std::unordered_map<std::string, Slot> index;
   };
 
   Shard& shard_for(const std::string& key) {
-    return shards_[std::hash<std::string>{}(key) % kShards];
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
   }
 
-  std::size_t per_shard_;
-  Shard shards_[kShards];
+  std::size_t capacity_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace starring

@@ -57,6 +57,10 @@ obs::Counter& c_timeouts() {
   static obs::Counter& c = obs::counter("svc.timeouts");
   return c;
 }
+obs::Counter& c_throttled() {
+  static obs::Counter& c = obs::counter("svc.throttled");
+  return c;
+}
 
 ServiceResponse error_response(std::uint64_t id, std::string reason) {
   ServiceResponse r;
@@ -74,7 +78,59 @@ ServiceResponse timeout_response(std::uint64_t id, std::string reason) {
   return r;
 }
 
+ServiceResponse throttled_response(std::uint64_t id) {
+  ServiceResponse r;
+  r.id = id;
+  r.status = ServiceStatus::kThrottled;
+  r.reason = "tenant quota exhausted";
+  return r;
+}
+
 }  // namespace
+
+EmbedService::TenantState& EmbedService::tenant_state(
+    const std::string& name) {
+  // The wire allows an absent tenant line; such requests are bucketed
+  // into `default` rather than riding quota-free.
+  const std::string* key = name.empty() ? nullptr : &name;
+  static const std::string kDefault = "default";
+  static const std::string kOther = "other";
+  if (key == nullptr) key = &kDefault;
+  auto it = tenants_.find(*key);
+  if (it == tenants_.end()) {
+    // Cap the registry: tenant names become counter names, and an
+    // adversarial client must not be able to grow it without bound.
+    if (tenants_.size() >= opts_.max_tenants && *key != kOther)
+      return tenant_state(kOther);
+    const double burst = opts_.tenant_burst > 0
+                             ? opts_.tenant_burst
+                             : std::max(1.0, opts_.tenant_rate);
+    it = tenants_
+             .emplace(*key, std::make_unique<TenantState>(
+                                *key, burst,
+                                std::chrono::steady_clock::now()))
+             .first;
+    rr_order_.push_back(it->second.get());
+  }
+  return *it->second;
+}
+
+bool EmbedService::quota_admit(TenantState& t,
+                               std::chrono::steady_clock::time_point now) {
+  if (opts_.tenant_rate <= 0) return true;  // quotas off
+  const double burst = opts_.tenant_burst > 0
+                           ? opts_.tenant_burst
+                           : std::max(1.0, opts_.tenant_rate);
+  const double dt =
+      std::chrono::duration<double>(now - t.last_refill).count();
+  if (dt > 0) {
+    t.tokens = std::min(burst, t.tokens + dt * opts_.tenant_rate);
+    t.last_refill = now;
+  }
+  if (t.tokens < 1.0) return false;
+  t.tokens -= 1.0;
+  return true;
+}
 
 EmbedService::EmbedService(ServiceOptions opts)
     : opts_(opts), cache_(opts.cache_capacity) {
@@ -165,16 +221,39 @@ bool EmbedService::submit(ServiceRequest req, Callback on_done, bool wait) {
     std::unique_lock<std::mutex> lock(mu_);
     if (wait) {
       admit_cv_.wait(lock, [this] {
-        return queue_.size() < opts_.queue_depth || draining_;
+        return total_queued_ < opts_.queue_depth || draining_;
       });
     }
-    if (draining_ || queue_.size() >= opts_.queue_depth) {
+    if (draining_ || total_queued_ >= opts_.queue_depth) {
       c_rejected().add();
       return false;
     }
-    queue_.push_back(std::move(p));
+    TenantState& t = tenant_state(p.req.tenant);
+    t.requests.add();
+    if (!quota_admit(t, std::chrono::steady_clock::now())) {
+      // Quota bounce: an immediate terminal response, not an enqueue.
+      // Delivered below outside the lock; returns true because the
+      // caller's request did reach a terminal status.
+      t.throttled.add();
+      c_throttled().add();
+      lock.unlock();
+      ServiceResponse r = throttled_response(p.req.id);
+      if (p.done) {
+        p.done(std::move(r));
+      } else {
+        {
+          const std::lock_guard<std::mutex> relock(mu_);
+          responses_.push_back(std::move(r));
+        }
+        resp_cv_.notify_all();
+      }
+      return true;
+    }
+    p.tenant = &t;
+    t.queue.push_back(std::move(p));
+    ++total_queued_;
     c_queue_depth_max().record_max(
-        static_cast<std::int64_t>(queue_.size()));
+        static_cast<std::int64_t>(total_queued_));
   }
   // Admission span: time spent blocked on queue backpressure (plus the
   // queue push itself).  Rejected submissions record nothing — their
@@ -211,22 +290,53 @@ void EmbedService::drain() {
 std::vector<EmbedService::Pending> EmbedService::take_batch() {
   std::vector<Pending> batch;
   std::unique_lock<std::mutex> lock(mu_);
-  work_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
-  if (queue_.empty()) return batch;  // draining with nothing left
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  const int n = batch.front().req.n;
-  // Compatible = same dimension: those requests share StarGraph sizing,
-  // oracle working set, and (via canonical dedup) possibly embeddings.
-  for (auto it = queue_.begin();
-       it != queue_.end() && batch.size() < opts_.batch_max;) {
-    if (it->req.n == n) {
-      batch.push_back(std::move(*it));
-      it = queue_.erase(it);
-    } else {
-      ++it;
+  work_cv_.wait(lock, [this] { return total_queued_ > 0 || draining_; });
+  if (total_queued_ == 0) return batch;  // draining with nothing left
+
+  // Deficit round robin over the tenant queues: cycle the tenants from
+  // the cursor, each backlogged tenant earning drr_quantum requests of
+  // service per visit, until the batch is full or no tenant can
+  // contribute.  The first selected request pins the batch's dimension
+  // (compatible = same dimension: those requests share StarGraph
+  // sizing, oracle working set, and — via canonical dedup — possibly
+  // embeddings); later visits take only matching-n requests, skipping
+  // over a tenant's mismatched entries without reordering them — a
+  // tenant stuck on a mismatched dimension keeps accruing deficit and
+  // is compensated when a batch of its dimension forms.
+  int n = -1;
+  const std::size_t tenants = rr_order_.size();
+  const std::int64_t quantum =
+      static_cast<std::int64_t>(std::max<std::size_t>(1, opts_.drr_quantum));
+  std::size_t last_served = rr_cursor_;
+  bool progress = true;
+  while (progress && batch.size() < opts_.batch_max) {
+    progress = false;
+    for (std::size_t k = 0; k < tenants && batch.size() < opts_.batch_max;
+         ++k) {
+      const std::size_t ti = (rr_cursor_ + k) % tenants;
+      TenantState& t = *rr_order_[ti];
+      if (t.queue.empty()) {
+        t.deficit = 0;  // classic DRR: idle tenants accrue no credit
+        continue;
+      }
+      t.deficit += quantum;
+      while (t.deficit > 0 && batch.size() < opts_.batch_max) {
+        auto it = t.queue.begin();
+        if (n >= 0)
+          while (it != t.queue.end() && it->req.n != n) ++it;
+        if (it == t.queue.end()) break;
+        if (n < 0) n = it->req.n;
+        batch.push_back(std::move(*it));
+        t.queue.erase(it);
+        --total_queued_;
+        --t.deficit;
+        last_served = ti;
+        progress = true;
+      }
+      if (t.queue.empty()) t.deficit = 0;
     }
   }
+  rr_cursor_ = tenants == 0 ? 0 : (last_served + 1) % tenants;
   lock.unlock();
   admit_cv_.notify_all();
   return batch;
@@ -260,6 +370,13 @@ CanonicalRingCache::RingPtr EmbedService::compute_canonical(
 void EmbedService::deliver(Pending& p, ServiceResponse resp,
                            std::chrono::steady_clock::time_point now) {
   latency_.record(now - p.admitted);
+  if (p.tenant != nullptr) {
+    p.tenant->latency.record(now - p.admitted);
+    if (resp.status == ServiceStatus::kOk)
+      p.tenant->ok.add();
+    else if (resp.status == ServiceStatus::kTimeout)
+      p.tenant->timeouts.add();
+  }
   // Emit the request's root span now that every child has closed: the
   // whole admitted-to-delivered interval, parent 0.
   if (p.span.valid())
@@ -438,7 +555,11 @@ void EmbedService::run_batch(std::vector<Pending> batch) {
     for (const std::uint64_t id : watch_ids)
       if (id != 0) unwatch(id);
 
-    for (const Slot& s : slots) (s.hit ? c_hits() : c_misses()).add();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      (slots[i].hit ? c_hits() : c_misses()).add();
+      if (slots[i].hit && batch[i].tenant != nullptr)
+        batch[i].tenant->hits.add();
+    }
     // Batch-local duplicates of a miss share the owner's ring.
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (slots[i].ring != nullptr || !slots[i].hit) continue;
@@ -508,6 +629,20 @@ ServiceResponse EmbedService::process_now(const ServiceRequest& req) {
   obs::trace::ScopedSpan root("svc.request");
   c_requests().add();
   const auto admitted = std::chrono::steady_clock::now();
+  // The synchronous path charges the same tenant buckets as the queue:
+  // process_now is not a quota bypass.
+  TenantState* tstate = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    TenantState& t = tenant_state(req.tenant);
+    t.requests.add();
+    if (!quota_admit(t, admitted)) {
+      t.throttled.add();
+      c_throttled().add();
+      return throttled_response(req.id);
+    }
+    tstate = &t;
+  }
   const bool budgeted = req.deadline_ms > 0;
   const auto deadline =
       admitted + std::chrono::milliseconds(budgeted ? req.deadline_ms : 0);
@@ -525,6 +660,7 @@ ServiceResponse EmbedService::process_now(const ServiceRequest& req) {
   }
   const bool hit = ring != nullptr;
   (hit ? c_hits() : c_misses()).add();
+  if (hit) tstate->hits.add();
   if (!hit) {
     obs::trace::ScopedSpan span("svc.embed");
     std::atomic<bool> cancel{false};
@@ -538,11 +674,19 @@ ServiceResponse EmbedService::process_now(const ServiceRequest& req) {
     }
     if (watch != 0) unwatch(watch);
   }
+  ServiceResponse resp;
   if (budgeted && std::chrono::steady_clock::now() >= deadline) {
     c_timeouts().add();
-    return timeout_response(req.id, "deadline exceeded");
+    resp = timeout_response(req.id, "deadline exceeded");
+  } else {
+    resp = finish(req, canon, ring, hit);
   }
-  return finish(req, canon, ring, hit);
+  tstate->latency.record(std::chrono::steady_clock::now() - admitted);
+  if (resp.status == ServiceStatus::kOk)
+    tstate->ok.add();
+  else if (resp.status == ServiceStatus::kTimeout)
+    tstate->timeouts.add();
+  return resp;
 }
 
 }  // namespace starring

@@ -25,12 +25,29 @@
 //
 // Observability (svc.* counters, emitted like every other area's):
 //   svc.requests / svc.rejected      admitted vs bounced at the queue
+//   svc.throttled                    bounced by a tenant token bucket
 //   svc.cache_hits / svc.cache_misses  canonical-cache outcomes
 //   svc.cache_evictions              LRU pressure
 //   svc.batches / svc.batch_size_max / svc.queue_depth_max
 //   svc.embed_failures / svc.verify_failures / svc.verified
 //   svc.timeouts                     requests answered `status timeout`
 //   svc.latency.*                    submit-to-response histogram
+//   svc.tenant.<t>.requests/.throttled/.ok/.timeouts/.hits
+//   svc.tenant.<t>.latency.*         per-tenant histogram (folds into
+//                                    the Prometheus exposition)
+//
+// Multi-tenant QoS: every request carries an accounting principal (the
+// wire `tenant` line; absent means `default` — untagged traffic never
+// bypasses quotas).  Admission charges a per-tenant token bucket
+// (tenant_rate / tenant_burst); an exhausted bucket answers `status
+// throttled` immediately.  Batch formation is deficit-round-robin over
+// per-tenant FIFO queues: each batch visits tenants in rotation,
+// granting drr_quantum requests of service per visit, so a tenant
+// flooding the queue cannot starve the others — a lightly loaded
+// tenant's requests ride the next batches regardless of how deep the
+// flooder's backlog is.  Batches stay same-dimension: the first
+// DRR-selected request pins n and the rest of the batch is filled with
+// matching-n requests in DRR order.
 //
 // Deadlines: a request may carry a completion budget (deadline_ms,
 // measured from admission).  Expired requests still queued are shed at
@@ -48,9 +65,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/ring_embedder.hpp"
@@ -74,6 +94,20 @@ struct ServiceOptions {
   /// relabeling (defense against cache corruption; requests can also
   /// ask for verification individually).
   bool verify_on_hit = false;
+  /// Per-tenant token-bucket refill rate in requests/second; 0 turns
+  /// quotas off entirely (every tenant unlimited).
+  double tenant_rate = 0.0;
+  /// Token-bucket depth (burst allowance); 0 defaults to
+  /// max(1, tenant_rate).
+  double tenant_burst = 0.0;
+  /// Requests of service a tenant earns per DRR visit at batch
+  /// formation (>= 1; higher values trade fairness granularity for
+  /// fewer cross-tenant switches inside a batch).
+  std::size_t drr_quantum = 1;
+  /// Distinct tenants tracked before new names collapse into the
+  /// `other` bucket (tenant names become metric names; the registry
+  /// must not grow without bound on adversarial input).
+  std::size_t max_tenants = 64;
   /// Knobs for the underlying Theorem-1 pipeline.
   EmbedOptions embed;
 };
@@ -112,9 +146,12 @@ class EmbedService {
   const ServiceOptions& options() const { return opts_; }
 
  private:
+  struct TenantState;
+
   struct Pending {
     ServiceRequest req;
     Callback done;
+    TenantState* tenant = nullptr;
     std::chrono::steady_clock::time_point admitted;
     /// Absolute completion budget (admitted + deadline_ms); only
     /// meaningful when has_deadline.
@@ -131,9 +168,50 @@ class EmbedService {
     }
   };
 
+  /// Per-tenant accounting: token bucket, DRR backlog + deficit, and
+  /// the tenant's slice of the metrics registry.  Owned by tenants_
+  /// (stable addresses); mutable state is guarded by mu_ except the
+  /// obs objects, which are internally atomic.
+  struct TenantState {
+    TenantState(const std::string& name, double burst,
+                std::chrono::steady_clock::time_point now)
+        : requests(obs::counter("svc.tenant." + name + ".requests")),
+          throttled(obs::counter("svc.tenant." + name + ".throttled")),
+          ok(obs::counter("svc.tenant." + name + ".ok")),
+          timeouts(obs::counter("svc.tenant." + name + ".timeouts")),
+          hits(obs::counter("svc.tenant." + name + ".hits")),
+          latency("svc.tenant." + name + ".latency"),
+          tokens(burst),
+          last_refill(now) {}
+
+    obs::Counter& requests;
+    obs::Counter& throttled;
+    obs::Counter& ok;
+    obs::Counter& timeouts;
+    obs::Counter& hits;
+    obs::LatencyHistogram latency;
+
+    double tokens;
+    std::chrono::steady_clock::time_point last_refill;
+    /// DRR service credit, in requests.
+    std::int64_t deficit = 0;
+    std::deque<Pending> queue;
+  };
+
+  /// Resolve (creating on first sight) the tenant bucket for a wire
+  /// name; "" maps to `default`, names beyond max_tenants collapse
+  /// into `other`.  Caller holds mu_.
+  TenantState& tenant_state(const std::string& name);
+  /// Charge one token from `t`'s bucket at `now`; false when the
+  /// bucket is exhausted (the request must be throttled).  Caller
+  /// holds mu_.
+  bool quota_admit(TenantState& t,
+                   std::chrono::steady_clock::time_point now);
+
   void scheduler_loop();
-  /// Pop up to batch_max requests of one dimension (the front's),
-  /// preserving the relative order of what stays queued.
+  /// Pop up to batch_max same-dimension requests by deficit round
+  /// robin over the tenant queues (the first selected request pins the
+  /// dimension), preserving each tenant's internal FIFO order.
   std::vector<Pending> take_batch();
   void run_batch(std::vector<Pending> batch);
   /// Canonical-frame embedding for a cache miss; inserts on success.
@@ -169,7 +247,13 @@ class EmbedService {
   std::condition_variable admit_cv_;  // submitters waiting for space
   std::condition_variable work_cv_;   // scheduler waiting for work
   std::condition_variable resp_cv_;   // consumers waiting for responses
-  std::deque<Pending> queue_;
+  /// Tenant buckets (stable addresses; Pending::tenant points here)
+  /// and the round-robin visit order for DRR batch formation.
+  std::unordered_map<std::string, std::unique_ptr<TenantState>> tenants_;
+  std::vector<TenantState*> rr_order_;
+  std::size_t rr_cursor_ = 0;
+  /// Requests queued across all tenants (the admission bound).
+  std::size_t total_queued_ = 0;
   std::deque<ServiceResponse> responses_;
   bool draining_ = false;
   bool stopped_ = false;  // scheduler exited; no more responses coming

@@ -44,6 +44,7 @@
 #include "fault/generators.hpp"
 #include "obs/prometheus.hpp"
 #include "stargraph/star_graph.hpp"
+#include "util/backoff.hpp"
 #include "util/io.hpp"
 
 namespace starring {
@@ -58,6 +59,7 @@ struct CliConfig {
   bool verify = false;       // set the per-request verify flag
   int edge_pct = 10;         // % of requests that carry one edge fault
   std::int64_t deadline_ms = 0;  // per-request budget; 0 = none
+  std::string tenant;        // tag every request with this tenant
   bool expect_hits = false;  // drive: fail if the cache never hit
   int connect_port = -1;     // drive: TCP instead of spawning
   int retry = 0;  // drive (TCP): reconnect rounds after rejections/drops
@@ -78,6 +80,8 @@ int usage(const char* argv0) {
          "(default 10)\n"
       << "  --deadline-ms N  completion budget per request; past-budget\n"
       << "                   requests are answered `status timeout`\n"
+      << "  --tenant NAME    tag every request with this tenant (quota\n"
+      << "                   and fair-scheduling principal)\n"
       << "  --expect-hits    drive: fail when cache hits == 0\n"
       << "  --connect PORT   drive: use a TCP daemon on 127.0.0.1\n"
       << "  --retry N        drive (TCP): reconnect and resubmit "
@@ -119,6 +123,8 @@ std::optional<CliConfig> parse_args(int argc, char** argv) {
       cfg.edge_pct = static_cast<int>(v);
     } else if (a == "--deadline-ms" && (v = num()) > 0) {
       cfg.deadline_ms = v;
+    } else if (a == "--tenant" && i + 1 < argc) {
+      cfg.tenant = argv[++i];
     } else if (a == "--expect-hits") {
       cfg.expect_hits = true;
     } else if (a == "--connect" && (v = num()) > 0 && v < 65536) {
@@ -160,6 +166,7 @@ ServiceRequest make_request(const CliConfig& cfg, std::size_t i) {
   req.faults = with_edge ? mixed_faults(g, nf - 1, 1, fault_seed)
                          : random_vertex_faults(g, nf, fault_seed);
   req.deadline_ms = cfg.deadline_ms;
+  req.tenant = cfg.tenant;
   return req;
 }
 
@@ -170,6 +177,8 @@ std::string check_response(const CliConfig& cfg, const ServiceResponse& resp,
   if (resp.id >= cfg.count) return "response id out of workload range";
   const ServiceRequest req = make_request(cfg, resp.id);
   if (resp.status == ServiceStatus::kRejected) return "rejected by daemon";
+  if (resp.status == ServiceStatus::kThrottled)
+    return "throttled by daemon";
   if (resp.status == ServiceStatus::kTimeout) {
     ++*timeouts;
     // A timeout is a legitimate terminal status when the workload arms
@@ -415,8 +424,10 @@ int drive_tcp(const CliConfig& cfg) {
   for (int round = 0; round < rounds && done < cfg.count; ++round) {
     const bool last_round = round + 1 == rounds;
     if (round > 0) {
+      // Capped exponential (util/backoff.hpp): saturates at 5s instead
+      // of doubling forever — the old shift was UB from --retry 64 up.
       const long long backoff_ms =
-          (50LL << (round - 1)) + static_cast<long long>(jitter() % 50);
+          retry_backoff_ms(round) + static_cast<long long>(jitter() % 50);
       std::cerr << "starring-cli: retry round " << round << " for "
                 << (cfg.count - done) << " requests after " << backoff_ms
                 << " ms\n";
@@ -464,7 +475,9 @@ int drive_tcp(const CliConfig& cfg) {
         break;
       }
       ++got;
-      if (resp->status == ServiceStatus::kRejected && !last_round)
+      if ((resp->status == ServiceStatus::kRejected ||
+           resp->status == ServiceStatus::kThrottled) &&
+          !last_round)
         continue;  // stays unanswered; the next round resubmits it
       if (resp->id < cfg.count && !answered[resp->id]) {
         answered[resp->id] = 1;

@@ -229,6 +229,12 @@ int usage(const char* argv0) {
       << "  --batch-max N        max requests per batch (default 16)\n"
       << "  --cache-capacity N   canonical embeddings kept (default 4096)\n"
       << "  --verify-on-hit      re-verify relabeled cache hits\n"
+      << "  --tenant-rate R      per-tenant token-bucket refill, req/s\n"
+      << "                       (default 0 = quotas off)\n"
+      << "  --tenant-burst B     token-bucket depth (default: "
+         "max(1, R))\n"
+      << "  --drr-quantum N      requests per tenant per DRR visit at\n"
+      << "                       batch formation (default 1)\n"
       << "  --threads N          embedding worker threads (0 = cores)\n"
       << "  --listen PORT        serve TCP on 127.0.0.1:PORT (default: "
          "stdio)\n"
@@ -265,6 +271,14 @@ std::optional<DaemonConfig> parse_args(int argc, char** argv) {
       cfg.svc.cache_capacity = static_cast<std::size_t>(v);
     } else if (a == "--verify-on-hit") {
       cfg.svc.verify_on_hit = true;
+    } else if (a == "--tenant-rate" && i + 1 < argc) {
+      cfg.svc.tenant_rate = std::atof(argv[++i]);
+      if (cfg.svc.tenant_rate < 0) return std::nullopt;
+    } else if (a == "--tenant-burst" && i + 1 < argc) {
+      cfg.svc.tenant_burst = std::atof(argv[++i]);
+      if (cfg.svc.tenant_burst < 0) return std::nullopt;
+    } else if (a == "--drr-quantum" && (v = num(&i)) > 0) {
+      cfg.svc.drr_quantum = static_cast<std::size_t>(v);
     } else if (a == "--threads" && (v = num(&i)) >= 0) {
       cfg.svc.embed.num_threads = static_cast<unsigned>(v);
     } else if (a == "--listen" && (v = num(&i)) > 0 && v < 65536) {

@@ -1,0 +1,27 @@
+// Capped exponential retry backoff.
+//
+// One shared definition for every client that retries against the
+// daemon (starring-cli rounds, loadgen reconnects): doubling from a
+// base, saturating at a ceiling, jitter added by the caller on top.
+// The doubling is computed by repeated addition bounded by the cap, so
+// any round count is safe — the old `base << (round - 1)` was
+// undefined behaviour from round 64 up and reached multi-minute sleeps
+// long before that.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace starring {
+
+/// Backoff before retry round `round` (1-based; round <= 0 yields 0):
+/// min(cap_ms, base_ms * 2^(round-1)), computed without overflow.
+inline std::int64_t retry_backoff_ms(int round, std::int64_t base_ms = 50,
+                                     std::int64_t cap_ms = 5000) {
+  if (round <= 0 || base_ms <= 0) return 0;
+  std::int64_t b = base_ms;
+  for (int i = 1; i < round && b < cap_ms; ++i) b += b;
+  return std::min(b, cap_ms);
+}
+
+}  // namespace starring

@@ -207,6 +207,9 @@ bool write_request(std::ostream& os, const ServiceRequest& r) {
   os << "n " << r.n << "\n";
   write_faults(os, r.faults);
   os << "verify " << (r.verify ? 1 : 0) << "\n";
+  // Optional lines are omitted at their defaults, so records written
+  // here stay parseable by readers of the original v1 grammar.
+  if (!r.tenant.empty()) os << "tenant " << r.tenant << "\n";
   if (r.deadline_ms > 0) os << "deadline_ms " << r.deadline_ms << "\n";
   os << "end\n";
   return static_cast<bool>(os);
@@ -240,6 +243,9 @@ bool write_response(std::ostream& os, const ServiceResponse& r) {
       break;
     case ServiceStatus::kTimeout:
       os << "status timeout\nreason " << r.reason << "\n";
+      break;
+    case ServiceStatus::kThrottled:
+      os << "status throttled\nreason " << r.reason << "\n";
       break;
   }
   os << "end\n";
@@ -342,22 +348,44 @@ std::optional<ServiceRequest> read_request(std::istream& is,
     return std::nullopt;
   }
   r.verify = verify == 1;
-  // Optional deadline_ms line, then the mandatory end terminator.
-  if (!(is >> word)) {
-    fail(error, "missing end line");
-    return std::nullopt;
-  }
-  if (word == "deadline_ms") {
-    if (!(is >> r.deadline_ms) || r.deadline_ms <= 0) {
-      fail(error, "bad deadline_ms line");
-      return std::nullopt;
-    }
+  // Optional tenant / deadline_ms lines (any order, at most once
+  // each), then the mandatory end terminator.
+  bool saw_tenant = false;
+  bool saw_deadline = false;
+  while (true) {
     if (!(is >> word)) {
       fail(error, "missing end line");
       return std::nullopt;
     }
-  }
-  if (word != "end") {
+    if (word == "end") break;
+    if (word == "deadline_ms" && !saw_deadline) {
+      if (!(is >> r.deadline_ms) || r.deadline_ms <= 0) {
+        fail(error, "bad deadline_ms line");
+        return std::nullopt;
+      }
+      saw_deadline = true;
+      continue;
+    }
+    if (word == "tenant" && !saw_tenant) {
+      // The name is the rest of the line (one token): taking it with
+      // getline instead of >> keeps a nameless `tenant` line from
+      // swallowing the `end` terminator as its value.
+      std::string rest;
+      std::getline(is, rest);
+      while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t'))
+        rest.erase(rest.begin());
+      while (!rest.empty() && (rest.back() == '\r' || rest.back() == ' ' ||
+                               rest.back() == '\t'))
+        rest.pop_back();
+      if (rest.empty() || rest.size() > kMaxTenantLen ||
+          rest.find_first_of(" \t") != std::string::npos) {
+        fail(error, "bad tenant line");
+        return std::nullopt;
+      }
+      r.tenant = std::move(rest);
+      saw_tenant = true;
+      continue;
+    }
     fail(error, "missing end line");
     return std::nullopt;
   }
@@ -375,10 +403,12 @@ std::optional<ServiceResponse> read_response(std::istream& is,
     fail(error, "bad status line");
     return std::nullopt;
   }
-  if (status == "error" || status == "rejected" || status == "timeout") {
-    r.status = status == "error"      ? ServiceStatus::kError
-               : status == "rejected" ? ServiceStatus::kRejected
-                                      : ServiceStatus::kTimeout;
+  if (status == "error" || status == "rejected" || status == "timeout" ||
+      status == "throttled") {
+    r.status = status == "error"       ? ServiceStatus::kError
+               : status == "rejected"  ? ServiceStatus::kRejected
+               : status == "throttled" ? ServiceStatus::kThrottled
+                                       : ServiceStatus::kTimeout;
     if (!(is >> word) || word != "reason") {
       fail(error, "bad reason line");
       return std::nullopt;

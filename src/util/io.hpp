@@ -53,19 +53,27 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
 //
 //   starring-request v1          starring-response v1
 //   id <u64>                     id <u64>
-//   n <dim>                      status <ok|error|rejected|timeout>
-//   vertex_faults <count>        [reason <one line>]        (non-ok)
-//   <one permutation per line>   [cache <hit|miss>]         (ok)
-//   edge_faults <count>          [verified <0|1>]           (ok)
-//   <two permutations per line>  [ring <length>]            (ok)
-//   verify <0|1>                 [<vertex ids ...>]         (ok)
+//   n <dim>                      status <ok|error|rejected|
+//   vertex_faults <count>                timeout|throttled>
+//   <one permutation per line>   [reason <one line>]        (non-ok)
+//   edge_faults <count>          [cache <hit|miss>]         (ok)
+//   <two permutations per line>  [verified <0|1>]           (ok)
+//   verify <0|1>                 [ring <length>]            (ok)
+//   [tenant <name>]              [<vertex ids ...>]         (ok)
 //   [deadline_ms <ms>]           end
 //   end
 //
-// The deadline_ms line is optional (readers written against the
-// original v1 grammar never emitted it): a positive value gives the
-// request a completion budget measured from admission; a request still
-// queued or in flight past its budget is answered `status timeout`.
+// The deadline_ms and tenant lines are optional, accepted in either
+// order (readers written against the original v1 grammar never emitted
+// them).  A positive deadline_ms gives the request a completion budget
+// measured from admission; a request still queued or in flight past
+// its budget is answered `status timeout`.  The tenant line names the
+// accounting principal for per-tenant quotas, fair scheduling, and
+// svc.tenant.* metrics (one token, at most 64 chars); requests without
+// one are bucketed into the `default` tenant — omitting the line never
+// bypasses quotas.  `status throttled` reports a tenant whose token
+// bucket is exhausted; like `rejected` it carries no ring and the
+// request may be retried after a backoff.
 //
 // Three out-of-band commands ride the same request stream as bare
 // lines, answered inline (ahead of any still-pending embedding
@@ -101,11 +109,21 @@ struct ServiceRequest {
   /// queue (or its in-flight embedding cooperatively cancelled) and
   /// answered `status timeout`.
   std::int64_t deadline_ms = 0;
+  /// Accounting principal for quotas, fair scheduling, and per-tenant
+  /// metrics.  Empty on the wire means "the default tenant" — the
+  /// service buckets such requests into `default` rather than letting
+  /// them bypass quotas.
+  std::string tenant;
   /// Payload of a `FAIL <config>` command (kind == kFail only).
   std::string fail_config;
 };
 
-enum class ServiceStatus { kOk, kError, kRejected, kTimeout };
+/// Longest tenant name accepted on the wire; longer tokens are a
+/// framing error (tenant names become metric names — unbounded ones
+/// would let a client grow the registry without limit).
+inline constexpr std::size_t kMaxTenantLen = 64;
+
+enum class ServiceStatus { kOk, kError, kRejected, kTimeout, kThrottled };
 
 struct ServiceResponse {
   std::uint64_t id = 0;

@@ -1,0 +1,68 @@
+// Tests for the capped exponential retry backoff (util/backoff.hpp).
+//
+// Regression: the previous inline computation was `50LL << (round - 1)`,
+// undefined behaviour once round reaches 64 (shift >= bit width) and
+// absurd sleep budgets long before that.  The helper must saturate at
+// the cap for every round, however large.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/backoff.hpp"
+
+namespace starring {
+namespace {
+
+TEST(RetryBackoff, DoublesFromBaseUntilCap) {
+  EXPECT_EQ(retry_backoff_ms(1), 50);
+  EXPECT_EQ(retry_backoff_ms(2), 100);
+  EXPECT_EQ(retry_backoff_ms(3), 200);
+  EXPECT_EQ(retry_backoff_ms(4), 400);
+  EXPECT_EQ(retry_backoff_ms(5), 800);
+  EXPECT_EQ(retry_backoff_ms(6), 1600);
+  EXPECT_EQ(retry_backoff_ms(7), 3200);
+}
+
+TEST(RetryBackoff, SaturatesAtCap) {
+  EXPECT_EQ(retry_backoff_ms(8), 5000);  // 6400 clamps
+  EXPECT_EQ(retry_backoff_ms(9), 5000);
+  EXPECT_EQ(retry_backoff_ms(20), 5000);
+}
+
+TEST(RetryBackoff, LargeRoundsAreDefinedAndCapped) {
+  // The rounds that were UB with a shift: 64 and beyond must yield the
+  // cap, not garbage or a crash.
+  EXPECT_EQ(retry_backoff_ms(63), 5000);
+  EXPECT_EQ(retry_backoff_ms(64), 5000);
+  EXPECT_EQ(retry_backoff_ms(65), 5000);
+  EXPECT_EQ(retry_backoff_ms(1000), 5000);
+  EXPECT_EQ(retry_backoff_ms(std::numeric_limits<int>::max()), 5000);
+}
+
+TEST(RetryBackoff, MonotoneNonDecreasing) {
+  std::int64_t prev = 0;
+  for (int round = 1; round <= 128; ++round) {
+    const std::int64_t b = retry_backoff_ms(round);
+    EXPECT_GE(b, prev) << "round " << round;
+    EXPECT_LE(b, 5000) << "round " << round;
+    prev = b;
+  }
+}
+
+TEST(RetryBackoff, DegenerateInputsReturnZero) {
+  EXPECT_EQ(retry_backoff_ms(0), 0);
+  EXPECT_EQ(retry_backoff_ms(-3), 0);
+  EXPECT_EQ(retry_backoff_ms(5, /*base_ms=*/0), 0);
+}
+
+TEST(RetryBackoff, CustomBaseAndCap) {
+  EXPECT_EQ(retry_backoff_ms(1, 10, 1000), 10);
+  EXPECT_EQ(retry_backoff_ms(4, 10, 1000), 80);
+  EXPECT_EQ(retry_backoff_ms(12, 10, 1000), 1000);
+  // base already above the cap clamps immediately.
+  EXPECT_EQ(retry_backoff_ms(1, 9000, 5000), 5000);
+}
+
+}  // namespace
+}  // namespace starring

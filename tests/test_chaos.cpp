@@ -249,6 +249,10 @@ TEST_F(Chaos, ServiceSurvivesAChaosStorm) {
         case ServiceStatus::kRejected:
           ADD_FAILURE() << "nothing should be rejected: id=" << id;
           break;
+        case ServiceStatus::kThrottled:
+          ADD_FAILURE() << "quotas are off: nothing should be throttled: id="
+                        << id;
+          break;
       }
     }
     EXPECT_GT(ok, 0) << "chaos at these rates must not starve the service";

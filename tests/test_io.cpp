@@ -663,5 +663,96 @@ TEST(Io, LargeNDotSeparatedFaults) {
   (void)g;
 }
 
+TEST(IoService, RequestTenantRoundTrips) {
+  ServiceRequest r;
+  r.id = 7;
+  r.n = 5;
+  r.tenant = "team-a";
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, r));
+  EXPECT_NE(ss.str().find("tenant team-a\n"), std::string::npos);
+  std::string err;
+  const auto back = read_request(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->tenant, "team-a");
+}
+
+TEST(IoService, RequestWithoutTenantOmitsLineAndParsesEmpty) {
+  // Backward compatibility both ways: an untagged request writes no
+  // tenant line (old readers keep working), and parsing such a record
+  // yields an empty tenant — which the service buckets into `default`,
+  // so omitting the line never bypasses quotas.
+  ServiceRequest r;
+  r.id = 7;
+  r.n = 5;
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, r));
+  EXPECT_EQ(ss.str().find("tenant"), std::string::npos);
+  const auto back = read_request(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->tenant.empty());
+}
+
+TEST(IoService, TenantAndDeadlineAcceptedInEitherOrder) {
+  for (const char* tail :
+       {"tenant acme\ndeadline_ms 40\n", "deadline_ms 40\ntenant acme\n"}) {
+    std::stringstream ss(
+        std::string("starring-request v1\nid 1\nn 4\nvertex_faults 0\n"
+                    "edge_faults 0\nverify 0\n") +
+        tail + "end\n");
+    std::string err;
+    const auto back = read_request(ss, &err);
+    ASSERT_TRUE(back.has_value()) << tail << ": " << err;
+    EXPECT_EQ(back->tenant, "acme");
+    EXPECT_EQ(back->deadline_ms, 40);
+  }
+}
+
+TEST(IoService, RequestRejectsBadTenantLine) {
+  const std::string head(
+      "starring-request v1\nid 1\nn 4\nvertex_faults 0\n"
+      "edge_faults 0\nverify 0\n");
+  {
+    // Empty name.
+    std::stringstream ss(head + "tenant\nend\n");
+    std::string err;
+    EXPECT_FALSE(read_request(ss, &err).has_value());
+    EXPECT_EQ(err, "bad tenant line");
+  }
+  {
+    // Longer than the wire allows (tenant names become metric names).
+    std::stringstream ss(head + "tenant " +
+                         std::string(kMaxTenantLen + 1, 'x') + "\nend\n");
+    std::string err;
+    EXPECT_FALSE(read_request(ss, &err).has_value());
+    EXPECT_EQ(err, "bad tenant line");
+  }
+  {
+    // At the limit: fine.
+    std::stringstream ss(head + "tenant " +
+                         std::string(kMaxTenantLen, 'x') + "\nend\n");
+    std::string err;
+    const auto back = read_request(ss, &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(back->tenant.size(), kMaxTenantLen);
+  }
+}
+
+TEST(IoService, ThrottledResponseRoundTrips) {
+  ServiceResponse r;
+  r.id = 21;
+  r.status = ServiceStatus::kThrottled;
+  r.reason = "tenant quota exhausted";
+  std::stringstream ss;
+  ASSERT_TRUE(write_response(ss, r));
+  EXPECT_NE(ss.str().find("status throttled\n"), std::string::npos);
+  std::string err;
+  const auto back = read_response(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->status, ServiceStatus::kThrottled);
+  EXPECT_EQ(back->reason, r.reason);
+  EXPECT_TRUE(back->ring.empty());
+}
+
 }  // namespace
 }  // namespace starring

@@ -1,0 +1,188 @@
+// Tests for the open-loop load-generation library: zipf sampling,
+// arrival schedules, tenant-spec parsing, deterministic request
+// synthesis, and the promtext scalar parser.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/verify.hpp"
+#include "loadgen/loadgen.hpp"
+#include "stargraph/star_graph.hpp"
+
+namespace starring::loadgen {
+namespace {
+
+TEST(ZipfSampler, SkewsTowardLowClasses) {
+  const ZipfSampler zipf(/*classes=*/16, /*exponent=*/1.1);
+  std::mt19937_64 rng(7);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const double u =
+        static_cast<double>(rng()) / static_cast<double>(UINT64_MAX);
+    const std::size_t c = zipf.sample(u);
+    ASSERT_LT(c, 16u);
+    ++counts[c];
+  }
+  // Class 0 dominates and the tail decays: the head must beat the sum
+  // of the last half by a wide margin under exponent 1.1.
+  EXPECT_GT(counts[0], counts[1]);
+  int tail = 0;
+  for (int i = 8; i < 16; ++i) tail += counts[i];
+  EXPECT_GT(counts[0], tail);
+}
+
+TEST(ZipfSampler, EdgeDrawsStayInRange) {
+  const ZipfSampler zipf(4, 1.0);
+  EXPECT_EQ(zipf.sample(0.0), 0u);
+  EXPECT_LT(zipf.sample(1.0), 4u);
+  EXPECT_LT(zipf.sample(-0.5), 4u);  // clamped
+  EXPECT_LT(zipf.sample(2.0), 4u);   // clamped
+}
+
+TEST(ArrivalClock, PoissonMatchesRateAndIncreases) {
+  TenantSpec spec;
+  spec.rate = 1000.0;  // 1/ms
+  ArrivalClock clock(spec, /*seed=*/42);
+  std::chrono::nanoseconds prev{0};
+  std::chrono::nanoseconds last{0};
+  const int kArrivals = 5000;
+  for (int i = 0; i < kArrivals; ++i) {
+    const auto t = clock.next();
+    EXPECT_GT(t, prev);
+    prev = t;
+    last = t;
+  }
+  // Mean inter-arrival 1 ms: 5000 arrivals land near the 5 s mark
+  // (generous window; the draw is deterministic for the fixed seed).
+  const double span_s =
+      std::chrono::duration<double>(last).count();
+  EXPECT_GT(span_s, 4.0);
+  EXPECT_LT(span_s, 6.5);
+}
+
+TEST(ArrivalClock, BurstyLeavesOffWindowsSilent) {
+  TenantSpec spec;
+  spec.rate = 2000.0;
+  spec.arrival = Arrival::kBursty;
+  spec.on_ms = 50;
+  spec.off_ms = 450;
+  ArrivalClock clock(spec, /*seed=*/3);
+  // Period 500 ms: every arrival's offset modulo the period must fall
+  // inside [0, on_ms] — nothing fires in the silent 450 ms.
+  for (int i = 0; i < 2000; ++i) {
+    const double t_ms =
+        std::chrono::duration<double, std::milli>(clock.next()).count();
+    const double phase = std::fmod(t_ms, 500.0);
+    EXPECT_LE(phase, 50.0 + 1e-6) << "arrival inside an off-window at "
+                                  << t_ms << " ms";
+  }
+}
+
+TEST(TenantSpec, ParsesFullGrammar) {
+  std::string err;
+  const auto spec = parse_tenant_spec(
+      "hot:rate=200:arrival=burst:on_ms=20:off_ms=80:zipf=1.3:classes=64:"
+      "pattern=scan:nmin=4:nmax=6:deadline_ms=250:verify=1",
+      &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  EXPECT_EQ(spec->name, "hot");
+  EXPECT_DOUBLE_EQ(spec->rate, 200.0);
+  EXPECT_EQ(spec->arrival, Arrival::kBursty);
+  EXPECT_DOUBLE_EQ(spec->on_ms, 20.0);
+  EXPECT_DOUBLE_EQ(spec->off_ms, 80.0);
+  EXPECT_DOUBLE_EQ(spec->zipf, 1.3);
+  EXPECT_EQ(spec->classes, 64u);
+  EXPECT_EQ(spec->pattern, Pattern::kScan);
+  EXPECT_EQ(spec->nmin, 4);
+  EXPECT_EQ(spec->nmax, 6);
+  EXPECT_EQ(spec->deadline_ms, 250);
+  EXPECT_TRUE(spec->verify);
+}
+
+TEST(TenantSpec, NameAloneUsesDefaults) {
+  const auto spec = parse_tenant_spec("solo");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->name, "solo");
+  EXPECT_EQ(spec->arrival, Arrival::kPoisson);
+  EXPECT_EQ(spec->pattern, Pattern::kZipf);
+  EXPECT_GT(spec->rate, 0);
+}
+
+TEST(TenantSpec, RejectsMalformedSpecs) {
+  std::string err;
+  EXPECT_FALSE(parse_tenant_spec("", &err).has_value());
+  EXPECT_FALSE(parse_tenant_spec("t:rate=0", &err).has_value());
+  EXPECT_FALSE(parse_tenant_spec("t:rate=-5", &err).has_value());
+  EXPECT_FALSE(parse_tenant_spec("t:bogus=1", &err).has_value());
+  EXPECT_FALSE(parse_tenant_spec("t:rate", &err).has_value());
+  EXPECT_FALSE(parse_tenant_spec("t:arrival=lumpy", &err).has_value());
+  EXPECT_FALSE(parse_tenant_spec("t:pattern=sparse", &err).has_value());
+  EXPECT_FALSE(parse_tenant_spec("t:nmin=2", &err).has_value());
+  EXPECT_FALSE(parse_tenant_spec("t:nmin=7:nmax=5", &err).has_value());
+  EXPECT_FALSE(parse_tenant_spec("t:classes=0", &err).has_value());
+  EXPECT_FALSE(
+      parse_tenant_spec(std::string(65, 'x') + ":rate=1", &err).has_value())
+      << "tenant name longer than the wire allows";
+}
+
+TEST(SynthRequest, DeterministicPerClassAndInGuaranteeRegime) {
+  TenantSpec spec;
+  spec.name = "t";
+  spec.nmin = 5;
+  spec.nmax = 7;
+  const ServiceRequest a = synth_request(spec, /*seed=*/9, /*cls=*/3, 1);
+  const ServiceRequest b = synth_request(spec, 9, 3, 2);
+  // Same class: identical workload (the cacheable unit), ids aside.
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.faults.num_vertex_faults(), b.faults.num_vertex_faults());
+  for (const Perm& f : a.faults.vertex_faults())
+    EXPECT_TRUE(b.faults.vertex_faulty(f));
+  EXPECT_EQ(a.id, 1u);
+  EXPECT_EQ(b.id, 2u);
+  EXPECT_EQ(a.tenant, "t");
+  // Different classes diverge (for some class in a small probe set).
+  bool diverged = false;
+  for (std::size_t cls = 0; cls < 8 && !diverged; ++cls) {
+    const ServiceRequest c = synth_request(spec, 9, cls, 0);
+    diverged = c.n != a.n ||
+               c.faults.num_vertex_faults() != a.faults.num_vertex_faults();
+  }
+  EXPECT_TRUE(diverged);
+  // Every synthesized request stays inside the paper's guarantee
+  // regime: n in range, vertex faults <= n - 3, no edge faults.
+  for (std::size_t cls = 0; cls < 64; ++cls) {
+    const ServiceRequest r = synth_request(spec, 11, cls, cls);
+    EXPECT_GE(r.n, 5);
+    EXPECT_LE(r.n, 7);
+    EXPECT_LE(r.faults.num_vertex_faults(),
+              static_cast<std::size_t>(r.n - 3));
+    EXPECT_EQ(r.faults.num_edge_faults(), 0u);
+  }
+}
+
+TEST(ParseScalar, ReadsCountersAndSkipsLookalikes) {
+  const std::string prom =
+      "# HELP starring_svc_cache_hits hits\n"
+      "# TYPE starring_svc_cache_hits counter\n"
+      "starring_svc_cache_hits 42\n"
+      "starring_svc_cache_hits_total 99\n"
+      "starring_svc_latency_seconds_bucket{le=\"0.1\"} 7\n"
+      "starring_svc_cache_misses 8\n";
+  const auto hits = parse_scalar(prom, "starring_svc_cache_hits");
+  ASSERT_TRUE(hits.has_value());
+  EXPECT_DOUBLE_EQ(*hits, 42.0);
+  const auto misses = parse_scalar(prom, "starring_svc_cache_misses");
+  ASSERT_TRUE(misses.has_value());
+  EXPECT_DOUBLE_EQ(*misses, 8.0);
+  EXPECT_FALSE(parse_scalar(prom, "starring_absent").has_value());
+  // A labeled sample is not a scalar match for its family prefix.
+  EXPECT_FALSE(
+      parse_scalar(prom, "starring_svc_latency_seconds_bucket").has_value());
+}
+
+}  // namespace
+}  // namespace starring::loadgen

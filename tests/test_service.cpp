@@ -387,5 +387,178 @@ TEST(CanonicalRingCache, HitRefreshesLruPosition) {
   EXPECT_LE(cache.size(), 16u);
 }
 
+TEST(CanonicalRingCache, CapacityIsRespectedExactly) {
+  // Regression: the old per-shard budget max(1, capacity/kShards) let
+  // capacity < 8 hold up to 8 entries and truncated any capacity not
+  // divisible by the shard count (12 held only 8).  The budget must be
+  // distributed exactly: under sustained fill of distinct keys, the
+  // steady-state size IS the configured capacity.
+  for (const std::size_t cap : {std::size_t{1}, std::size_t{4},
+                                std::size_t{12}, std::size_t{4096}}) {
+    CanonicalRingCache cache(cap);
+    EXPECT_EQ(cache.capacity(), cap);
+    const std::size_t inserts = cap * 4 + 256;
+    for (std::size_t i = 0; i < inserts; ++i)
+      cache.insert("fill-" + std::to_string(i),
+                   std::make_shared<const std::vector<VertexId>>(
+                       std::vector<VertexId>{static_cast<VertexId>(i)}));
+    EXPECT_EQ(cache.size(), cap) << "capacity " << cap;
+  }
+}
+
+TEST(CanonicalRingCache, HotSetSurvivesOnePassScan) {
+  // Scan resistance: keys touched again after insertion live in the
+  // protected segment; a one-pass scan of fresh keys only ever churns
+  // probation, so the hot set outlives a scan far larger than the
+  // cache.  Under the old plain LRU the scan evicted everything.
+  CanonicalRingCache cache(/*capacity=*/64);
+  auto ring = [](VertexId v) {
+    return std::make_shared<const std::vector<VertexId>>(
+        std::vector<VertexId>{v});
+  };
+  const int kHot = 8;
+  for (int i = 0; i < kHot; ++i)
+    cache.insert("hot-" + std::to_string(i), ring(static_cast<VertexId>(i)));
+  // Second touch promotes into the protected segment.
+  for (int i = 0; i < kHot; ++i)
+    ASSERT_NE(cache.lookup("hot-" + std::to_string(i)), nullptr);
+  for (int i = 0; i < 1000; ++i)
+    cache.insert("scan-" + std::to_string(i), ring(0));
+  int survivors = 0;
+  for (int i = 0; i < kHot; ++i)
+    if (cache.lookup("hot-" + std::to_string(i)) != nullptr) ++survivors;
+  EXPECT_GE(survivors, 6) << "hot set evicted by a one-pass scan";
+  EXPECT_LE(cache.size(), 64u);
+}
+
+TEST(EmbedServiceQoS, QuotaThrottlesAndUntaggedRequestsUseDefaultTenant) {
+  ServiceOptions opts;
+  opts.tenant_rate = 0.001;  // no meaningful refill within the test
+  opts.tenant_burst = 2;
+#if !defined(STARRING_OBS_DISABLED)
+  const bool was = obs::enabled();
+  obs::set_enabled(true);
+  const std::int64_t req_before =
+      obs::counter("svc.tenant.default.requests").value();
+  const std::int64_t thr_before =
+      obs::counter("svc.tenant.default.throttled").value();
+#endif
+  {
+    EmbedService svc(opts);
+    const StarGraph g(5);
+    int ok = 0;
+    int throttled = 0;
+    for (int i = 0; i < 5; ++i) {
+      // No tenant on the request: it must be charged to `default`, not
+      // ride quota-free.
+      const ServiceResponse r = svc.process_now(
+          make_request(i, 5, random_vertex_faults(g, 1, 100 + i)));
+      if (r.status == ServiceStatus::kOk) ++ok;
+      if (r.status == ServiceStatus::kThrottled) {
+        ++throttled;
+        EXPECT_EQ(r.reason, "tenant quota exhausted");
+      }
+    }
+    EXPECT_EQ(ok, 2) << "burst of 2 tokens admits exactly 2";
+    EXPECT_EQ(throttled, 3);
+  }
+#if !defined(STARRING_OBS_DISABLED)
+  EXPECT_EQ(obs::counter("svc.tenant.default.requests").value() - req_before,
+            5);
+  EXPECT_EQ(
+      obs::counter("svc.tenant.default.throttled").value() - thr_before, 3);
+  obs::set_enabled(was);
+#endif
+}
+
+TEST(EmbedServiceQoS, SubmittedThrottleIsDeliveredAsTerminalResponse) {
+  ServiceOptions opts;
+  opts.tenant_rate = 0.001;
+  opts.tenant_burst = 1;
+  EmbedService svc(opts);
+  const StarGraph g(5);
+  std::atomic<int> ok{0};
+  std::atomic<int> throttled{0};
+  for (int i = 0; i < 3; ++i) {
+    ServiceRequest r = make_request(i, 5, random_vertex_faults(g, 1, i));
+    r.tenant = "burst1";
+    ASSERT_TRUE(svc.submit(std::move(r), [&](ServiceResponse resp) {
+      if (resp.status == ServiceStatus::kOk) ++ok;
+      if (resp.status == ServiceStatus::kThrottled) ++throttled;
+    })) << "a throttled submit still reached a terminal status";
+  }
+  svc.drain();
+  EXPECT_EQ(svc.next_response(), std::nullopt);  // joins the drain
+  EXPECT_EQ(ok.load(), 1);
+  EXPECT_EQ(throttled.load(), 2);
+}
+
+TEST(EmbedServiceQoS, DrrBoundsHeavyTenantProgressWhileLightFinishes) {
+  if (!failpoint::compiled_in())
+    GTEST_SKIP() << "needs the svc.batch delay failpoint";
+  // 10:1 skew: a heavy tenant floods 40 requests, a light tenant sends
+  // 4.  Deficit-round-robin batch formation must interleave them, so
+  // when the light tenant's last response lands the heavy tenant has
+  // completed a bounded share — not its whole backlog first (FIFO
+  // behaviour).  A per-batch delay lets the full skewed backlog build
+  // before scheduling decisions are made.
+  ASSERT_TRUE(failpoint::set("svc.batch=delay:30"));
+  std::atomic<int> heavy_done{0};
+  std::atomic<int> light_done{0};
+  std::atomic<int> heavy_at_light_finish{-1};
+  {
+    ServiceOptions opts;
+    opts.batch_max = 4;
+    EmbedService svc(opts);
+    const StarGraph g(5);
+    for (int i = 0; i < 40; ++i) {
+      ServiceRequest r =
+          make_request(1000 + i, 5, random_vertex_faults(g, 1, 7 * i));
+      r.tenant = "heavy";
+      ASSERT_TRUE(svc.submit(std::move(r),
+                             [&](ServiceResponse) { ++heavy_done; }));
+    }
+    for (int i = 0; i < 4; ++i) {
+      ServiceRequest r =
+          make_request(i, 5, random_vertex_faults(g, 1, 9000 + i));
+      r.tenant = "light";
+      ASSERT_TRUE(svc.submit(std::move(r), [&](ServiceResponse) {
+        if (light_done.fetch_add(1) + 1 == 4)
+          heavy_at_light_finish.store(heavy_done.load());
+      }));
+    }
+    svc.drain();
+    EXPECT_EQ(svc.next_response(), std::nullopt);  // joins the drain
+  }
+  failpoint::clear();
+  EXPECT_EQ(light_done.load(), 4);
+  EXPECT_EQ(heavy_done.load(), 40);
+  // Batches of 4 alternate 2 heavy / 2 light once both are backlogged;
+  // generous slack for requests batched before the light tenant
+  // appeared.
+  EXPECT_GE(heavy_at_light_finish.load(), 0);
+  EXPECT_LE(heavy_at_light_finish.load(), 20)
+      << "heavy tenant starved the light one";
+}
+
+TEST(EmbedServiceQoS, TenantRegistryCollapsesBeyondMaxTenants) {
+  ServiceOptions opts;
+  opts.tenant_rate = 0.001;
+  opts.tenant_burst = 1;  // 1 token per tenant bucket
+  opts.max_tenants = 4;
+  EmbedService svc(opts);
+  const StarGraph g(5);
+  int throttled = 0;
+  // Distinct names beyond max_tenants share the `other` bucket: with 1
+  // token there, at most max_tenants + 1 of these can succeed however
+  // many names an adversary invents.
+  for (int i = 0; i < 12; ++i) {
+    ServiceRequest r = make_request(i, 5, random_vertex_faults(g, 1, i));
+    r.tenant = "spoof-" + std::to_string(i);
+    if (svc.process_now(r).status == ServiceStatus::kThrottled) ++throttled;
+  }
+  EXPECT_GE(throttled, 12 - 5);
+}
+
 }  // namespace
 }  // namespace starring
