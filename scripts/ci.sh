@@ -7,7 +7,7 @@
 #
 # Usage: scripts/ci.sh [--tier1-only | --san-only | --tsan-only |
 #                       --bench-only | --service-only | --chaos-only |
-#                       --load-only]
+#                       --load-only | --simdoff-only]
 # Env:   JOBS=<n> to cap build/test parallelism (default: nproc).
 set -euo pipefail
 
@@ -21,14 +21,16 @@ run_bench=1
 run_service=1
 run_chaos=1
 run_load=1
+run_simdoff=1
 case "${1:-}" in
-  --tier1-only) run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0 ;;
-  --san-only) run_tier1=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0 ;;
-  --tsan-only) run_tier1=0; run_san=0; run_bench=0; run_service=0; run_chaos=0; run_load=0 ;;
-  --bench-only) run_tier1=0; run_san=0; run_tsan=0; run_service=0; run_chaos=0; run_load=0 ;;
-  --service-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_chaos=0; run_load=0 ;;
-  --chaos-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_load=0 ;;
-  --load-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0 ;;
+  --tier1-only) run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0 ;;
+  --san-only) run_tier1=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0 ;;
+  --tsan-only) run_tier1=0; run_san=0; run_bench=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0 ;;
+  --bench-only) run_tier1=0; run_san=0; run_tsan=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0 ;;
+  --service-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_chaos=0; run_load=0; run_simdoff=0 ;;
+  --chaos-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_load=0; run_simdoff=0 ;;
+  --load-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_simdoff=0 ;;
+  --simdoff-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0 ;;
   "") ;;
   *) echo "unknown flag: $1" >&2; exit 2 ;;
 esac
@@ -158,6 +160,40 @@ load_soak() {
   echo "load soak: fairness + hit-rate gates ok"
 }
 
+# Cold-start smoke: a daemon handed a warm snapshot must start at
+# least 5x faster than recomputing the same workload.  starring-cli
+# warm prints warm_compute_ms (prewarm + embeds, serialization
+# excluded); the daemon prints snapshot_load_ms to stderr; both are
+# parsed out and the ratio asserted.  The drive itself asserts every
+# response verifies and that the snapshot-seeded cache actually gets
+# hit.  The workload is small on purpose: a handful of n=9 instances
+# is the regime where recompute cost dominates and a cold daemon
+# visibly lags.
+cold_start_smoke() {
+  local build_dir="$1"
+  local dir="$build_dir/cold-start-smoke"
+  mkdir -p "$dir"
+  "$build_dir/src/service/starring-cli" warm \
+    --out "$dir/oracle.snap" --count 8 --nmin 9 --nmax 9 --seed 3 \
+    | tee "$dir/warm.log"
+  "$build_dir/src/service/starring-cli" drive \
+    --count 8 --nmin 9 --nmax 9 --seed 3 --verify --expect-hits -- \
+    "$build_dir/src/service/starringd" --oracle-snapshot "$dir/oracle.snap" \
+    2>&1 | tee "$dir/drive.log"
+  python3 - "$dir/warm.log" "$dir/drive.log" <<'EOF'
+import re, sys
+warm = re.search(r"warm_compute_ms ([0-9.]+)", open(sys.argv[1]).read())
+load = re.search(r"snapshot_load_ms ([0-9.]+)", open(sys.argv[2]).read())
+assert warm, "starring-cli warm printed no warm_compute_ms"
+assert load, "starringd printed no snapshot_load_ms (snapshot rejected?)"
+w, l = float(warm.group(1)), float(load.group(1))
+print(f"cold start: recompute {w:.1f} ms vs snapshot load {l:.1f} ms "
+      f"= {w / l:.1f}x")
+assert w / l >= 5.0, \
+    f"snapshot cold-start speedup {w / l:.2f}x is below the 5x floor"
+EOF
+}
+
 if [[ "$run_tier1" == 1 ]]; then
   echo "== tier-1: RelWithDebInfo build + full ctest =="
   cmake -B build -S .
@@ -258,6 +294,38 @@ pct = c.get("trace.overhead_pct")
 assert pct is not None, "bench_trace artifact lacks trace.overhead_pct"
 print(f"tracing enabled-vs-disabled overhead: {pct:+.2f}%")
 EOF
+  echo "== bench smoke: SIMD permutation kernels vs committed baseline =="
+  cmake --build build-bench -j "$JOBS" --target bench_perm
+  STARRING_BENCH_DIR="$SMOKE_DIR" ./build-bench/bench/bench_perm \
+    --benchmark_filter='BM_Batch.*/9/'
+  # Gate the active-tier mins only: a dispatch regression to scalar is
+  # a +230%..+1300% jump on these, far above run-to-run jitter, while
+  # the scalar series and the speedup ratios move with the hardware and
+  # stay informational.  --gate-min-delta drops the 1e6 counter floor
+  # to 10us so the sub-millisecond mins are actually guarded.
+  python3 scripts/bench_compare.py \
+    bench/artifacts/BENCH_perm.json "$SMOKE_DIR/BENCH_perm.json" \
+    --regression-pct 100 --gate-min-delta 10000 \
+    --gate phase.perm.rank_simd_min_ns,phase.perm.unrank_simd_min_ns,phase.perm.parity_simd_min_ns,phase.perm.relabel_simd_min_ns,phase.perm.inverse_simd_min_ns
+  echo "== bench smoke: snapshot cold start vs recompute (n=9) =="
+  cmake --build build-bench -j "$JOBS" --target starringd starring-cli
+  cold_start_smoke build-bench
+fi
+
+if [[ "$run_simdoff" == 1 ]]; then
+  echo "== build matrix: -DSTARRING_SIMD=OFF (scalar-only kernels) =="
+  cmake -B build-simdoff -S . -DSTARRING_SIMD=OFF
+  cmake --build build-simdoff -j "$JOBS" \
+    --target test_simd test_canonical test_oracle_store
+  # Run the binaries directly: ctest's discovered lists cover targets
+  # this leg deliberately did not build.
+  ./build-simdoff/tests/test_simd
+  ./build-simdoff/tests/test_canonical
+  ./build-simdoff/tests/test_oracle_store
+  echo "== env override: STARRING_SIMD=off on the SIMD-enabled build =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target test_simd
+  STARRING_SIMD=off ./build/tests/test_simd
 fi
 
 echo "== ci.sh: all requested stages passed =="

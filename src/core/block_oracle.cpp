@@ -1,32 +1,78 @@
 #include "core/block_oracle.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "perm/permutation.hpp"
 #include "stargraph/substar.hpp"
+#include "util/parallel.hpp"
 
 namespace starring {
 
 namespace {
 
-/// Process-wide memo, striped so concurrent embeds contend on at most
-/// one shard per query.  Lookups take a shared lock (read-mostly: after
-/// warmup virtually every query is a hit), inserts upgrade to exclusive
-/// on the one shard.
+using PathVal = BlockOracle::PathVal;
+
+constexpr int kB = BlockOracle::kBlockSize;
+
+std::uint64_t cache_key(int from, int to, std::uint32_t forbidden,
+                        int target_vertices) {
+  // Packs (from, to, forbidden, target): 5+5+24+5 bits.
+  return static_cast<std::uint64_t>(from) |
+         (static_cast<std::uint64_t>(to) << 5) |
+         (static_cast<std::uint64_t>(forbidden) << 10) |
+         (static_cast<std::uint64_t>(target_vertices) << 34);
+}
+
+bool is_fault_free_key(std::uint64_t key, int* from, int* to) {
+  *from = static_cast<int>(key & 0x1F);
+  *to = static_cast<int>((key >> 5) & 0x1F);
+  const auto forbidden = static_cast<std::uint32_t>((key >> 10) & 0xFFFFFF);
+  const int target = static_cast<int>((key >> 34) & 0x1F);
+  return forbidden == 0 && target == kB && *from < kB && *to < kB &&
+         *from != *to;
+}
+
+PathVal to_pathval(const std::optional<std::vector<int>>& path) {
+  PathVal out;
+  out.len = -1;
+  out.v.fill(0);
+  if (path.has_value()) {
+    assert(path->size() <= static_cast<std::size_t>(kB));
+    out.len = static_cast<std::int8_t>(path->size());
+    for (std::size_t i = 0; i < path->size(); ++i)
+      out.v[i] = static_cast<std::int8_t>((*path)[i]);
+  }
+  return out;
+}
+
+/// Process-wide memo.  The fault-free Hamiltonian plane (forbidden == 0,
+/// target == 24 — virtually all chaining traffic) is a direct-indexed
+/// immutable-once-published table read with a single acquire load and no
+/// lock.  The long tail (faulty blocks, short blocks) is striped so
+/// concurrent embeds contend on at most one shard per query: lookups
+/// take a shared lock, inserts an exclusive one.
 struct OracleCache {
   static constexpr std::size_t kShards = 16;
 
   struct Shard {
     std::shared_mutex mu;
-    std::unordered_map<std::uint64_t, std::optional<std::vector<int>>> map;
+    std::unordered_map<std::uint64_t, PathVal> map;
   };
   Shard shards[kShards];
-  std::atomic<bool> prewarmed{false};
+
+  // Fault-free plane: ff[from * 24 + to].  Written only while holding
+  // ff_mu and before ff_ready is published with release order; readers
+  // that observe ff_ready == true (acquire) see the completed table.
+  std::array<PathVal, kB * kB> ff;
+  std::mutex ff_mu;
+  std::atomic<bool> ff_ready{false};
 
   static OracleCache& instance() {
     static OracleCache cache;
@@ -39,7 +85,7 @@ struct OracleCache {
     return shards[(x >> 60) & (kShards - 1)];
   }
 
-  bool lookup(std::uint64_t key, std::optional<std::vector<int>>* out) {
+  bool lookup(std::uint64_t key, PathVal* out) {
     Shard& s = shard_for(key);
     const std::shared_lock<std::shared_mutex> lock(s.mu);
     const auto it = s.map.find(key);
@@ -48,7 +94,7 @@ struct OracleCache {
     return true;
   }
 
-  void insert(std::uint64_t key, const std::optional<std::vector<int>>& val) {
+  void insert(std::uint64_t key, const PathVal& val) {
     Shard& s = shard_for(key);
     const std::unique_lock<std::shared_mutex> lock(s.mu);
     s.map.emplace(key, val);  // racing computers produce identical values
@@ -59,77 +105,193 @@ struct OracleCache {
       const std::unique_lock<std::shared_mutex> lock(s.mu);
       s.map.clear();
     }
-    prewarmed.store(false, std::memory_order_release);
+    const std::lock_guard<std::mutex> lock(ff_mu);
+    ff_ready.store(false, std::memory_order_release);
   }
 };
 
-std::uint64_t cache_key(int from, int to, std::uint32_t forbidden,
-                        int target_vertices) {
-  // Packs (from, to, forbidden, target): 5+5+24+5 bits.
-  return static_cast<std::uint64_t>(from) |
-         (static_cast<std::uint64_t>(to) << 5) |
-         (static_cast<std::uint64_t>(forbidden) << 10) |
-         (static_cast<std::uint64_t>(target_vertices) << 34);
-}
+/// The one canonical S_4 block graph and local parity table, shared by
+/// every BlockOracle instance (chaining constructs oracles in per-call
+/// scopes; rebuilding the graph there is pure waste).
+struct BlockData {
+  SmallGraph graph{kB};
+  std::array<int, kB> parity{};
+
+  BlockData() {
+    // Materialize the abstract block graph from the one canonical S_4:
+    // the whole pattern of n = 4 (free positions 0..3, local index =
+    // Lehmer rank).  Every embedded S_4 block of every S_n has this
+    // exact local structure.
+    const SubstarPattern s4 = SubstarPattern::whole(4);
+    const SmallGraph g = s4.block_graph();
+    for (int u = 0; u < kB; ++u)
+      for (int v = u + 1; v < kB; ++v)
+        if (g.has_edge(u, v)) graph.add_edge(u, v);
+    for (int k = 0; k < kB; ++k)
+      parity[static_cast<std::size_t>(k)] =
+          Perm::unrank(static_cast<VertexId>(k), 4).parity();
+  }
+
+  static const BlockData& instance() {
+    static const BlockData data;
+    return data;
+  }
+};
 
 }  // namespace
 
-BlockOracle::BlockOracle() : graph_(kBlockSize) {
-  // Materialize the abstract block graph from the one canonical S_4:
-  // the whole pattern of n = 4 (free positions 0..3, local index =
-  // Lehmer rank).  Every embedded S_4 block of every S_n has this exact
-  // local structure.
-  const SubstarPattern s4 = SubstarPattern::whole(4);
-  const SmallGraph g = s4.block_graph();
-  for (int u = 0; u < kBlockSize; ++u)
-    for (int v = u + 1; v < kBlockSize; ++v)
-      if (g.has_edge(u, v)) graph_.add_edge(u, v);
-  parity_.reserve(kBlockSize);
-  for (int k = 0; k < kBlockSize; ++k)
-    parity_.push_back(Perm::unrank(static_cast<VertexId>(k), 4).parity());
-}
+BlockOracle::BlockOracle()
+    : graph_(&BlockData::instance().graph),
+      parity_(&BlockData::instance().parity) {}
 
-std::optional<std::vector<int>> BlockOracle::find_path(
+bool BlockOracle::find_path_into(
     int from, int to, std::uint32_t forbidden, int target_vertices,
-    std::span<const std::pair<int, int>> removed_edges) {
+    PathVal* out, std::span<const std::pair<int, int>> removed_edges) {
   assert(from >= 0 && from < kBlockSize && to >= 0 && to < kBlockSize);
   if (!removed_edges.empty()) {
     // Rare (edge-fault experiments only): search an ad-hoc copy.
-    SmallGraph g = graph_;
+    SmallGraph g = *graph_;
     for (const auto& [u, v] : removed_edges) g.remove_edge(u, v);
-    return path_with_exact_vertices(g, from, to, forbidden, target_vertices);
+    *out = to_pathval(
+        path_with_exact_vertices(g, from, to, forbidden, target_vertices));
+    return out->len >= 0;
   }
-  const std::uint64_t key = cache_key(from, to, forbidden, target_vertices);
   // Function-local statics: one registry lookup per process, then a
   // relaxed atomic add per query (and only while metrics are enabled).
   static obs::Counter& hit_counter = obs::counter("oracle.cache_hits");
   static obs::Counter& miss_counter = obs::counter("oracle.cache_misses");
   OracleCache& cache = OracleCache::instance();
-  std::optional<std::vector<int>> result;
-  if (cache.lookup(key, &result)) {
+  const bool fault_free = forbidden == 0 && target_vertices == kBlockSize;
+  if (fault_free && from != to &&
+      cache.ff_ready.load(std::memory_order_acquire)) {
+    *out = cache.ff[static_cast<std::size_t>(from) * kBlockSize +
+                    static_cast<std::size_t>(to)];
     ++hits_;
     hit_counter.add();
-    return result;
+    return out->len >= 0;
+  }
+  const std::uint64_t key = cache_key(from, to, forbidden, target_vertices);
+  if (cache.lookup(key, out)) {
+    ++hits_;
+    hit_counter.add();
+    return out->len >= 0;
   }
   ++misses_;
   miss_counter.add();
-  result =
-      path_with_exact_vertices(graph_, from, to, forbidden, target_vertices);
-  cache.insert(key, result);
-  return result;
+  *out = to_pathval(
+      path_with_exact_vertices(*graph_, from, to, forbidden, target_vertices));
+  cache.insert(key, *out);
+  return out->len >= 0;
 }
 
-void BlockOracle::prewarm_fault_free() {
+std::optional<std::vector<int>> BlockOracle::find_path(
+    int from, int to, std::uint32_t forbidden, int target_vertices,
+    std::span<const std::pair<int, int>> removed_edges) {
+  PathVal val;
+  if (!find_path_into(from, to, forbidden, target_vertices, &val,
+                      removed_edges))
+    return std::nullopt;
+  std::vector<int> path(static_cast<std::size_t>(val.len));
+  for (std::size_t i = 0; i < path.size(); ++i)
+    path[i] = val.v[i];
+  return path;
+}
+
+const BlockOracle::PathVal* BlockOracle::fault_free_plane() {
   OracleCache& cache = OracleCache::instance();
-  if (cache.prewarmed.load(std::memory_order_acquire)) return;
-  BlockOracle oracle;
-  for (int from = 0; from < kBlockSize; ++from)
-    for (int to = 0; to < kBlockSize; ++to)
-      if (from != to) (void)oracle.find_path(from, to, 0, kBlockSize);
-  // Set AFTER the fill so a racing prewarmer merely duplicates lookups.
-  cache.prewarmed.store(true, std::memory_order_release);
+  return cache.ff_ready.load(std::memory_order_acquire) ? cache.ff.data()
+                                                        : nullptr;
+}
+
+void BlockOracle::prewarm_fault_free(unsigned threads) {
+  OracleCache& cache = OracleCache::instance();
+  if (cache.ff_ready.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(cache.ff_mu);
+  if (cache.ff_ready.load(std::memory_order_acquire)) return;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  const SmallGraph& g = BlockData::instance().graph;
+  // Rows are independent; fan them out over the persistent pool.  The
+  // searches write directly into the fault-free table, bypassing the
+  // shard locks entirely.
+  parallel_for(0, kBlockSize, threads, [&](std::size_t from) {
+    for (int to = 0; to < kBlockSize; ++to) {
+      PathVal& slot =
+          cache.ff[from * kBlockSize + static_cast<std::size_t>(to)];
+      if (static_cast<int>(from) == to) {
+        slot.len = -1;
+        slot.v.fill(0);
+        continue;
+      }
+      slot = to_pathval(path_with_exact_vertices(
+          g, static_cast<int>(from), to, 0, kBlockSize));
+    }
+  });
+  // Publish AFTER the fill; racing readers fall back to the shard map
+  // (and recompute into it) until they observe the flag.
+  cache.ff_ready.store(true, std::memory_order_release);
 }
 
 void BlockOracle::clear_cache() { OracleCache::instance().clear(); }
+
+std::vector<BlockOracle::MemoEntry> BlockOracle::export_memo() {
+  OracleCache& cache = OracleCache::instance();
+  std::vector<MemoEntry> out;
+  if (cache.ff_ready.load(std::memory_order_acquire)) {
+    for (int from = 0; from < kBlockSize; ++from)
+      for (int to = 0; to < kBlockSize; ++to) {
+        if (from == to) continue;
+        out.push_back(
+            {cache_key(from, to, 0, kBlockSize),
+             cache.ff[static_cast<std::size_t>(from) * kBlockSize +
+                      static_cast<std::size_t>(to)]});
+      }
+  }
+  std::vector<MemoEntry> tail;
+  for (auto& shard : cache.shards) {
+    const std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [key, val] : shard.map) tail.push_back({key, val});
+  }
+  std::sort(tail.begin(), tail.end(),
+            [](const MemoEntry& a, const MemoEntry& b) { return a.key < b.key; });
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+void BlockOracle::import_memo(std::span<const MemoEntry> entries) {
+  OracleCache& cache = OracleCache::instance();
+  std::array<bool, kB * kB> got{};
+  std::size_t ff_count = 0;
+  {
+    const std::lock_guard<std::mutex> lock(cache.ff_mu);
+    const bool have_ff = cache.ff_ready.load(std::memory_order_acquire);
+    for (const MemoEntry& e : entries) {
+      int from = 0, to = 0;
+      if (is_fault_free_key(e.key, &from, &to)) {
+        if (have_ff) continue;  // already complete; nothing to add
+        const std::size_t idx =
+            static_cast<std::size_t>(from) * kB + static_cast<std::size_t>(to);
+        cache.ff[idx] = e.val;
+        if (!got[idx]) {
+          got[idx] = true;
+          ++ff_count;
+        }
+      } else if (from < kB && to < kB) {
+        cache.insert(e.key, e.val);
+      }
+    }
+    if (!have_ff && ff_count == static_cast<std::size_t>(kB) * (kB - 1)) {
+      for (int d = 0; d < kB; ++d) {
+        PathVal& diag = cache.ff[static_cast<std::size_t>(d) * kB +
+                                 static_cast<std::size_t>(d)];
+        diag.len = -1;
+        diag.v.fill(0);
+      }
+      cache.ff_ready.store(true, std::memory_order_release);
+    }
+  }
+  // A partial fault-free section (truncated snapshot that still passed
+  // the checksum, or a future format change) never publishes the table;
+  // those entries are recomputed lazily through the shard map.
+}
 
 }  // namespace starring

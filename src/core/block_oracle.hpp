@@ -13,14 +13,23 @@
 // construction — it finds a path whenever one exists — while the
 // verifier (core/verify.hpp) keeps the results honest.
 //
-// The memo is process-wide and sharded: every BlockOracle instance (and
-// every thread) reads the same cache through striped read-mostly
-// shared_mutex shards, so concurrent embeds never recompute a path
-// another thread already found.  prewarm_fault_free() optionally
-// populates every fault-free Hamiltonian key up front so worker threads
-// start hot.
+// Memoized values are PathVal, a 25-byte POD (length + 24 local
+// indices), so a cache hit is a small copy — no heap allocation on the
+// path that chaining executes millions of times per embed.  The memo
+// has two storage planes:
+//   * fault-free Hamiltonian queries (forbidden == 0, target == 24),
+//     which are ~99% of chaining traffic, live in a direct-indexed
+//     24x24 table read without any lock once prewarm_fault_free() (or
+//     a snapshot import) has published it;
+//   * everything else lives in the process-wide striped shard map
+//     (shared_mutex per shard), as before.
+// prewarm_fault_free() fills the fault-free table over the persistent
+// worker pool (rows are independent).  export_memo()/import_memo()
+// expose both planes as flat entries for the on-disk snapshot
+// (core/oracle_store.hpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -35,36 +44,80 @@ class BlockOracle {
  public:
   static constexpr int kBlockSize = 24;  // 4!
 
+  /// A memoized oracle answer: `len` local vertex indices, or len == -1
+  /// for "no such path".  Plain data so cache hits are a 25-byte copy.
+  struct PathVal {
+    std::int8_t len;
+    std::array<std::int8_t, kBlockSize> v;
+  };
+
+  /// One exported memo entry: the packed (from, to, forbidden, target)
+  /// key plus its answer.  The snapshot layer serializes these verbatim.
+  struct MemoEntry {
+    std::uint64_t key;
+    PathVal val;
+  };
+
   BlockOracle();
 
   /// The canonical abstract S_4 block graph (identical for every
   /// embedded S_4 of every S_n under local Lehmer indexing).
-  const SmallGraph& graph() const { return graph_; }
+  const SmallGraph& graph() const { return *graph_; }
 
   /// Parity of the local arrangement with Lehmer index k, as a
   /// permutation of four symbols.  The parity of the real vertex is
   /// this XOR the parity of the block's base member.
-  int local_parity(int k) const { return parity_[static_cast<std::size_t>(k)]; }
+  int local_parity(int k) const { return (*parity_)[static_cast<std::size_t>(k)]; }
 
   /// A path from local vertex `from` to `to` visiting exactly
   /// `target_vertices` vertices, avoiding vertices in `forbidden`
-  /// (bitmask) and the undirected local edges in `removed_edges`.
-  /// Results for the common removed_edges-empty case are memoized in the
-  /// process-wide shared cache.  Returns nullopt when no such path
-  /// exists.  Safe to call concurrently from many threads (the
-  /// hit/miss tallies below are per-instance and not synchronized).
+  /// (bitmask) and the undirected local edges in `removed_edges`,
+  /// copied into `*out`.  Returns true and sets out->len >= 1 when a
+  /// path exists; returns false (out->len == -1) when none does.
+  /// Results for the common removed_edges-empty case are memoized in
+  /// the process-wide shared cache.  Safe to call concurrently from
+  /// many threads (the hit/miss tallies below are per-instance and not
+  /// synchronized).
+  bool find_path_into(int from, int to, std::uint32_t forbidden,
+                      int target_vertices, PathVal* out,
+                      std::span<const std::pair<int, int>> removed_edges = {});
+
+  /// Allocating convenience wrapper around find_path_into (tests,
+  /// examples, one-off queries — not the chaining hot path).
   std::optional<std::vector<int>> find_path(
       int from, int to, std::uint32_t forbidden, int target_vertices,
       std::span<const std::pair<int, int>> removed_edges = {});
 
-  /// Populate the shared cache with every fault-free Hamiltonian query
+  /// Direct pointer to the published fault-free plane — a 24x24
+  /// row-major PathVal table indexed [from * kBlockSize + to] — or
+  /// nullptr until prewarm_fault_free()/import_memo() publishes it.
+  /// The table is immutable once published (until clear_cache()), so
+  /// hot loops may hold the pointer for the duration of one embed call
+  /// and read it without any synchronization or counter traffic.
+  static const PathVal* fault_free_plane();
+
+  /// Populate the fault-free plane with every Hamiltonian query
   /// (from, to, forbidden=0, target=24) — 24*23 keys — so no embed pays
-  /// the cold search.  Runs once per process (cleared by clear_cache);
-  /// subsequent calls are a single atomic load.
-  static void prewarm_fault_free();
+  /// the cold search.  Rows are computed in parallel on the persistent
+  /// pool (`threads` == 0 means hardware concurrency).  Runs once per
+  /// process (cleared by clear_cache); subsequent calls are a single
+  /// atomic load.
+  static void prewarm_fault_free(unsigned threads = 0);
 
   /// Drop every memoized entry (test isolation / cold-cache benchmarks).
   static void clear_cache();
+
+  /// Flat dump of every memoized entry, both planes, for the snapshot
+  /// writer.  Order is deterministic (fault-free table first, then
+  /// shard entries sorted by key).
+  static std::vector<MemoEntry> export_memo();
+
+  /// Seed the memo from snapshot entries.  Fault-free Hamiltonian keys
+  /// land in the direct table (published for lock-free reads only when
+  /// all 24*23 of them arrive); everything else lands in the shard map.
+  /// Entries with malformed keys are ignored; values are trusted (the
+  /// snapshot layer checksums the payload).
+  static void import_memo(std::span<const MemoEntry> entries);
 
   /// Memo statistics for THIS instance's queries (for the ablation
   /// bench and tests; the process totals live in the obs counters
@@ -73,8 +126,11 @@ class BlockOracle {
   std::size_t cache_misses() const { return misses_; }
 
  private:
-  SmallGraph graph_;
-  std::vector<int> parity_;
+  // All instances share one immutable canonical block graph; the
+  // constructor just binds the pointers, so building a BlockOracle
+  // inside a per-call scope costs nothing.
+  const SmallGraph* graph_;
+  const std::array<int, kBlockSize>* parity_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };

@@ -1,0 +1,77 @@
+// Persistent snapshot of the warm-start state: the BlockOracle path
+// memo (both planes, flat MemoEntry records) plus precomputed
+// canonical-frame rings for seeding the service's result cache.  A
+// daemon started with --oracle-snapshot skips the cold-start work — the
+// 24x24 fault-free plane search, the faulty-block long tail its
+// workload has already met, and the first embedding of every canonical
+// instance the snapshot carries.
+//
+// On-disk format (all integers little-endian, written natively on the
+// LE targets this repo builds for):
+//
+//   offset  size  field
+//        0     8  magic "STRORCL1"
+//        8     4  u32 format version (kSnapshotVersion)
+//       12     4  u32 section count S
+//       16     8  u64 FNV-1a-64 checksum of bytes [24, EOF): four
+//                 independent lanes over 8-byte LE words (word i of
+//                 each 32-byte block feeds lane i mod 4), folded
+//                 together, then trailing words and tail bytes
+//                 sequentially
+//       24  S*24  section table: { u32 type; u32 reserved;
+//                                  u64 offset; u64 count }
+//        ...     section payloads (offsets are absolute)
+//
+// Sections:
+//   type 1 (memo):  count records of 33 bytes each:
+//                   u64 key, i8 len, 24 x i8 path vertices
+//   type 2 (rings): count variable-size records:
+//                   u32 n, u32 key_len, u64 ring_len,
+//                   key bytes, ring_len x u64 vertex ids
+//   unknown types are skipped (forward compatibility).
+//
+// The loader mmaps the file (falling back to a buffered read when mmap
+// is unavailable) and validates magic, version, checksum, and every
+// section bound before trusting a byte.  Any validation failure bumps
+// the `oracle.snapshot_rejected` counter and returns nullopt — the
+// caller recomputes from scratch; a bad snapshot must never crash or
+// poison the process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/block_oracle.hpp"
+#include "perm/permutation.hpp"
+
+namespace starring {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+struct OracleSnapshot {
+  struct CanonicalRing {
+    int n = 0;
+    std::string key;             // CanonicalForm::key
+    std::vector<VertexId> ring;  // canonical-frame embedding
+  };
+
+  std::vector<BlockOracle::MemoEntry> memo;
+  std::vector<CanonicalRing> rings;
+};
+
+/// Serialize `snap` to `path` (write to a temp sibling, then rename —
+/// a crashed writer never leaves a half-written snapshot under the
+/// final name).  Returns false and sets *error on I/O failure.
+bool write_oracle_snapshot(const std::string& path, const OracleSnapshot& snap,
+                           std::string* error = nullptr);
+
+/// Load and validate a snapshot.  Returns nullopt (with *error set and
+/// `oracle.snapshot_rejected` bumped) when the file is missing,
+/// truncated, version-mismatched, checksum-corrupt, or structurally
+/// out of bounds.  Never throws on malformed input.
+std::optional<OracleSnapshot> load_oracle_snapshot(const std::string& path,
+                                                   std::string* error = nullptr);
+
+}  // namespace starring

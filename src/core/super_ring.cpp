@@ -1,6 +1,7 @@
 #include "core/super_ring.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <unordered_set>
 
@@ -49,40 +50,54 @@ std::vector<SubstarPattern> order_first_level(
   return out;
 }
 
-/// Greedy ordering of the middle children of one K_r path so that
-/// fault-containing children are spread apart (P3 inside one parent).
-std::vector<SubstarPattern> order_middles(std::vector<SubstarPattern> middles,
-                                          const FaultSet& faults,
-                                          bool entry_faulty,
-                                          bool exit_faulty) {
-  std::vector<SubstarPattern> faulty;
-  std::vector<SubstarPattern> healthy;
-  for (auto& c : middles) {
-    (faults_in_pattern(c, faults) > 0 ? faulty : healthy)
-        .push_back(std::move(c));
+/// Bitmask over child symbols q of `parent`'s pos-partition whose child
+/// holds at least one vertex fault: fault f lands in child(pos,
+/// f.get(pos)) iff parent contains f, so the refinement levels can
+/// score and order candidate children without constructing a single
+/// throwaway pattern (the old code built two children per candidate
+/// per connector pick and ran faults_in_pattern over each).
+std::uint32_t faulty_children_mask(const SubstarPattern& parent, int pos,
+                                   const FaultSet& faults) {
+  std::uint32_t mask = 0;
+  for (const Perm& f : faults.vertex_faults())
+    if (parent.contains(f)) mask |= 1u << f.get(pos);
+  return mask;
+}
+
+/// Symbol-level variant of order_middles: order the middle child
+/// symbols of one K_r path (ascending within each class, mirroring the
+/// free_symbols() enumeration the pattern-based code partitioned) so
+/// fault-containing children are spread apart.  Returns the count.
+int order_middle_syms(std::uint32_t mid_mask, std::uint32_t faulty_mask,
+                      bool entry_faulty, bool exit_faulty, int* out) {
+  int faulty[kMaxN];
+  int healthy[kMaxN];
+  int nf = 0;
+  int nh = 0;
+  for (std::uint32_t bits = mid_mask; bits != 0; bits &= bits - 1) {
+    const int q = std::countr_zero(bits);
+    if ((faulty_mask >> q) & 1u)
+      faulty[nf++] = q;
+    else
+      healthy[nh++] = q;
   }
-  std::vector<SubstarPattern> out;
-  out.reserve(faulty.size() + healthy.size());
+  int count = 0;
   bool prev_faulty = entry_faulty;
-  std::size_t fi = 0;
-  std::size_t hi = 0;
-  while (fi < faulty.size() || hi < healthy.size()) {
-    const std::size_t slots_left = faulty.size() - fi + healthy.size() - hi;
-    const bool last_slot = slots_left == 1;
-    // Place a faulty child whenever the previous one is healthy (and the
-    // exit is not faulty if this is the last middle slot); otherwise a
-    // healthy one.
-    const bool want_faulty = !prev_faulty && fi < faulty.size() &&
-                             !(last_slot && exit_faulty);
-    if (want_faulty || hi == healthy.size()) {
-      out.push_back(std::move(faulty[fi++]));
+  int fi = 0;
+  int hi = 0;
+  while (fi < nf || hi < nh) {
+    const bool last_slot = nf - fi + nh - hi == 1;
+    const bool want_faulty =
+        !prev_faulty && fi < nf && !(last_slot && exit_faulty);
+    if (want_faulty || hi == nh) {
+      out[count++] = faulty[fi++];
       prev_faulty = true;
     } else {
-      out.push_back(std::move(healthy[hi++]));
+      out[count++] = healthy[hi++];
       prev_faulty = false;
     }
   }
-  return out;
+  return count;
 }
 
 /// If `exclude` is a child of `parent` under the `pos`-partition,
@@ -123,6 +138,12 @@ std::optional<std::vector<SubstarPattern>> refine(
     next_sym[k] = b.slot(p);
   }
 
+  // Which child symbols of each parent hold faults (scored and ordered
+  // by mask — no throwaway child patterns).
+  std::vector<std::uint32_t> fmask(m);
+  for (std::size_t k = 0; k < m; ++k)
+    fmask[k] = faulty_children_mask(ring[k], pos, faults);
+
   // Choose the connector symbols c_k (the symbol shared by the exit
   // child of A_k and the entry child of A_{k+1}).
   std::vector<int> c(m, -1);
@@ -139,17 +160,16 @@ std::optional<std::vector<SubstarPattern>> refine(
     if (const int q = exclude_child_symbol(exclude, ring[(k + 1) % m], pos);
         q >= 0)
       cand &= ~(1u << q);
+    const std::uint32_t f_a = fmask[k];
+    const std::uint32_t f_b = fmask[(k + 1) % m];
     int best = -1;
     int best_score = -1;
     std::uint32_t bits = cand;
     while (bits) {
       const int q = std::countr_zero(bits);
       bits &= bits - 1;
-      const int score =
-          (faults_in_pattern(ring[(k + 1) % m].child(pos, q), faults) == 0
-               ? 2
-               : 0) +
-          (faults_in_pattern(a.child(pos, q), faults) == 0 ? 1 : 0);
+      const int score = (((f_b >> q) & 1u) == 0 ? 2 : 0) +
+                        (((f_a >> q) & 1u) == 0 ? 1 : 0);
       if (score > best_score) {
         best_score = score;
         best = q;
@@ -171,7 +191,8 @@ std::optional<std::vector<SubstarPattern>> refine(
     if (c[0] < 0) return std::nullopt;
   }
 
-  // Thread the paths.
+  // Thread the paths: each child pattern is constructed exactly once,
+  // directly into its final slot.
   std::vector<SubstarPattern> out;
   out.reserve(m * static_cast<std::size_t>(ring.front().r()));
   for (std::size_t k = 0; k < m; ++k) {
@@ -179,19 +200,15 @@ std::optional<std::vector<SubstarPattern>> refine(
     const int entry_sym = c[(k + m - 1) % m];
     const int exit_sym = c[k];
     assert(entry_sym != exit_sym);
-    SubstarPattern entry = a.child(pos, entry_sym);
-    SubstarPattern exit = a.child(pos, exit_sym);
-    std::vector<SubstarPattern> middles;
-    for (const int q : a.free_symbols()) {
-      if (q == entry_sym || q == exit_sym) continue;
-      middles.push_back(a.child(pos, q));
-    }
-    middles = order_middles(std::move(middles), faults,
-                            faults_in_pattern(entry, faults) > 0,
-                            faults_in_pattern(exit, faults) > 0);
-    out.push_back(std::move(entry));
-    for (auto& mpat : middles) out.push_back(std::move(mpat));
-    out.push_back(std::move(exit));
+    const std::uint32_t mid_mask = a.free_symbol_mask() &
+                                   ~(1u << entry_sym) & ~(1u << exit_sym);
+    int order[kMaxN];
+    const int mid_count = order_middle_syms(
+        mid_mask, fmask[k], ((fmask[k] >> entry_sym) & 1u) != 0,
+        ((fmask[k] >> exit_sym) & 1u) != 0, order);
+    out.push_back(a.child(pos, entry_sym));
+    for (int t = 0; t < mid_count; ++t) out.push_back(a.child(pos, order[t]));
+    out.push_back(a.child(pos, exit_sym));
   }
   return out;
 }
@@ -219,6 +236,10 @@ std::optional<std::vector<SubstarPattern>> refine_path(
   const int s_sym = s.get(pos);  // entry symbol forced at the first block
   const int t_sym = t.get(pos);  // exit symbol forced at the last block
 
+  std::vector<std::uint32_t> fmask(m);
+  for (std::size_t k = 0; k < m; ++k)
+    fmask[k] = faulty_children_mask(chain[k], pos, faults);
+
   // Connector symbols c_k between chain[k] and chain[k+1].
   std::vector<int> c(m - 1, -1);
   for (std::size_t k = 0; k + 1 < m; ++k) {
@@ -239,10 +260,8 @@ std::optional<std::vector<SubstarPattern>> refine_path(
     while (bits) {
       const int q = std::countr_zero(bits);
       bits &= bits - 1;
-      const int score =
-          (faults_in_pattern(chain[k + 1].child(pos, q), faults) == 0 ? 2
-                                                                      : 0) +
-          (faults_in_pattern(chain[k].child(pos, q), faults) == 0 ? 1 : 0);
+      const int score = (((fmask[k + 1] >> q) & 1u) == 0 ? 2 : 0) +
+                        (((fmask[k] >> q) & 1u) == 0 ? 1 : 0);
       if (score > best_score) {
         best_score = score;
         best = q;
@@ -259,19 +278,15 @@ std::optional<std::vector<SubstarPattern>> refine_path(
     const int entry_sym = k == 0 ? s_sym : c[k - 1];
     const int exit_sym = k + 1 == m ? t_sym : c[k];
     assert(entry_sym != exit_sym);
-    SubstarPattern entry = a.child(pos, entry_sym);
-    SubstarPattern exit = a.child(pos, exit_sym);
-    std::vector<SubstarPattern> middles;
-    for (const int q : a.free_symbols()) {
-      if (q == entry_sym || q == exit_sym) continue;
-      middles.push_back(a.child(pos, q));
-    }
-    middles = order_middles(std::move(middles), faults,
-                            faults_in_pattern(entry, faults) > 0,
-                            faults_in_pattern(exit, faults) > 0);
-    out.push_back(std::move(entry));
-    for (auto& mpat : middles) out.push_back(std::move(mpat));
-    out.push_back(std::move(exit));
+    const std::uint32_t mid_mask = a.free_symbol_mask() &
+                                   ~(1u << entry_sym) & ~(1u << exit_sym);
+    int order[kMaxN];
+    const int mid_count = order_middle_syms(
+        mid_mask, fmask[k], ((fmask[k] >> entry_sym) & 1u) != 0,
+        ((fmask[k] >> exit_sym) & 1u) != 0, order);
+    out.push_back(a.child(pos, entry_sym));
+    for (int t = 0; t < mid_count; ++t) out.push_back(a.child(pos, order[t]));
+    out.push_back(a.child(pos, exit_sym));
   }
   return out;
 }

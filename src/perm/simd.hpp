@@ -1,0 +1,124 @@
+// Batched SIMD kernels over packed permutations.
+//
+// Every Perm fits one uint64_t (4 bits per slot, n <= 16), so the
+// permutation primitives the hot paths lean on — Lehmer rank/unrank,
+// parity, relabeling, inversion — are really nibble-parallel integer
+// kernels.  This module batches them: one call processes a whole array
+// of packed permutations, with AVX2 (x86-64) and NEON (aarch64)
+// implementations selected by runtime CPU dispatch and a scalar
+// fallback that is bit-identical on every input (the exhaustive
+// equivalence sweep in tests/test_simd.cpp holds all tiers to that).
+//
+// Callers hand in raw packed bits (Perm::bits()) and wrap results back
+// with Perm::from_packed when they need the typed view; the kernels
+// themselves never materialize a Perm, so the per-lane debug
+// re-validation from_packed performs is replaced by one validation
+// pass per batch (assert_valid_batch), keeping debug/ASan builds
+// usable on million-element batches.
+//
+// Dispatch: resolved once per process.  The STARRING_SIMD environment
+// variable overrides it — "off"/"scalar" forces the scalar tier,
+// "avx2"/"neon" requests a tier (granted only when the CPU supports
+// it), anything else / unset picks the best supported tier.  Building
+// with -DSTARRING_SIMD=OFF compiles the vector tiers out entirely and
+// pins the dispatcher to scalar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "perm/permutation.hpp"
+
+namespace starring::simd {
+
+enum class Tier { kScalar = 0, kAVX2 = 1, kNEON = 2 };
+
+/// Human-readable tier name ("scalar", "avx2", "neon").
+const char* tier_name(Tier t);
+
+/// The tier the dispatcher resolved for this process (CPU features +
+/// STARRING_SIMD override, computed once on first use).
+Tier active_tier();
+
+/// Batched kernel entry points for one tier.  All operate on arrays of
+/// `count` packed permutations of {0..n-1}; `out` may not alias the
+/// input.  Results are bit-identical across tiers.
+struct Kernels {
+  /// out[i] = Perm::from_packed(packed[i], n).rank()
+  void (*rank)(const std::uint64_t* packed, std::size_t count, int n,
+               VertexId* out);
+  /// out[i] = Perm::unrank(ranks[i], n).bits()
+  void (*unrank)(const VertexId* ranks, std::size_t count, int n,
+                 std::uint64_t* out);
+  /// out[i] = Perm::from_packed(packed[i], n).parity()
+  void (*parity)(const std::uint64_t* packed, std::size_t count, int n,
+                 std::uint8_t* out);
+  /// out[i] = relabel(g, p_i).bits(): nibble j of out[i] is
+  /// g[packed[i] nibble j].  `g_bits` is the packed relabeling.
+  void (*relabel)(std::uint64_t g_bits, const std::uint64_t* packed,
+                  std::size_t count, int n, std::uint64_t* out);
+  /// out[i] = inverse_of(p_i).bits(): nibble (packed[i] nibble j) of
+  /// out[i] is j.
+  void (*inverse)(const std::uint64_t* packed, std::size_t count, int n,
+                  std::uint64_t* out);
+};
+
+/// Kernel table of a specific tier (tests compare tiers directly).
+/// Requesting an unsupported tier returns the scalar table.
+const Kernels& kernels(Tier t);
+
+/// Kernel table of the active tier.
+const Kernels& active();
+
+#ifndef NDEBUG
+/// One debug validation pass over a whole batch of packed
+/// permutations: every lane must encode a permutation of {0..n-1} with
+/// zero high slots.  Called once per batch by the convenience wrappers
+/// below — the batched replacement for Perm::from_packed's per-lane
+/// re-validation.
+void assert_valid_batch(const std::uint64_t* packed, std::size_t count,
+                        int n);
+#endif
+
+// Convenience wrappers: dispatch to the active tier, with the
+// once-per-batch input validation in debug builds.
+
+inline void batch_rank(const std::uint64_t* packed, std::size_t count, int n,
+                       VertexId* out) {
+#ifndef NDEBUG
+  assert_valid_batch(packed, count, n);
+#endif
+  active().rank(packed, count, n, out);
+}
+
+inline void batch_unrank(const VertexId* ranks, std::size_t count, int n,
+                         std::uint64_t* out) {
+  active().unrank(ranks, count, n, out);
+}
+
+inline void batch_parity(const std::uint64_t* packed, std::size_t count,
+                         int n, std::uint8_t* out) {
+#ifndef NDEBUG
+  assert_valid_batch(packed, count, n);
+#endif
+  active().parity(packed, count, n, out);
+}
+
+inline void batch_relabel(std::uint64_t g_bits, const std::uint64_t* packed,
+                          std::size_t count, int n, std::uint64_t* out) {
+#ifndef NDEBUG
+  assert_valid_batch(&g_bits, 1, n);
+  assert_valid_batch(packed, count, n);
+#endif
+  active().relabel(g_bits, packed, count, n, out);
+}
+
+inline void batch_inverse(const std::uint64_t* packed, std::size_t count,
+                          int n, std::uint64_t* out) {
+#ifndef NDEBUG
+  assert_valid_batch(packed, count, n);
+#endif
+  active().inverse(packed, count, n, out);
+}
+
+}  // namespace starring::simd

@@ -1,7 +1,10 @@
 #include "service/canonical.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+
+#include "perm/simd.hpp"
 
 namespace starring {
 
@@ -85,10 +88,27 @@ CanonicalForm canonicalize(int n, const FaultSet& faults) {
 
 std::vector<VertexId> relabel_ring(std::span<const VertexId> ring,
                                    const Perm& g, int n) {
-  std::vector<VertexId> out;
-  out.reserve(ring.size());
-  for (const VertexId id : ring)
-    out.push_back(relabel(g, Perm::unrank(id, n)).rank());
+  std::vector<VertexId> out(ring.size());
+  // Fault-free requests canonicalize to the identity frame; skip the
+  // round trip entirely.
+  if (g.bits() == Perm::identity(n).bits()) {
+    std::copy(ring.begin(), ring.end(), out.begin());
+    return out;
+  }
+  // unrank -> relabel -> rank as three batched nibble-parallel kernels
+  // (perm/simd.hpp) over fixed chunks: the scratch stays L1-resident
+  // and rings of hundreds of thousands of vertices never allocate a
+  // second packed copy of themselves.
+  constexpr std::size_t kChunk = 1024;
+  std::array<std::uint64_t, kChunk> packed;
+  std::array<std::uint64_t, kChunk> relabeled;
+  const std::uint64_t g_bits = g.bits();
+  for (std::size_t off = 0; off < ring.size(); off += kChunk) {
+    const std::size_t count = std::min(kChunk, ring.size() - off);
+    simd::batch_unrank(ring.data() + off, count, n, packed.data());
+    simd::batch_relabel(g_bits, packed.data(), count, n, relabeled.data());
+    simd::batch_rank(relabeled.data(), count, n, out.data() + off);
+  }
   return out;
 }
 

@@ -367,6 +367,12 @@ CanonicalRingCache::RingPtr EmbedService::compute_canonical(
   return ring;
 }
 
+void EmbedService::seed_cache(const std::string& key,
+                              std::vector<VertexId> ring) {
+  cache_.insert(key,
+                std::make_shared<const std::vector<VertexId>>(std::move(ring)));
+}
+
 void EmbedService::deliver(Pending& p, ServiceResponse resp,
                            std::chrono::steady_clock::time_point now) {
   latency_.record(now - p.admitted);

@@ -143,6 +143,14 @@ class EmbedService {
   /// benches, and embedded callers.
   ServiceResponse process_now(const ServiceRequest& req);
 
+  /// Pre-populate the canonical result cache with a known-good ring
+  /// (snapshot warm start).  `key` is the CanonicalForm::key of the
+  /// instance computed in the canonical frame; the ring must be exactly
+  /// what compute_canonical would produce for it — seeded entries are
+  /// served as ordinary cache hits, relabeled and (optionally)
+  /// re-verified like any other.  Call before serving traffic.
+  void seed_cache(const std::string& key, std::vector<VertexId> ring);
+
   const ServiceOptions& options() const { return opts_; }
 
  private:

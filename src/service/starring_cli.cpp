@@ -13,6 +13,11 @@
 //             workload through its stdio, verify responses in flight,
 //             and require a clean drain (daemon exit 0); or --connect
 //             PORT to drive a TCP daemon instead
+//   warm      compute the workload's canonical embeddings in-process
+//             (plus the fault-free oracle plane) and write them to an
+//             oracle snapshot (--out) that `starringd
+//             --oracle-snapshot` loads at startup, turning the
+//             workload's cold start into cache hits
 //
 // drive is the soak harness CI uses: it exits non-zero on any
 // embedding/verifier failure, on response/request count mismatch, on
@@ -37,11 +42,14 @@
 #include <random>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
+#include "core/oracle_store.hpp"
 #include "core/ring_embedder.hpp"
 #include "core/verify.hpp"
 #include "fault/generators.hpp"
+#include "service/canonical.hpp"
 #include "obs/prometheus.hpp"
 #include "stargraph/star_graph.hpp"
 #include "util/backoff.hpp"
@@ -65,12 +73,13 @@ struct CliConfig {
   int retry = 0;  // drive (TCP): reconnect rounds after rejections/drops
   std::string trace_out;     // drive (spawned): daemon trace JSON path
   std::string stats_out;     // drive: save the raw STATS promtext here
+  std::string out;           // warm: snapshot output path
   std::vector<std::string> daemon_argv;  // drive: after `--`
 };
 
 int usage(const char* argv0) {
   std::cerr
-      << "usage: " << argv0 << " <generate|check|drive> [options]\n"
+      << "usage: " << argv0 << " <generate|check|drive|warm> [options]\n"
       << "  --count N        requests in the workload (default 100)\n"
       << "  --seed S         workload seed (default 1)\n"
       << "  --nmin N         smallest dimension (default 5)\n"
@@ -93,6 +102,7 @@ int usage(const char* argv0) {
       << "  --trace-out F    drive: pass --trace-out F to the spawned "
          "daemon\n"
       << "  --stats-out F    drive: save the end-of-run STATS promtext\n"
+      << "  --out F          warm: oracle snapshot output path\n"
       << "  -- CMD ARGS...   drive: daemon command line to spawn\n";
   return 2;
 }
@@ -101,7 +111,8 @@ std::optional<CliConfig> parse_args(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   CliConfig cfg;
   cfg.mode = argv[1];
-  if (cfg.mode != "generate" && cfg.mode != "check" && cfg.mode != "drive")
+  if (cfg.mode != "generate" && cfg.mode != "check" &&
+      cfg.mode != "drive" && cfg.mode != "warm")
     return std::nullopt;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -135,6 +146,8 @@ std::optional<CliConfig> parse_args(int argc, char** argv) {
       cfg.trace_out = argv[++i];
     } else if (a == "--stats-out" && i + 1 < argc) {
       cfg.stats_out = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      cfg.out = argv[++i];
     } else if (a == "--") {
       for (++i; i < argc; ++i) cfg.daemon_argv.emplace_back(argv[i]);
     } else {
@@ -508,6 +521,56 @@ int drive_tcp(const CliConfig& cfg) {
   return report(cfg, done, hits, timeouts, failures, wall_s);
 }
 
+/// Compute the workload's warm-start state and write it as an oracle
+/// snapshot: the fault-free oracle plane, every faulty-block memo entry
+/// the workload's embeddings touch, and one canonical-frame ring per
+/// distinct canonical instance — exactly what the service's miss path
+/// (compute_canonical) would cache, so a daemon seeded from the
+/// snapshot answers the same workload from the cache alone.
+int run_warm(const CliConfig& cfg) {
+  if (cfg.out.empty()) {
+    std::cerr << "starring-cli: warm needs --out PATH\n";
+    return 2;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  BlockOracle::prewarm_fault_free();
+
+  OracleSnapshot snap;
+  std::unordered_set<std::string> seen;
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    const ServiceRequest req = make_request(cfg, i);
+    const CanonicalForm canon = canonicalize(req.n, req.faults);
+    if (!seen.insert(canon.key).second) continue;
+    const StarGraph g(req.n);
+    const auto res = embed_longest_ring(g, canon.faults);
+    if (!res.has_value()) {
+      std::cerr << "starring-cli: warm: embedding failed for request " << i
+                << "\n";
+      return 1;
+    }
+    snap.rings.push_back({req.n, canon.key, res->ring});
+  }
+  // The compute clock stops before serialization/IO: the CI cold-start
+  // smoke compares this against the daemon's snapshot_load_ms, and the
+  // claim under test is compute-vs-load, not compute-vs-(load+write).
+  const double compute_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  snap.memo = BlockOracle::export_memo();
+
+  std::string err;
+  if (!write_oracle_snapshot(cfg.out, snap, &err)) {
+    std::cerr << "starring-cli: warm: " << err << "\n";
+    return 1;
+  }
+  std::printf(
+      "starring-cli: warm_compute_ms %.3f (%zu canonical rings, %zu memo "
+      "entries) -> %s\n",
+      compute_ms, snap.rings.size(), snap.memo.size(), cfg.out.c_str());
+  return 0;
+}
+
 int cli_main(int argc, char** argv) {
   const auto cfg = parse_args(argc, argv);
   if (!cfg) return usage(argv[0]);
@@ -516,6 +579,7 @@ int cli_main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
   if (cfg->mode == "generate") return run_generate(*cfg);
   if (cfg->mode == "check") return run_check(*cfg);
+  if (cfg->mode == "warm") return run_warm(*cfg);
   if (cfg->connect_port > 0) {
     if (!cfg->trace_out.empty()) {
       std::cerr << "starring-cli: --trace-out needs a spawned daemon; "

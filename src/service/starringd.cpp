@@ -54,6 +54,7 @@
 
 #include <atomic>
 
+#include "core/oracle_store.hpp"
 #include "obs/bench_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
@@ -186,7 +187,19 @@ struct DaemonConfig {
   int drain_timeout_ms = 10000;
   std::string bench_artifact;
   std::string trace_out;  // non-empty: tracing on, dump here
+  std::string oracle_snapshot;  // non-empty: warm-start from this file
+  /// Canonical rings from a loaded snapshot, handed to the EmbedService
+  /// (which is constructed inside serve_*) and consumed there.
+  std::vector<OracleSnapshot::CanonicalRing> seed_rings;
 };
+
+/// Move the snapshot's canonical rings into the service's result cache.
+void seed_service(EmbedService& svc, DaemonConfig& cfg) {
+  for (OracleSnapshot::CanonicalRing& r : cfg.seed_rings)
+    svc.seed_cache(r.key, std::move(r.ring));
+  cfg.seed_rings.clear();
+  cfg.seed_rings.shrink_to_fit();
+}
 
 /// Arms a wall-clock bound on shutdown: if the owner has not finished
 /// draining (destroyed the guard) within the budget, the process is
@@ -247,6 +260,14 @@ int usage(const char* argv0) {
       << "                       socket within N ms (default 5000)\n"
       << "  --drain-timeout-ms N abort if shutdown drain exceeds N ms\n"
       << "                       (default 10000)\n"
+      << "  --oracle-snapshot F  warm-start: seed the path-oracle memo "
+         "and\n"
+      << "                       canonical cache from this snapshot "
+         "file\n"
+      << "                       (written by `starring-cli warm`); a "
+         "bad\n"
+      << "                       snapshot is rejected and computation\n"
+      << "                       proceeds cold\n"
       << "  --bench-artifact S   write BENCH_<S>.json on clean drain\n"
       << "  --trace-out FILE     enable tracing; dump Chrome trace JSON\n"
       << "                       on clean drain and on SIGUSR1\n";
@@ -289,6 +310,8 @@ std::optional<DaemonConfig> parse_args(int argc, char** argv) {
       cfg.write_timeout_ms = static_cast<int>(v);
     } else if (a == "--drain-timeout-ms" && (v = num(&i)) > 0) {
       cfg.drain_timeout_ms = static_cast<int>(v);
+    } else if (a == "--oracle-snapshot" && i + 1 < argc) {
+      cfg.oracle_snapshot = argv[++i];
     } else if (a == "--bench-artifact" && i + 1 < argc) {
       cfg.bench_artifact = argv[++i];
     } else if (a == "--trace-out" && i + 1 < argc) {
@@ -329,11 +352,12 @@ bool answer_command(const ServiceRequest& req, std::ostream& out,
   return false;
 }
 
-int serve_stdio(const DaemonConfig& cfg) {
+int serve_stdio(DaemonConfig& cfg) {
   // Declared before the service: destroyed after it, so a signal-drain
   // bound armed below covers the scheduler join in ~EmbedService.
   std::optional<DrainGuard> drain_guard;
   EmbedService svc(cfg.svc);
+  seed_service(svc, cfg);
   std::mutex out_mu;
   std::thread writer([&] {
     while (auto resp = svc.next_response()) {
@@ -515,7 +539,7 @@ void refuse_connection(int fd) {
   ::close(fd);
 }
 
-int serve_tcp(const DaemonConfig& cfg) {
+int serve_tcp(DaemonConfig& cfg) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     std::cerr << "starringd: socket: " << std::strerror(errno) << "\n";
@@ -541,6 +565,7 @@ int serve_tcp(const DaemonConfig& cfg) {
   // drain bound armed at shutdown covers the scheduler join too.
   std::optional<DrainGuard> drain_guard;
   EmbedService svc(cfg.svc);
+  seed_service(svc, cfg);
   ConnRegistry reg;
   while (g_stop == 0) {
     pollfd pfd{listen_fd, POLLIN, 0};
@@ -584,7 +609,7 @@ int serve_tcp(const DaemonConfig& cfg) {
 }
 
 int daemon_main(int argc, char** argv) {
-  const auto cfg = parse_args(argc, argv);
+  auto cfg = parse_args(argc, argv);
   if (!cfg) return usage(argv[0]);
 
   std::signal(SIGINT, on_signal);
@@ -595,6 +620,31 @@ int daemon_main(int argc, char** argv) {
   // layer is always on here; batch tools still opt in via BenchRecorder
   // or STARRING_METRICS.
   obs::set_enabled(true);
+
+  if (!cfg->oracle_snapshot.empty()) {
+    // Warm start.  A rejected snapshot is a logged degradation, not a
+    // startup failure: the daemon serves identical answers either way,
+    // just colder.  snapshot_load_ms is greppable — the CI cold-start
+    // smoke compares it against the warm run's warm_compute_ms.
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string err;
+    if (auto snap = load_oracle_snapshot(cfg->oracle_snapshot, &err)) {
+      BlockOracle::import_memo(snap->memo);
+      cfg->seed_rings = std::move(snap->rings);
+      const double load_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      std::fprintf(stderr,
+                   "starringd: snapshot_load_ms %.3f (%zu canonical rings, "
+                   "%zu memo entries) from %s\n",
+                   load_ms, cfg->seed_rings.size(), snap->memo.size(),
+                   cfg->oracle_snapshot.c_str());
+    } else {
+      std::cerr << "starringd: snapshot rejected (" << err
+                << "); starting cold\n";
+    }
+  }
 
   std::unique_ptr<obs::BenchRecorder> rec;
   if (!cfg->bench_artifact.empty())

@@ -1,0 +1,45 @@
+// Precomputed Lehmer decode of every local index of a 24-member S_4
+// block: digit[k][m] is the m-th Lehmer digit of k and sym[k][m] the
+// index (into the sorted free symbols) chosen for the m-th free
+// position.  Shared by MemberExpander::member_rank (stargraph/substar)
+// and the chaining engine's struct-of-arrays emit/expansion loops
+// (core/chaining), which decode whole blocks with table lookups only —
+// no division, no array shifting, no Perm materialization.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "perm/factorial.hpp"
+
+namespace starring {
+
+struct Lehmer4 {
+  std::array<std::array<std::uint8_t, 4>, 24> digit{};
+  std::array<std::array<std::uint8_t, 4>, 24> sym{};
+};
+
+namespace detail {
+constexpr Lehmer4 make_lehmer4() {
+  Lehmer4 t{};
+  for (int k = 0; k < 24; ++k) {
+    int rem[4] = {0, 1, 2, 3};
+    int kk = k;
+    for (int m = 0; m < 4; ++m) {
+      const int f = static_cast<int>(factorial(3 - m));
+      const int d = kk / f;
+      kk %= f;
+      t.digit[static_cast<std::size_t>(k)][static_cast<std::size_t>(m)] =
+          static_cast<std::uint8_t>(d);
+      t.sym[static_cast<std::size_t>(k)][static_cast<std::size_t>(m)] =
+          static_cast<std::uint8_t>(rem[d]);
+      for (int j = d; j + 1 < 4 - m; ++j) rem[j] = rem[j + 1];
+    }
+  }
+  return t;
+}
+}  // namespace detail
+
+inline constexpr Lehmer4 kLehmer4 = detail::make_lehmer4();
+
+}  // namespace starring

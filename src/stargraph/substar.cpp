@@ -2,41 +2,9 @@
 
 #include <algorithm>
 
+#include "stargraph/lehmer4.hpp"
+
 namespace starring {
-
-namespace {
-
-/// Precomputed Lehmer decode of every local index of a 24-member block:
-/// digit[k][m] is the m-th Lehmer digit of k and sym[k][m] the index (into
-/// the sorted free symbols) chosen for the m-th free position.  Lets
-/// member_rank run table-lookups only, with no division or array shifting.
-struct Lehmer4 {
-  std::array<std::array<std::uint8_t, 4>, 24> digit{};
-  std::array<std::array<std::uint8_t, 4>, 24> sym{};
-};
-
-constexpr Lehmer4 make_lehmer4() {
-  Lehmer4 t{};
-  for (int k = 0; k < 24; ++k) {
-    int rem[4] = {0, 1, 2, 3};
-    int kk = k;
-    for (int m = 0; m < 4; ++m) {
-      const int f = static_cast<int>(factorial(3 - m));
-      const int d = kk / f;
-      kk %= f;
-      t.digit[static_cast<std::size_t>(k)][static_cast<std::size_t>(m)] =
-          static_cast<std::uint8_t>(d);
-      t.sym[static_cast<std::size_t>(k)][static_cast<std::size_t>(m)] =
-          static_cast<std::uint8_t>(rem[d]);
-      for (int j = d; j + 1 < 4 - m; ++j) rem[j] = rem[j + 1];
-    }
-  }
-  return t;
-}
-
-inline constexpr Lehmer4 kLehmer4 = make_lehmer4();
-
-}  // namespace
 
 SubstarPattern SubstarPattern::whole(int n) {
   assert(n >= 1 && n <= kMaxN);
