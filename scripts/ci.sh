@@ -7,7 +7,7 @@
 #
 # Usage: scripts/ci.sh [--tier1-only | --san-only | --tsan-only |
 #                       --bench-only | --service-only | --chaos-only |
-#                       --load-only | --simdoff-only]
+#                       --load-only | --simdoff-only | --cluster-only]
 # Env:   JOBS=<n> to cap build/test parallelism (default: nproc).
 set -euo pipefail
 
@@ -22,15 +22,17 @@ run_service=1
 run_chaos=1
 run_load=1
 run_simdoff=1
+run_cluster=1
 case "${1:-}" in
-  --tier1-only) run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0 ;;
-  --san-only) run_tier1=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0 ;;
-  --tsan-only) run_tier1=0; run_san=0; run_bench=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0 ;;
-  --bench-only) run_tier1=0; run_san=0; run_tsan=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0 ;;
-  --service-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_chaos=0; run_load=0; run_simdoff=0 ;;
-  --chaos-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_load=0; run_simdoff=0 ;;
-  --load-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_simdoff=0 ;;
-  --simdoff-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0 ;;
+  --tier1-only) run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0; run_cluster=0 ;;
+  --san-only) run_tier1=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0; run_cluster=0 ;;
+  --tsan-only) run_tier1=0; run_san=0; run_bench=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0; run_cluster=0 ;;
+  --bench-only) run_tier1=0; run_san=0; run_tsan=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0; run_cluster=0 ;;
+  --service-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_chaos=0; run_load=0; run_simdoff=0; run_cluster=0 ;;
+  --chaos-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_load=0; run_simdoff=0; run_cluster=0 ;;
+  --load-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_simdoff=0; run_cluster=0 ;;
+  --simdoff-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0; run_cluster=0 ;;
+  --cluster-only) run_tier1=0; run_san=0; run_tsan=0; run_bench=0; run_service=0; run_chaos=0; run_load=0; run_simdoff=0 ;;
   "") ;;
   *) echo "unknown flag: $1" >&2; exit 2 ;;
 esac
@@ -194,6 +196,159 @@ assert w / l >= 5.0, \
 EOF
 }
 
+# Sharded-cluster smoke, two phases driven by the same zipf workload:
+#
+#   A. one starringd with a deliberately small cache — the capacity-
+#      starved baseline hit rate.
+#   B. three such shards behind starring-proxy, with one shard
+#      SIGKILLed mid-run.
+#
+# starring-load's own exit code is the zero-failed-requests gate (an
+# unanswered request or a `status error` is rc 1), the whole of each
+# phase sits under a hard `timeout`, and the final assertions are:
+# every request terminal despite the kill, at least one proxy failover,
+# the survivors absorbed traffic, and the aggregate cluster hit rate
+# beats phase A — sharding 3 small caches behind consistent hashing
+# must outperform one small cache on the same keys.  The resulting
+# BENCH_cluster.json is then diffed against the committed artifact
+# with the hit rate gated.
+cluster_smoke() {
+  local build_dir="$1"
+  local dir="$build_dir/cluster-smoke"
+  mkdir -p "$dir"
+  local ports=(47181 47182 47183)
+  local proxy_port=47185
+  # Gentle skew on purpose: at zipf=0.6 the working set of 96 classes
+  # dwarfs one shard's 24-entry cache but fits the cluster's aggregate,
+  # so the phase A vs B hit-rate gap is structural, not jitter.
+  local workload=(--duration-ms 4000 --seed 7
+    --tenant 'hot:rate=150:zipf=0.6:classes=96:nmin=5:nmax=6'
+    --tenant 'warm:rate=60:zipf=0.6:classes=96:nmin=5:nmax=6')
+  # Global on purpose: the EXIT trap must still see the array after a
+  # failed gate unwinds the function's locals (set -e exits skip the
+  # RETURN trap), otherwise orphaned daemons hold the fixed ports and
+  # poison the next run.
+  CLUSTER_SMOKE_PIDS=()
+  trap 'kill -9 "${CLUSTER_SMOKE_PIDS[@]}" 2>/dev/null || true' RETURN EXIT
+  # And sweep listeners a previous aborted run may have leaked anyway.
+  pkill -9 -f "starringd --listen 4718" 2>/dev/null || true
+  pkill -9 -f "starring-proxy .*--listen $proxy_port" 2>/dev/null || true
+
+  wait_port() {
+    local port="$1" pid="$2"
+    for _ in $(seq 100); do
+      if ! kill -0 "$pid" 2>/dev/null; then
+        echo "cluster smoke: process on port $port died during startup" >&2
+        return 1
+      fi
+      (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null && return 0
+      sleep 0.1
+    done
+    echo "cluster smoke: port $port never came up" >&2
+    return 1
+  }
+
+  echo "-- phase A: single capacity-starved shard"
+  "$build_dir/src/service/starringd" --listen "${ports[0]}" \
+    --cache-capacity 24 > "$dir/single.log" 2>&1 &
+  local single_pid=$!
+  CLUSTER_SMOKE_PIDS+=("$single_pid")
+  wait_port "${ports[0]}" "$single_pid"
+  STARRING_BENCH_DIR="$dir" timeout 120 \
+    "$build_dir/src/loadgen/starring-load" \
+    --connect "${ports[0]}" "${workload[@]}" \
+    --bench-artifact cluster_single
+  kill -TERM "$single_pid" && wait "$single_pid" || true
+
+  echo "-- phase B: 3 shards + starring-proxy, owner SIGKILL mid-run"
+  local map="$dir/shards.map"
+  {
+    echo "starring-shard-map v1"
+    echo "epoch 1"
+    echo "replication 2"
+    echo "shards 3"
+    for i in 0 1 2; do
+      echo "shard $i 127.0.0.1:${ports[$i]}"
+    done
+    echo "end"
+  } > "$map"
+  local shard_pids=()
+  for i in 0 1 2; do
+    "$build_dir/src/service/starringd" --listen "${ports[$i]}" \
+      --cache-capacity 24 --shard-id "$i" --shard-map "$map" \
+      > "$dir/shard$i.log" 2>&1 &
+    shard_pids+=($!)
+    CLUSTER_SMOKE_PIDS+=("${shard_pids[$i]}")
+  done
+  for i in 0 1 2; do
+    wait_port "${ports[$i]}" "${shard_pids[$i]}"
+  done
+  "$build_dir/src/cluster/starring-proxy" --shard-map "$map" \
+    --listen "$proxy_port" --seed-threshold 2 --health-interval-ms 250 \
+    > "$dir/proxy.log" 2>&1 &
+  local proxy_pid=$!
+  CLUSTER_SMOKE_PIDS+=("$proxy_pid")
+  wait_port "$proxy_port" "$proxy_pid"
+  # The kill lands while the workload is in full swing; replication +
+  # failover must keep every in-flight and subsequent request terminal.
+  ( sleep 2; kill -9 "${shard_pids[2]}" 2>/dev/null ) &
+  local killer=$!
+  STARRING_BENCH_DIR="$dir" timeout 120 \
+    "$build_dir/src/loadgen/starring-load" \
+    --connect "$proxy_port" "${workload[@]}" \
+    --stats-out "$dir/proxy.prom" --bench-artifact cluster
+  wait "$killer"
+  python3 - "$dir" "${ports[0]}" "${ports[1]}" <<'EOF'
+import json, socket, sys
+dir_, survivors = sys.argv[1], sys.argv[2:]
+
+def scrape(port):
+    with socket.create_connection(("127.0.0.1", int(port)), timeout=10) as s:
+        s.sendall(b"STATS\n")
+        buf = b""
+        while b"\nend\n" not in buf:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return buf.decode()
+
+def scalar(text, name):
+    for line in text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[1])
+    return None
+
+# Survivors absorbed the dead shard's keys: both served real traffic.
+for port in survivors:
+    text = scrape(port)
+    served = scalar(text, "starring_svc_requests")
+    assert served and served > 0, f"surviving shard :{port} served nothing"
+    print(f"cluster smoke: survivor :{port} served {int(served)} requests")
+
+# The proxy actually exercised the failover path when the shard died.
+proxy = open(f"{dir_}/proxy.prom").read()
+failover = scalar(proxy, "starring_cluster_failover")
+assert failover and failover >= 1, f"no failover recorded: {failover}"
+print(f"cluster smoke: {int(failover)} failovers")
+
+# Aggregate cluster hit rate must beat the capacity-starved single
+# shard on the identical workload.
+single = json.load(open(f"{dir_}/BENCH_cluster_single.json"))["counters"]
+cluster = json.load(open(f"{dir_}/BENCH_cluster.json"))["counters"]
+s, c = single["load.hit_rate_x1000"], cluster["load.hit_rate_x1000"]
+assert s >= 0 and c >= 0, (s, c)
+print(f"cluster smoke: hit rate single {s/1000:.3f} vs cluster {c/1000:.3f}")
+assert c > s, f"cluster hit rate {c} did not beat single-shard {s}"
+EOF
+  python3 scripts/bench_compare.py \
+    bench/artifacts/BENCH_cluster.json "$dir/BENCH_cluster.json" \
+    --regression-pct 50 --gate load.hit_rate_x1000 --gate-min-delta 100
+  kill -TERM "$proxy_pid" "${shard_pids[0]}" "${shard_pids[1]}" \
+    2>/dev/null || true
+  echo "cluster smoke: failover + hit-rate gates ok"
+}
+
 if [[ "$run_tier1" == 1 ]]; then
   echo "== tier-1: RelWithDebInfo build + full ctest =="
   cmake -B build -S .
@@ -244,6 +399,13 @@ if [[ "$run_load" == 1 ]]; then
   cmake -B build -S .
   cmake --build build -j "$JOBS" --target starringd starring-load
   load_soak build
+fi
+
+if [[ "$run_cluster" == 1 ]]; then
+  echo "== cluster smoke: 3 shards + proxy, SIGKILL mid-run, hit-rate gate =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target starringd starring-proxy starring-load
+  cluster_smoke build
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

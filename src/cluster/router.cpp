@@ -1,0 +1,64 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+
+#include "util/backoff.hpp"
+
+namespace starring::cluster {
+
+ShardRouter::ShardRouter(ShardMap map, BreakerOptions opts)
+    : map_(std::move(map)), opts_(opts) {}
+
+bool ShardRouter::allow_locked(const Breaker& b,
+                               Clock::time_point now) const {
+  return !b.open || now >= b.retry_at;
+}
+
+std::vector<int> ShardRouter::candidates(std::string_view key,
+                                         Clock::time_point now) {
+  std::vector<int> order = map_.all_candidates(key);
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Stable partition: preference order inside each group is still the
+  // map's nearest-first order, open-breaker shards are last-resort
+  // rather than absent.
+  std::stable_partition(order.begin(), order.end(), [&](int id) {
+    const auto it = breakers_.find(id);
+    return it == breakers_.end() || allow_locked(it->second, now);
+  });
+  return order;
+}
+
+bool ShardRouter::allow(int shard_id, Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = breakers_.find(shard_id);
+  return it == breakers_.end() || allow_locked(it->second, now);
+}
+
+void ShardRouter::record_failure(int shard_id, Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = breakers_[shard_id];
+  ++b.failures;
+  if (b.failures >= opts_.open_threshold) {
+    // Cooldown grows with the streak past the threshold: a shard that
+    // keeps failing its half-open probes is probed less and less often
+    // (up to cap_ms).
+    const int round = b.failures - opts_.open_threshold + 1;
+    b.open = true;
+    b.retry_at = now + std::chrono::milliseconds(retry_backoff_ms(
+                           round, opts_.base_ms, opts_.cap_ms));
+  }
+}
+
+void ShardRouter::record_success(int shard_id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = breakers_.find(shard_id);
+  if (it != breakers_.end()) breakers_.erase(it);
+}
+
+int ShardRouter::consecutive_failures(int shard_id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = breakers_.find(shard_id);
+  return it == breakers_.end() ? 0 : it->second.failures;
+}
+
+}  // namespace starring::cluster

@@ -1,0 +1,76 @@
+// Failure-aware candidate ordering on top of the ShardMap.
+//
+// The proxy asks the router, not the map, where to send a request: the
+// router starts from the map's nearest-first candidate list and
+// reorders it by per-shard circuit-breaker state.  A shard that has
+// failed `open_threshold` consecutive times has its breaker opened for
+// a cooldown that grows with the failure streak
+// (util/backoff.hpp::retry_backoff_ms); while open it sinks to the
+// back of every candidate list instead of being removed — the list is
+// never empty, so every request still reaches *some* terminal status
+// even with the whole cluster limping.  When the cooldown elapses the
+// next request through is the half-open probe: its success closes the
+// breaker, its failure re-opens with a longer cooldown.
+//
+// Time is an explicit parameter (steady_clock::time_point) so unit
+// tests drive the breaker state machine without sleeping.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "cluster/shard_map.hpp"
+
+namespace starring::cluster {
+
+struct BreakerOptions {
+  /// Consecutive failures that open a shard's breaker.
+  int open_threshold = 3;
+  /// Backoff schedule for the open cooldown: round k after opening
+  /// waits retry_backoff_ms(k, base_ms, cap_ms).
+  int base_ms = 100;
+  int cap_ms = 5000;
+};
+
+class ShardRouter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit ShardRouter(ShardMap map, BreakerOptions opts = {});
+
+  const ShardMap& map() const { return map_; }
+
+  /// Every shard, nearest-first for `key`, with open-breaker shards
+  /// moved to the back (stable within each group).  Never empty while
+  /// the map has shards.
+  std::vector<int> candidates(std::string_view key, Clock::time_point now);
+
+  /// Is the shard currently worth trying (breaker closed, or open with
+  /// an elapsed cooldown — the half-open probe)?
+  bool allow(int shard_id, Clock::time_point now);
+
+  void record_failure(int shard_id, Clock::time_point now);
+  void record_success(int shard_id);
+
+  int consecutive_failures(int shard_id);
+
+ private:
+  struct Breaker {
+    int failures = 0;
+    /// Set while open: earliest time a half-open probe may go out.
+    Clock::time_point retry_at{};
+    bool open = false;
+  };
+
+  bool allow_locked(const Breaker& b, Clock::time_point now) const;
+
+  ShardMap map_;
+  BreakerOptions opts_;
+  std::mutex mu_;
+  std::map<int, Breaker> breakers_;
+};
+
+}  // namespace starring::cluster

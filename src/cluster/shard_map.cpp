@@ -1,0 +1,204 @@
+#include "cluster/shard_map.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+namespace starring::cluster {
+
+namespace {
+
+void fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+}
+
+// A deployment is a handful of processes; the cap only guards the
+// parser against a garbage count line.
+constexpr int kMaxShards = 1024;
+constexpr int kMaxVnodes = 4096;
+
+}  // namespace
+
+std::optional<ShardMap> ShardMap::parse(std::istream& is,
+                                        std::string* error) {
+  std::string word;
+  std::string version;
+  if (!(is >> word >> version) || word != "starring-shard-map" ||
+      version != "v1") {
+    fail(error, "bad header");
+    return std::nullopt;
+  }
+  ShardMap m;
+  // Optional scalar lines in any order, then `shards N`.
+  std::size_t count = 0;
+  while (true) {
+    if (!(is >> word)) {
+      fail(error, "missing shards line");
+      return std::nullopt;
+    }
+    if (word == "shards") {
+      if (!(is >> count) || count < 1 ||
+          count > static_cast<std::size_t>(kMaxShards)) {
+        fail(error, "bad shards count");
+        return std::nullopt;
+      }
+      break;
+    }
+    if (word == "epoch") {
+      if (!(is >> m.epoch_)) {
+        fail(error, "bad epoch line");
+        return std::nullopt;
+      }
+    } else if (word == "replication") {
+      if (!(is >> m.replication_) || m.replication_ < 1) {
+        fail(error, "bad replication line");
+        return std::nullopt;
+      }
+    } else if (word == "vnodes") {
+      if (!(is >> m.vnodes_) || m.vnodes_ < 1 || m.vnodes_ > kMaxVnodes) {
+        fail(error, "bad vnodes line");
+        return std::nullopt;
+      }
+    } else {
+      fail(error, "unknown line '" + word + "'");
+      return std::nullopt;
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    ShardInfo s;
+    std::string ep_text;
+    if (!(is >> word >> s.id >> ep_text) || word != "shard" || s.id < 0) {
+      fail(error, "bad shard line");
+      return std::nullopt;
+    }
+    const auto ep = net::parse_endpoint(ep_text);
+    if (!ep) {
+      fail(error, "bad endpoint '" + ep_text + "'");
+      return std::nullopt;
+    }
+    s.endpoint = *ep;
+    for (const ShardInfo& prev : m.shards_) {
+      if (prev.id == s.id) {
+        fail(error, "duplicate shard id " + std::to_string(s.id));
+        return std::nullopt;
+      }
+    }
+    m.shards_.push_back(std::move(s));
+  }
+  if (!(is >> word) || word != "end") {
+    fail(error, "missing end line");
+    return std::nullopt;
+  }
+  if (m.replication_ > static_cast<int>(m.shards_.size())) {
+    fail(error, "replication exceeds shard count");
+    return std::nullopt;
+  }
+  m.build_ring();
+  return m;
+}
+
+std::optional<ShardMap> ShardMap::load(const std::string& path,
+                                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    fail(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return parse(in, error);
+}
+
+const ShardInfo* ShardMap::find(int shard_id) const {
+  for (const ShardInfo& s : shards_)
+    if (s.id == shard_id) return &s;
+  return nullptr;
+}
+
+void ShardMap::build_ring() {
+  ring_.clear();
+  ring_.reserve(shards_.size() * static_cast<std::size_t>(vnodes_));
+  for (const ShardInfo& s : shards_) {
+    for (int k = 0; k < vnodes_; ++k) {
+      // The point depends only on the shard's own id: removing a shard
+      // deletes exactly its points, leaving every other key in place.
+      const std::string label =
+          "shard-" + std::to_string(s.id) + "#" + std::to_string(k);
+      ring_.push_back({place_hash(label), s.id});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              // shard_id tie-break: identical hash points place
+              // deterministically regardless of file order.
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.shard_id < b.shard_id;
+            });
+}
+
+std::size_t ShardMap::ring_start(std::string_view key) const {
+  const std::uint64_t h = place_hash(key);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const RingPoint& p, std::uint64_t v) { return p.hash < v; });
+  return it == ring_.end() ? 0 : static_cast<std::size_t>(it - ring_.begin());
+}
+
+int ShardMap::owner(std::string_view key) const {
+  if (ring_.empty()) return -1;
+  return ring_[ring_start(key)].shard_id;
+}
+
+std::vector<int> ShardMap::replicas(std::string_view key) const {
+  std::vector<int> out;
+  if (ring_.empty()) return out;
+  const std::size_t want = std::min<std::size_t>(
+      static_cast<std::size_t>(replication_), shards_.size());
+  const std::size_t start = ring_start(key);
+  for (std::size_t i = 0; i < ring_.size() && out.size() < want; ++i) {
+    const int id = ring_[(start + i) % ring_.size()].shard_id;
+    if (std::find(out.begin(), out.end(), id) == out.end())
+      out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<int> ShardMap::all_candidates(std::string_view key) const {
+  std::vector<int> out;
+  if (ring_.empty()) return out;
+  const std::size_t start = ring_start(key);
+  for (std::size_t i = 0; i < ring_.size() && out.size() < shards_.size();
+       ++i) {
+    const int id = ring_[(start + i) % ring_.size()].shard_id;
+    if (std::find(out.begin(), out.end(), id) == out.end())
+      out.push_back(id);
+  }
+  return out;
+}
+
+ShardMap ShardMap::without(int shard_id) const {
+  ShardMap m;
+  m.epoch_ = epoch_ + 1;  // a shrink is a membership change
+  m.vnodes_ = vnodes_;
+  for (const ShardInfo& s : shards_)
+    if (s.id != shard_id) m.shards_.push_back(s);
+  m.replication_ =
+      std::min(replication_, static_cast<int>(m.shards_.size()));
+  if (m.replication_ < 1) m.replication_ = 1;
+  m.build_ring();
+  return m;
+}
+
+std::string ShardMap::to_text() const {
+  std::ostringstream os;
+  os << "starring-shard-map v1\n";
+  os << "epoch " << epoch_ << "\n";
+  os << "replication " << replication_ << "\n";
+  os << "vnodes " << vnodes_ << "\n";
+  os << "shards " << shards_.size() << "\n";
+  for (const ShardInfo& s : shards_)
+    os << "shard " << s.id << " " << net::to_string(s.endpoint) << "\n";
+  os << "end\n";
+  return os.str();
+}
+
+}  // namespace starring::cluster

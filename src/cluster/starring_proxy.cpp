@@ -1,0 +1,681 @@
+// starring-proxy — thin cluster router in front of sharded starringd.
+//
+// Speaks starring-request/starring-response v1 on both sides.  For
+// each embedding request it canonicalizes the fault set
+// (service/canonical), hashes the canonical class key onto the shard
+// map's consistent-hash ring, and forwards to the owner shard.  On
+// connect/write/read failure — or a `status timeout` from the shard —
+// it retries the next replica; per-shard circuit breakers
+// (cluster/router.hpp) keep a dead shard from taxing every request
+// with a connect timeout, while still leaving it in every candidate
+// list as a last resort, so a request always reaches some terminal
+// status.  Exhausting every shard answers `status rejected` with
+// reason "no live shard" — terminal and retryable, like a queue-full
+// bounce.
+//
+// Read-through replication: the proxy counts ok-served canonical
+// classes; when one crosses --seed-threshold it pushes the canonical
+// ring to the class's replica shards as `starring-seed v1` records
+// (EmbedService::seed_cache on the far side), so a failover lands on a
+// warm cache instead of recomputing.
+//
+// A health poller sends the bare `HEALTH` line to every shard each
+// --health-interval-ms: a dead shard trips its breaker between data-
+// path requests, a recovered one closes it, and an id/epoch mismatch
+// (a process serving under the wrong identity or an out-of-date map)
+// is logged and counted.
+//
+// The proxy answers STATS (its own cluster.* registry, including
+// per-shard latency histograms cluster.shard.<id>.latency.*), PING,
+// FAIL (local failpoints: proxy.forward fails a request before any
+// forward, proxy.upstream fails individual forward attempts — the
+// chaos tests storm these), and HEALTH (shard -1, the map's epoch).
+// Client-side transport, accept hardening, and drain semantics match
+// starringd (util/net.hpp).
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <poll.h>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "cluster/shard_map.hpp"
+#include "obs/bench_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "service/canonical.hpp"
+#include "util/failpoint.hpp"
+#include "util/io.hpp"
+#include "util/net.hpp"
+
+namespace starring::cluster {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct ProxyConfig {
+  std::string shard_map_path;
+  int listen_port = -1;
+  int max_conns = 64;
+  int write_timeout_ms = 5000;
+  /// Budget for one upstream exchange (connect + request + response);
+  /// a shard that cannot answer within it counts as failed and the
+  /// request fails over.
+  int upstream_timeout_ms = 10000;
+  int drain_timeout_ms = 10000;
+  /// Health-poll period; 0 disables the poller (data-path failures
+  /// still drive the breakers).
+  int health_interval_ms = 1000;
+  /// Ok-served responses of one canonical class before its ring is
+  /// pushed to the replicas; 0 disables replication seeding.
+  int seed_threshold = 3;
+  std::string bench_artifact;
+};
+
+/// One cached upstream connection (blocking-looking iostreams over a
+/// non-blocking fd with bounded reads/writes).
+struct UpstreamConn {
+  int fd;
+  net::FdInBuf in_buf;
+  net::FdOutBuf out_buf;
+  std::istream in;
+  std::ostream out;
+
+  UpstreamConn(int fd_, int read_timeout_ms, int write_timeout_ms)
+      : fd(fd_),
+        in_buf(fd_, read_timeout_ms),
+        out_buf(fd_, write_timeout_ms, nullptr),
+        in(&in_buf),
+        out(&out_buf) {}
+  ~UpstreamConn() { ::close(fd); }
+  UpstreamConn(const UpstreamConn&) = delete;
+  UpstreamConn& operator=(const UpstreamConn&) = delete;
+};
+
+/// Per-client-thread pool of upstream connections, one per shard,
+/// created lazily and dropped on any failure (the next attempt
+/// reconnects).  Not shared across client threads: each gets its own
+/// upstream sockets, so responses never interleave.
+class UpstreamPool {
+ public:
+  UpstreamPool(const ShardMap& map, int upstream_timeout_ms,
+               int write_timeout_ms)
+      : map_(map),
+        read_timeout_ms_(upstream_timeout_ms),
+        write_timeout_ms_(write_timeout_ms) {}
+
+  UpstreamConn* get(int shard_id) {
+    const auto it = conns_.find(shard_id);
+    if (it != conns_.end()) return it->second.get();
+    const ShardInfo* info = map_.find(shard_id);
+    if (info == nullptr) return nullptr;
+    const int fd = net::connect_endpoint(info->endpoint, /*nonblocking=*/true);
+    if (fd < 0) return nullptr;
+    auto conn = std::make_unique<UpstreamConn>(fd, read_timeout_ms_,
+                                               write_timeout_ms_);
+    UpstreamConn* raw = conn.get();
+    conns_[shard_id] = std::move(conn);
+    return raw;
+  }
+
+  void drop(int shard_id) { conns_.erase(shard_id); }
+
+ private:
+  const ShardMap& map_;
+  int read_timeout_ms_;
+  int write_timeout_ms_;
+  std::map<int, std::unique_ptr<UpstreamConn>> conns_;
+};
+
+/// Read-through replication: count ok-served canonical classes and,
+/// at the threshold, push the canonical ring to the class's replicas
+/// from a background worker (a slow replica must not add latency to
+/// the data path).
+class Seeder {
+ public:
+  Seeder(const ShardMap& map, int threshold, int upstream_timeout_ms)
+      : map_(map),
+        threshold_(threshold),
+        timeout_ms_(upstream_timeout_ms),
+        worker_([this] { run(); }) {}
+
+  ~Seeder() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  /// Note an ok response for canonical class `key` served by
+  /// `served_by`.  `ring` is in the *canonical* frame (the caller
+  /// relabels before handing it over).  Crossing the threshold
+  /// enqueues one seed push to every replica except the server.
+  void note_ok(const std::string& key, int n, std::vector<VertexId> ring,
+               const std::vector<int>& replica_ids, int served_by) {
+    std::vector<int> targets;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      // Bounded tracker: losing the counts on overflow only delays
+      // re-seeding, which is idempotent anyway.
+      if (counts_.size() > kMaxTracked) counts_.clear();
+      int& c = counts_[key];
+      if (c < 0) return;  // already seeded
+      if (++c < threshold_) return;
+      c = -1;
+      for (const int id : replica_ids)
+        if (id != served_by) targets.push_back(id);
+      if (targets.empty()) return;
+      jobs_.push_back(Job{key, n, std::move(ring), std::move(targets)});
+    }
+    cv_.notify_one();
+  }
+
+  /// Drop the seeded-marker for every class (a killed shard's replicas
+  /// may themselves have died; tests re-arm via this).  Cheap, so the
+  /// health poller calls it whenever a shard transitions to dead.
+  void forget_seeded() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    counts_.clear();
+  }
+
+ private:
+  struct Job {
+    std::string key;
+    int n;
+    std::vector<VertexId> ring;
+    std::vector<int> targets;
+  };
+
+  void run() {
+    while (true) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+        if (jobs_.empty()) return;  // stop_ and drained
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+      }
+      for (const int id : job.targets) push(job, id);
+    }
+  }
+
+  void push(const Job& job, int shard_id) {
+    const ShardInfo* info = map_.find(shard_id);
+    if (info == nullptr) return;
+    const int fd = net::connect_endpoint(info->endpoint, /*nonblocking=*/true);
+    if (fd < 0) {
+      obs::counter("cluster.seed_failures").add();
+      return;
+    }
+    UpstreamConn conn(fd, timeout_ms_, timeout_ms_);
+    ServiceRequest seed;
+    seed.kind = RequestKind::kSeed;
+    seed.n = job.n;
+    seed.seed_key = job.key;
+    seed.seed_ring = job.ring;
+    write_request(conn.out, seed);
+    conn.out.flush();
+    std::string line;
+    std::string word;
+    if (conn.out.good() && (conn.in >> word >> line) && word == "SEED" &&
+        line == "ok") {
+      obs::counter("cluster.seeds_sent").add();
+    } else {
+      obs::counter("cluster.seed_failures").add();
+    }
+  }
+
+  static constexpr std::size_t kMaxTracked = 8192;
+
+  const ShardMap& map_;
+  const int threshold_;
+  const int timeout_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, int> counts_;
+  std::deque<Job> jobs_;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+struct ProxyCtx {
+  ProxyConfig cfg;
+  ShardRouter router;
+  std::unique_ptr<Seeder> seeder;  // null: seeding disabled
+  /// Per-shard forward latency histograms, built once at startup; the
+  /// generic histogram folding in obs/prometheus renders them as
+  /// cluster.shard.<id>.latency quantiles for free.
+  std::map<int, std::unique_ptr<obs::LatencyHistogram>> latency;
+
+  ProxyCtx(ProxyConfig cfg_, ShardMap map) : cfg(std::move(cfg_)), router(std::move(map)) {
+    for (const ShardInfo& s : router.map().shards())
+      latency[s.id] = std::make_unique<obs::LatencyHistogram>(
+          "cluster.shard." + std::to_string(s.id) + ".latency");
+    if (cfg.seed_threshold > 0 && router.map().replication() > 1)
+      seeder = std::make_unique<Seeder>(router.map(), cfg.seed_threshold,
+                                        cfg.upstream_timeout_ms);
+  }
+};
+
+/// Forward one embedding request, failing over across the candidate
+/// list.  Always returns a terminal response.
+ServiceResponse forward_embed(const ServiceRequest& req, ProxyCtx& ctx,
+                              UpstreamPool& pool) {
+  obs::counter("cluster.requests").add();
+  const CanonicalForm canon = canonicalize(req.n, req.faults);
+  const auto cands =
+      ctx.router.candidates(canon.key, ShardRouter::Clock::now());
+
+  const auto fail_with = [&](ServiceStatus status, const char* reason) {
+    ServiceResponse r;
+    r.id = req.id;
+    r.status = status;
+    r.reason = reason;
+    return r;
+  };
+
+  if (FAILPOINT("proxy.forward"))
+    return fail_with(ServiceStatus::kError, "failpoint proxy.forward");
+
+  std::optional<ServiceResponse> shard_timeout;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    const int sid = cands[i];
+    const auto now = ShardRouter::Clock::now();
+    if (FAILPOINT("proxy.upstream")) {
+      // Chaos stands in for a dead upstream: same bookkeeping, same
+      // failover path.
+      ctx.router.record_failure(sid, now);
+      obs::counter("cluster.upstream_failures").add();
+      continue;
+    }
+    UpstreamConn* conn = pool.get(sid);
+    if (conn == nullptr) {
+      ctx.router.record_failure(sid, now);
+      obs::counter("cluster.connect_failures").add();
+      continue;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    write_request(conn->out, req);
+    conn->out.flush();
+    if (!conn->out.good()) {
+      pool.drop(sid);
+      ctx.router.record_failure(sid, ShardRouter::Clock::now());
+      obs::counter("cluster.write_failures").add();
+      continue;
+    }
+    std::string err;
+    const auto resp = read_response(conn->in, &err);
+    if (!resp || resp->id != req.id) {
+      // EOF, a wedged shard (bounded read expired), a malformed frame,
+      // or a response for someone else: the connection is unusable.
+      pool.drop(sid);
+      ctx.router.record_failure(sid, ShardRouter::Clock::now());
+      obs::counter("cluster.read_failures").add();
+      continue;
+    }
+    ctx.router.record_success(sid);
+    const auto it = ctx.latency.find(sid);
+    if (it != ctx.latency.end())
+      it->second->record(std::chrono::steady_clock::now() - t0);
+    obs::counter("cluster.forwarded").add();
+
+    if (resp->status == ServiceStatus::kTimeout) {
+      // The shard is alive but missed the request's budget; a replica
+      // with the class cached may still make it.  Keep the timeout as
+      // the answer of last resort.
+      obs::counter("cluster.upstream_timeouts").add();
+      shard_timeout = *resp;
+      continue;
+    }
+    if (i > 0) obs::counter("cluster.failover").add();
+    if (resp->status == ServiceStatus::kOk) {
+      obs::counter(resp->cache_hit ? "cluster.cache_hits"
+                                   : "cluster.cache_misses")
+          .add();
+      if (ctx.seeder) {
+        // The response ring is in the caller's frame; replicas cache
+        // by canonical key, so hand the seeder the canonical-frame
+        // ring (exactly inverse to the shard's finish() relabel).
+        ctx.seeder->note_ok(canon.key, req.n,
+                            relabel_ring(resp->ring, canon.to_canonical,
+                                         req.n),
+                            ctx.router.map().replicas(canon.key), sid);
+      }
+    }
+    return *resp;
+  }
+  if (shard_timeout) return *shard_timeout;
+  obs::counter("cluster.no_shard").add();
+  return fail_with(ServiceStatus::kRejected, "no live shard");
+}
+
+// --- client side ------------------------------------------------------
+
+/// Serve one client connection: requests are handled serially (the
+/// proxy holds no embedding state, so per-request concurrency belongs
+/// to the client opening more connections, which is what starring-load
+/// does — one per tenant).
+void serve_client(int fd, ProxyCtx& ctx, net::ConnRegistry& reg) {
+  std::atomic<bool> dead{false};
+  net::FdInBuf in_buf(fd);
+  net::FdOutBuf out_buf(fd, ctx.cfg.write_timeout_ms, &dead);
+  std::istream in(&in_buf);
+  std::ostream out(&out_buf);
+  UpstreamPool pool(ctx.router.map(), ctx.cfg.upstream_timeout_ms,
+                    ctx.cfg.write_timeout_ms);
+
+  std::string err;
+  while (!dead.load(std::memory_order_relaxed)) {
+    auto req = read_request(in, &err);
+    if (!req) {
+      if (!err.empty() && !dead.load(std::memory_order_relaxed)) {
+        ServiceResponse bad;
+        bad.status = ServiceStatus::kError;
+        bad.reason = "parse: " + err;
+        write_response(out, bad);
+        out.flush();
+      }
+      break;
+    }
+    if (req->kind == RequestKind::kStats) {
+      write_stats(out, obs::render_prometheus());
+      out.flush();
+      continue;
+    }
+    if (req->kind == RequestKind::kPing) {
+      out << "PONG\n";
+      out.flush();
+      continue;
+    }
+    if (req->kind == RequestKind::kFail) {
+      std::string why;
+      const bool ok = failpoint::set(req->fail_config, &why);
+      if (ok)
+        out << "FAIL ok\n";
+      else
+        out << "FAIL bad "
+            << (why.empty() ? std::string("failpoints unavailable") : why)
+            << "\n";
+      out.flush();
+      continue;
+    }
+    if (req->kind == RequestKind::kHealth) {
+      HealthInfo h;
+      h.shard_id = -1;  // a router, not a shard
+      h.epoch = ctx.router.map().epoch();
+      h.cache_entries = 0;
+      h.cache_hits = static_cast<std::uint64_t>(
+          obs::counter("cluster.cache_hits").value());
+      h.cache_misses = static_cast<std::uint64_t>(
+          obs::counter("cluster.cache_misses").value());
+      write_health(out, h);
+      out.flush();
+      continue;
+    }
+    if (req->kind == RequestKind::kSeed) {
+      out << "SEED bad proxy is not a shard\n";
+      out.flush();
+      continue;
+    }
+    const ServiceResponse resp = forward_embed(*req, ctx, pool);
+    if (!dead.load(std::memory_order_relaxed)) {
+      write_response(out, resp);
+      out.flush();
+    }
+  }
+  reg.remove(fd);
+  ::close(fd);
+}
+
+/// Over the connection cap: one `status rejected` response, then close.
+void refuse_connection(int fd) {
+  obs::counter("svc.rejected_conns").add();
+  net::FdOutBuf out_buf(fd, /*write_timeout_ms=*/1000, nullptr);
+  std::ostream out(&out_buf);
+  ServiceResponse rej;
+  rej.status = ServiceStatus::kRejected;
+  rej.reason = "connection limit";
+  write_response(out, rej);
+  out.flush();
+  ::close(fd);
+}
+
+/// Poll every shard's HEALTH each interval: trip the breaker of a
+/// shard that cannot answer, close the breaker of one that recovered,
+/// and flag identity/epoch mismatches.
+void health_loop(ProxyCtx& ctx, std::atomic<bool>& stop) {
+  const ShardMap& map = ctx.router.map();
+  std::map<int, bool> was_alive;
+  while (!stop.load(std::memory_order_relaxed)) {
+    for (const ShardInfo& s : map.shards()) {
+      if (stop.load(std::memory_order_relaxed)) break;
+      bool alive = false;
+      const int fd = net::connect_endpoint(s.endpoint, /*nonblocking=*/true);
+      if (fd >= 0) {
+        // Health probes get a short budget of their own: a wedged
+        // shard should trip its breaker well within the poll period.
+        const int budget =
+            std::max(100, ctx.cfg.health_interval_ms / 2);
+        UpstreamConn conn(fd, budget, budget);
+        ServiceRequest probe;
+        probe.kind = RequestKind::kHealth;
+        write_request(conn.out, probe);
+        conn.out.flush();
+        if (const auto h = read_health(conn.in)) {
+          if (h->shard_id != s.id || h->epoch != map.epoch()) {
+            obs::counter("cluster.health_mismatch").add();
+            std::cerr << "starring-proxy: shard " << s.id << " at "
+                      << net::to_string(s.endpoint)
+                      << " reports identity " << h->shard_id << " epoch "
+                      << h->epoch << " (want epoch " << map.epoch()
+                      << ")\n";
+          } else {
+            alive = true;
+          }
+        }
+      }
+      if (alive) {
+        ctx.router.record_success(s.id);
+      } else {
+        obs::counter("cluster.health_failures").add();
+        ctx.router.record_failure(s.id, ShardRouter::Clock::now());
+        const auto it = was_alive.find(s.id);
+        if (ctx.seeder && (it == was_alive.end() || it->second)) {
+          // A shard just died: previously pushed seeds may have lived
+          // there, so let hot classes qualify for seeding again.
+          ctx.seeder->forget_seeded();
+        }
+      }
+      was_alive[s.id] = alive;
+    }
+    // Sleep in small slices so shutdown is prompt.
+    for (int waited = 0;
+         waited < ctx.cfg.health_interval_ms &&
+         !stop.load(std::memory_order_relaxed);
+         waited += 50)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+// --- main -------------------------------------------------------------
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --shard-map FILE --listen PORT [options]\n"
+      << "  --shard-map FILE       cluster membership (starring-shard-map "
+         "v1)\n"
+      << "  --listen PORT          serve TCP on 127.0.0.1:PORT (0 = "
+         "kernel-assigned,\n"
+      << "                         printed on stderr)\n"
+      << "  --max-conns N          concurrent client connections "
+         "(default 64)\n"
+      << "  --write-timeout-ms N   evict a client that cannot drain its "
+         "socket\n"
+      << "                         (default 5000)\n"
+      << "  --upstream-timeout-ms N  budget for one shard exchange; "
+         "overrun\n"
+      << "                         counts as failure and fails over "
+         "(default 10000)\n"
+      << "  --health-interval-ms N HEALTH poll period, 0 = off "
+         "(default 1000)\n"
+      << "  --seed-threshold N     ok responses of a class before its "
+         "ring is\n"
+      << "                         replicated, 0 = off (default 3)\n"
+      << "  --drain-timeout-ms N   abort if shutdown drain exceeds N ms\n"
+      << "                         (default 10000)\n"
+      << "  --bench-artifact S     write BENCH_<S>.json on clean drain\n";
+  return 2;
+}
+
+std::optional<ProxyConfig> parse_args(int argc, char** argv) {
+  ProxyConfig cfg;
+  bool saw_listen = false;
+  const auto num = [&](int* i) -> long {
+    if (*i + 1 >= argc) return -1;
+    return std::atol(argv[++*i]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    long v = 0;
+    if (a == "--shard-map" && i + 1 < argc) {
+      cfg.shard_map_path = argv[++i];
+    } else if (a == "--listen" && (v = num(&i)) >= 0 && v < 65536) {
+      cfg.listen_port = static_cast<int>(v);
+      saw_listen = true;
+    } else if (a == "--max-conns" && (v = num(&i)) > 0) {
+      cfg.max_conns = static_cast<int>(v);
+    } else if (a == "--write-timeout-ms" && (v = num(&i)) > 0) {
+      cfg.write_timeout_ms = static_cast<int>(v);
+    } else if (a == "--upstream-timeout-ms" && (v = num(&i)) > 0) {
+      cfg.upstream_timeout_ms = static_cast<int>(v);
+    } else if (a == "--health-interval-ms" && (v = num(&i)) >= 0) {
+      cfg.health_interval_ms = static_cast<int>(v);
+    } else if (a == "--seed-threshold" && (v = num(&i)) >= 0) {
+      cfg.seed_threshold = static_cast<int>(v);
+    } else if (a == "--drain-timeout-ms" && (v = num(&i)) > 0) {
+      cfg.drain_timeout_ms = static_cast<int>(v);
+    } else if (a == "--bench-artifact" && i + 1 < argc) {
+      cfg.bench_artifact = argv[++i];
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (cfg.shard_map_path.empty() || !saw_listen) return std::nullopt;
+  return cfg;
+}
+
+int proxy_main(int argc, char** argv) {
+  auto cfg = parse_args(argc, argv);
+  if (!cfg) return usage(argv[0]);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+  obs::set_enabled(true);
+
+  std::string err;
+  auto map = ShardMap::load(cfg->shard_map_path, &err);
+  if (!map) {
+    std::cerr << "starring-proxy: bad shard map: " << err << "\n";
+    return 1;
+  }
+  std::cerr << "starring-proxy: " << map->shards().size()
+            << " shards, replication " << map->replication() << ", epoch "
+            << map->epoch() << "\n";
+
+  std::unique_ptr<obs::BenchRecorder> rec;
+  if (!cfg->bench_artifact.empty())
+    rec = std::make_unique<obs::BenchRecorder>(cfg->bench_artifact);
+
+  int actual_port = 0;
+  const int listen_fd =
+      net::listen_loopback(cfg->listen_port, 16, &actual_port, &err);
+  if (listen_fd < 0) {
+    std::cerr << "starring-proxy: " << err << "\n";
+    return 1;
+  }
+  std::cerr << "starring-proxy: listening on 127.0.0.1:" << actual_port
+            << "\n";
+
+  ProxyCtx ctx(*cfg, std::move(*map));
+
+  std::atomic<bool> health_stop{false};
+  std::thread health;
+  if (cfg->health_interval_ms > 0)
+    health = std::thread([&] { health_loop(ctx, health_stop); });
+
+  net::ConnRegistry reg;
+  obs::Counter& accept_errors = obs::counter("svc.accept_errors");
+  while (g_stop == 0) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 200 /*ms*/);
+    if (r <= 0) continue;  // timeout or EINTR: re-check g_stop
+    const int fd =
+        net::accept_transient(listen_fd, "starring-proxy", accept_errors);
+    if (fd < 0) continue;
+    if (reg.count() >= static_cast<std::size_t>(cfg->max_conns)) {
+      refuse_connection(fd);
+      continue;
+    }
+    if (!net::set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    reg.add(fd);
+    std::thread([fd, &ctx, &reg] { serve_client(fd, ctx, reg); }).detach();
+  }
+  ::close(listen_fd);
+
+  net::DrainGuard drain_guard(cfg->drain_timeout_ms);
+  reg.shutdown_all(SHUT_RD);
+  if (!reg.wait_empty(cfg->drain_timeout_ms / 2)) {
+    reg.shutdown_all(SHUT_RDWR);
+    if (!reg.wait_empty(cfg->drain_timeout_ms / 4)) {
+      std::cerr << "starring-proxy: connections failed to drain, aborting\n";
+      std::_Exit(1);
+    }
+  }
+  if (health.joinable()) {
+    health_stop.store(true, std::memory_order_relaxed);
+    health.join();
+  }
+  ctx.seeder.reset();  // flush pending seed pushes
+
+  if (rec) {
+    const double hits =
+        static_cast<double>(obs::counter("cluster.cache_hits").value());
+    const double misses =
+        static_cast<double>(obs::counter("cluster.cache_misses").value());
+    rec->add_counter("cluster.cache_hit_rate",
+                     hits + misses > 0 ? hits / (hits + misses) : 0.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace starring::cluster
+
+int main(int argc, char** argv) {
+  return starring::cluster::proxy_main(argc, argv);
+}

@@ -24,7 +24,6 @@
 //
 // With --bench-artifact NAME the run writes BENCH_<NAME>.json
 // (load.* counters) for scripts/bench_compare.py gating.
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -53,6 +52,7 @@
 #include "obs/bench_io.hpp"
 #include "obs/prometheus.hpp"
 #include "util/io.hpp"
+#include "util/net.hpp"
 
 namespace starring {
 namespace {
@@ -60,7 +60,10 @@ namespace {
 using loadgen::TenantSpec;
 
 struct LoadConfig {
-  int connect_port = -1;
+  /// Targets ("PORT" or "HOST:PORT"); repeatable.  Tenant i dials
+  /// endpoint i mod size, so one harness can spread tenants over a
+  /// proxy plus individual shards (or several proxies).
+  std::vector<net::Endpoint> connect;
   std::int64_t duration_ms = 2000;
   std::uint64_t seed = 1;
   std::vector<TenantSpec> tenants;
@@ -72,7 +75,11 @@ struct LoadConfig {
 
 int usage(const char* argv0) {
   std::cerr
-      << "usage: " << argv0 << " --connect PORT [options]\n"
+      << "usage: " << argv0 << " --connect HOST:PORT [options]\n"
+      << "  --connect HOST:PORT    target daemon or proxy (repeatable;\n"
+      << "                         a bare PORT means 127.0.0.1:PORT;\n"
+      << "                         tenant i dials endpoint i mod "
+         "count)\n"
       << "  --tenant SPEC          add a tenant workload (repeatable);\n"
       << "                         SPEC = name[:key=value]... with keys\n"
       << "                         rate, arrival=poisson|burst, on_ms,\n"
@@ -99,8 +106,10 @@ std::optional<LoadConfig> parse_args(int argc, char** argv) {
       return i + 1 < argc ? std::atol(argv[++i]) : -1;
     };
     long v = 0;
-    if (a == "--connect" && (v = num()) > 0 && v < 65536) {
-      cfg.connect_port = static_cast<int>(v);
+    if (a == "--connect" && i + 1 < argc) {
+      const auto ep = net::parse_endpoint(argv[++i]);
+      if (!ep) return std::nullopt;
+      cfg.connect.push_back(*ep);
     } else if (a == "--duration-ms" && (v = num()) > 0) {
       cfg.duration_ms = v;
     } else if (a == "--seed" && (v = num()) >= 0) {
@@ -127,22 +136,8 @@ std::optional<LoadConfig> parse_args(int argc, char** argv) {
       return std::nullopt;
     }
   }
-  if (cfg.connect_port < 0 || cfg.tenants.empty()) return std::nullopt;
+  if (cfg.connect.empty() || cfg.tenants.empty()) return std::nullopt;
   return cfg;
-}
-
-int connect_loopback(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
 }
 
 /// One tenant's client-side tally.  The latency vector is only touched
@@ -174,10 +169,12 @@ std::int64_t percentile_us(std::vector<std::int64_t>& v, double q) {
 /// everything in flight and EOF the stream).
 void run_tenant(const LoadConfig& cfg, const TenantSpec& spec,
                 std::size_t idx, TenantTally& tally) {
-  const int fd = connect_loopback(cfg.connect_port);
+  const net::Endpoint& ep = cfg.connect[idx % cfg.connect.size()];
+  const int fd = net::connect_endpoint(ep);
   if (fd < 0) {
-    std::cerr << "starring-load: " << spec.name << ": connect: "
-              << std::strerror(errno) << "\n";
+    std::cerr << "starring-load: " << spec.name << ": connect "
+              << net::to_string(ep) << ": " << std::strerror(errno)
+              << "\n";
     ++tally.transport_errors;
     return;
   }
@@ -281,8 +278,8 @@ void run_tenant(const LoadConfig& cfg, const TenantSpec& spec,
 }
 
 /// Scrape STATS on a fresh connection; returns the promtext or nullopt.
-std::optional<std::string> scrape_stats(const LoadConfig& cfg) {
-  const int fd = connect_loopback(cfg.connect_port);
+std::optional<std::string> scrape_one(const net::Endpoint& ep) {
+  const int fd = net::connect_endpoint(ep);
   if (fd < 0) return std::nullopt;
   __gnu_cxx::stdio_filebuf<char> out_buf(::dup(fd), std::ios::out);
   __gnu_cxx::stdio_filebuf<char> in_buf(fd, std::ios::in);
@@ -299,6 +296,34 @@ std::optional<std::string> scrape_stats(const LoadConfig& cfg) {
   auto body = read_stats(in, &err);
   ::shutdown(fd, SHUT_RDWR);
   return body;
+}
+
+/// Scrape every distinct endpoint, concatenating the expositions under
+/// `# endpoint` separator comments.  nullopt only when every scrape
+/// failed (a dead shard in a multi-endpoint run is survivable).
+std::optional<std::string> scrape_stats(const LoadConfig& cfg) {
+  std::string combined;
+  bool any = false;
+  for (std::size_t i = 0; i < cfg.connect.size(); ++i) {
+    const net::Endpoint& ep = cfg.connect[i];
+    // Skip duplicates (several tenants may share one endpoint).
+    bool seen = false;
+    for (std::size_t j = 0; j < i && !seen; ++j)
+      seen = cfg.connect[j].host == ep.host &&
+             cfg.connect[j].port == ep.port;
+    if (seen) continue;
+    const auto body = scrape_one(ep);
+    if (!body) {
+      std::cerr << "starring-load: STATS scrape of " << net::to_string(ep)
+                << " failed\n";
+      continue;
+    }
+    combined += "# endpoint " + net::to_string(ep) + "\n";
+    combined += *body;
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return combined;
 }
 
 /// Prometheus-mangled per-tenant histogram family name for `tenant`.
@@ -403,11 +428,33 @@ int load_main(int argc, char** argv) {
         rc = 1;
       }
     }
-    const auto hits = loadgen::parse_scalar(*stats, "starring_svc_cache_hits");
-    const auto misses =
-        loadgen::parse_scalar(*stats, "starring_svc_cache_misses");
-    if (hits && misses && *hits + *misses > 0)
-      hit_rate = *hits / (*hits + *misses);
+    // Sum the cache counters across every scraped endpoint.  A daemon
+    // exposes svc.cache_*; the proxy exposes cluster.cache_* instead
+    // (hits as observed through routing), so fall back per endpoint.
+    double hits_sum = 0.0, misses_sum = 0.0;
+    bool have_cache = false;
+    std::size_t pos = 0;
+    while (pos < stats->size()) {
+      std::size_t next = stats->find("# endpoint ", pos + 1);
+      if (next == std::string::npos) next = stats->size();
+      const std::string section = stats->substr(pos, next - pos);
+      auto hits = loadgen::parse_scalar(section, "starring_svc_cache_hits");
+      auto misses =
+          loadgen::parse_scalar(section, "starring_svc_cache_misses");
+      if (!hits || !misses) {
+        hits = loadgen::parse_scalar(section, "starring_cluster_cache_hits");
+        misses =
+            loadgen::parse_scalar(section, "starring_cluster_cache_misses");
+      }
+      if (hits && misses) {
+        hits_sum += *hits;
+        misses_sum += *misses;
+        have_cache = true;
+      }
+      pos = next;
+    }
+    if (have_cache && hits_sum + misses_sum > 0)
+      hit_rate = hits_sum / (hits_sum + misses_sum);
     std::printf("starring-load: daemon cache hit rate %.3f\n", hit_rate);
     for (const TenantSpec& spec : cfg->tenants) {
       const auto h = obs::parse_histogram(

@@ -151,6 +151,10 @@ class EmbedService {
   /// re-verified like any other.  Call before serving traffic.
   void seed_cache(const std::string& key, std::vector<VertexId> ring);
 
+  /// Entries currently held by the canonical result cache (the shard
+  /// HEALTH probe reports this).
+  std::size_t cache_size() const { return cache_.size(); }
+
   const ServiceOptions& options() const { return opts_; }
 
  private:

@@ -25,7 +25,6 @@
 // cache never hit.
 #include <sys/socket.h>
 #include <sys/wait.h>
-#include <netinet/in.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -54,6 +53,7 @@
 #include "stargraph/star_graph.hpp"
 #include "util/backoff.hpp"
 #include "util/io.hpp"
+#include "util/net.hpp"
 
 namespace starring {
 namespace {
@@ -69,7 +69,9 @@ struct CliConfig {
   std::int64_t deadline_ms = 0;  // per-request budget; 0 = none
   std::string tenant;        // tag every request with this tenant
   bool expect_hits = false;  // drive: fail if the cache never hit
-  int connect_port = -1;     // drive: TCP instead of spawning
+  /// drive: TCP endpoint instead of spawning ("PORT" or "HOST:PORT" —
+  /// a bare port keeps the historical loopback behaviour).
+  std::optional<net::Endpoint> connect;
   int retry = 0;  // drive (TCP): reconnect rounds after rejections/drops
   std::string trace_out;     // drive (spawned): daemon trace JSON path
   std::string stats_out;     // drive: save the raw STATS promtext here
@@ -92,7 +94,9 @@ int usage(const char* argv0) {
       << "  --tenant NAME    tag every request with this tenant (quota\n"
       << "                   and fair-scheduling principal)\n"
       << "  --expect-hits    drive: fail when cache hits == 0\n"
-      << "  --connect PORT   drive: use a TCP daemon on 127.0.0.1\n"
+      << "  --connect HOST:PORT  drive: use a TCP daemon (or proxy) "
+         "there;\n"
+      << "                   a bare PORT means 127.0.0.1:PORT\n"
       << "  --retry N        drive (TCP): reconnect and resubmit "
          "unanswered\n"
       << "                   requests up to N times (exponential backoff "
@@ -138,8 +142,9 @@ std::optional<CliConfig> parse_args(int argc, char** argv) {
       cfg.tenant = argv[++i];
     } else if (a == "--expect-hits") {
       cfg.expect_hits = true;
-    } else if (a == "--connect" && (v = num()) > 0 && v < 65536) {
-      cfg.connect_port = static_cast<int>(v);
+    } else if (a == "--connect" && i + 1 < argc) {
+      cfg.connect = net::parse_endpoint(argv[++i]);
+      if (!cfg.connect) return std::nullopt;
     } else if (a == "--retry" && (v = num()) >= 0) {
       cfg.retry = static_cast<int>(v);
     } else if (a == "--trace-out" && i + 1 < argc) {
@@ -325,20 +330,6 @@ int run_check(const CliConfig& cfg) {
   return report(cfg, received, hits, timeouts, failures, 0.0);
 }
 
-int connect_loopback(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
 int drive_spawned(const CliConfig& cfg) {
   int to_child[2];
   int from_child[2];
@@ -446,7 +437,7 @@ int drive_tcp(const CliConfig& cfg) {
                 << " ms\n";
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
     }
-    const int fd = connect_loopback(cfg.connect_port);
+    const int fd = net::connect_endpoint(*cfg.connect);
     if (fd < 0) {
       if (last_round) {
         std::cerr << "starring-cli: connect: " << std::strerror(errno)
@@ -580,7 +571,7 @@ int cli_main(int argc, char** argv) {
   if (cfg->mode == "generate") return run_generate(*cfg);
   if (cfg->mode == "check") return run_check(*cfg);
   if (cfg->mode == "warm") return run_warm(*cfg);
-  if (cfg->connect_port > 0) {
+  if (cfg->connect) {
     if (!cfg->trace_out.empty()) {
       std::cerr << "starring-cli: --trace-out needs a spawned daemon; "
                    "pass --trace-out to the remote starringd instead\n";

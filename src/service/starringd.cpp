@@ -30,8 +30,6 @@
 // With --bench-artifact NAME the daemon enables the metrics layer and
 // writes BENCH_<NAME>.json (svc.* counters, latency histogram, cache
 // hit rate) to $STARRING_BENCH_DIR on clean drain.
-#include <fcntl.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -47,13 +45,13 @@
 #include <mutex>
 #include <optional>
 #include <ostream>
-#include <streambuf>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <atomic>
 
+#include "cluster/shard_map.hpp"
 #include "core/oracle_store.hpp"
 #include "obs/bench_io.hpp"
 #include "obs/metrics.hpp"
@@ -62,6 +60,7 @@
 #include "service/service.hpp"
 #include "util/failpoint.hpp"
 #include "util/io.hpp"
+#include "util/net.hpp"
 
 namespace starring {
 namespace {
@@ -75,119 +74,25 @@ void on_signal(int) { g_stop = 1; }
 volatile std::sig_atomic_t g_dump = 0;
 void on_dump_signal(int) { g_dump = 1; }
 
-// --- minimal fd <-> iostream glue (TCP connections) ------------------
-
-class FdInBuf : public std::streambuf {
- public:
-  explicit FdInBuf(int fd) : fd_(fd) {}
-
- private:
-  int_type underflow() override {
-    while (true) {
-      const ssize_t k = ::read(fd_, buf_, sizeof buf_);
-      if (k > 0) {
-        setg(buf_, buf_, buf_ + k);
-        return traits_type::to_int_type(buf_[0]);
-      }
-      if (k == 0) return traits_type::eof();
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        // Non-blocking socket with nothing queued: wait for data.  A
-        // drain half-close (SHUT_RD/SHUT_RDWR) wakes the poll with EOF.
-        pollfd pfd{fd_, POLLIN, 0};
-        int r;
-        do {
-          r = ::poll(&pfd, 1, -1);
-        } while (r < 0 && errno == EINTR);
-        if (r <= 0) return traits_type::eof();
-        continue;
-      }
-      return traits_type::eof();
-    }
-  }
-
-  int fd_;
-  char buf_[4096];
-};
-
-class FdOutBuf : public std::streambuf {
- public:
-  /// write_timeout_ms < 0 means block forever.  `dead`, when non-null,
-  /// is set on eviction or hard write error so the owner stops
-  /// servicing the connection.
-  FdOutBuf(int fd, int write_timeout_ms, std::atomic<bool>* dead)
-      : fd_(fd), timeout_ms_(write_timeout_ms), dead_(dead) {}
-
- private:
-  int_type overflow(int_type c) override {
-    if (traits_type::eq_int_type(c, traits_type::eof())) return c;
-    const char ch = traits_type::to_char_type(c);
-    return write_all(&ch, 1) ? c : traits_type::eof();
-  }
-  std::streamsize xsputn(const char* s, std::streamsize count) override {
-    return write_all(s, static_cast<std::size_t>(count))
-               ? count
-               : std::streamsize{0};
-  }
-  void mark_dead() {
-    if (dead_ != nullptr) dead_->store(true, std::memory_order_relaxed);
-    // Both directions: wake a reader blocked in poll and refuse any
-    // queued client bytes — the connection is done.
-    ::shutdown(fd_, SHUT_RDWR);
-  }
-  bool write_all(const char* p, std::size_t count) {
-    if (dead_ != nullptr && dead_->load(std::memory_order_relaxed))
-      return false;
-    while (count > 0) {
-      const ssize_t k = ::write(fd_, p, count);
-      if (k > 0) {
-        p += k;
-        count -= static_cast<std::size_t>(k);
-        continue;
-      }
-      if (k < 0 && errno == EINTR) continue;
-      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        pollfd pfd{fd_, POLLOUT, 0};
-        int r;
-        do {
-          r = ::poll(&pfd, 1, timeout_ms_);
-        } while (r < 0 && errno == EINTR);
-        if (r > 0) continue;
-        // The client has not drained its socket within the write
-        // budget: evict it rather than let it pin this thread (and the
-        // response lock) indefinitely.
-        obs::counter("svc.evicted_conns").add();
-        mark_dead();
-        return false;
-      }
-      // EPIPE, ECONNRESET, ...: the peer is gone; record and stop
-      // servicing instead of erroring on every subsequent response.
-      obs::counter("io.write_errors").add();
-      mark_dead();
-      return false;
-    }
-    return true;
-  }
-
-  int fd_;
-  int timeout_ms_;
-  std::atomic<bool>* dead_;
-};
-
-bool set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
-}
+// The fd <-> iostream glue, hardened accept, and drain scaffolding
+// used to live here file-locally; they moved to util/net.hpp when the
+// proxy and clients grew the same needs.
 
 struct DaemonConfig {
   ServiceOptions svc;
-  int listen_port = -1;  // -1: stdio mode
+  int listen_port = -1;  // -1: stdio mode; 0: kernel-assigned
+  /// Cluster identity (--shard-id/--shard-map); -1 when standalone.
+  /// Reported by the HEALTH probe so the proxy can detect a process
+  /// serving under the wrong identity or an out-of-date map.
+  int shard_id = -1;
+  std::uint64_t map_epoch = 0;
   int max_conns = 64;
   int write_timeout_ms = 5000;
   int drain_timeout_ms = 10000;
   std::string bench_artifact;
   std::string trace_out;  // non-empty: tracing on, dump here
   std::string oracle_snapshot;  // non-empty: warm-start from this file
+  std::string shard_map;  // non-empty: validate --shard-id against it
   /// Canonical rings from a loaded snapshot, handed to the EmbedService
   /// (which is constructed inside serve_*) and consumed there.
   std::vector<OracleSnapshot::CanonicalRing> seed_rings;
@@ -200,40 +105,6 @@ void seed_service(EmbedService& svc, DaemonConfig& cfg) {
   cfg.seed_rings.clear();
   cfg.seed_rings.shrink_to_fit();
 }
-
-/// Arms a wall-clock bound on shutdown: if the owner has not finished
-/// draining (destroyed the guard) within the budget, the process is
-/// aborted — a wedged embedding or connection must not turn SIGTERM
-/// into a hang.
-class DrainGuard {
- public:
-  explicit DrainGuard(int budget_ms) {
-    watcher_ = std::thread([this, budget_ms] {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (!cv_.wait_for(lock, std::chrono::milliseconds(budget_ms),
-                        [this] { return done_; })) {
-        std::cerr << "starringd: drain deadline exceeded, aborting\n";
-        std::_Exit(1);
-      }
-    });
-  }
-  ~DrainGuard() {
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      done_ = true;
-    }
-    cv_.notify_all();
-    watcher_.join();
-  }
-  DrainGuard(const DrainGuard&) = delete;
-  DrainGuard& operator=(const DrainGuard&) = delete;
-
- private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  std::thread watcher_;
-};
 
 int usage(const char* argv0) {
   std::cerr
@@ -250,7 +121,13 @@ int usage(const char* argv0) {
       << "                       batch formation (default 1)\n"
       << "  --threads N          embedding worker threads (0 = cores)\n"
       << "  --listen PORT        serve TCP on 127.0.0.1:PORT (default: "
-         "stdio)\n"
+         "stdio;\n"
+      << "                       0 = kernel-assigned, printed on "
+         "stderr)\n"
+      << "  --shard-id N         cluster identity, reported by HEALTH\n"
+      << "  --shard-map FILE     validate --shard-id against this map "
+         "and\n"
+      << "                       report its epoch in HEALTH\n"
       << "  --max-conns N        concurrent TCP connections; excess "
          "accepts\n"
       << "                       are answered `status rejected` "
@@ -302,8 +179,12 @@ std::optional<DaemonConfig> parse_args(int argc, char** argv) {
       cfg.svc.drr_quantum = static_cast<std::size_t>(v);
     } else if (a == "--threads" && (v = num(&i)) >= 0) {
       cfg.svc.embed.num_threads = static_cast<unsigned>(v);
-    } else if (a == "--listen" && (v = num(&i)) > 0 && v < 65536) {
+    } else if (a == "--listen" && (v = num(&i)) >= 0 && v < 65536) {
       cfg.listen_port = static_cast<int>(v);
+    } else if (a == "--shard-id" && (v = num(&i)) >= 0) {
+      cfg.shard_id = static_cast<int>(v);
+    } else if (a == "--shard-map" && i + 1 < argc) {
+      cfg.shard_map = argv[++i];
     } else if (a == "--max-conns" && (v = num(&i)) > 0) {
       cfg.max_conns = static_cast<int>(v);
     } else if (a == "--write-timeout-ms" && (v = num(&i)) > 0) {
@@ -325,14 +206,51 @@ std::optional<DaemonConfig> parse_args(int argc, char** argv) {
 
 // --- stdio transport --------------------------------------------------
 
-/// Answer a PING or FAIL command on `out`; true when `req` was one.
-/// Both are answered inline on the reader thread — liveness probes and
-/// fault arming must not wait behind queued embeddings.
-bool answer_command(const ServiceRequest& req, std::ostream& out,
-                    std::mutex& out_mu) {
+/// Answer a PING, FAIL, HEALTH, or seed command on `out`; true when
+/// `req` was one.  All are answered inline on the reader thread —
+/// liveness probes, fault arming, and cache seeding must not wait
+/// behind queued embeddings.
+bool answer_command(ServiceRequest& req, std::ostream& out,
+                    std::mutex& out_mu, EmbedService& svc,
+                    const DaemonConfig& cfg) {
   if (req.kind == RequestKind::kPing) {
     const std::lock_guard<std::mutex> lock(out_mu);
     out << "PONG\n";
+    out.flush();
+    return true;
+  }
+  if (req.kind == RequestKind::kHealth) {
+    HealthInfo h;
+    h.shard_id = cfg.shard_id;
+    h.epoch = cfg.map_epoch;
+    h.cache_entries = svc.cache_size();
+    h.cache_hits = static_cast<std::uint64_t>(
+        obs::counter("svc.cache_hits").value());
+    h.cache_misses = static_cast<std::uint64_t>(
+        obs::counter("svc.cache_misses").value());
+    const std::lock_guard<std::mutex> lock(out_mu);
+    write_health(out, h);
+    out.flush();
+    return true;
+  }
+  if (req.kind == RequestKind::kSeed) {
+    // Proxy-initiated read-through replication: insert the pushed
+    // canonical ring as if it came from a snapshot warm start.  Trust
+    // boundary is the same as FAIL — loopback peers are operators.
+    std::string why;
+    if (req.seed_key.empty())
+      why = "empty key";
+    else if (req.seed_ring.empty())
+      why = "empty ring";
+    else
+      svc.seed_cache(req.seed_key, std::move(req.seed_ring));
+    obs::counter(why.empty() ? "svc.seeds_accepted" : "svc.seeds_rejected")
+        .add();
+    const std::lock_guard<std::mutex> lock(out_mu);
+    if (why.empty())
+      out << "SEED ok\n";
+    else
+      out << "SEED bad " << why << "\n";
     out.flush();
     return true;
   }
@@ -355,7 +273,7 @@ bool answer_command(const ServiceRequest& req, std::ostream& out,
 int serve_stdio(DaemonConfig& cfg) {
   // Declared before the service: destroyed after it, so a signal-drain
   // bound armed below covers the scheduler join in ~EmbedService.
-  std::optional<DrainGuard> drain_guard;
+  std::optional<net::DrainGuard> drain_guard;
   EmbedService svc(cfg.svc);
   seed_service(svc, cfg);
   std::mutex out_mu;
@@ -391,7 +309,7 @@ int serve_stdio(DaemonConfig& cfg) {
       std::cout.flush();
       continue;
     }
-    if (answer_command(*req, std::cout, out_mu)) continue;
+    if (answer_command(*req, std::cout, out_mu, svc, cfg)) continue;
     // wait=true: a full queue stops the reader, and the pipe buffer
     // backpressures the writer on the other side.
     svc.submit(std::move(*req));
@@ -406,48 +324,14 @@ int serve_stdio(DaemonConfig& cfg) {
 
 // --- TCP transport ----------------------------------------------------
 
-struct ConnRegistry {
-  std::mutex mu;
-  std::condition_variable empty_cv;
-  std::vector<int> fds;
-
-  std::size_t count() {
-    const std::lock_guard<std::mutex> lock(mu);
-    return fds.size();
-  }
-  void add(int fd) {
-    const std::lock_guard<std::mutex> lock(mu);
-    fds.push_back(fd);
-  }
-  void remove(int fd) {
-    // Notify under the lock: the acceptor may tear down the registry
-    // the moment it observes the table empty.
-    const std::lock_guard<std::mutex> lock(mu);
-    std::erase(fds, fd);
-    if (fds.empty()) empty_cv.notify_all();
-  }
-  void shutdown_all(int how) {
-    const std::lock_guard<std::mutex> lock(mu);
-    // SHUT_RD: readers see EOF, pending responses still flow out.
-    // SHUT_RDWR: hard close for drain laggards.
-    for (const int fd : fds) ::shutdown(fd, how);
-  }
-  /// Wait (bounded) for every connection thread to deregister.
-  bool wait_empty(int budget_ms) {
-    std::unique_lock<std::mutex> lock(mu);
-    return empty_cv.wait_for(lock, std::chrono::milliseconds(budget_ms),
-                             [this] { return fds.empty(); });
-  }
-};
-
-void serve_connection(int fd, EmbedService& svc, ConnRegistry& reg,
-                      int write_timeout_ms) {
+void serve_connection(int fd, EmbedService& svc, net::ConnRegistry& reg,
+                      const DaemonConfig& cfg) {
   // Set on write timeout (eviction) or hard write error; once dead the
   // connection is no longer serviced — reads stop (the socket is
   // hard-closed) and queued callbacks drop their responses.
   std::atomic<bool> dead{false};
-  FdInBuf in_buf(fd);
-  FdOutBuf out_buf(fd, write_timeout_ms, &dead);
+  net::FdInBuf in_buf(fd);
+  net::FdOutBuf out_buf(fd, cfg.write_timeout_ms, &dead);
   std::istream in(&in_buf);
   std::ostream out(&out_buf);
   // Per-connection response routing; responses may complete out of
@@ -477,7 +361,7 @@ void serve_connection(int fd, EmbedService& svc, ConnRegistry& reg,
       out.flush();
       continue;
     }
-    if (answer_command(*req, out, out_mu)) continue;
+    if (answer_command(*req, out, out_mu, svc, cfg)) continue;
     {
       const std::lock_guard<std::mutex> lock(done_mu);
       ++outstanding;
@@ -529,7 +413,7 @@ void serve_connection(int fd, EmbedService& svc, ConnRegistry& reg,
 /// read its bounce is closed on anyway when the process exits).
 void refuse_connection(int fd) {
   obs::counter("svc.rejected_conns").add();
-  FdOutBuf out_buf(fd, /*write_timeout_ms=*/1000, nullptr);
+  net::FdOutBuf out_buf(fd, /*write_timeout_ms=*/1000, nullptr);
   std::ostream out(&out_buf);
   ServiceResponse rej;
   rej.status = ServiceStatus::kRejected;
@@ -540,44 +424,37 @@ void refuse_connection(int fd) {
 }
 
 int serve_tcp(DaemonConfig& cfg) {
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int actual_port = 0;
+  std::string err;
+  const int listen_fd =
+      net::listen_loopback(cfg.listen_port, 16, &actual_port, &err);
   if (listen_fd < 0) {
-    std::cerr << "starringd: socket: " << std::strerror(errno) << "\n";
+    std::cerr << "starringd: " << err << "\n";
     return 1;
   }
-  const int one = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(cfg.listen_port));
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-          0 ||
-      ::listen(listen_fd, 16) < 0) {
-    std::cerr << "starringd: bind/listen: " << std::strerror(errno) << "\n";
-    ::close(listen_fd);
-    return 1;
-  }
-  std::cerr << "starringd: listening on 127.0.0.1:" << cfg.listen_port
-            << "\n";
+  // With --listen 0 this line is how a test or launch script learns
+  // the kernel-assigned port — keep it parseable.
+  std::cerr << "starringd: listening on 127.0.0.1:" << actual_port << "\n";
 
   // Declared before the service and registry: destroyed last, so the
   // drain bound armed at shutdown covers the scheduler join too.
-  std::optional<DrainGuard> drain_guard;
+  std::optional<net::DrainGuard> drain_guard;
   EmbedService svc(cfg.svc);
   seed_service(svc, cfg);
-  ConnRegistry reg;
+  net::ConnRegistry reg;
+  obs::Counter& accept_errors = obs::counter("svc.accept_errors");
   while (g_stop == 0) {
     pollfd pfd{listen_fd, POLLIN, 0};
     const int r = ::poll(&pfd, 1, 200 /*ms*/);
     if (r <= 0) continue;  // timeout or EINTR: re-check g_stop
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    const int fd =
+        net::accept_transient(listen_fd, "starringd", accept_errors);
     if (fd < 0) continue;
     if (reg.count() >= static_cast<std::size_t>(cfg.max_conns)) {
       refuse_connection(fd);
       continue;
     }
-    if (!set_nonblocking(fd)) {
+    if (!net::set_nonblocking(fd)) {
       ::close(fd);
       continue;
     }
@@ -585,9 +462,8 @@ int serve_tcp(DaemonConfig& cfg) {
     // Detached with the registry as the liveness ledger: finished
     // connections release their thread immediately instead of
     // accumulating joinable handles until shutdown.
-    const int timeout = cfg.write_timeout_ms;
-    std::thread([fd, &svc, &reg, timeout] {
-      serve_connection(fd, svc, reg, timeout);
+    std::thread([fd, &svc, &reg, &cfg] {
+      serve_connection(fd, svc, reg, cfg);
     }).detach();
   }
   ::close(listen_fd);
@@ -615,6 +491,26 @@ int daemon_main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   std::signal(SIGPIPE, SIG_IGN);
+
+  if (!cfg->shard_map.empty()) {
+    // The map is the deployment's source of truth: refusing to start
+    // under an identity it does not list catches the classic copy-paste
+    // launch error before the proxy ever sees a mismatched HEALTH.
+    std::string err;
+    const auto map = cluster::ShardMap::load(cfg->shard_map, &err);
+    if (!map) {
+      std::cerr << "starringd: bad shard map: " << err << "\n";
+      return 1;
+    }
+    if (cfg->shard_id < 0 || map->find(cfg->shard_id) == nullptr) {
+      std::cerr << "starringd: --shard-id "
+                << (cfg->shard_id < 0 ? std::string("(unset)")
+                                      : std::to_string(cfg->shard_id))
+                << " not in " << cfg->shard_map << "\n";
+      return 1;
+    }
+    cfg->map_epoch = map->epoch();
+  }
 
   // A live daemon is meant to be inspected (STATS), so the metrics
   // layer is always on here; batch tools still opt in via BenchRecorder
@@ -671,7 +567,7 @@ int daemon_main(int argc, char** argv) {
     });
   }
 
-  const int rc = cfg->listen_port > 0 ? serve_tcp(*cfg) : serve_stdio(*cfg);
+  const int rc = cfg->listen_port >= 0 ? serve_tcp(*cfg) : serve_stdio(*cfg);
 
   if (!cfg->trace_out.empty()) {
     dump_watcher_stop.store(true, std::memory_order_relaxed);

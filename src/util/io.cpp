@@ -202,6 +202,21 @@ bool write_request(std::ostream& os, const ServiceRequest& r) {
     os << "FAIL " << r.fail_config << "\n";
     return static_cast<bool>(os);
   }
+  if (r.kind == RequestKind::kHealth) {
+    os << "HEALTH\n";
+    return static_cast<bool>(os);
+  }
+  if (r.kind == RequestKind::kSeed) {
+    os << "starring-seed v1\n";
+    os << "n " << r.n << "\n";
+    os << "key " << r.seed_key << "\n";
+    os << "ring " << r.seed_ring.size() << "\n";
+    for (std::size_t i = 0; i < r.seed_ring.size(); ++i)
+      os << r.seed_ring[i] << ((i + 1) % 16 == 0 ? '\n' : ' ');
+    os << "\n";
+    os << "end\n";
+    return static_cast<bool>(os);
+  }
   os << "starring-request v1\n";
   os << "id " << r.id << "\n";
   os << "n " << r.n << "\n";
@@ -306,6 +321,36 @@ std::optional<ServiceRequest> read_request(std::istream& is,
     }
     if (word == "PING") {
       r.kind = RequestKind::kPing;
+      return r;
+    }
+    if (word == "HEALTH") {
+      r.kind = RequestKind::kHealth;
+      return r;
+    }
+    if (word == "starring-seed") {
+      std::string version;
+      if (!(is >> version) || version != "v1") {
+        fail(error, "bad header");
+        return std::nullopt;
+      }
+      r.kind = RequestKind::kSeed;
+      if (!(is >> word >> r.n) || word != "n" || r.n < 1 || r.n > kMaxN) {
+        fail(error, "bad dimension line");
+        return std::nullopt;
+      }
+      if (!(is >> word >> r.seed_key) || word != "key" ||
+          r.seed_key.size() > kMaxSeedKeyLen) {
+        fail(error, "bad key line");
+        return std::nullopt;
+      }
+      std::size_t count = 0;
+      if (!(is >> word >> count) || word != "ring") {
+        fail(error, "bad ring line");
+        return std::nullopt;
+      }
+      if (!read_sequence(is, r.n, count, &r.seed_ring, error))
+        return std::nullopt;
+      if (!read_end(is, error)) return std::nullopt;
       return r;
     }
     if (word == "FAIL") {
@@ -494,6 +539,55 @@ std::optional<std::string> read_stats(std::istream& is, std::string* error) {
   }
   if (!read_end(is, error)) return std::nullopt;
   return body;
+}
+
+bool write_health(std::ostream& os, const HealthInfo& h) {
+  os << "starring-health v1\n";
+  os << "shard " << h.shard_id << "\n";
+  os << "epoch " << h.epoch << "\n";
+  os << "cache_entries " << h.cache_entries << "\n";
+  os << "cache_hits " << h.cache_hits << "\n";
+  os << "cache_misses " << h.cache_misses << "\n";
+  os << "end\n";
+  return static_cast<bool>(os);
+}
+
+std::optional<HealthInfo> read_health(std::istream& is, std::string* error) {
+  std::string word;
+  if (!(is >> word)) {
+    fail(error, "");  // clean EOF
+    return std::nullopt;
+  }
+  std::string version;
+  if (word != "starring-health" || !(is >> version) || version != "v1") {
+    fail(error, "bad header");
+    return std::nullopt;
+  }
+  HealthInfo h;
+  // shard -1 is legal: a proxy answers HEALTH too, and it is not a
+  // shard.
+  if (!(is >> word >> h.shard_id) || word != "shard" || h.shard_id < -1) {
+    fail(error, "bad shard line");
+    return std::nullopt;
+  }
+  if (!(is >> word >> h.epoch) || word != "epoch") {
+    fail(error, "bad epoch line");
+    return std::nullopt;
+  }
+  if (!(is >> word >> h.cache_entries) || word != "cache_entries") {
+    fail(error, "bad cache_entries line");
+    return std::nullopt;
+  }
+  if (!(is >> word >> h.cache_hits) || word != "cache_hits") {
+    fail(error, "bad cache_hits line");
+    return std::nullopt;
+  }
+  if (!(is >> word >> h.cache_misses) || word != "cache_misses") {
+    fail(error, "bad cache_misses line");
+    return std::nullopt;
+  }
+  if (!read_end(is, error)) return std::nullopt;
+  return h;
 }
 
 }  // namespace starring

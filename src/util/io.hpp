@@ -75,7 +75,7 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
 // bucket is exhausted; like `rejected` it carries no ring and the
 // request may be retried after a backoff.
 //
-// Three out-of-band commands ride the same request stream as bare
+// Four out-of-band commands ride the same request stream as bare
 // lines, answered inline (ahead of any still-pending embedding
 // responses):
 //
@@ -89,10 +89,28 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
 //   FAIL <config>  arm/disarm fault-injection sites (util/failpoint.hpp
 //                  grammar; `FAIL clear` disarms all), answered with
 //                  `FAIL ok` or `FAIL bad <reason>` on one line
+//   HEALTH         shard identity + cache probe (the starring-proxy
+//                  health poller), answered with a self-framing
+//                  starring-health v1 record (see HealthInfo below)
+//
+// One more record type rides the request stream: `starring-seed v1`,
+// the proxy's read-through replication push.  It carries a canonical
+// class key and its canonical ring so a replica shard can warm its
+// cache without recomputing (EmbedService::seed_cache):
+//
+//   starring-seed v1
+//   n <dim>
+//   key <canonical class key, one token>
+//   ring <length>
+//   <vertex ids ...>
+//   end
+//
+// answered with the single line `SEED ok` or `SEED bad <reason>`.
 
-/// What a parsed request asks for: an embedding, or one of the bare
-/// command lines (`STATS`, `PING`, `FAIL <config>`).
-enum class RequestKind { kEmbed, kStats, kPing, kFail };
+/// What a parsed request asks for: an embedding, one of the bare
+/// command lines (`STATS`, `PING`, `FAIL <config>`, `HEALTH`), or a
+/// replication seed record.
+enum class RequestKind { kEmbed, kStats, kPing, kFail, kHealth, kSeed };
 
 struct ServiceRequest {
   RequestKind kind = RequestKind::kEmbed;
@@ -116,7 +134,16 @@ struct ServiceRequest {
   std::string tenant;
   /// Payload of a `FAIL <config>` command (kind == kFail only).
   std::string fail_config;
+  /// Canonical class key of a seed record (kind == kSeed only; n above
+  /// is the seed's dimension and seed_ring its canonical ring).
+  std::string seed_key;
+  std::vector<VertexId> seed_ring;
 };
+
+/// Longest canonical-class key accepted in a seed record.  Canonical
+/// keys are short (one char per dimension plus hex fault bits); the cap
+/// just stops a garbage frame from growing an unbounded token.
+inline constexpr std::size_t kMaxSeedKeyLen = 256;
 
 /// Longest tenant name accepted on the wire; longer tokens are a
 /// framing error (tenant names become metric names — unbounded ones
@@ -156,6 +183,39 @@ bool write_stats(std::ostream& os, const std::string& body);
 /// Parse one stats record; same clean-EOF vs malformed contract as
 /// read_request.
 std::optional<std::string> read_stats(std::istream& is,
+                                      std::string* error = nullptr);
+
+// --- cluster health probe --------------------------------------------
+//
+// A shard answers the bare `HEALTH` line with:
+//
+//   starring-health v1
+//   shard <id>
+//   epoch <u64>
+//   cache_entries <u64>
+//   cache_hits <u64>
+//   cache_misses <u64>
+//   end
+//
+// shard/epoch let the proxy detect a process serving under the wrong
+// identity or an out-of-date shard map; the cache numbers feed
+// cluster-level hit-rate accounting without a full STATS scrape.
+// starring-proxy answers HEALTH as well, reporting shard -1 (it is a
+// router, not a shard) and its shard map's epoch.
+
+struct HealthInfo {
+  int shard_id = -1;
+  std::uint64_t epoch = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+bool write_health(std::ostream& os, const HealthInfo& h);
+
+/// Parse one health record; same clean-EOF vs malformed contract as
+/// read_request.
+std::optional<HealthInfo> read_health(std::istream& is,
                                       std::string* error = nullptr);
 
 }  // namespace starring

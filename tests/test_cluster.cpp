@@ -1,0 +1,292 @@
+// Cluster placement + routing unit tests: the FNV-1a test vectors, the
+// shard-map grammar, the consistent-hash ring's balance / minimal-
+// disruption / replica-set properties, endpoint parsing, and the
+// circuit-breaker state machine (driven with injected time — no
+// sleeps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "cluster/shard_map.hpp"
+#include "util/net.hpp"
+
+namespace starring::cluster {
+namespace {
+
+std::string map_text(int shards, int replication = 2, int vnodes = 128) {
+  std::ostringstream os;
+  os << "starring-shard-map v1\n"
+     << "epoch 7\n"
+     << "replication " << replication << "\n"
+     << "vnodes " << vnodes << "\n"
+     << "shards " << shards << "\n";
+  for (int i = 0; i < shards; ++i)
+    os << "shard " << i << " 127.0.0.1:" << (47181 + i) << "\n";
+  os << "end\n";
+  return os.str();
+}
+
+ShardMap parse_or_die(const std::string& text) {
+  std::istringstream is(text);
+  std::string err;
+  const auto m = ShardMap::parse(is, &err);
+  EXPECT_TRUE(m.has_value()) << err;
+  return *m;
+}
+
+std::string key_for(int i) { return "class-" + std::to_string(i); }
+
+TEST(Fnv, PublishedTestVectors) {
+  // Offset basis and the canonical fnv.isthe.com vectors — pins the
+  // constants so placement can never silently drift across builds.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+  // And the finalized placement hash, so ring positions can never
+  // silently drift either (mix64 is murmur3's fmix64).
+  EXPECT_EQ(place_hash(""), 0xefd01f60ba992926ull);
+  EXPECT_EQ(mix64(0), 0u);
+}
+
+TEST(ShardMapParse, FullRecordRoundTrips) {
+  const ShardMap m = parse_or_die(map_text(3));
+  EXPECT_EQ(m.epoch(), 7u);
+  EXPECT_EQ(m.replication(), 2);
+  EXPECT_EQ(m.vnodes(), 128);
+  ASSERT_EQ(m.shards().size(), 3u);
+  EXPECT_EQ(m.shards()[1].id, 1);
+  EXPECT_EQ(m.shards()[1].endpoint.port, 47182);
+  const ShardMap again = parse_or_die(m.to_text());
+  EXPECT_EQ(again.epoch(), m.epoch());
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(again.owner(key_for(i)), m.owner(key_for(i)));
+}
+
+TEST(ShardMapParse, ScalarsAreOptionalWithDefaults) {
+  const ShardMap m = parse_or_die(
+      "starring-shard-map v1\n"
+      "shards 2\n"
+      "shard 0 127.0.0.1:1\n"
+      "shard 5 127.0.0.1:2\n"
+      "end\n");
+  EXPECT_EQ(m.epoch(), 1u);
+  EXPECT_EQ(m.replication(), 2);
+  EXPECT_EQ(m.vnodes(), 128);
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(m.find(5)->endpoint.port, 2);
+  EXPECT_EQ(m.find(3), nullptr);
+}
+
+TEST(ShardMapParse, RejectsMalformedRecords) {
+  const char* bad[] = {
+      "starring-shard-map v2\nshards 1\nshard 0 127.0.0.1:1\nend\n",
+      "starring-shard-map v1\nshards 2\nshard 0 127.0.0.1:1\n"
+      "shard 0 127.0.0.1:2\nend\n",  // duplicate id
+      "starring-shard-map v1\nreplication 3\nshards 2\n"
+      "shard 0 127.0.0.1:1\nshard 1 127.0.0.1:2\nend\n",  // R > shards
+      "starring-shard-map v1\nreplication 0\nshards 1\n"
+      "shard 0 127.0.0.1:1\nend\n",
+      "starring-shard-map v1\nshards 1\nshard 0 notaport\nend\n",
+      "starring-shard-map v1\nshards 1\nshard 0 127.0.0.1:1\n",  // no end
+      "starring-shard-map v1\nshards 0\nend\n",
+  };
+  for (const char* text : bad) {
+    std::istringstream is(text);
+    std::string err;
+    EXPECT_FALSE(ShardMap::parse(is, &err).has_value()) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(ShardMapRing, BalancesKeysAcrossEightShards) {
+  const ShardMap m = parse_or_die(map_text(8));
+  std::map<int, int> per_shard;
+  const int kKeys = 10000;
+  for (int i = 0; i < kKeys; ++i) per_shard[m.owner(key_for(i))]++;
+  ASSERT_EQ(per_shard.size(), 8u) << "every shard must own some keys";
+  const double expect = kKeys / 8.0;
+  for (const auto& [id, count] : per_shard) {
+    EXPECT_GE(count, expect * 0.85) << "shard " << id << " underloaded";
+    EXPECT_LE(count, expect * 1.15) << "shard " << id << " overloaded";
+  }
+}
+
+TEST(ShardMapRing, RemovalMovesOnlyTheRemovedShardsKeys) {
+  // The minimal-disruption property: vnode points depend only on the
+  // shard's own id, so dropping shard 3 leaves every other point in
+  // place — a key moves iff shard 3 owned it.
+  const ShardMap before = parse_or_die(map_text(8));
+  const ShardMap after = before.without(3);
+  ASSERT_EQ(after.shards().size(), 7u);
+  EXPECT_EQ(after.epoch(), before.epoch() + 1);
+  const int kKeys = 10000;
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string k = key_for(i);
+    if (before.owner(k) == 3) {
+      EXPECT_NE(after.owner(k), 3);
+      ++moved;
+    } else {
+      EXPECT_EQ(after.owner(k), before.owner(k)) << k;
+    }
+  }
+  // ~1/8 of keys lived on the removed shard; comfortably under the
+  // 2/N disruption bound the design promises.
+  EXPECT_LT(moved, 2 * kKeys / 8);
+  EXPECT_GT(moved, 0);
+}
+
+TEST(ShardMapRing, ReplicaSetsAreDistinctAndOwnerFirst) {
+  const ShardMap m = parse_or_die(map_text(8, /*replication=*/3));
+  for (int i = 0; i < 1000; ++i) {
+    const std::string k = key_for(i);
+    const auto reps = m.replicas(k);
+    ASSERT_EQ(reps.size(), 3u);
+    EXPECT_EQ(reps[0], m.owner(k));
+    EXPECT_EQ(std::set<int>(reps.begin(), reps.end()).size(), reps.size());
+  }
+}
+
+TEST(ShardMapRing, ReplicationClampsToShardCount) {
+  const ShardMap m = parse_or_die(map_text(2, /*replication=*/2));
+  const auto reps = m.replicas("anything");
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_NE(reps[0], reps[1]);
+}
+
+TEST(ShardMapRing, AllCandidatesIsAPermutationWithReplicaPrefix) {
+  const ShardMap m = parse_or_die(map_text(8, /*replication=*/3));
+  for (int i = 0; i < 200; ++i) {
+    const std::string k = key_for(i);
+    const auto all = m.all_candidates(k);
+    ASSERT_EQ(all.size(), 8u);
+    EXPECT_EQ(std::set<int>(all.begin(), all.end()).size(), 8u);
+    const auto reps = m.replicas(k);
+    ASSERT_LE(reps.size(), all.size());
+    for (std::size_t j = 0; j < reps.size(); ++j)
+      EXPECT_EQ(all[j], reps[j]) << k;
+  }
+}
+
+TEST(ShardMapRing, PlacementIsIndependentOfFileOrder) {
+  // Two maps listing the same shards in different order must place
+  // every key identically — cross-process determinism is what lets a
+  // failover test compute the owner without asking the proxy.
+  const ShardMap a = parse_or_die(
+      "starring-shard-map v1\nshards 3\n"
+      "shard 0 127.0.0.1:1\nshard 1 127.0.0.1:2\nshard 2 127.0.0.1:3\n"
+      "end\n");
+  const ShardMap b = parse_or_die(
+      "starring-shard-map v1\nshards 3\n"
+      "shard 2 127.0.0.1:3\nshard 0 127.0.0.1:1\nshard 1 127.0.0.1:2\n"
+      "end\n");
+  for (int i = 0; i < 2000; ++i) {
+    const std::string k = key_for(i);
+    EXPECT_EQ(a.owner(k), b.owner(k)) << k;
+    EXPECT_EQ(a.replicas(k), b.replicas(k)) << k;
+  }
+}
+
+TEST(EndpointParse, AcceptsPortAndHostPortForms) {
+  const auto bare = net::parse_endpoint("47181");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->host, "127.0.0.1");
+  EXPECT_EQ(bare->port, 47181);
+  const auto full = net::parse_endpoint("10.0.0.2:80");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->host, "10.0.0.2");
+  EXPECT_EQ(full->port, 80);
+  EXPECT_EQ(net::to_string(*full), "10.0.0.2:80");
+  for (const char* bad : {"", ":80", "host:", "host:0", "host:99999",
+                          "host:8x0", "-1"})
+    EXPECT_FALSE(net::parse_endpoint(bad).has_value()) << bad;
+}
+
+// ---- circuit breaker ------------------------------------------------
+
+using Clock = ShardRouter::Clock;
+using std::chrono::milliseconds;
+
+ShardRouter make_router(int shards = 3) {
+  BreakerOptions opts;
+  opts.open_threshold = 3;
+  opts.base_ms = 100;
+  opts.cap_ms = 5000;
+  return ShardRouter(parse_or_die(map_text(shards)), opts);
+}
+
+TEST(Breaker, OpensAfterThresholdConsecutiveFailures) {
+  ShardRouter r = make_router();
+  const Clock::time_point t0{};
+  EXPECT_TRUE(r.allow(0, t0));
+  r.record_failure(0, t0);
+  r.record_failure(0, t0);
+  EXPECT_TRUE(r.allow(0, t0)) << "two failures stay below threshold";
+  r.record_failure(0, t0);
+  EXPECT_FALSE(r.allow(0, t0)) << "third failure opens the breaker";
+  EXPECT_EQ(r.consecutive_failures(0), 3);
+}
+
+TEST(Breaker, HalfOpenProbeAfterCooldownThenCloseOnSuccess) {
+  ShardRouter r = make_router();
+  const Clock::time_point t0{};
+  for (int i = 0; i < 3; ++i) r.record_failure(0, t0);
+  EXPECT_FALSE(r.allow(0, t0 + milliseconds(99)));
+  EXPECT_TRUE(r.allow(0, t0 + milliseconds(100)))
+      << "cooldown elapsed: half-open probe may go out";
+  r.record_success(0);
+  EXPECT_TRUE(r.allow(0, t0));
+  EXPECT_EQ(r.consecutive_failures(0), 0);
+}
+
+TEST(Breaker, ReopenCooldownGrowsWithTheStreak) {
+  ShardRouter r = make_router();
+  const Clock::time_point t0{};
+  for (int i = 0; i < 3; ++i) r.record_failure(0, t0);
+  // Failed half-open probe: re-opens for a second, longer round.
+  const Clock::time_point t1 = t0 + milliseconds(100);
+  r.record_failure(0, t1);
+  EXPECT_FALSE(r.allow(0, t1 + milliseconds(199)));
+  EXPECT_TRUE(r.allow(0, t1 + milliseconds(200)));
+}
+
+TEST(Breaker, OpenShardsSinkToTheBackOfCandidates) {
+  ShardRouter r = make_router(3);
+  const Clock::time_point t0{};
+  const std::string key = "class-key";
+  const auto healthy = r.candidates(key, t0);
+  ASSERT_EQ(healthy.size(), 3u);
+  const int victim = healthy[0];
+  for (int i = 0; i < 3; ++i) r.record_failure(victim, t0);
+  const auto degraded = r.candidates(key, t0);
+  ASSERT_EQ(degraded.size(), 3u) << "open breakers demote, never remove";
+  EXPECT_EQ(degraded.back(), victim);
+  // Relative order of the still-closed shards is preserved.
+  EXPECT_EQ(degraded[0], healthy[1]);
+  EXPECT_EQ(degraded[1], healthy[2]);
+  // Recovery restores the original nearest-first order.
+  r.record_success(victim);
+  EXPECT_EQ(r.candidates(key, t0), healthy);
+}
+
+TEST(Breaker, SuccessResetsTheFailureStreak) {
+  ShardRouter r = make_router();
+  const Clock::time_point t0{};
+  r.record_failure(0, t0);
+  r.record_failure(0, t0);
+  r.record_success(0);
+  r.record_failure(0, t0);
+  r.record_failure(0, t0);
+  EXPECT_TRUE(r.allow(0, t0))
+      << "streak restarted after a success; two failures must not open";
+}
+
+}  // namespace
+}  // namespace starring::cluster

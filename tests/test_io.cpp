@@ -738,6 +738,87 @@ TEST(IoService, RequestRejectsBadTenantLine) {
   }
 }
 
+TEST(IoService, HealthCommandAndRecordRoundTrip) {
+  // The bare HEALTH line parses as a request kind...
+  std::stringstream cmd;
+  ServiceRequest req;
+  req.kind = RequestKind::kHealth;
+  ASSERT_TRUE(write_request(cmd, req));
+  EXPECT_EQ(cmd.str(), "HEALTH\n");
+  std::string err;
+  const auto back = read_request(cmd, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->kind, RequestKind::kHealth);
+
+  // ...and the starring-health record round-trips, including the
+  // proxy's shard id of -1.
+  for (const int id : {4, -1}) {
+    HealthInfo h;
+    h.shard_id = id;
+    h.epoch = 9;
+    h.cache_entries = 12;
+    h.cache_hits = 340;
+    h.cache_misses = 17;
+    std::stringstream ss;
+    ASSERT_TRUE(write_health(ss, h));
+    const auto got = read_health(ss, &err);
+    ASSERT_TRUE(got.has_value()) << err;
+    EXPECT_EQ(got->shard_id, id);
+    EXPECT_EQ(got->epoch, 9u);
+    EXPECT_EQ(got->cache_entries, 12u);
+    EXPECT_EQ(got->cache_hits, 340u);
+    EXPECT_EQ(got->cache_misses, 17u);
+  }
+}
+
+TEST(IoService, HealthRecordRejectsGarbage) {
+  for (const char* text :
+       {"starring-health v2\nshard 0\nepoch 1\ncache_entries 0\n"
+        "cache_hits 0\ncache_misses 0\nend\n",
+        "starring-health v1\nshard -2\nepoch 1\ncache_entries 0\n"
+        "cache_hits 0\ncache_misses 0\nend\n",
+        "starring-health v1\nshard 0\nepoch 1\n"}) {
+    std::stringstream ss(text);
+    std::string err;
+    EXPECT_FALSE(read_health(ss, &err).has_value()) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(IoService, SeedRecordRoundTrips) {
+  ServiceRequest req;
+  req.kind = RequestKind::kSeed;
+  req.n = 4;
+  req.seed_key = "n=4;fv=0.1.2.3";
+  for (VertexId v = 0; v < 22; ++v) req.seed_ring.push_back(v);
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, req));
+  std::string err;
+  const auto back = read_request(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->kind, RequestKind::kSeed);
+  EXPECT_EQ(back->n, 4);
+  EXPECT_EQ(back->seed_key, req.seed_key);
+  EXPECT_EQ(back->seed_ring, req.seed_ring);
+}
+
+TEST(IoService, SeedRecordRejectsGarbage) {
+  const std::string long_key(kMaxSeedKeyLen + 1, 'k');
+  const std::string cases[] = {
+      "starring-seed v2\nn 4\nkey k\nring 1\n0\nend\n",
+      "starring-seed v1\nn 0\nkey k\nring 1\n0\nend\n",
+      "starring-seed v1\nn 4\nkey " + long_key + "\nring 1\n0\nend\n",
+      "starring-seed v1\nn 4\nkey k\nring 3\n0 1\nend\n",  // truncated
+      "starring-seed v1\nn 4\nkey k\nring 1\n0\n",         // no end
+  };
+  for (const std::string& text : cases) {
+    std::stringstream ss(text);
+    std::string err;
+    EXPECT_FALSE(read_request(ss, &err).has_value()) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
 TEST(IoService, ThrottledResponseRoundTrips) {
   ServiceResponse r;
   r.id = 21;
