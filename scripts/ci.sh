@@ -274,8 +274,9 @@ cluster_smoke() {
   } > "$map"
   local shard_pids=()
   for i in 0 1 2; do
+    STARRING_TRACE_BUFFER=16384 \
     "$build_dir/src/service/starringd" --listen "${ports[$i]}" \
-      --cache-capacity 24 --shard-id "$i" --shard-map "$map" \
+      --cache-capacity 24 --shard-id "$i" --shard-map "$map" --trace \
       > "$dir/shard$i.log" 2>&1 &
     shard_pids+=($!)
     CLUSTER_SMOKE_PIDS+=("${shard_pids[$i]}")
@@ -283,8 +284,14 @@ cluster_smoke() {
   for i in 0 1 2; do
     wait_port "${ports[$i]}" "${shard_pids[$i]}"
   done
+  # --trace-out arms span recording in the proxy and, at clean exit,
+  # pulls every live shard's spans over TRACE into one merged Perfetto
+  # file; --slow-ms arms the slow-request flight recorder (dumped to
+  # the proxy log at exit).
+  STARRING_TRACE_BUFFER=16384 \
   "$build_dir/src/cluster/starring-proxy" --shard-map "$map" \
     --listen "$proxy_port" --seed-threshold 2 --health-interval-ms 250 \
+    --trace-out "$dir/cluster_trace.json" --slow-ms 5 --slow-keep 8 \
     > "$dir/proxy.log" 2>&1 &
   local proxy_pid=$!
   CLUSTER_SMOKE_PIDS+=("$proxy_pid")
@@ -295,9 +302,36 @@ cluster_smoke() {
   local killer=$!
   STARRING_BENCH_DIR="$dir" timeout 120 \
     "$build_dir/src/loadgen/starring-load" \
-    --connect "$proxy_port" "${workload[@]}" \
+    --connect "$proxy_port" "${workload[@]}" --trace \
     --stats-out "$dir/proxy.prom" --bench-artifact cluster
   wait "$killer"
+
+  echo "-- phase B2: traced drive with an induced live-shard bounce"
+  # Arm an alternating response-write failure on shard 0: half the
+  # requests that land there look like a dead upstream to the proxy and
+  # fail over to the other live shard — so some client traces cross the
+  # proxy and BOTH surviving shard processes (the SIGKILLed shard's
+  # spans died with it), which is what the stitching gate below
+  # requires.  Alternating (not every) keeps shard 0's failure streak
+  # below the breaker threshold.
+  fail_cmd() {
+    python3 - "$1" "$2" <<'EOF'
+import socket, sys
+with socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10) as s:
+    s.sendall(("FAIL " + sys.argv[2] + "\n").encode())
+    reply = s.recv(256)
+    assert reply.startswith(b"FAIL ok"), f"FAIL command refused: {reply!r}"
+EOF
+  }
+  fail_cmd "${ports[0]}" "io.write_response=error@every:2"
+  timeout 120 "$build_dir/src/service/starring-cli" drive \
+    --connect "$proxy_port" --count 40 --seed 11 --trace --retry 3 \
+    | tee "$dir/traced_drive.log"
+  grep -q "hops: .* traced requests" "$dir/traced_drive.log" || {
+    echo "cluster smoke: traced drive printed no hop summary" >&2
+    exit 1
+  }
+  fail_cmd "${ports[0]}" "clear"
   python3 - "$dir" "${ports[0]}" "${ports[1]}" <<'EOF'
 import json, socket, sys
 dir_, survivors = sys.argv[1], sys.argv[2:]
@@ -344,9 +378,23 @@ EOF
   python3 scripts/bench_compare.py \
     bench/artifacts/BENCH_cluster.json "$dir/BENCH_cluster.json" \
     --regression-pct 50 --gate load.hit_rate_x1000 --gate-min-delta 100
-  kill -TERM "$proxy_pid" "${shard_pids[0]}" "${shard_pids[1]}" \
-    2>/dev/null || true
-  echo "cluster smoke: failover + hit-rate gates ok"
+  # Stop the proxy BEFORE the shards: its exit path pulls each live
+  # shard's spans over TRACE and writes the merged cluster trace.  The
+  # SIGKILLed shard's spans are gone — the stitching checks only need
+  # the proxy plus the two survivors.
+  kill -TERM "$proxy_pid" 2>/dev/null || true
+  wait "$proxy_pid" 2>/dev/null || true
+  python3 scripts/trace_validate.py --trace "$dir/cluster_trace.json" \
+    --cluster --expect-failover \
+    --require-span proxy.request --require-span proxy.canonicalize \
+    --require-span proxy.route --require-span proxy.forward \
+    --require-span svc.request
+  grep -q "slow requests:" "$dir/proxy.log" || {
+    echo "cluster smoke: no slow-request recorder dump in proxy.log" >&2
+    exit 1
+  }
+  kill -TERM "${shard_pids[0]}" "${shard_pids[1]}" 2>/dev/null || true
+  echo "cluster smoke: failover + hit-rate + trace-stitching gates ok"
 }
 
 if [[ "$run_tier1" == 1 ]]; then
@@ -404,7 +452,8 @@ fi
 if [[ "$run_cluster" == 1 ]]; then
   echo "== cluster smoke: 3 shards + proxy, SIGKILL mid-run, hit-rate gate =="
   cmake -B build -S .
-  cmake --build build -j "$JOBS" --target starringd starring-proxy starring-load
+  cmake --build build -j "$JOBS" --target starringd starring-proxy \
+    starring-load starring-cli
   cluster_smoke build
 fi
 

@@ -3,12 +3,15 @@
 
 Two independent checks, selected by flags (both may be given):
 
-  --trace FILE   Chrome trace_event JSON produced by --trace-out.
-                 Asserts the document is well-formed, every event is a
-                 complete ("X") event with non-negative ts/dur, span ids
-                 are unique, parent links resolve within the same trace,
-                 and every child interval nests inside its parent (with
-                 a small clock tolerance).
+  --trace FILE   Chrome trace_event JSON produced by --trace-out (a
+                 single process) or by the proxy's merged cluster
+                 export.  Asserts the document is well-formed, every
+                 span is a complete ("X") event with non-negative
+                 ts/dur, span ids are unique, parent links resolve
+                 within the same trace, and every child interval nests
+                 inside its parent (with a small clock tolerance).
+                 process_name metadata ("M") rows are collected, not
+                 span-checked.
   --prom FILE    Prometheus text exposition produced by the STATS
                  command.  Asserts every non-comment line matches the
                  0.0.4 text grammar and every # TYPE has >= 1 sample.
@@ -21,6 +24,16 @@ Extra assertions:
   --expect-hit-miss          the trace holds >= 1 svc.request with an
                              svc.embed descendant (miss) and >= 1
                              without (hit)
+  --cluster                  cross-process stitching checks for a merged
+                             trace: a `proxy` process row plus >= 2
+                             `shard-*` rows exist, >= 1 trace id spans
+                             the proxy and >= 2 shard processes, every
+                             shard-side svc.request with a parent
+                             resolves to a proxy-side span, and each
+                             cross-process hop starts no earlier than
+                             its parent (modulo clock skew)
+  --expect-failover          >= 1 trace holds >= 2 proxy.forward.*
+                             attempt spans (a request that bounced)
 
 Exit 0 when every requested check passes; exit 1 with a message per
 failure otherwise.  stdlib only.
@@ -33,13 +46,95 @@ import sys
 # One scheduler tick of slack for cross-thread intervals whose endpoints
 # were captured on different threads (microseconds).
 NEST_TOLERANCE_US = 1e-3
+# Cross-process intervals share CLOCK_MONOTONIC but were rebased via
+# per-process epochs captured at different instants; allow a larger
+# skew before calling a hop's start negative (microseconds).
+CROSS_PROC_TOLERANCE_US = 50.0
 
 
 def fail(errors, msg):
     errors.append(msg)
 
 
-def validate_trace(path, require_spans, expect_hit_miss, errors):
+def validate_cluster(path, spans, processes, expect_failover, errors):
+    """Cross-process stitching checks on a merged cluster trace."""
+    proxy_pids = {pid for pid, name in processes.items() if name == "proxy"}
+    shard_pids = {pid for pid, name in processes.items()
+                  if name.startswith("shard-")}
+    if not proxy_pids:
+        fail(errors, f"{path}: no `proxy` process_name metadata row")
+    if len(shard_pids) < 2:
+        fail(errors,
+             f"{path}: expected >= 2 `shard-*` process rows, found "
+             f"{sorted(processes.values())}")
+    if not proxy_pids or len(shard_pids) < 2:
+        return
+
+    # >= 1 trace id whose spans land on the proxy AND >= 2 shards.
+    trace_pids = {}
+    for e in spans:
+        trace_pids.setdefault(e["args"]["trace"], set()).add(e["pid"])
+    stitched = [t for t, pids in trace_pids.items()
+                if pids & proxy_pids and len(pids & shard_pids) >= 2]
+    spanning = [t for t, pids in trace_pids.items()
+                if pids & proxy_pids and pids & shard_pids]
+    if not stitched:
+        fail(errors,
+             f"{path}: no trace id spans the proxy and >= 2 shard "
+             f"processes ({len(spanning)} cross one shard)")
+
+    # Every shard-side svc.request that claims a parent must resolve to
+    # a proxy-side span (the forward attempt that carried it), and the
+    # hop must not start before its parent (modulo clock skew).
+    by_span = {e["args"]["span"]: e for e in spans}
+    orphans = 0
+    hops = 0
+    for e in spans:
+        if e["pid"] not in shard_pids or e["name"] != "svc.request":
+            continue
+        parent_id = e["args"]["parent"]
+        if parent_id == 0:
+            fail(errors,
+                 f"{path}: shard-side svc.request (trace "
+                 f"{e['args']['trace']}) has no proxy parent")
+            orphans += 1
+            continue
+        pe = by_span.get(parent_id)
+        if pe is None or pe["pid"] not in proxy_pids:
+            fail(errors,
+                 f"{path}: shard-side svc.request parent {parent_id} is "
+                 f"not a proxy-side span")
+            orphans += 1
+            continue
+        hops += 1
+        if e["ts"] + CROSS_PROC_TOLERANCE_US < pe["ts"]:
+            fail(errors,
+                 f"{path}: negative hop gap: shard span at {e['ts']}us "
+                 f"starts before proxy parent {pe['name']} at "
+                 f"{pe['ts']}us")
+
+    failovers = []
+    if expect_failover:
+        attempts = {}
+        for e in spans:
+            if e["name"].startswith("proxy.forward."):
+                attempts.setdefault(e["args"]["trace"], []).append(e)
+        failovers = [t for t, es in attempts.items() if len(es) >= 2]
+        if not failovers:
+            fail(errors,
+                 f"{path}: no trace with >= 2 proxy.forward attempts "
+                 f"(expected a failover)")
+
+    if orphans == 0 and stitched:
+        print(f"cluster ok: {path}: {len(processes)} processes "
+              f"({len(shard_pids)} shards), {len(stitched)} traces span "
+              f"proxy + >= 2 shards, {hops} proxy->shard hops resolve"
+              + (f", {len(failovers)} failover traces"
+                 if expect_failover else ""))
+
+
+def validate_trace(path, require_spans, expect_hit_miss, cluster,
+                   expect_failover, errors):
     before = len(errors)
     try:
         with open(path) as f:
@@ -52,9 +147,27 @@ def validate_trace(path, require_spans, expect_hit_miss, errors):
         fail(errors, f"{path}: missing traceEvents array")
         return
 
-    by_span = {}
+    # Split span events from process metadata (merged cluster exports
+    # carry one process_name "M" row per source process).
+    spans = []
+    processes = {}  # pid -> process name
     for i, e in enumerate(events):
         where = f"{path}: event {i}"
+        if e.get("ph") == "M":
+            if e.get("name") != "process_name" or "pid" not in e \
+                    or not isinstance(e.get("args", {}).get("name"), str):
+                fail(errors, f"{where}: malformed metadata event")
+                return
+            if e["pid"] in processes:
+                fail(errors, f"{where}: duplicate process row for pid "
+                             f"{e['pid']}")
+            processes[e["pid"]] = e["args"]["name"]
+            continue
+        spans.append(e)
+
+    by_span = {}
+    for i, e in enumerate(spans):
+        where = f"{path}: span event {i}"
         for key in ("name", "ph", "ts", "dur", "pid", "tid", "args"):
             if key not in e:
                 fail(errors, f"{where}: missing key '{key}'")
@@ -74,7 +187,7 @@ def validate_trace(path, require_spans, expect_hit_miss, errors):
             fail(errors, f"{where}: duplicate span id {args['span']}")
         by_span[args["span"]] = e
 
-    for e in events:
+    for e in spans:
         parent_id = e["args"]["parent"]
         if parent_id == 0:
             continue
@@ -88,24 +201,27 @@ def validate_trace(path, require_spans, expect_hit_miss, errors):
             fail(errors,
                  f"{path}: span {e['args']['span']} ({e['name']}) crosses "
                  f"traces to parent {parent_id} ({pe['name']})")
-        if (e["ts"] + NEST_TOLERANCE_US < pe["ts"]
+        tolerance = (NEST_TOLERANCE_US if e["pid"] == pe["pid"]
+                     else CROSS_PROC_TOLERANCE_US)
+        if (e["ts"] + tolerance < pe["ts"]
                 or e["ts"] + e["dur"]
-                > pe["ts"] + pe["dur"] + NEST_TOLERANCE_US):
+                > pe["ts"] + pe["dur"] + tolerance):
             fail(errors,
                  f"{path}: span {e['args']['span']} ({e['name']}) "
                  f"[{e['ts']}, {e['ts'] + e['dur']}] escapes parent "
                  f"{pe['name']} [{pe['ts']}, {pe['ts'] + pe['dur']}]")
 
-    names = [e["name"] for e in events]
+    names = [e["name"] for e in spans]
     for want in require_spans:
-        if want not in names:
+        if want not in names and not any(
+                n.startswith(want + ".") for n in names):
             fail(errors, f"{path}: required span '{want}' never recorded")
 
     if expect_hit_miss:
         # A miss request trace contains an svc.embed span; a hit's does not.
-        embed_traces = {e["args"]["trace"] for e in events
+        embed_traces = {e["args"]["trace"] for e in spans
                         if e["name"] == "svc.embed"}
-        roots = [e for e in events if e["name"] == "svc.request"]
+        roots = [e for e in spans if e["name"] == "svc.request"]
         hits = [e for e in roots if e["args"]["trace"] not in embed_traces]
         misses = [e for e in roots if e["args"]["trace"] in embed_traces]
         if not roots:
@@ -115,10 +231,14 @@ def validate_trace(path, require_spans, expect_hit_miss, errors):
         if not hits:
             fail(errors, f"{path}: no cache-hit trace (embed-free) found")
 
+    if cluster:
+        validate_cluster(path, spans, processes, expect_failover, errors)
+
     if len(errors) == before:
-        print(f"trace ok: {path}: {len(events)} events, "
-              f"{len(set(e['args']['trace'] for e in events))} traces, "
-              f"{len(set(names))} distinct span names")
+        print(f"trace ok: {path}: {len(spans)} spans, "
+              f"{len(set(e['args']['trace'] for e in spans))} traces, "
+              f"{len(set(names))} distinct span names, "
+              f"{len(processes)} process rows")
 
 
 METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -227,6 +347,8 @@ def main():
     ap.add_argument("--require-histogram", action="append", default=[],
                     metavar="NAME")
     ap.add_argument("--expect-hit-miss", action="store_true")
+    ap.add_argument("--cluster", action="store_true")
+    ap.add_argument("--expect-failover", action="store_true")
     args = ap.parse_args()
     if not args.trace and not args.prom:
         ap.error("nothing to do: pass --trace and/or --prom")
@@ -234,7 +356,7 @@ def main():
     errors = []
     if args.trace:
         validate_trace(args.trace, args.require_span, args.expect_hit_miss,
-                       errors)
+                       args.cluster, args.expect_failover, errors)
     if args.prom:
         validate_prom(args.prom, args.require_histogram, errors)
     for msg in errors:

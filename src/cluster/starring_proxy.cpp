@@ -39,9 +39,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <iostream>
 #include <istream>
 #include <map>
@@ -50,6 +52,7 @@
 #include <optional>
 #include <ostream>
 #include <poll.h>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -60,6 +63,7 @@
 #include "obs/bench_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "service/canonical.hpp"
 #include "util/failpoint.hpp"
 #include "util/io.hpp"
@@ -70,6 +74,21 @@ namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 void on_signal(int) { g_stop = 1; }
+
+// Process start, for the proxy's own HEALTH uptime_ms.
+const std::chrono::steady_clock::time_point g_start =
+    std::chrono::steady_clock::now();
+
+const char* status_name(ServiceStatus s) {
+  switch (s) {
+    case ServiceStatus::kOk: return "ok";
+    case ServiceStatus::kError: return "error";
+    case ServiceStatus::kRejected: return "rejected";
+    case ServiceStatus::kTimeout: return "timeout";
+    case ServiceStatus::kThrottled: return "throttled";
+  }
+  return "?";
+}
 
 struct ProxyConfig {
   std::string shard_map_path;
@@ -87,7 +106,16 @@ struct ProxyConfig {
   /// Ok-served responses of one canonical class before its ring is
   /// pushed to the replicas; 0 disables replication seeding.
   int seed_threshold = 3;
+  /// Slow-request flight recorder: a request whose proxy-side handling
+  /// exceeds this retains its span tree, attempt list, and status in a
+  /// bounded ring (0 = recorder off).
+  int slow_ms = 0;
+  /// Slow requests retained before the oldest is dropped.
+  int slow_keep = 32;
   std::string bench_artifact;
+  /// Non-empty: enable tracing and, on clean exit, pull TRACE from
+  /// every shard and write one merged Chrome/Perfetto file here.
+  std::string trace_out;
 };
 
 /// One cached upstream connection (blocking-looking iostreams over a
@@ -122,7 +150,11 @@ class UpstreamPool {
         read_timeout_ms_(upstream_timeout_ms),
         write_timeout_ms_(write_timeout_ms) {}
 
-  UpstreamConn* get(int shard_id) {
+  /// `created`, when non-null, reports whether this call had to dial a
+  /// fresh connection (the tracer gives only those an upstream_connect
+  /// span).
+  UpstreamConn* get(int shard_id, bool* created = nullptr) {
+    if (created != nullptr) *created = false;
     const auto it = conns_.find(shard_id);
     if (it != conns_.end()) return it->second.get();
     const ShardInfo* info = map_.find(shard_id);
@@ -133,6 +165,7 @@ class UpstreamPool {
                                                write_timeout_ms_);
     UpstreamConn* raw = conn.get();
     conns_[shard_id] = std::move(conn);
+    if (created != nullptr) *created = true;
     return raw;
   }
 
@@ -221,6 +254,9 @@ class Seeder {
   }
 
   void push(const Job& job, int shard_id) {
+    // Seeding is background work with no originating request context:
+    // each push roots its own little trace.
+    obs::trace::ScopedSpan span("proxy.seed");
     const ShardInfo* info = map_.find(shard_id);
     if (info == nullptr) return;
     const int fd = net::connect_endpoint(info->endpoint, /*nonblocking=*/true);
@@ -259,10 +295,100 @@ class Seeder {
   std::thread worker_;
 };
 
+/// What one forward_embed call did, for the slow-request recorder: the
+/// proxy-side trace id (0 while tracing is off) and every shard
+/// attempt with its outcome.
+struct ForwardAttempt {
+  int shard = -1;
+  const char* outcome = "";
+  double ms = 0.0;
+};
+struct ForwardReport {
+  std::uint64_t trace_id = 0;
+  std::vector<ForwardAttempt> attempts;
+};
+
+/// Slow-request flight recorder: a bounded ring of the last K requests
+/// that exceeded --slow-ms, each retaining its terminal status, shard
+/// attempt list, and (when tracing is on) the proxy-side span tree of
+/// its trace.  Answered by the bare SLOW command and dumped to stderr
+/// at clean exit.  Capturing a record drains the span rings — fine,
+/// because only past-threshold requests pay it.
+class SlowRecorder {
+ public:
+  SlowRecorder(int threshold_ms, std::size_t keep)
+      : threshold_ms_(threshold_ms),
+        keep_(std::max<std::size_t>(1, keep)),
+        count_(obs::counter("proxy.slow_requests")) {}
+
+  int threshold_ms() const { return threshold_ms_; }
+
+  void note(const ServiceRequest& req, const ServiceResponse& resp,
+            const ForwardReport& rep, double total_ms) {
+    count_.add();
+    Record r;
+    r.request_id = req.id;
+    r.tenant = req.tenant.empty() ? "default" : req.tenant;
+    r.trace_id = rep.trace_id;
+    r.total_ms = total_ms;
+    r.status = status_name(resp.status);
+    r.attempts = rep.attempts;
+    if (rep.trace_id != 0) {
+      for (obs::trace::SpanRecord& s : obs::trace::collect())
+        if (s.trace_id == rep.trace_id) r.spans.push_back(std::move(s));
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(std::move(r));
+    if (ring_.size() > keep_) ring_.pop_front();
+  }
+
+  /// Text report, oldest record first (the SLOW answer rides the
+  /// starring-stats framing; the exit dump goes to stderr verbatim).
+  std::string render() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    os << "# slow requests: " << ring_.size() << " retained (threshold "
+       << threshold_ms_ << " ms, keep " << keep_ << ")\n";
+    for (const Record& r : ring_) {
+      os << "slow id=" << r.request_id << " tenant=" << r.tenant
+         << " status=" << r.status << " ms=" << r.total_ms << " trace="
+         << r.trace_id << " attempts=" << r.attempts.size() << "\n";
+      for (const ForwardAttempt& a : r.attempts)
+        os << "  attempt shard=" << a.shard << " outcome=" << a.outcome
+           << " ms=" << a.ms << "\n";
+      for (const obs::trace::SpanRecord& s : r.spans)
+        os << "  span " << s.name << " id=" << s.span_id << " parent="
+           << s.parent_id << " dur_us=" << s.dur_ns / 1000 << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  struct Record {
+    std::uint64_t request_id = 0;
+    std::uint64_t trace_id = 0;
+    std::string tenant;
+    double total_ms = 0.0;
+    const char* status = "";
+    std::vector<ForwardAttempt> attempts;
+    std::vector<obs::trace::SpanRecord> spans;
+  };
+
+  const int threshold_ms_;
+  const std::size_t keep_;
+  obs::Counter& count_;
+  mutable std::mutex mu_;
+  std::deque<Record> ring_;
+};
+
 struct ProxyCtx {
   ProxyConfig cfg;
   ShardRouter router;
   std::unique_ptr<Seeder> seeder;  // null: seeding disabled
+  std::unique_ptr<SlowRecorder> slow;  // null: recorder disabled
+  /// Embedding forwards currently in flight (the proxy HEALTH probe
+  /// reports this as `inflight`).
+  std::atomic<std::int64_t> inflight{0};
   /// Per-shard forward latency histograms, built once at startup; the
   /// generic histogram folding in obs/prometheus renders them as
   /// cluster.shard.<id>.latency quantiles for free.
@@ -275,17 +401,42 @@ struct ProxyCtx {
     if (cfg.seed_threshold > 0 && router.map().replication() > 1)
       seeder = std::make_unique<Seeder>(router.map(), cfg.seed_threshold,
                                         cfg.upstream_timeout_ms);
+    if (cfg.slow_ms > 0)
+      slow = std::make_unique<SlowRecorder>(
+          cfg.slow_ms, static_cast<std::size_t>(cfg.slow_keep));
   }
 };
 
 /// Forward one embedding request, failing over across the candidate
-/// list.  Always returns a terminal response.
+/// list.  Always returns a terminal response.  `rep`, when non-null,
+/// receives the trace id and attempt list for the slow-request
+/// recorder.
 ServiceResponse forward_embed(const ServiceRequest& req, ProxyCtx& ctx,
-                              UpstreamPool& pool) {
+                              UpstreamPool& pool,
+                              ForwardReport* rep = nullptr) {
   obs::counter("cluster.requests").add();
-  const CanonicalForm canon = canonicalize(req.n, req.faults);
-  const auto cands =
-      ctx.router.candidates(canon.key, ShardRouter::Clock::now());
+  ctx.inflight.fetch_add(1, std::memory_order_relaxed);
+  struct InflightGuard {
+    std::atomic<std::int64_t>& n;
+    ~InflightGuard() { n.fetch_sub(1, std::memory_order_relaxed); }
+  } inflight_guard{ctx.inflight};
+  // The request's proxy-side root span.  The explicit parent adopts a
+  // client-originated wire trace (starring-cli --trace); invalid when
+  // the request carried none, which roots a fresh trace here.
+  obs::trace::ScopedSpan root(
+      "proxy.request",
+      obs::trace::Context{req.trace_id, req.parent_span_id});
+  if (rep != nullptr) rep->trace_id = root.context().trace_id;
+  CanonicalForm canon;
+  {
+    obs::trace::ScopedSpan span("proxy.canonicalize");
+    canon = canonicalize(req.n, req.faults);
+  }
+  std::vector<int> cands;
+  {
+    obs::trace::ScopedSpan span("proxy.route");
+    cands = ctx.router.candidates(canon.key, ShardRouter::Clock::now());
+  }
 
   const auto fail_with = [&](ServiceStatus status, const char* reason) {
     ServiceResponse r;
@@ -302,26 +453,75 @@ ServiceResponse forward_embed(const ServiceRequest& req, ProxyCtx& ctx,
   for (std::size_t i = 0; i < cands.size(); ++i) {
     const int sid = cands[i];
     const auto now = ShardRouter::Clock::now();
+    const auto att_t0 = std::chrono::steady_clock::now();
+    const auto note_attempt = [&](const char* outcome) {
+      if (rep != nullptr)
+        rep->attempts.push_back(ForwardAttempt{
+            sid, outcome,
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - att_t0)
+                .count()});
+    };
+    // Marker span for an abandoned attempt, parented under the request
+    // root, so a failover request's tree shows each bounce explicitly.
+    const auto note_failover = [&] {
+      if (root.context().valid())
+        obs::trace::emit("proxy.failover", root.context().trace_id,
+                         obs::trace::new_span_id(),
+                         root.context().span_id, att_t0,
+                         std::chrono::steady_clock::now());
+    };
+    // One span per attempt; the serving shard rides in the name
+    // (SpanRecord carries no args).  snprintf, not std::string: the
+    // disabled path must stay allocation-free.
+    char fname[24];
+    std::snprintf(fname, sizeof fname, "proxy.forward.s%d", sid);
+    obs::trace::ScopedSpan fspan(fname, root.context());
     if (FAILPOINT("proxy.upstream")) {
       // Chaos stands in for a dead upstream: same bookkeeping, same
       // failover path.
       ctx.router.record_failure(sid, now);
       obs::counter("cluster.upstream_failures").add();
+      note_attempt("failpoint");
+      note_failover();
       continue;
     }
-    UpstreamConn* conn = pool.get(sid);
+    bool fresh = false;
+    const auto conn_t0 = std::chrono::steady_clock::now();
+    UpstreamConn* conn = pool.get(sid, &fresh);
+    if (fresh && fspan.context().valid())
+      obs::trace::emit("proxy.upstream_connect",
+                       fspan.context().trace_id, obs::trace::new_span_id(),
+                       fspan.context().span_id, conn_t0,
+                       std::chrono::steady_clock::now());
     if (conn == nullptr) {
       ctx.router.record_failure(sid, now);
       obs::counter("cluster.connect_failures").add();
+      note_attempt("connect_fail");
+      note_failover();
       continue;
     }
     const auto t0 = std::chrono::steady_clock::now();
-    write_request(conn->out, req);
+    // Forward with this attempt's span as the parent, so the shard's
+    // svc.request root stitches under proxy.forward.s<id> in the
+    // merged trace.  Without a proxy-side span the client's context
+    // (if any) passes through untouched.
+    ServiceRequest fwd_storage;
+    const ServiceRequest* fwd = &req;
+    if (fspan.context().valid()) {
+      fwd_storage = req;
+      fwd_storage.trace_id = fspan.context().trace_id;
+      fwd_storage.parent_span_id = fspan.context().span_id;
+      fwd = &fwd_storage;
+    }
+    write_request(conn->out, *fwd);
     conn->out.flush();
     if (!conn->out.good()) {
       pool.drop(sid);
       ctx.router.record_failure(sid, ShardRouter::Clock::now());
       obs::counter("cluster.write_failures").add();
+      note_attempt("write_fail");
+      note_failover();
       continue;
     }
     std::string err;
@@ -332,6 +532,8 @@ ServiceResponse forward_embed(const ServiceRequest& req, ProxyCtx& ctx,
       pool.drop(sid);
       ctx.router.record_failure(sid, ShardRouter::Clock::now());
       obs::counter("cluster.read_failures").add();
+      note_attempt("read_fail");
+      note_failover();
       continue;
     }
     ctx.router.record_success(sid);
@@ -345,11 +547,14 @@ ServiceResponse forward_embed(const ServiceRequest& req, ProxyCtx& ctx,
       // with the class cached may still make it.  Keep the timeout as
       // the answer of last resort.
       obs::counter("cluster.upstream_timeouts").add();
+      note_attempt("timeout");
+      note_failover();
       shard_timeout = *resp;
       continue;
     }
     if (i > 0) obs::counter("cluster.failover").add();
     if (resp->status == ServiceStatus::kOk) {
+      note_attempt(resp->cache_hit ? "ok_hit" : "ok_miss");
       obs::counter(resp->cache_hit ? "cluster.cache_hits"
                                    : "cluster.cache_misses")
           .add();
@@ -362,6 +567,8 @@ ServiceResponse forward_embed(const ServiceRequest& req, ProxyCtx& ctx,
                                          req.n),
                             ctx.router.map().replicas(canon.key), sid);
       }
+    } else {
+      note_attempt(status_name(resp->status));
     }
     return *resp;
   }
@@ -429,6 +636,13 @@ void serve_client(int fd, ProxyCtx& ctx, net::ConnRegistry& reg) {
           obs::counter("cluster.cache_hits").value());
       h.cache_misses = static_cast<std::uint64_t>(
           obs::counter("cluster.cache_misses").value());
+      h.uptime_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - g_start)
+              .count());
+      const std::int64_t inflight =
+          ctx.inflight.load(std::memory_order_relaxed);
+      h.inflight = inflight > 0 ? static_cast<std::uint64_t>(inflight) : 0;
       write_health(out, h);
       out.flush();
       continue;
@@ -438,7 +652,33 @@ void serve_client(int fd, ProxyCtx& ctx, net::ConnRegistry& reg) {
       out.flush();
       continue;
     }
-    const ServiceResponse resp = forward_embed(*req, ctx, pool);
+    if (req->kind == RequestKind::kTrace) {
+      TraceDump d;
+      d.process = "proxy";
+      d.epoch_ns = obs::trace::epoch_ns();
+      d.dropped = obs::trace::stats().dropped;
+      d.spans = obs::trace::collect();
+      write_trace(out, d);
+      out.flush();
+      continue;
+    }
+    if (req->kind == RequestKind::kSlow) {
+      write_stats(out, ctx.slow ? ctx.slow->render()
+                                : "# slow-request recorder off\n");
+      out.flush();
+      continue;
+    }
+    ForwardReport frep;
+    const auto req_t0 = std::chrono::steady_clock::now();
+    const ServiceResponse resp =
+        forward_embed(*req, ctx, pool, ctx.slow ? &frep : nullptr);
+    if (ctx.slow) {
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - req_t0)
+                            .count();
+      if (ms >= static_cast<double>(ctx.cfg.slow_ms))
+        ctx.slow->note(*req, resp, frep, ms);
+    }
     if (!dead.load(std::memory_order_relaxed)) {
       write_response(out, resp);
       out.flush();
@@ -492,6 +732,19 @@ void health_loop(ProxyCtx& ctx, std::atomic<bool>& stop) {
                       << ")\n";
           } else {
             alive = true;
+            // Fold the shard's self-reported liveness stats into the
+            // proxy's own registry so one STATS scrape of the proxy
+            // shows the whole cluster.  record_max keeps the gauges
+            // monotone across polls (uptime only moves forward; the
+            // inflight gauge is a high-water mark).
+            const std::string pfx = "cluster.shard." + std::to_string(s.id);
+            obs::counter(pfx + ".uptime_ms")
+                .record_max(static_cast<double>(h->uptime_ms));
+            obs::counter(pfx + ".inflight_max")
+                .record_max(static_cast<double>(h->inflight));
+            std::cerr << "starring-proxy: shard " << s.id
+                      << " healthy uptime_ms=" << h->uptime_ms
+                      << " inflight=" << h->inflight << "\n";
           }
         }
       }
@@ -544,7 +797,16 @@ int usage(const char* argv0) {
       << "                         replicated, 0 = off (default 3)\n"
       << "  --drain-timeout-ms N   abort if shutdown drain exceeds N ms\n"
       << "                         (default 10000)\n"
-      << "  --bench-artifact S     write BENCH_<S>.json on clean drain\n";
+      << "  --bench-artifact S     write BENCH_<S>.json on clean drain\n"
+      << "  --slow-ms N            record requests slower than N ms in "
+         "the\n"
+      << "                         flight recorder, 0 = off (default 0)\n"
+      << "  --slow-keep K          flight-recorder capacity (default 32)\n"
+      << "  --trace-out FILE       enable tracing; on clean exit pull "
+         "every\n"
+      << "                         live shard's spans and write one "
+         "merged\n"
+      << "                         Chrome/Perfetto trace to FILE\n";
   return 2;
 }
 
@@ -577,6 +839,12 @@ std::optional<ProxyConfig> parse_args(int argc, char** argv) {
       cfg.drain_timeout_ms = static_cast<int>(v);
     } else if (a == "--bench-artifact" && i + 1 < argc) {
       cfg.bench_artifact = argv[++i];
+    } else if (a == "--slow-ms" && (v = num(&i)) >= 0) {
+      cfg.slow_ms = static_cast<int>(v);
+    } else if (a == "--slow-keep" && (v = num(&i)) > 0) {
+      cfg.slow_keep = static_cast<int>(v);
+    } else if (a == "--trace-out" && i + 1 < argc) {
+      cfg.trace_out = argv[++i];
     } else {
       return std::nullopt;
     }
@@ -593,6 +861,7 @@ int proxy_main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
   std::signal(SIGPIPE, SIG_IGN);
   obs::set_enabled(true);
+  if (!cfg->trace_out.empty()) obs::trace::set_enabled(true);
 
   std::string err;
   auto map = ShardMap::load(cfg->shard_map_path, &err);
@@ -661,6 +930,55 @@ int proxy_main(int argc, char** argv) {
     health.join();
   }
   ctx.seeder.reset();  // flush pending seed pushes
+
+  if (!cfg->trace_out.empty()) {
+    // Cluster-wide collection: the proxy's own spans plus a TRACE pull
+    // from every shard still alive, merged onto one timeline.  Shards
+    // must outlive the proxy for this to see their spans — the drill
+    // stops the proxy first.
+    std::vector<TraceDump> dumps;
+    TraceDump own;
+    own.process = "proxy";
+    own.epoch_ns = obs::trace::epoch_ns();
+    own.dropped = obs::trace::stats().dropped;
+    own.spans = obs::trace::collect();
+    dumps.push_back(std::move(own));
+    for (const ShardInfo& s : ctx.router.map().shards()) {
+      const int fd =
+          net::connect_endpoint(s.endpoint, /*nonblocking=*/true);
+      if (fd < 0) {
+        std::cerr << "starring-proxy: trace pull: shard " << s.id
+                  << " unreachable, spans lost\n";
+        continue;
+      }
+      UpstreamConn conn(fd, cfg->upstream_timeout_ms,
+                        cfg->write_timeout_ms);
+      ServiceRequest pull;
+      pull.kind = RequestKind::kTrace;
+      write_request(conn.out, pull);
+      conn.out.flush();
+      std::string trace_err;
+      if (auto d = read_trace(conn.in, &trace_err)) {
+        dumps.push_back(std::move(*d));
+      } else {
+        std::cerr << "starring-proxy: trace pull: shard " << s.id << ": "
+                  << (trace_err.empty() ? "closed early" : trace_err)
+                  << "\n";
+      }
+    }
+    std::ofstream tf(cfg->trace_out);
+    if (tf && write_merged_chrome_trace(tf, dumps)) {
+      std::size_t total = 0;
+      for (const TraceDump& d : dumps) total += d.spans.size();
+      std::cerr << "starring-proxy: wrote " << total << " spans from "
+                << dumps.size() << " processes to " << cfg->trace_out
+                << "\n";
+    } else {
+      std::cerr << "starring-proxy: failed to write " << cfg->trace_out
+                << "\n";
+    }
+  }
+  if (ctx.slow) std::cerr << ctx.slow->render();
 
   if (rec) {
     const double hits =

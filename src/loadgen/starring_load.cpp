@@ -69,6 +69,10 @@ struct LoadConfig {
   std::vector<TenantSpec> tenants;
   double assert_p99_ratio = 0.0;  // 0 = no fairness assertion
   double min_hit_rate = -1.0;     // < 0 = no hit-rate assertion
+  /// Stamp every request with a deterministic trace context (namespace
+  /// 0xFFFE + the request's open-loop id) so proxy/shard spans of a
+  /// load run stitch into per-request trees in a merged trace.
+  bool trace = false;
   std::string bench_artifact;
   std::string stats_out;
 };
@@ -93,6 +97,9 @@ int usage(const char* argv0) {
       << "  --min-hit-rate F       fail if the daemon cache hit rate\n"
       << "                         ends below F (0..1)\n"
       << "  --stats-out F          save the scraped STATS promtext\n"
+      << "  --trace                stamp requests with trace ids so "
+         "server\n"
+      << "                         spans stitch into per-request trees\n"
       << "  --bench-artifact S     write BENCH_<S>.json (load.* "
          "counters)\n";
   return 2;
@@ -130,6 +137,8 @@ std::optional<LoadConfig> parse_args(int argc, char** argv) {
       if (cfg.min_hit_rate < 0 || cfg.min_hit_rate > 1) return std::nullopt;
     } else if (a == "--stats-out" && i + 1 < argc) {
       cfg.stats_out = argv[++i];
+    } else if (a == "--trace") {
+      cfg.trace = true;
     } else if (a == "--bench-artifact" && i + 1 < argc) {
       cfg.bench_artifact = argv[++i];
     } else {
@@ -253,7 +262,13 @@ void run_tenant(const LoadConfig& cfg, const TenantSpec& spec,
             : zipf.sample(static_cast<double>(pick()) /
                           static_cast<double>(UINT64_MAX));
     const std::uint64_t id = (static_cast<std::uint64_t>(idx) << 32) | seq;
-    const ServiceRequest req = synth_request(spec, cfg.seed, cls, id);
+    ServiceRequest req = synth_request(spec, cfg.seed, cls, id);
+    if (cfg.trace) {
+      // Client-minted trace id under its own namespace; the open-loop
+      // id (tenant << 32 | seq) is unique across the run and < 2^48.
+      req.trace_id = (std::uint64_t{0xFFFE} << 48) + id + 1;
+      req.parent_span_id = 0;
+    }
     {
       const std::lock_guard<std::mutex> lock(mu);
       sends.emplace(id, std::chrono::steady_clock::now());

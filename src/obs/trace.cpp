@@ -9,6 +9,7 @@
 #include <ostream>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 #if !defined(STARRING_OBS_DISABLED)
 
@@ -83,7 +84,8 @@ class ThreadRing {
  public:
   ThreadRing(std::uint32_t tid, std::size_t capacity)
       : tid_(tid), mask_(capacity - 1),
-        cells_(std::make_unique<Cell[]>(capacity)) {}
+        cells_(std::make_unique<Cell[]>(capacity)),
+        drops_(&obs::counter("trace.dropped_spans")) {}
 
   std::uint32_t tid() const { return tid_; }
   std::size_t capacity() const { return mask_ + 1; }
@@ -92,6 +94,7 @@ class ThreadRing {
             std::uint64_t parent_id, std::int64_t start_ns,
             std::int64_t dur_ns, const char* name) {
     const std::uint64_t idx = head_.load(std::memory_order_relaxed);
+    if (idx > mask_) drops_->add(1);  // overwriting an undrained cell
     Cell& c = cells_[idx & mask_];
     // acq_rel RMW: the payload stores below cannot be hoisted above the
     // odd (dirty) mark.
@@ -153,6 +156,7 @@ class ThreadRing {
   const std::uint32_t tid_;
   const std::size_t mask_;
   std::unique_ptr<Cell[]> cells_;
+  obs::Counter* drops_;
   std::atomic<std::uint64_t> head_{0};
 };
 
@@ -170,6 +174,7 @@ Recorder& recorder() {
 
 std::atomic<std::uint64_t> g_next_trace{1};
 std::atomic<std::uint64_t> g_next_span{1};
+std::atomic<std::uint64_t> g_id_base{1};  // (namespace << 48) + 1
 
 thread_local ThreadRing* t_ring = nullptr;
 thread_local Context t_current{};
@@ -206,6 +211,20 @@ std::uint64_t new_trace_id() {
 
 std::uint64_t new_span_id() {
   return g_next_span.fetch_add(1, std::memory_order_relaxed);
+}
+
+void set_id_namespace(std::uint32_t ns) {
+  const std::uint64_t base = (static_cast<std::uint64_t>(ns) << 48) + 1;
+  g_id_base.store(base, std::memory_order_relaxed);
+  g_next_trace.store(base, std::memory_order_relaxed);
+  g_next_span.store(base, std::memory_order_relaxed);
+}
+
+std::uint64_t epoch_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          process_epoch().time_since_epoch())
+          .count());
 }
 
 void emit(std::string_view name, std::uint64_t trace_id,
@@ -265,8 +284,9 @@ void clear() {
   Recorder& r = recorder();
   const std::lock_guard<std::mutex> lock(r.mu);
   for (const auto& ring : r.rings) ring->reset();
-  g_next_trace.store(1, std::memory_order_relaxed);
-  g_next_span.store(1, std::memory_order_relaxed);
+  const std::uint64_t base = g_id_base.load(std::memory_order_relaxed);
+  g_next_trace.store(base, std::memory_order_relaxed);
+  g_next_span.store(base, std::memory_order_relaxed);
 }
 
 RecorderStats stats() {

@@ -85,6 +85,8 @@ inline std::size_t ring_capacity() { return 0; }
 inline Context current() { return {}; }
 inline std::uint64_t new_trace_id() { return 0; }
 inline std::uint64_t new_span_id() { return 0; }
+inline void set_id_namespace(std::uint32_t) {}
+inline std::uint64_t epoch_ns() { return 0; }
 
 inline void emit(std::string_view, std::uint64_t, std::uint64_t,
                  std::uint64_t, std::chrono::steady_clock::time_point,
@@ -136,6 +138,19 @@ Context current();
 /// span ids are unique across all traces of the process.
 std::uint64_t new_trace_id();
 std::uint64_t new_span_id();
+
+/// Seed the id generators at (ns << 48) + 1 so ids minted by different
+/// processes of one cluster never collide in a merged trace file (shard
+/// k uses namespace k+1, the proxy keeps the default 0).  Call once at
+/// startup, before any span is recorded.
+void set_id_namespace(std::uint32_t ns);
+
+/// The process trace epoch (the zero point of SpanRecord::start_ns) as
+/// raw steady-clock nanoseconds.  On Linux the steady clock is
+/// CLOCK_MONOTONIC, which all processes of one boot share, so a merger
+/// can rebase per-process spans onto a common timeline by offsetting
+/// each dump by (its epoch_ns - min epoch_ns across dumps).
+std::uint64_t epoch_ns();
 
 /// Record a completed span with explicit endpoints — for intervals
 /// measured across threads (queue wait) or reconstructed after the

@@ -212,7 +212,10 @@ bool EmbedService::submit(ServiceRequest req, Callback on_done, bool wait) {
     p.has_deadline = true;
   }
   if (obs::trace::enabled()) {
-    p.span.trace_id = obs::trace::new_trace_id();
+    // Adopt a propagated wire context so this request's spans land in
+    // the originator's trace; otherwise the request roots a new one.
+    p.span.trace_id = p.req.trace_id != 0 ? p.req.trace_id
+                                          : obs::trace::new_trace_id();
     p.span.span_id = obs::trace::new_span_id();
   }
   const obs::trace::Context root = p.span;
@@ -252,6 +255,7 @@ bool EmbedService::submit(ServiceRequest req, Callback on_done, bool wait) {
     p.tenant = &t;
     t.queue.push_back(std::move(p));
     ++total_queued_;
+    inflight_.fetch_add(1, std::memory_order_relaxed);
     c_queue_depth_max().record_max(
         static_cast<std::int64_t>(total_queued_));
   }
@@ -384,10 +388,14 @@ void EmbedService::deliver(Pending& p, ServiceResponse resp,
       p.tenant->timeouts.add();
   }
   // Emit the request's root span now that every child has closed: the
-  // whole admitted-to-delivered interval, parent 0.
+  // whole admitted-to-delivered interval.  A request that arrived with
+  // a wire trace context parents under the originator's span (the
+  // proxy's forward attempt); otherwise this is the root of its trace.
   if (p.span.valid())
-    obs::trace::emit("svc.request", p.span.trace_id, p.span.span_id, 0,
+    obs::trace::emit("svc.request", p.span.trace_id, p.span.span_id,
+                     p.req.trace_id != 0 ? p.req.parent_span_id : 0,
                      p.admitted, now);
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
   if (p.done) {
     p.done(std::move(resp));
   } else {
@@ -631,8 +639,19 @@ void EmbedService::scheduler_loop() {
 ServiceResponse EmbedService::process_now(const ServiceRequest& req) {
   obs::ScopedPhase phase("svc_request");
   // Synchronous path: the whole request is one scope, so the root and
-  // its children all come from plain ScopedSpan nesting.
-  obs::trace::ScopedSpan root("svc.request");
+  // its children all come from plain ScopedSpan nesting.  The explicit
+  // parent context adopts a propagated wire trace (invalid when the
+  // request carried none — then this roots a fresh trace, as before).
+  obs::trace::ScopedSpan root(
+      "svc.request",
+      obs::trace::Context{req.trace_id, req.parent_span_id});
+  struct InflightGuard {
+    std::atomic<std::uint64_t>& n;
+    explicit InflightGuard(std::atomic<std::uint64_t>& c) : n(c) {
+      n.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~InflightGuard() { n.fetch_sub(1, std::memory_order_relaxed); }
+  } inflight_guard(inflight_);
   c_requests().add();
   const auto admitted = std::chrono::steady_clock::now();
   // The synchronous path charges the same tenant buckets as the queue:

@@ -155,6 +155,13 @@ class EmbedService {
   /// HEALTH probe reports this).
   std::size_t cache_size() const { return cache_.size(); }
 
+  /// Requests admitted but not yet answered — queued plus in flight,
+  /// including synchronous process_now callers.  The HEALTH probe
+  /// reports this as `inflight`.
+  std::uint64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
   const ServiceOptions& options() const { return opts_; }
 
  private:
@@ -170,9 +177,12 @@ class EmbedService {
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
     // Root span context of this request's trace (invalid while tracing
-    // is off).  Allocated at admission; every stage the request passes
-    // through parents its spans here, and the svc.request root itself
-    // is emitted with explicit [admitted, delivered] endpoints.
+    // is off).  Allocated at admission — adopting the wire trace id
+    // when the request carried one, so the svc.request root lands in
+    // the caller's (e.g. the proxy's) trace and parents under its
+    // forward span.  Every stage the request passes through parents
+    // its spans here, and the svc.request root itself is emitted with
+    // explicit [admitted, delivered] endpoints.
     obs::trace::Context span;
 
     bool expired(std::chrono::steady_clock::time_point now) const {
@@ -266,6 +276,9 @@ class EmbedService {
   std::size_t rr_cursor_ = 0;
   /// Requests queued across all tenants (the admission bound).
   std::size_t total_queued_ = 0;
+  /// Admitted-but-unanswered requests (queued + in flight), across the
+  /// queued and synchronous paths; read lock-free by the HEALTH probe.
+  std::atomic<std::uint64_t> inflight_{0};
   std::deque<ServiceResponse> responses_;
   bool draining_ = false;
   bool stopped_ = false;  // scheduler exited; no more responses coming

@@ -37,9 +37,11 @@
 #include <ext/stdio_filebuf.h>  // libstdc++; the repo targets the gcc toolchain
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <random>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -58,6 +60,10 @@
 namespace starring {
 namespace {
 
+/// Id-namespace base for client-minted trace ids (see
+/// obs::trace::set_id_namespace): request i is traced as base + i + 1.
+constexpr std::uint64_t kCliTraceNamespace = std::uint64_t{0xFFFF} << 48;
+
 struct CliConfig {
   std::string mode;
   std::size_t count = 100;
@@ -69,6 +75,11 @@ struct CliConfig {
   std::int64_t deadline_ms = 0;  // per-request budget; 0 = none
   std::string tenant;        // tag every request with this tenant
   bool expect_hits = false;  // drive: fail if the cache never hit
+  /// drive: stamp every request with a deterministic trace context so
+  /// daemon/proxy spans parent under the client's trace, and (TCP)
+  /// pull the peer's span dump at end of run for a per-request hop
+  /// summary.
+  bool trace = false;
   /// drive: TCP endpoint instead of spawning ("PORT" or "HOST:PORT" —
   /// a bare port keeps the historical loopback behaviour).
   std::optional<net::Endpoint> connect;
@@ -94,6 +105,10 @@ int usage(const char* argv0) {
       << "  --tenant NAME    tag every request with this tenant (quota\n"
       << "                   and fair-scheduling principal)\n"
       << "  --expect-hits    drive: fail when cache hits == 0\n"
+      << "  --trace          drive: stamp requests with trace ids; with\n"
+      << "                   --connect, print a per-request hop summary\n"
+      << "                   (forward attempts, serving shard) scraped\n"
+      << "                   from the peer's span dump\n"
       << "  --connect HOST:PORT  drive: use a TCP daemon (or proxy) "
          "there;\n"
       << "                   a bare PORT means 127.0.0.1:PORT\n"
@@ -142,6 +157,8 @@ std::optional<CliConfig> parse_args(int argc, char** argv) {
       cfg.tenant = argv[++i];
     } else if (a == "--expect-hits") {
       cfg.expect_hits = true;
+    } else if (a == "--trace") {
+      cfg.trace = true;
     } else if (a == "--connect" && i + 1 < argc) {
       cfg.connect = net::parse_endpoint(argv[++i]);
       if (!cfg.connect) return std::nullopt;
@@ -185,6 +202,14 @@ ServiceRequest make_request(const CliConfig& cfg, std::size_t i) {
                          : random_vertex_faults(g, nf, fault_seed);
   req.deadline_ms = cfg.deadline_ms;
   req.tenant = cfg.tenant;
+  if (cfg.trace) {
+    // Deterministic client-minted trace context: namespace 0xFFFF keeps
+    // these ids clear of any server-minted id (shard k mints under
+    // namespace k+1, the proxy under 0), and request i always gets the
+    // same trace id, so a retried request continues its trace.
+    req.trace_id = kCliTraceNamespace + i + 1;
+    req.parent_span_id = 0;  // the first server-side span is the root
+  }
   return req;
 }
 
@@ -301,6 +326,68 @@ int fetch_and_report_stats(const CliConfig& cfg, std::ostream& out,
   return 0;
 }
 
+/// --trace hop summary (TCP drive): pull the peer's span dump with a
+/// TRACE exchange and report, per traced request, how many forward
+/// attempts the proxy made and which shard served it.  Attempts are
+/// counted from `proxy.forward.s<id>` spans of the request's trace;
+/// the serving shard is the latest-starting attempt's suffix.  Against
+/// a bare shard (no proxy spans) the summary degenerates to a note.
+/// Returns 1 on a failed exchange — an empty dump is not a failure.
+int fetch_and_report_hops(std::ostream& out, std::istream& in) {
+  ServiceRequest pull;
+  pull.kind = RequestKind::kTrace;
+  if (!write_request(out, pull)) {
+    std::cerr << "starring-cli: cannot send TRACE\n";
+    return 1;
+  }
+  out.flush();
+  std::string err;
+  const auto dump = read_trace(in, &err);
+  if (!dump) {
+    std::cerr << "starring-cli: TRACE reply: "
+              << (err.empty() ? "unexpected end of stream" : err) << "\n";
+    return 1;
+  }
+  struct Hop {
+    int attempts = 0;
+    int shard = -1;
+    std::int64_t last_start = INT64_MIN;
+  };
+  std::map<std::uint64_t, Hop> hops;  // keyed by client trace id
+  for (const obs::trace::SpanRecord& s : dump->spans) {
+    constexpr std::string_view kPrefix = "proxy.forward.s";
+    if (s.name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    if ((s.trace_id >> 48) != (kCliTraceNamespace >> 48)) continue;
+    const char* suffix = s.name.c_str() + kPrefix.size();
+    char* end = nullptr;
+    const long sid = std::strtol(suffix, &end, 10);
+    if (end == suffix || *end != '\0') continue;
+    Hop& h = hops[s.trace_id];
+    ++h.attempts;
+    if (s.start_ns >= h.last_start) {
+      h.last_start = s.start_ns;
+      h.shard = static_cast<int>(sid);
+    }
+  }
+  if (hops.empty()) {
+    std::cout << "starring-cli: hops: no proxy forward spans in the "
+                 "peer's dump ("
+              << dump->spans.size() << " spans, process "
+              << (dump->process.empty() ? "?" : dump->process) << ")\n";
+    return 0;
+  }
+  std::size_t failovers = 0;
+  for (const auto& [tid, h] : hops) {
+    if (h.attempts > 1) ++failovers;
+    std::cout << "starring-cli: hops: request " << (tid - kCliTraceNamespace - 1)
+              << " attempts=" << h.attempts << " shard=" << h.shard << "\n";
+  }
+  std::cout << "starring-cli: hops: " << hops.size() << " traced requests, "
+            << failovers << " with failover (dump: " << dump->spans.size()
+            << " spans, " << dump->dropped << " dropped)\n";
+  return 0;
+}
+
 int report(const CliConfig& cfg, std::size_t received, std::size_t hits,
            std::size_t timeouts, int failures, double wall_s) {
   std::cout << "starring-cli: " << received << "/" << cfg.count
@@ -390,8 +477,10 @@ int drive_spawned(const CliConfig& cfg) {
   // With every workload response consumed (and the sender done), the
   // request stream is quiet: a STATS exchange cannot interleave with
   // embedding responses.
-  if (received == cfg.count)
+  if (received == cfg.count) {
     failures += fetch_and_report_stats(cfg, out, in);
+    if (cfg.trace) failures += fetch_and_report_hops(out, in);
+  }
   out_buf.close();  // EOF on the daemon's stdin: begin graceful drain
   failures += consume_responses(cfg, in, &received, &hits, &timeouts);
 
@@ -497,6 +586,7 @@ int drive_tcp(const CliConfig& cfg) {
     sender.join();
     if (done == cfg.count) {
       failures += fetch_and_report_stats(cfg, out, in);
+      if (cfg.trace) failures += fetch_and_report_hops(out, in);
       out.flush();
       ::shutdown(fd, SHUT_WR);  // end-of-workload; the daemon drains
       while (read_response(in, &err)) {

@@ -68,6 +68,11 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 void on_signal(int) { g_stop = 1; }
 
+// Process start, for HEALTH uptime_ms.  Static-initialized so the
+// number covers the whole process, not just time since first probe.
+const std::chrono::steady_clock::time_point g_start =
+    std::chrono::steady_clock::now();
+
 // SIGUSR1 asks for a flight-recorder dump without stopping the daemon;
 // a watcher thread does the actual file I/O (signal-safe handlers
 // cannot).
@@ -91,6 +96,9 @@ struct DaemonConfig {
   int drain_timeout_ms = 10000;
   std::string bench_artifact;
   std::string trace_out;  // non-empty: tracing on, dump here
+  /// Tracing on without a local dump file: spans stay in the flight
+  /// recorder for a remote TRACE pull (the proxy's merged export).
+  bool trace = false;
   std::string oracle_snapshot;  // non-empty: warm-start from this file
   std::string shard_map;  // non-empty: validate --shard-id against it
   /// Canonical rings from a loaded snapshot, handed to the EmbedService
@@ -147,7 +155,11 @@ int usage(const char* argv0) {
       << "                       proceeds cold\n"
       << "  --bench-artifact S   write BENCH_<S>.json on clean drain\n"
       << "  --trace-out FILE     enable tracing; dump Chrome trace JSON\n"
-      << "                       on clean drain and on SIGUSR1\n";
+      << "                       on clean drain and on SIGUSR1\n"
+      << "  --trace              enable tracing without a local dump; "
+         "spans\n"
+      << "                       are served to the TRACE command (the\n"
+      << "                       proxy's merged cluster export)\n";
   return 2;
 }
 
@@ -197,6 +209,8 @@ std::optional<DaemonConfig> parse_args(int argc, char** argv) {
       cfg.bench_artifact = argv[++i];
     } else if (a == "--trace-out" && i + 1 < argc) {
       cfg.trace_out = argv[++i];
+    } else if (a == "--trace") {
+      cfg.trace = true;
     } else {
       return std::nullopt;
     }
@@ -228,8 +242,37 @@ bool answer_command(ServiceRequest& req, std::ostream& out,
         obs::counter("svc.cache_hits").value());
     h.cache_misses = static_cast<std::uint64_t>(
         obs::counter("svc.cache_misses").value());
+    h.uptime_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - g_start)
+            .count());
+    h.inflight = svc.inflight();
     const std::lock_guard<std::mutex> lock(out_mu);
     write_health(out, h);
+    out.flush();
+    return true;
+  }
+  if (req.kind == RequestKind::kTrace) {
+    // Remote flight-recorder drain (a read, not a reset): the proxy's
+    // merge path pulls these from every shard into one Perfetto file.
+    TraceDump d;
+    d.process = cfg.shard_id >= 0
+                    ? "shard-" + std::to_string(cfg.shard_id)
+                    : "starringd";
+    d.epoch_ns = obs::trace::epoch_ns();
+    d.dropped = obs::trace::stats().dropped;
+    d.spans = obs::trace::collect();
+    const std::lock_guard<std::mutex> lock(out_mu);
+    write_trace(out, d);
+    out.flush();
+    return true;
+  }
+  if (req.kind == RequestKind::kSlow) {
+    // The slow-request flight recorder lives in the proxy; a shard
+    // answers the framed record with an empty report so callers can
+    // issue SLOW cluster-wide without special-casing.
+    const std::lock_guard<std::mutex> lock(out_mu);
+    write_stats(out, "# slow-request recorder: not a proxy\n");
     out.flush();
     return true;
   }
@@ -326,7 +369,8 @@ int serve_stdio(DaemonConfig& cfg) {
 
 void serve_connection(int fd, EmbedService& svc, net::ConnRegistry& reg,
                       const DaemonConfig& cfg) {
-  // Set on write timeout (eviction) or hard write error; once dead the
+  // Set on write timeout (eviction), hard write error, or a response
+  // that failed to serialize; once dead the
   // connection is no longer serviced — reads stop (the socket is
   // hard-closed) and queued callbacks drop their responses.
   std::atomic<bool> dead{false};
@@ -341,6 +385,19 @@ void serve_connection(int fd, EmbedService& svc, net::ConnRegistry& reg,
   std::mutex done_mu;
   int outstanding = 0;
 
+  // Call under out_mu.  A response that fails to serialize (the
+  // io.write_response failpoint, or a stream that went bad underneath
+  // us) must not leave the connection half-alive: the peer would burn
+  // its full read timeout on a socket that will never answer.  Kill it
+  // instead so the client sees EOF promptly and fails over.
+  auto send_response = [&](const ServiceResponse& resp) {
+    if (write_response(out, resp)) {
+      out.flush();
+    } else {
+      out_buf.mark_dead();
+    }
+  };
+
   std::string err;
   while (!dead.load(std::memory_order_relaxed)) {
     auto req = read_request(in, &err);
@@ -350,8 +407,7 @@ void serve_connection(int fd, EmbedService& svc, net::ConnRegistry& reg,
         ServiceResponse bad;
         bad.status = ServiceStatus::kError;
         bad.reason = "parse: " + err;
-        write_response(out, bad);
-        out.flush();
+        send_response(bad);
       }
       break;
     }
@@ -372,8 +428,7 @@ void serve_connection(int fd, EmbedService& svc, net::ConnRegistry& reg,
         [&, id](ServiceResponse resp) {
           if (!dead.load(std::memory_order_relaxed)) {
             const std::lock_guard<std::mutex> lock(out_mu);
-            write_response(out, resp);
-            out.flush();
+            send_response(resp);
           }
           {
             // Notify under the lock: the connection thread may destroy
@@ -393,8 +448,7 @@ void serve_connection(int fd, EmbedService& svc, net::ConnRegistry& reg,
         rej.id = id;
         rej.status = ServiceStatus::kRejected;
         rej.reason = "queue full";
-        write_response(out, rej);
-        out.flush();
+        send_response(rej);
       }
       const std::lock_guard<std::mutex> lock(done_mu);
       --outstanding;
@@ -517,6 +571,13 @@ int daemon_main(int argc, char** argv) {
   // or STARRING_METRICS.
   obs::set_enabled(true);
 
+  // Cluster members mint trace/span ids in a per-process namespace so
+  // a merged trace file never sees two processes reuse an id (shard k
+  // gets namespace k+1; the proxy keeps the default 0).
+  if (cfg->shard_id >= 0)
+    obs::trace::set_id_namespace(
+        static_cast<std::uint32_t>(cfg->shard_id) + 1);
+
   if (!cfg->oracle_snapshot.empty()) {
     // Warm start.  A rejected snapshot is a logged degradation, not a
     // startup failure: the daemon serves identical answers either way,
@@ -546,6 +607,7 @@ int daemon_main(int argc, char** argv) {
   if (!cfg->bench_artifact.empty())
     rec = std::make_unique<obs::BenchRecorder>(cfg->bench_artifact);
 
+  if (cfg->trace) obs::trace::set_enabled(true);
   std::thread dump_watcher;
   std::atomic<bool> dump_watcher_stop{false};
   if (!cfg->trace_out.empty()) {

@@ -1,10 +1,13 @@
 #include "util/io.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
+#include "obs/json.hpp"
 #include "util/failpoint.hpp"
 
 namespace starring {
@@ -114,6 +117,21 @@ bool read_faults(std::istream& is, int n, FaultSet* out, std::string* error) {
   return true;
 }
 
+/// Strict decimal u64: all digits, no sign, no overflow.  The trace
+/// line is parsed with this rather than `>>` so an oversized or
+/// negative id is a framing error instead of a silent wrap.
+std::optional<std::uint64_t> parse_u64(const std::string& tok) {
+  if (tok.empty() || tok.size() > 20) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) return std::nullopt;
+    v = v * 10 + d;
+  }
+  return v;
+}
+
 /// Read `count` whitespace-separated vertex ids of S_n.
 bool read_sequence(std::istream& is, int n, std::size_t count,
                    std::vector<VertexId>* out, std::string* error) {
@@ -206,6 +224,14 @@ bool write_request(std::ostream& os, const ServiceRequest& r) {
     os << "HEALTH\n";
     return static_cast<bool>(os);
   }
+  if (r.kind == RequestKind::kTrace) {
+    os << "TRACE\n";
+    return static_cast<bool>(os);
+  }
+  if (r.kind == RequestKind::kSlow) {
+    os << "SLOW\n";
+    return static_cast<bool>(os);
+  }
   if (r.kind == RequestKind::kSeed) {
     os << "starring-seed v1\n";
     os << "n " << r.n << "\n";
@@ -226,6 +252,8 @@ bool write_request(std::ostream& os, const ServiceRequest& r) {
   // here stay parseable by readers of the original v1 grammar.
   if (!r.tenant.empty()) os << "tenant " << r.tenant << "\n";
   if (r.deadline_ms > 0) os << "deadline_ms " << r.deadline_ms << "\n";
+  if (r.trace_id != 0)
+    os << "trace " << r.trace_id << ' ' << r.parent_span_id << "\n";
   os << "end\n";
   return static_cast<bool>(os);
 }
@@ -327,6 +355,14 @@ std::optional<ServiceRequest> read_request(std::istream& is,
       r.kind = RequestKind::kHealth;
       return r;
     }
+    if (word == "TRACE") {
+      r.kind = RequestKind::kTrace;
+      return r;
+    }
+    if (word == "SLOW") {
+      r.kind = RequestKind::kSlow;
+      return r;
+    }
     if (word == "starring-seed") {
       std::string version;
       if (!(is >> version) || version != "v1") {
@@ -393,16 +429,37 @@ std::optional<ServiceRequest> read_request(std::istream& is,
     return std::nullopt;
   }
   r.verify = verify == 1;
-  // Optional tenant / deadline_ms lines (any order, at most once
-  // each), then the mandatory end terminator.
+  // Optional tenant / deadline_ms / trace lines (any order, at most
+  // once each), then the mandatory end terminator.
   bool saw_tenant = false;
   bool saw_deadline = false;
+  bool saw_trace = false;
   while (true) {
     if (!(is >> word)) {
       fail(error, "missing end line");
       return std::nullopt;
     }
     if (word == "end") break;
+    if (word == "trace" && !saw_trace) {
+      std::string tid_tok;
+      std::string psid_tok;
+      if (!(is >> tid_tok >> psid_tok)) {
+        fail(error, "bad trace line");
+        return std::nullopt;
+      }
+      const auto tid = parse_u64(tid_tok);
+      const auto psid = parse_u64(psid_tok);
+      // trace id 0 is the "no trace" sentinel; a record spelling it out
+      // is malformed, not a request without a trace.
+      if (!tid || !psid || *tid == 0) {
+        fail(error, "bad trace line");
+        return std::nullopt;
+      }
+      r.trace_id = *tid;
+      r.parent_span_id = *psid;
+      saw_trace = true;
+      continue;
+    }
     if (word == "deadline_ms" && !saw_deadline) {
       if (!(is >> r.deadline_ms) || r.deadline_ms <= 0) {
         fail(error, "bad deadline_ms line");
@@ -548,6 +605,8 @@ bool write_health(std::ostream& os, const HealthInfo& h) {
   os << "cache_entries " << h.cache_entries << "\n";
   os << "cache_hits " << h.cache_hits << "\n";
   os << "cache_misses " << h.cache_misses << "\n";
+  os << "uptime_ms " << h.uptime_ms << "\n";
+  os << "inflight " << h.inflight << "\n";
   os << "end\n";
   return static_cast<bool>(os);
 }
@@ -586,8 +645,137 @@ std::optional<HealthInfo> read_health(std::istream& is, std::string* error) {
     fail(error, "bad cache_misses line");
     return std::nullopt;
   }
-  if (!read_end(is, error)) return std::nullopt;
+  // Optional uptime_ms / inflight lines (any order, at most once each);
+  // absent in records written before PR 9, so tolerated rather than
+  // required.
+  bool saw_uptime = false;
+  bool saw_inflight = false;
+  while (true) {
+    if (!(is >> word)) {
+      fail(error, "missing end line");
+      return std::nullopt;
+    }
+    if (word == "end") break;
+    if (word == "uptime_ms" && !saw_uptime && (is >> h.uptime_ms)) {
+      saw_uptime = true;
+      continue;
+    }
+    if (word == "inflight" && !saw_inflight && (is >> h.inflight)) {
+      saw_inflight = true;
+      continue;
+    }
+    fail(error, "bad " + word + " line");
+    return std::nullopt;
+  }
   return h;
+}
+
+bool write_trace(std::ostream& os, const TraceDump& d) {
+  os << "starring-trace v1\n";
+  os << "process " << (d.process.empty() ? "-" : d.process) << "\n";
+  os << "epoch_ns " << d.epoch_ns << "\n";
+  os << "dropped " << d.dropped << "\n";
+  os << "spans " << d.spans.size() << "\n";
+  for (const obs::trace::SpanRecord& s : d.spans)
+    os << s.trace_id << ' ' << s.span_id << ' ' << s.parent_id << ' '
+       << s.start_ns << ' ' << s.dur_ns << ' ' << s.tid << ' '
+       << (s.name.empty() ? "-" : s.name) << "\n";
+  os << "end\n";
+  return static_cast<bool>(os);
+}
+
+std::optional<TraceDump> read_trace(std::istream& is, std::string* error) {
+  std::string word;
+  if (!(is >> word)) {
+    fail(error, "");  // clean EOF
+    return std::nullopt;
+  }
+  std::string version;
+  if (word != "starring-trace" || !(is >> version) || version != "v1") {
+    fail(error, "bad header");
+    return std::nullopt;
+  }
+  TraceDump d;
+  if (!(is >> word >> d.process) || word != "process" ||
+      d.process.size() > kMaxTraceTokenLen) {
+    fail(error, "bad process line");
+    return std::nullopt;
+  }
+  if (d.process == "-") d.process.clear();
+  if (!(is >> word >> d.epoch_ns) || word != "epoch_ns") {
+    fail(error, "bad epoch_ns line");
+    return std::nullopt;
+  }
+  if (!(is >> word >> d.dropped) || word != "dropped") {
+    fail(error, "bad dropped line");
+    return std::nullopt;
+  }
+  std::size_t count = 0;
+  if (!(is >> word >> count) || word != "spans") {
+    fail(error, "bad spans line");
+    return std::nullopt;
+  }
+  if (count > kMaxTraceSpans) {
+    fail(error, "spans count out of range");
+    return std::nullopt;
+  }
+  // Bound the up-front reservation independently of the wire count,
+  // like read_sequence: beyond this the vector grows as lines arrive.
+  d.spans.reserve(std::min<std::size_t>(count, 1u << 16));
+  for (std::size_t i = 0; i < count; ++i) {
+    obs::trace::SpanRecord s;
+    std::string name;
+    if (!(is >> s.trace_id >> s.span_id >> s.parent_id >> s.start_ns >>
+          s.dur_ns >> s.tid >> name)) {
+      fail(error, "truncated span list");
+      return std::nullopt;
+    }
+    if (name.size() > kMaxTraceTokenLen) {
+      fail(error, "bad span name");
+      return std::nullopt;
+    }
+    if (name != "-") s.name = std::move(name);
+    d.spans.push_back(std::move(s));
+  }
+  if (!read_end(is, error)) return std::nullopt;
+  return d;
+}
+
+bool write_merged_chrome_trace(std::ostream& os,
+                               const std::vector<TraceDump>& dumps) {
+  // Rebase every process onto the earliest epoch present; dumps taken
+  // from one machine share CLOCK_MONOTONIC, so the offsets put their
+  // spans on a single consistent timeline.
+  std::uint64_t min_epoch = UINT64_MAX;
+  for (const TraceDump& d : dumps) min_epoch = std::min(min_epoch, d.epoch_ns);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t pid = 0; pid < dumps.size(); ++pid) {
+    const TraceDump& d = dumps[pid];
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\""
+       << obs::json_escape(d.process.empty() ? "unknown" : d.process)
+       << "\"}}";
+    const double offset_us =
+        static_cast<double>(d.epoch_ns - min_epoch) / 1000.0;
+    for (const obs::trace::SpanRecord& r : d.spans) {
+      const std::string_view name = r.name;
+      const std::string_view cat = name.substr(0, name.find('.'));
+      os << ",\n{\"name\":\"" << obs::json_escape(name) << "\",\"cat\":\""
+         << obs::json_escape(cat) << "\",\"ph\":\"X\",\"ts\":"
+         << obs::json_number(static_cast<double>(r.start_ns) / 1000.0 +
+                             offset_us)
+         << ",\"dur\":"
+         << obs::json_number(static_cast<double>(r.dur_ns) / 1000.0)
+         << ",\"pid\":" << pid << ",\"tid\":" << r.tid
+         << ",\"args\":{\"trace\":" << r.trace_id << ",\"span\":"
+         << r.span_id << ",\"parent\":" << r.parent_id << "}}";
+    }
+  }
+  os << "\n]}\n";
+  return static_cast<bool>(os);
 }
 
 }  // namespace starring

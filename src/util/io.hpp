@@ -18,12 +18,14 @@
 // validation (is it really a healthy ring?) stays with core/verify.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/trace.hpp"
 #include "perm/permutation.hpp"
 
 namespace starring {
@@ -61,11 +63,12 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
 //   verify <0|1>                 [ring <length>]            (ok)
 //   [tenant <name>]              [<vertex ids ...>]         (ok)
 //   [deadline_ms <ms>]           end
+//   [trace <tid> <psid>]
 //   end
 //
-// The deadline_ms and tenant lines are optional, accepted in either
-// order (readers written against the original v1 grammar never emitted
-// them).  A positive deadline_ms gives the request a completion budget
+// The deadline_ms, tenant, and trace lines are optional, accepted in
+// any order (readers written against the original v1 grammar never
+// emitted them).  A positive deadline_ms gives the request a completion budget
 // measured from admission; a request still queued or in flight past
 // its budget is answered `status timeout`.  The tenant line names the
 // accounting principal for per-tenant quotas, fair scheduling, and
@@ -75,9 +78,16 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
 // bucket is exhausted; like `rejected` it carries no ring and the
 // request may be retried after a backoff.
 //
-// Four out-of-band commands ride the same request stream as bare
-// lines, answered inline (ahead of any still-pending embedding
-// responses):
+// The trace line carries the distributed-tracing context: a nonzero
+// trace id and the parent span id the receiver's root span should link
+// under (0 = root of the trace).  The proxy stamps one per forwarded
+// request so a shard's `svc.request` span parents under the proxy's
+// `proxy.forward` attempt span; clients can originate ids themselves
+// (starring-cli --trace).  A `trace 0 ...` line is a framing error —
+// trace id 0 is the "no trace" sentinel and must stay unambiguous.
+//
+// Out-of-band commands ride the same request stream as bare lines,
+// answered inline (ahead of any still-pending embedding responses):
 //
 //   STATS          live metrics snapshot, answered with a self-framing
 //                  stats record carrying Prometheus text exposition:
@@ -92,6 +102,14 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
 //   HEALTH         shard identity + cache probe (the starring-proxy
 //                  health poller), answered with a self-framing
 //                  starring-health v1 record (see HealthInfo below)
+//   TRACE          drain the process's span flight recorder, answered
+//                  with a self-framing starring-trace v1 record (see
+//                  TraceDump below); an empty record when tracing is
+//                  disabled
+//   SLOW           the proxy's slow-request flight recorder, answered
+//                  with a self-framing starring-stats v1 record whose
+//                  body is one text report per retained slow request
+//                  (shards answer an empty report)
 //
 // One more record type rides the request stream: `starring-seed v1`,
 // the proxy's read-through replication push.  It carries a canonical
@@ -108,9 +126,18 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
 // answered with the single line `SEED ok` or `SEED bad <reason>`.
 
 /// What a parsed request asks for: an embedding, one of the bare
-/// command lines (`STATS`, `PING`, `FAIL <config>`, `HEALTH`), or a
-/// replication seed record.
-enum class RequestKind { kEmbed, kStats, kPing, kFail, kHealth, kSeed };
+/// command lines (`STATS`, `PING`, `FAIL <config>`, `HEALTH`, `TRACE`,
+/// `SLOW`), or a replication seed record.
+enum class RequestKind {
+  kEmbed,
+  kStats,
+  kPing,
+  kFail,
+  kHealth,
+  kSeed,
+  kTrace,
+  kSlow
+};
 
 struct ServiceRequest {
   RequestKind kind = RequestKind::kEmbed;
@@ -132,6 +159,12 @@ struct ServiceRequest {
   /// service buckets such requests into `default` rather than letting
   /// them bypass quotas.
   std::string tenant;
+  /// Distributed-tracing context (the optional `trace` line).  A
+  /// nonzero trace_id asks the receiver to record its spans under that
+  /// trace, rooting them at parent_span_id (0 = root).  0/0 means "no
+  /// propagated context" — the receiver mints its own ids.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
   /// Payload of a `FAIL <config>` command (kind == kFail only).
   std::string fail_config;
   /// Canonical class key of a seed record (kind == kSeed only; n above
@@ -203,12 +236,22 @@ std::optional<std::string> read_stats(std::istream& is,
 // starring-proxy answers HEALTH as well, reporting shard -1 (it is a
 // router, not a shard) and its shard map's epoch.
 
+// Two optional trailing lines (any order, accepted but not required,
+// so PR 8 readers still parse a PR 9 record and vice versa) extend the
+// probe with liveness texture:
+//
+//   uptime_ms <u64>     wall ms since the process's trace epoch
+//   inflight <u64>      embedding requests admitted but not yet
+//                       answered (queue + in flight)
+
 struct HealthInfo {
   int shard_id = -1;
   std::uint64_t epoch = 0;
   std::uint64_t cache_entries = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t inflight = 0;
 };
 
 bool write_health(std::ostream& os, const HealthInfo& h);
@@ -217,5 +260,57 @@ bool write_health(std::ostream& os, const HealthInfo& h);
 /// read_request.
 std::optional<HealthInfo> read_health(std::istream& is,
                                       std::string* error = nullptr);
+
+// --- remote trace drain ----------------------------------------------
+//
+// A process answers the bare `TRACE` line with its span flight
+// recorder, drained but not cleared (TRACE is a read, not a reset):
+//
+//   starring-trace v1
+//   process <label, one token>
+//   epoch_ns <u64>
+//   dropped <u64>
+//   spans <count>
+//   <trace> <span> <parent> <start_ns> <dur_ns> <tid> <name>   x count
+//   end
+//
+// `process` names the row the span lands on in a merged Perfetto file
+// (`proxy`, `shard-0`, ...).  `epoch_ns` is the process's trace epoch
+// as raw CLOCK_MONOTONIC nanoseconds — processes of one boot share
+// that clock, so the merger rebases each dump by (epoch_ns - min
+// epoch_ns) to put every process on one timeline.  `dropped` is the
+// ring-overflow total at drain time (trace.dropped_spans), so a
+// truncated dump is detectable.  A span name is one token (recorder
+// names are dot-separated identifiers); an empty name is written as
+// the `-` placeholder.
+
+struct TraceDump {
+  std::string process;
+  std::uint64_t epoch_ns = 0;
+  std::uint64_t dropped = 0;
+  std::vector<obs::trace::SpanRecord> spans;
+};
+
+/// Longest process label / span name token accepted on the wire.
+inline constexpr std::size_t kMaxTraceTokenLen = 64;
+/// Most spans accepted in one trace record (64 rings of the max
+/// per-thread capacity; far above anything real, small enough that a
+/// garbage count cannot drive an unbounded parse loop).
+inline constexpr std::size_t kMaxTraceSpans = std::size_t{1} << 26;
+
+bool write_trace(std::ostream& os, const TraceDump& d);
+
+/// Parse one trace record; same clean-EOF vs malformed contract as
+/// read_request.
+std::optional<TraceDump> read_trace(std::istream& is,
+                                    std::string* error = nullptr);
+
+/// Render several per-process trace dumps as one Chrome/Perfetto
+/// trace_event document: a process_name metadata row per dump (pid =
+/// dump index) and every span as an "X" event with its timestamps
+/// rebased onto the earliest dump's epoch.  Returns false on stream
+/// failure.
+bool write_merged_chrome_trace(std::ostream& os,
+                               const std::vector<TraceDump>& dumps);
 
 }  // namespace starring

@@ -100,10 +100,14 @@ class FdOutBuf : public std::streambuf {
   FdOutBuf(int fd, int write_timeout_ms, std::atomic<bool>* dead)
       : fd_(fd), timeout_ms_(write_timeout_ms), dead_(dead) {}
 
+  /// Owner-invoked kill switch: sets `dead` and hard-closes the socket
+  /// so the peer sees EOF.  Used when a response fails to serialize —
+  /// a wedged output stream must not leave the connection half-alive.
+  void mark_dead();
+
  private:
   int_type overflow(int_type c) override;
   std::streamsize xsputn(const char* s, std::streamsize count) override;
-  void mark_dead();
   bool write_all(const char* p, std::size_t count);
 
   int fd_;

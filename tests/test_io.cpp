@@ -835,5 +835,209 @@ TEST(IoService, ThrottledResponseRoundTrips) {
   EXPECT_TRUE(back->ring.empty());
 }
 
+// --- distributed tracing protocol surface ----------------------------
+// The optional trace line on requests, the bare TRACE/SLOW commands,
+// the extended health record, and the starring-trace v1 span-dump
+// codec the proxy's merge path consumes.
+
+TEST(IoService, RequestTraceLineRoundTrips) {
+  ServiceRequest r;
+  r.id = 7;
+  r.n = 5;
+  r.trace_id = 0x1000000000001ULL;  // namespace 1, first id
+  r.parent_span_id = 42;
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, r));
+  EXPECT_NE(ss.str().find("trace 281474976710657 42\n"), std::string::npos);
+  std::string err;
+  const auto back = read_request(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->trace_id, r.trace_id);
+  EXPECT_EQ(back->parent_span_id, 42u);
+}
+
+TEST(IoService, RequestWithoutTraceOmitsLine) {
+  // trace_id 0 is the "untraced" sentinel: no line on the wire, and an
+  // old reader never sees the word.
+  ServiceRequest r;
+  r.id = 7;
+  r.n = 5;
+  std::stringstream ss;
+  ASSERT_TRUE(write_request(ss, r));
+  EXPECT_EQ(ss.str().find("trace"), std::string::npos);
+  const auto back = read_request(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace_id, 0u);
+  EXPECT_EQ(back->parent_span_id, 0u);
+}
+
+TEST(IoService, TraceAcceptedInAnyOrderWithTenantAndDeadline) {
+  const std::string head(
+      "starring-request v1\nid 1\nn 4\nvertex_faults 0\n"
+      "edge_faults 0\nverify 0\n");
+  for (const char* tail :
+       {"trace 9 3\ntenant acme\ndeadline_ms 40\n",
+        "tenant acme\ntrace 9 3\ndeadline_ms 40\n",
+        "deadline_ms 40\ntenant acme\ntrace 9 3\n"}) {
+    std::stringstream ss(head + tail + "end\n");
+    std::string err;
+    const auto back = read_request(ss, &err);
+    ASSERT_TRUE(back.has_value()) << tail << ": " << err;
+    EXPECT_EQ(back->trace_id, 9u);
+    EXPECT_EQ(back->parent_span_id, 3u);
+    EXPECT_EQ(back->tenant, "acme");
+    EXPECT_EQ(back->deadline_ms, 40);
+  }
+}
+
+TEST(IoService, RequestRejectsBadTraceLine) {
+  const std::string head(
+      "starring-request v1\nid 1\nn 4\nvertex_faults 0\n"
+      "edge_faults 0\nverify 0\n");
+  for (const char* bad : {
+           "trace\n",                  // no ids at all
+           "trace 7\n",                // missing parent span id
+           "trace abc 1\n",            // non-numeric trace id
+           "trace 7 abc\n",            // non-numeric parent id
+           "trace -7 1\n",             // negative: ids are unsigned
+           "trace 0 1\n",              // 0 is the untraced sentinel
+           "trace 18446744073709551616 1\n",   // 2^64: overflows u64
+           "trace 999999999999999999999 1\n",  // oversized digit string
+           "trace 7 18446744073709551616\n",   // parent overflows too
+       }) {
+    std::stringstream ss(head + bad + "end\n");
+    std::string err;
+    EXPECT_FALSE(read_request(ss, &err).has_value()) << bad;
+    EXPECT_EQ(err, "bad trace line") << bad;
+  }
+  {
+    // A repeated optional line is not part of the grammar either.
+    std::stringstream ss(head + "trace 7 1\ntrace 7 1\nend\n");
+    std::string err;
+    EXPECT_FALSE(read_request(ss, &err).has_value());
+    EXPECT_EQ(err, "missing end line");
+  }
+}
+
+TEST(IoService, TraceAndSlowCommandsRoundTrip) {
+  for (const auto& [kind, wire] :
+       {std::pair{RequestKind::kTrace, "TRACE\n"},
+        std::pair{RequestKind::kSlow, "SLOW\n"}}) {
+    std::stringstream ss;
+    ServiceRequest req;
+    req.kind = kind;
+    ASSERT_TRUE(write_request(ss, req));
+    EXPECT_EQ(ss.str(), wire);
+    std::string err;
+    const auto back = read_request(ss, &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(back->kind, kind);
+  }
+}
+
+TEST(IoService, HealthRecordCarriesUptimeAndInflight) {
+  HealthInfo h;
+  h.shard_id = 2;
+  h.epoch = 3;
+  h.uptime_ms = 15321;
+  h.inflight = 4;
+  std::stringstream ss;
+  ASSERT_TRUE(write_health(ss, h));
+  EXPECT_NE(ss.str().find("uptime_ms 15321\n"), std::string::npos);
+  EXPECT_NE(ss.str().find("inflight 4\n"), std::string::npos);
+  std::string err;
+  const auto back = read_health(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->uptime_ms, 15321u);
+  EXPECT_EQ(back->inflight, 4u);
+}
+
+TEST(IoService, HealthRecordToleratesMissingOptionalLines) {
+  // A pre-tracing shard's record (no uptime_ms/inflight) still parses,
+  // with the gauges defaulting to zero.
+  std::stringstream ss(
+      "starring-health v1\nshard 1\nepoch 2\ncache_entries 5\n"
+      "cache_hits 6\ncache_misses 7\nend\n");
+  std::string err;
+  const auto back = read_health(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->uptime_ms, 0u);
+  EXPECT_EQ(back->inflight, 0u);
+}
+
+TEST(IoService, TraceDumpRoundTrips) {
+  TraceDump d;
+  d.process = "shard-1";
+  d.epoch_ns = 123456789;
+  d.dropped = 3;
+  obs::trace::SpanRecord a;
+  a.trace_id = 0x2000000000005ULL;
+  a.span_id = 11;
+  a.parent_id = 0;
+  a.start_ns = 1000;
+  a.dur_ns = 2500;
+  a.tid = 1;
+  a.name = "svc.request";
+  obs::trace::SpanRecord b;
+  b.trace_id = a.trace_id;
+  b.span_id = 12;
+  b.parent_id = 11;
+  b.start_ns = 1100;
+  b.dur_ns = 200;
+  b.tid = 1;
+  b.name = "";  // unnamed spans survive the wire too
+  d.spans = {a, b};
+
+  std::stringstream ss;
+  ASSERT_TRUE(write_trace(ss, d));
+  std::string err;
+  const auto back = read_trace(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->process, "shard-1");
+  EXPECT_EQ(back->epoch_ns, 123456789u);
+  EXPECT_EQ(back->dropped, 3u);
+  ASSERT_EQ(back->spans.size(), 2u);
+  EXPECT_EQ(back->spans[0].trace_id, a.trace_id);
+  EXPECT_EQ(back->spans[0].span_id, 11u);
+  EXPECT_EQ(back->spans[0].parent_id, 0u);
+  EXPECT_EQ(back->spans[0].start_ns, 1000);
+  EXPECT_EQ(back->spans[0].dur_ns, 2500);
+  EXPECT_EQ(back->spans[0].tid, 1u);
+  EXPECT_EQ(back->spans[0].name, "svc.request");
+  EXPECT_EQ(back->spans[1].parent_id, 11u);
+  EXPECT_TRUE(back->spans[1].name.empty());
+}
+
+TEST(IoService, TraceDumpEmptyRoundTrips) {
+  TraceDump d;  // tracing disabled: process defaults, no spans
+  std::stringstream ss;
+  ASSERT_TRUE(write_trace(ss, d));
+  std::string err;
+  const auto back = read_trace(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_TRUE(back->process.empty());
+  EXPECT_TRUE(back->spans.empty());
+}
+
+TEST(IoService, TraceDumpRejectsGarbage) {
+  for (const char* text : {
+           "starring-trace v2\nprocess p\nepoch_ns 0\ndropped 0\n"
+           "spans 0\nend\n",  // wrong version
+           "starring-trace v1\nprocess p\nepoch_ns 0\ndropped 0\n"
+           "spans 2\n1 2 0 5 5 0 x\nend\n",  // fewer spans than declared
+           "starring-trace v1\nprocess p\nepoch_ns 0\ndropped 0\n"
+           "spans 1\n1 2 0 5\nend\n",  // truncated span line
+           "starring-trace v1\nprocess p\nepoch_ns 0\ndropped 0\n"
+           "spans 1\n1 2 0 5 5 0 x\n",  // missing end
+           "starring-trace v1\nprocess p\nepoch_ns 0\ndropped 0\n"
+           "spans 99999999999999999999\n",  // absurd span count
+       }) {
+    std::stringstream ss(text);
+    std::string err;
+    EXPECT_FALSE(read_trace(ss, &err).has_value()) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
 }  // namespace
 }  // namespace starring

@@ -235,6 +235,41 @@ TEST_F(TraceTest, CollectIsSortedByStartTime) {
     EXPECT_LE(records[i - 1].start_ns, records[i].start_ns);
 }
 
+TEST_F(TraceTest, IdNamespaceSeparatesProcesses) {
+  // Shard k mints under namespace k+1: every id carries the namespace
+  // in its top 16 bits, so merged dumps from different processes never
+  // collide.  clear() must re-seed at the namespace base, not 1.
+  trace::set_id_namespace(3);
+  trace::clear();
+  { trace::ScopedSpan span("a"); }
+  { trace::ScopedSpan span("b"); }
+  const auto records = trace::collect();
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.trace_id >> 48, 3u) << r.name;
+    EXPECT_EQ(r.span_id >> 48, 3u) << r.name;
+  }
+  EXPECT_NE(records[0].trace_id, records[1].trace_id);
+  trace::set_id_namespace(0);  // restore the default for later tests
+  trace::clear();
+}
+
+TEST_F(TraceTest, WireContextAdoptedAsParent) {
+  // A request arriving with a `trace` line hands its context to the
+  // server-side root span: same trace id, remote span as parent.
+  const trace::Context wire{(std::uint64_t{7} << 48) + 5, 99};
+  { trace::ScopedSpan root("svc.request", wire); }
+  const auto records = trace::collect();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].trace_id, wire.trace_id);
+  EXPECT_EQ(records[0].parent_id, wire.span_id);
+}
+
+TEST_F(TraceTest, EpochIsStableAndNonZero) {
+  EXPECT_GT(trace::epoch_ns(), 0u);
+  EXPECT_EQ(trace::epoch_ns(), trace::epoch_ns());
+}
+
 #endif  // !STARRING_OBS_DISABLED
 
 TEST_F(TraceTest, ChromeTraceExportParsesAndNests) {
