@@ -337,6 +337,143 @@ def tcp_stage(daemon, port):
             proc.wait()
 
 
+def wait_ping(proc, port, what):
+    deadline = time.time() + 20
+    while True:
+        try:
+            with connect(port, timeout=2) as s:
+                s.sendall(b"PING\n")
+                assert read_record(sock_reader(s)) == ("pong",)
+            return
+        except OSError:
+            assert time.time() < deadline, f"{what} never came up"
+            assert proc.poll() is None, f"{what} died during startup"
+            time.sleep(0.1)
+
+
+def read_members(port):
+    """The MEMBERS command: {addr: (shard_id, incarnation, state)}."""
+    with connect(port) as s:
+        s.sendall(b"MEMBERS\n")
+        tr = sock_reader(s)
+        assert tr.next_token() == "starring-membership"
+        assert tr.next_token() == "v1"
+        assert tr.next_token() == "epoch"
+        epoch = int(tr.next_token())
+        assert tr.next_token() == "replication"
+        tr.next_token()
+        assert tr.next_token() == "vnodes"
+        tr.next_token()
+        assert tr.next_token() == "members"
+        count = int(tr.next_token())
+        members = {}
+        for _ in range(count):
+            assert tr.next_token() == "member"
+            addr = tr.next_token()
+            members[addr] = (int(tr.next_token()), int(tr.next_token()),
+                             tr.next_token())
+        assert tr.next_token() == "end"
+        return epoch, members
+
+
+def fail_cmd(port, config):
+    with connect(port) as s:
+        s.sendall(f"FAIL {config}\n".encode("ascii"))
+        rec = read_record(sock_reader(s))
+        assert rec == ("fail", "ok"), rec
+
+
+def embed_ok(port, rid):
+    with connect(port) as s:
+        s.sendall(request_frame(rid, 5, []).encode("ascii"))
+        rec = read_record(sock_reader(s))
+        assert rec[0] == "resp" and rec[2] == "ok", rec
+
+
+def wait_state(port, addr, want, budget, what):
+    deadline = time.time() + budget
+    state = "?"
+    while time.time() < deadline:
+        state = read_members(port)[1].get(addr, (0, 0, "absent"))[2]
+        if state == want:
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"{what}: {addr} stuck at {state!r}, want {want!r}")
+
+
+def gossip_stage(daemon, port_a, port_b):
+    """Asymmetric gossip partition, healed by refutation.
+
+    Two shards form a cluster over SWIM.  B's gossip plane is then
+    severed with failpoints — `gossip.probe` silences its prober,
+    `gossip.ack` makes it swallow its replies (while still merging the
+    incoming updates, like a one-way link) — so A's probes go
+    unanswered and A marks B suspect.  The suspicion window is set far
+    past the drill so B is never buried: when the failpoints clear, A's
+    next ping piggybacks the suspicion to B, B outbids it with a higher
+    incarnation, and A flips B back to alive.  Throughout, the data
+    plane on BOTH sides keeps answering embeds — a gossip partition is
+    not a service outage — and A must record zero deaths.
+    """
+    addr_a = f"127.0.0.1:{port_a}"
+    addr_b = f"127.0.0.1:{port_b}"
+    gossip = ["--gossip-interval-ms", "100",
+              "--suspicion-timeout-ms", "15000"]
+    proc_a = subprocess.Popen(
+        [daemon, "--listen", str(port_a), "--shard-id", "0",
+         "--bootstrap"] + gossip)
+    proc_b = None
+    try:
+        wait_ping(proc_a, port_a, "gossip daemon A")
+        proc_b = subprocess.Popen(
+            [daemon, "--listen", str(port_b), "--shard-id", "1",
+             "--join", addr_a] + gossip)
+        wait_ping(proc_b, port_b, "gossip daemon B")
+        wait_state(port_a, addr_b, "alive", 10, "join")
+        inc_before = read_members(port_a)[1][addr_b][1]
+        log(f"gossip: B joined A's view (incarnation {inc_before})")
+
+        # Sever B's gossip plane only.
+        fail_cmd(port_b, "gossip.probe=error,gossip.ack=error")
+        wait_state(port_a, addr_b, "suspect", 10, "partition")
+        log("gossip: dropped acks drove A to suspect B")
+
+        # A suspect is not an outage: both data planes still answer.
+        embed_ok(port_a, 9001)
+        embed_ok(port_b, 9002)
+        log("gossip: embeds served on both sides mid-partition")
+
+        # Heal: A's next ping delivers the suspicion, B refutes it.
+        fail_cmd(port_b, "clear")
+        wait_state(port_a, addr_b, "alive", 10, "refutation")
+        inc_after = read_members(port_a)[1][addr_b][1]
+        assert inc_after > inc_before, (
+            f"B revived without an incarnation bump "
+            f"({inc_before} -> {inc_after}): not a refutation")
+        log(f"gossip: B refuted at incarnation {inc_after}")
+
+        stats_a = scrape_stats(port_a)
+        assert stats_a.get("starring_cluster_membership_suspects", 0) >= 1, \
+            stats_a
+        assert stats_a.get("starring_cluster_membership_deaths", 0) == 0, (
+            "a healed partition must not bury anyone")
+        stats_b = scrape_stats(port_b)
+        assert stats_b.get("starring_cluster_membership_refutes", 0) >= 1, \
+            stats_b
+        log("gossip: >=1 suspicion, >=1 refutation, 0 deaths")
+
+        for proc in (proc_b, proc_a):
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=30)
+            assert rc == 0, f"gossip daemon exit code {rc}"
+        log("gossip: both daemons drained clean")
+    finally:
+        for proc in (proc_a, proc_b):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("daemon", help="path to the starringd binary")
@@ -344,6 +481,7 @@ def main():
     args = ap.parse_args()
     stdio_stage(args.daemon)
     tcp_stage(args.daemon, args.port)
+    gossip_stage(args.daemon, args.port + 2, args.port + 3)
     log("all stages passed")
 
 

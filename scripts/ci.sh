@@ -397,6 +397,182 @@ EOF
   echo "cluster smoke: failover + hit-rate + trace-stitching gates ok"
 }
 
+# Membership-churn drill: the dynamic-membership counterpart of
+# cluster_smoke.  No shard-map file anywhere — shard 0 bootstraps a
+# single-member cluster and everyone else gossips their way in:
+#
+#   t=0    shard 0 --bootstrap, shard 1 --join, proxy --join
+#   t≈0    9s open-loop zipf load through the proxy starts
+#   t+2s   shard 2 live-joins mid-load (expects seed handoff to warm it)
+#   t+4s   shard 0 leaves gracefully (LEAVE: zero failover events)
+#   t+5s   shard 1 is SIGKILLed (suspicion must bury it within ~5s)
+#
+# Gates: starring-load exits 0 (every request terminal through all
+# three transitions), the proxy's map epoch advanced, the SIGKILLed
+# shard is marked dead in the proxy's MEMBERS view, the graceful
+# departure caused no failovers, and the late joiner both accepted
+# seed records and served real traffic.
+membership_churn() {
+  local build_dir="$1"
+  local dir="$build_dir/membership-churn"
+  mkdir -p "$dir"
+  local ports=(47191 47192 47193)
+  local proxy_port=47195
+  local seed_addr="127.0.0.1:${ports[0]}"
+  local gossip=(--gossip-interval-ms 100 --suspicion-timeout-ms 1000)
+  CHURN_PIDS=()
+  trap 'kill -9 "${CHURN_PIDS[@]}" 2>/dev/null || true' RETURN EXIT
+  pkill -9 -f "starringd --listen 4719" 2>/dev/null || true
+  pkill -9 -f "starring-proxy .*--listen $proxy_port" 2>/dev/null || true
+
+  wait_port() {
+    local port="$1" pid="$2"
+    for _ in $(seq 100); do
+      if ! kill -0 "$pid" 2>/dev/null; then
+        echo "membership churn: process on port $port died during startup" >&2
+        return 1
+      fi
+      (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null && return 0
+      sleep 0.1
+    done
+    echo "membership churn: port $port never came up" >&2
+    return 1
+  }
+
+  # One helper for every wire-side query the drill needs: HEALTH epoch,
+  # MEMBERS state of one address, STATS scalar.
+  query() {
+    python3 - "$@" <<'EOF'
+import socket, sys
+mode, port = sys.argv[1], int(sys.argv[2])
+def ask(cmd):
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+        s.sendall((cmd + "\n").encode())
+        buf = b""
+        while b"\nend\n" not in buf and b"end\n" != buf[:4]:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return buf.decode()
+if mode == "epoch":
+    for line in ask("HEALTH").splitlines():
+        if line.startswith("epoch "):
+            print(line.split()[1]); break
+elif mode == "state":
+    addr, state = sys.argv[3], ""
+    for line in ask("MEMBERS").splitlines():
+        tok = line.split()
+        if len(tok) == 5 and tok[0] == "member" and tok[1] == addr:
+            state = tok[4]
+    print(state or "absent")
+elif mode == "stat":
+    name, val = sys.argv[3], "0"
+    for line in ask("STATS").splitlines():
+        if line.startswith(name + " "):
+            val = line.split()[1]
+    print(val)
+EOF
+  }
+
+  echo "-- membership churn: bootstrap + join (no shard-map file)"
+  "$build_dir/src/service/starringd" --listen "${ports[0]}" --shard-id 0 \
+    --bootstrap --cache-capacity 24 "${gossip[@]}" \
+    > "$dir/shard0.log" 2>&1 &
+  local shard0_pid=$!
+  CHURN_PIDS+=("$shard0_pid")
+  wait_port "${ports[0]}" "$shard0_pid"
+  "$build_dir/src/service/starringd" --listen "${ports[1]}" --shard-id 1 \
+    --join "$seed_addr" --cache-capacity 24 "${gossip[@]}" \
+    > "$dir/shard1.log" 2>&1 &
+  local shard1_pid=$!
+  CHURN_PIDS+=("$shard1_pid")
+  wait_port "${ports[1]}" "$shard1_pid"
+  "$build_dir/src/cluster/starring-proxy" --join "$seed_addr" \
+    --listen "$proxy_port" --seed-threshold 2 --health-interval-ms 250 \
+    "${gossip[@]}" > "$dir/proxy.log" 2>&1 &
+  local proxy_pid=$!
+  CHURN_PIDS+=("$proxy_pid")
+  wait_port "$proxy_port" "$proxy_pid"
+  # Both shards visible to the proxy before load starts.
+  for _ in $(seq 50); do
+    [[ "$(query state "$proxy_port" "127.0.0.1:${ports[1]}")" == alive ]] \
+      && break
+    sleep 0.1
+  done
+  local epoch0
+  epoch0="$(query epoch "$proxy_port")"
+  [[ -n "$epoch0" ]] || { echo "membership churn: no proxy epoch" >&2; exit 1; }
+
+  timeout 120 "$build_dir/src/loadgen/starring-load" \
+    --connect "$proxy_port" --duration-ms 9000 --seed 7 \
+    --tenant 'hot:rate=100:zipf=0.9:classes=48:nmin=5:nmax=6' \
+    --tenant 'warm:rate=40:zipf=0.9:classes=48:nmin=5:nmax=6' \
+    --stats-out "$dir/load.prom" > "$dir/load.log" 2>&1 &
+  local load_pid=$!
+
+  echo "-- membership churn: live join mid-load"
+  sleep 2
+  "$build_dir/src/service/starringd" --listen "${ports[2]}" --shard-id 2 \
+    --join "$seed_addr" --cache-capacity 24 "${gossip[@]}" \
+    > "$dir/shard2.log" 2>&1 &
+  local shard2_pid=$!
+  CHURN_PIDS+=("$shard2_pid")
+  wait_port "${ports[2]}" "$shard2_pid"
+  sleep 1.5  # gossip convergence + seed handoff to the new replica
+
+  echo "-- membership churn: graceful LEAVE under load"
+  local f0 f1
+  f0="$(query stat "$proxy_port" starring_cluster_failover)"
+  python3 - "${ports[0]}" <<'EOF'
+import socket, sys
+with socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10) as s:
+    s.sendall(b"LEAVE\n")
+    reply = s.recv(256)
+    assert reply.startswith(b"LEAVE ok"), f"LEAVE refused: {reply!r}"
+EOF
+  wait "$shard0_pid" 2>/dev/null || true
+  sleep 1
+  f1="$(query stat "$proxy_port" starring_cluster_failover)"
+  if [[ "${f1%.*}" != "${f0%.*}" ]]; then
+    echo "membership churn: graceful LEAVE caused failovers ($f0 -> $f1)" >&2
+    exit 1
+  fi
+  [[ "$(query state "$proxy_port" "$seed_addr")" == left ]] || {
+    echo "membership churn: departed shard not marked left" >&2; exit 1; }
+
+  echo "-- membership churn: SIGKILL + suspicion"
+  kill -9 "$shard1_pid" 2>/dev/null || true
+  local buried=0
+  for _ in $(seq 50); do  # probe fail + 1s suspicion window, 5s budget
+    if [[ "$(query state "$proxy_port" "127.0.0.1:${ports[1]}")" == dead ]]
+    then buried=1; break; fi
+    sleep 0.1
+  done
+  [[ "$buried" == 1 ]] || {
+    echo "membership churn: SIGKILLed shard never declared dead" >&2; exit 1; }
+
+  wait "$load_pid"  # rc != 0 (a failed request) fails the phase via set -e
+  local epoch1
+  epoch1="$(query epoch "$proxy_port")"
+  if (( epoch1 <= epoch0 )); then
+    echo "membership churn: map epoch never advanced ($epoch0 -> $epoch1)" >&2
+    exit 1
+  fi
+  local seeds served
+  seeds="$(query stat "${ports[2]}" starring_svc_seeds_accepted)"
+  served="$(query stat "${ports[2]}" starring_svc_requests)"
+  if [[ "${seeds%.*}" -lt 1 || "${served%.*}" -lt 1 ]]; then
+    echo "membership churn: late joiner not warmed (seeds=$seeds served=$served)" >&2
+    exit 1
+  fi
+  kill -TERM "$proxy_pid" 2>/dev/null || true
+  wait "$proxy_pid" 2>/dev/null || true
+  kill -TERM "$shard2_pid" 2>/dev/null || true
+  echo "membership churn: join/leave/kill drill ok" \
+    "(epoch $epoch0 -> $epoch1, joiner seeds=${seeds%.*} served=${served%.*})"
+}
+
 if [[ "$run_tier1" == 1 ]]; then
   echo "== tier-1: RelWithDebInfo build + full ctest =="
   cmake -B build -S .
@@ -455,6 +631,8 @@ if [[ "$run_cluster" == 1 ]]; then
   cmake --build build -j "$JOBS" --target starringd starring-proxy \
     starring-load starring-cli
   cluster_smoke build
+  echo "== membership churn: live join, graceful leave, SIGKILL suspicion =="
+  membership_churn build
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

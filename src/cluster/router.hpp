@@ -12,12 +12,24 @@
 // next request through is the half-open probe: its success closes the
 // breaker, its failure re-opens with a longer cooldown.
 //
+// The map is held RCU-style: an immutable snapshot behind a
+// shared_ptr, swapped atomically by the membership layer on each epoch
+// bump.  Requests read a consistent snapshot (map() hands out the
+// shared_ptr); in-flight retries re-fetch candidates per attempt, so a
+// swap mid-request re-routes the remaining attempts against the new
+// owner set.
+//
+// Breaker state is exported as gauges through the Prometheus path:
+//   cluster.shard.<id>.breaker_state   0 closed / 1 open / 2 half-open
+//   cluster.shard.<id>.breaker_streak  consecutive failures
+//
 // Time is an explicit parameter (steady_clock::time_point) so unit
 // tests drive the breaker state machine without sleeping.
 #pragma once
 
 #include <chrono>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string_view>
 #include <vector>
@@ -35,13 +47,27 @@ struct BreakerOptions {
   int cap_ms = 5000;
 };
 
+/// Breaker positions for the state gauge.
+enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
 class ShardRouter {
  public:
   using Clock = std::chrono::steady_clock;
 
+  explicit ShardRouter(std::shared_ptr<const ShardMap> map,
+                       BreakerOptions opts = {});
+  /// Convenience for static single-map callers (tests, tools).
   explicit ShardRouter(ShardMap map, BreakerOptions opts = {});
 
-  const ShardMap& map() const { return map_; }
+  /// Current placement snapshot.  Callers hold the returned pointer
+  /// for the duration of one request so every placement decision in it
+  /// is made against one consistent map, even across a live swap.
+  std::shared_ptr<const ShardMap> map() const;
+
+  /// Install a new map snapshot (membership epoch bump).  Breakers of
+  /// shards absent from the new map are dropped — a departed shard's
+  /// failure streak must not haunt its id if it rejoins later.
+  void swap_map(std::shared_ptr<const ShardMap> next);
 
   /// Every shard, nearest-first for `key`, with open-breaker shards
   /// moved to the back (stable within each group).  Never empty while
@@ -56,6 +82,8 @@ class ShardRouter {
   void record_success(int shard_id);
 
   int consecutive_failures(int shard_id);
+  /// Gauge view of one shard's breaker (also what the gauges export).
+  BreakerState breaker_state(int shard_id, Clock::time_point now);
 
  private:
   struct Breaker {
@@ -66,10 +94,13 @@ class ShardRouter {
   };
 
   bool allow_locked(const Breaker& b, Clock::time_point now) const;
+  /// Refresh the shard's breaker gauges.  nullptr = closed/no entry.
+  void publish_locked(int shard_id, const Breaker* b,
+                      Clock::time_point now) const;
 
-  ShardMap map_;
+  std::shared_ptr<const ShardMap> map_;  // guarded by mu_, read via map()
   BreakerOptions opts_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::map<int, Breaker> breakers_;
 };
 

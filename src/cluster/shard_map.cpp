@@ -94,6 +94,18 @@ std::optional<ShardMap> ShardMap::parse(std::istream& is,
     fail(error, "replication exceeds shard count");
     return std::nullopt;
   }
+  m.target_replication_ = m.replication_;
+  m.build_ring();
+  return m;
+}
+
+ShardMap ShardMap::make(std::vector<ShardInfo> shards, std::uint64_t epoch,
+                        int replication, int vnodes) {
+  ShardMap m;
+  m.epoch_ = epoch;
+  m.vnodes_ = std::clamp(vnodes, 1, kMaxVnodes);
+  m.shards_ = std::move(shards);
+  m.set_replication(replication);
   m.build_ring();
   return m;
 }
@@ -181,11 +193,37 @@ ShardMap ShardMap::without(int shard_id) const {
   m.vnodes_ = vnodes_;
   for (const ShardInfo& s : shards_)
     if (s.id != shard_id) m.shards_.push_back(s);
-  m.replication_ =
-      std::min(replication_, static_cast<int>(m.shards_.size()));
-  if (m.replication_ < 1) m.replication_ = 1;
+  m.set_replication(target_replication_);
   m.build_ring();
   return m;
+}
+
+ShardMap ShardMap::with(const ShardInfo& s) const {
+  ShardMap m;
+  m.epoch_ = epoch_ + 1;  // growth is a membership change too
+  m.vnodes_ = vnodes_;
+  m.shards_ = shards_;
+  bool replaced = false;
+  for (ShardInfo& prev : m.shards_) {
+    if (prev.id == s.id) {
+      prev.endpoint = s.endpoint;  // rejoin at a new address
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) m.shards_.push_back(s);
+  // Growth heals replication toward the configured target: a cluster
+  // that shrank below R regains replicas as members return.
+  m.set_replication(target_replication_);
+  m.build_ring();
+  return m;
+}
+
+void ShardMap::set_replication(int target) {
+  target_replication_ = std::max(1, target);
+  replication_ =
+      std::min(target_replication_, static_cast<int>(shards_.size()));
+  if (replication_ < 1) replication_ = 1;
 }
 
 std::string ShardMap::to_text() const {

@@ -27,8 +27,12 @@
 // exactly the keys it owned (its points vanish; everyone else's stay
 // put) — the minimal-disruption property the tests pin down.
 //
-// Deliberately static: no rebalancing, no live membership changes.  A
-// new map is a new file with a bumped epoch and a process restart
+// A map file is one of two ways a map comes to exist.  Originally the
+// file was the *only* way ("deliberately static", restart to change
+// anything); since the membership layer (cluster/membership.hpp) maps
+// are also built programmatically — make() at bootstrap, then
+// with()/without() per confirmed join/leave/death, each bumping the
+// epoch.  The file remains the static-bootstrap and tooling format
 // (DESIGN.md §13).
 #pragma once
 
@@ -90,6 +94,16 @@ class ShardMap {
   static std::optional<ShardMap> load(const std::string& path,
                                       std::string* error = nullptr);
 
+  /// Build a map programmatically (the membership layer's bootstrap
+  /// path).  Unlike parse(), an *empty* shard list is allowed — a
+  /// cluster an observer joined before any shard did routes nothing
+  /// until a shard arrives.  replication is clamped to [1, max(count,
+  /// 1)], vnodes to the parser's cap; duplicate ids are the caller's
+  /// responsibility (the membership table keys members by endpoint and
+  /// resolves id conflicts before building).
+  static ShardMap make(std::vector<ShardInfo> shards, std::uint64_t epoch,
+                       int replication, int vnodes);
+
   std::uint64_t epoch() const { return epoch_; }
   int replication() const { return replication_; }
   int vnodes() const { return vnodes_; }
@@ -115,6 +129,18 @@ class ShardMap {
   /// disruption tests and by operators previewing a shrink.
   ShardMap without(int shard_id) const;
 
+  /// Membership-change simulation, growth direction: the same map plus
+  /// one shard (epoch bumped).  An existing id has its endpoint
+  /// replaced in place — a shard rejoining on a new port keeps every
+  /// key where it was, because placement hashes only the id.
+  ShardMap with(const ShardInfo& s) const;
+
+  /// Set the *target* R and re-clamp the effective replication to
+  /// [1, shard count].  The target survives with()/without() churn, so
+  /// a cluster that shrank below R heals back to full replication as
+  /// members return — no external bookkeeping required.
+  void set_replication(int target);
+
   /// Round-trippable text form (same grammar parse() accepts).
   std::string to_text() const;
 
@@ -129,7 +155,8 @@ class ShardMap {
   std::size_t ring_start(std::string_view key) const;
 
   std::uint64_t epoch_ = 1;
-  int replication_ = 2;
+  int replication_ = 2;  // effective: clamped to the shard count
+  int target_replication_ = 2;  // configured R, survives churn
   int vnodes_ = 128;
   std::vector<ShardInfo> shards_;
   std::vector<RingPoint> ring_;  // sorted by (hash, shard_id)

@@ -19,11 +19,23 @@
 // (EmbedService::seed_cache on the far side), so a failover lands on a
 // warm cache instead of recomputing.
 //
+// Membership is live (cluster/membership.hpp): the proxy participates
+// in the SWIM gossip as an observer (shard -1), bootstrapped either
+// from a static map file (--shard-map) or by joining a running member
+// (--join HOST:PORT).  Each confirmed join/leave/death swaps the
+// router's map snapshot atomically (RCU-style shared_ptr, epoch
+// bumped); in-flight retries re-fetch candidates per attempt so they
+// re-route against the new owner set; and on ownership growth the
+// seeder drives seed handoff — hot classes' canonical rings are pushed
+// to their new replicas before those take cold misses.
+//
 // A health poller sends the bare `HEALTH` line to every shard each
 // --health-interval-ms: a dead shard trips its breaker between data-
-// path requests, a recovered one closes it, and an id/epoch mismatch
-// (a process serving under the wrong identity or an out-of-date map)
-// is logged and counted.
+// path requests, a recovered one closes it, and an identity mismatch
+// (a process serving under the wrong shard id) is logged and counted.
+// Per-shard polls are jittered (±25% plus a per-shard initial stagger)
+// so N shards never land on one tick and a slow shard cannot delay
+// detection of the others in its round.
 //
 // The proxy answers STATS (its own cluster.* registry, including
 // per-shard latency histograms cluster.shard.<id>.latency.*), PING,
@@ -35,6 +47,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -52,12 +65,14 @@
 #include <optional>
 #include <ostream>
 #include <poll.h>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/membership.hpp"
 #include "cluster/router.hpp"
 #include "cluster/shard_map.hpp"
 #include "obs/bench_io.hpp"
@@ -92,6 +107,12 @@ const char* status_name(ServiceStatus s) {
 
 struct ProxyConfig {
   std::string shard_map_path;
+  /// Non-empty: bootstrap by joining this cluster member instead of
+  /// reading a map file (mutually exclusive with --shard-map).
+  std::string join_addr;
+  /// SWIM tuning, forwarded to MembershipOptions.
+  int gossip_interval_ms = 250;
+  int suspicion_timeout_ms = 1500;
   int listen_port = -1;
   int max_conns = 64;
   int write_timeout_ms = 5000;
@@ -141,30 +162,36 @@ struct UpstreamConn {
 /// Per-client-thread pool of upstream connections, one per shard,
 /// created lazily and dropped on any failure (the next attempt
 /// reconnects).  Not shared across client threads: each gets its own
-/// upstream sockets, so responses never interleave.
+/// upstream sockets, so responses never interleave.  The resolving map
+/// is passed per call — membership swaps maps under the pool, and a
+/// shard that rejoined at a new endpoint must get a fresh dial, not a
+/// socket to its previous life.
 class UpstreamPool {
  public:
-  UpstreamPool(const ShardMap& map, int upstream_timeout_ms,
-               int write_timeout_ms)
-      : map_(map),
-        read_timeout_ms_(upstream_timeout_ms),
+  UpstreamPool(int upstream_timeout_ms, int write_timeout_ms)
+      : read_timeout_ms_(upstream_timeout_ms),
         write_timeout_ms_(write_timeout_ms) {}
 
   /// `created`, when non-null, reports whether this call had to dial a
   /// fresh connection (the tracer gives only those an upstream_connect
   /// span).
-  UpstreamConn* get(int shard_id, bool* created = nullptr) {
+  UpstreamConn* get(const ShardMap& map, int shard_id,
+                    bool* created = nullptr) {
     if (created != nullptr) *created = false;
-    const auto it = conns_.find(shard_id);
-    if (it != conns_.end()) return it->second.get();
-    const ShardInfo* info = map_.find(shard_id);
+    const ShardInfo* info = map.find(shard_id);
     if (info == nullptr) return nullptr;
+    const std::string ep = net::to_string(info->endpoint);
+    const auto it = conns_.find(shard_id);
+    if (it != conns_.end()) {
+      if (it->second.endpoint == ep) return it->second.conn.get();
+      conns_.erase(it);  // shard id reborn elsewhere
+    }
     const int fd = net::connect_endpoint(info->endpoint, /*nonblocking=*/true);
     if (fd < 0) return nullptr;
     auto conn = std::make_unique<UpstreamConn>(fd, read_timeout_ms_,
                                                write_timeout_ms_);
     UpstreamConn* raw = conn.get();
-    conns_[shard_id] = std::move(conn);
+    conns_[shard_id] = Slot{ep, std::move(conn)};
     if (created != nullptr) *created = true;
     return raw;
   }
@@ -172,20 +199,32 @@ class UpstreamPool {
   void drop(int shard_id) { conns_.erase(shard_id); }
 
  private:
-  const ShardMap& map_;
+  struct Slot {
+    std::string endpoint;
+    std::unique_ptr<UpstreamConn> conn;
+  };
+
   int read_timeout_ms_;
   int write_timeout_ms_;
-  std::map<int, std::unique_ptr<UpstreamConn>> conns_;
+  std::map<int, Slot> conns_;
 };
 
 /// Read-through replication: count ok-served canonical classes and,
 /// at the threshold, push the canonical ring to the class's replicas
 /// from a background worker (a slow replica must not add latency to
 /// the data path).
+///
+/// Hot classes keep their canonical ring after seeding, which is what
+/// makes *seed handoff* possible: when membership adds a shard (join,
+/// or a rejoin at a new endpoint) the proxy calls handle_map_change()
+/// and every hot class whose replica set now includes a shard it never
+/// seeded gets a warm-up push — the new owner serves hits instead of
+/// taking cold misses.  FAILPOINT("cluster.handoff") suppresses the
+/// handoff pass (chaos drills verify the cold-path fallback).
 class Seeder {
  public:
-  Seeder(const ShardMap& map, int threshold, int upstream_timeout_ms)
-      : map_(map),
+  Seeder(ShardRouter& router, int threshold, int upstream_timeout_ms)
+      : router_(router),
         threshold_(threshold),
         timeout_ms_(upstream_timeout_ms),
         worker_([this] { run(); }) {}
@@ -201,26 +240,75 @@ class Seeder {
 
   /// Note an ok response for canonical class `key` served by
   /// `served_by`.  `ring` is in the *canonical* frame (the caller
-  /// relabels before handing it over).  Crossing the threshold
-  /// enqueues one seed push to every replica except the server.
+  /// relabels before handing it over).  Crossing the threshold retains
+  /// the ring and enqueues one seed push to every replica except the
+  /// server.
   void note_ok(const std::string& key, int n, std::vector<VertexId> ring,
                const std::vector<int>& replica_ids, int served_by) {
-    std::vector<int> targets;
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      // Bounded tracker: losing the counts on overflow only delays
+      // Bounded tracker: losing the state on overflow only delays
       // re-seeding, which is idempotent anyway.
-      if (counts_.size() > kMaxTracked) counts_.clear();
-      int& c = counts_[key];
-      if (c < 0) return;  // already seeded
-      if (++c < threshold_) return;
-      c = -1;
+      if (classes_.size() > kMaxTracked) classes_.clear();
+      Hot& h = classes_[key];
+      if (h.seeded) return;
+      if (++h.count < threshold_) return;
+      h.seeded = true;
+      h.n = n;
+      h.ring = std::move(ring);
+      h.seeded_to.push_back(served_by);  // the server has it by definition
+      std::vector<int> targets;
       for (const int id : replica_ids)
-        if (id != served_by) targets.push_back(id);
+        if (id != served_by) {
+          targets.push_back(id);
+          h.seeded_to.push_back(id);
+        }
       if (targets.empty()) return;
-      jobs_.push_back(Job{key, n, std::move(ring), std::move(targets)});
+      jobs_.push_back(Job{key, n, h.ring, std::move(targets)});
     }
     cv_.notify_one();
+  }
+
+  /// Seed handoff: the map changed (join/rejoin) — push every hot
+  /// class's retained ring to replicas it has never been seeded to.
+  void handle_map_change(const std::shared_ptr<const ShardMap>& map) {
+    if (FAILPOINT("cluster.handoff")) {
+      obs::counter("cluster.handoffs_suppressed").add();
+      return;
+    }
+    std::size_t queued = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [key, h] : classes_) {
+        if (!h.seeded) continue;
+        std::vector<int> targets;
+        for (const int id : map->replicas(key)) {
+          if (std::find(h.seeded_to.begin(), h.seeded_to.end(), id) ==
+              h.seeded_to.end()) {
+            targets.push_back(id);
+            h.seeded_to.push_back(id);
+          }
+        }
+        if (targets.empty()) continue;
+        queued += targets.size();
+        jobs_.push_back(Job{key, h.n, h.ring, std::move(targets)});
+      }
+    }
+    if (queued > 0) {
+      obs::counter("cluster.handoff_seeds").add(
+          static_cast<std::int64_t>(queued));
+      cv_.notify_one();
+    }
+  }
+
+  /// A shard died: its cache is gone, so hot classes must qualify for
+  /// re-seeding when that id returns.
+  void forget_shard(int shard_id) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, h] : classes_) {
+      auto& v = h.seeded_to;
+      v.erase(std::remove(v.begin(), v.end(), shard_id), v.end());
+    }
   }
 
   /// Drop the seeded-marker for every class (a killed shard's replicas
@@ -228,10 +316,19 @@ class Seeder {
   /// health poller calls it whenever a shard transitions to dead.
   void forget_seeded() {
     const std::lock_guard<std::mutex> lock(mu_);
-    counts_.clear();
+    classes_.clear();
   }
 
  private:
+  /// One canonical class's seeding state.  The ring is retained after
+  /// the threshold so handoff never needs the data path.
+  struct Hot {
+    int n = 0;
+    int count = 0;
+    bool seeded = false;
+    std::vector<VertexId> ring;
+    std::vector<int> seeded_to;
+  };
   struct Job {
     std::string key;
     int n;
@@ -255,9 +352,12 @@ class Seeder {
 
   void push(const Job& job, int shard_id) {
     // Seeding is background work with no originating request context:
-    // each push roots its own little trace.
+    // each push roots its own little trace.  The target endpoint is
+    // resolved against the map *now*, not at enqueue time — the shard
+    // may have moved while the job sat in the queue.
     obs::trace::ScopedSpan span("proxy.seed");
-    const ShardInfo* info = map_.find(shard_id);
+    const std::shared_ptr<const ShardMap> map = router_.map();
+    const ShardInfo* info = map->find(shard_id);
     if (info == nullptr) return;
     const int fd = net::connect_endpoint(info->endpoint, /*nonblocking=*/true);
     if (fd < 0) {
@@ -284,12 +384,12 @@ class Seeder {
 
   static constexpr std::size_t kMaxTracked = 8192;
 
-  const ShardMap& map_;
+  ShardRouter& router_;
   const int threshold_;
   const int timeout_ms_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::unordered_map<std::string, int> counts_;
+  std::unordered_map<std::string, Hot> classes_;
   std::deque<Job> jobs_;
   bool stop_ = false;
   std::thread worker_;
@@ -383,28 +483,47 @@ class SlowRecorder {
 
 struct ProxyCtx {
   ProxyConfig cfg;
+  /// The proxy's SWIM participant (observer, shard -1).  Owns the
+  /// authoritative membership view; the router holds its latest map.
+  std::unique_ptr<MembershipAgent> agent;
   ShardRouter router;
   std::unique_ptr<Seeder> seeder;  // null: seeding disabled
   std::unique_ptr<SlowRecorder> slow;  // null: recorder disabled
   /// Embedding forwards currently in flight (the proxy HEALTH probe
   /// reports this as `inflight`).
   std::atomic<std::int64_t> inflight{0};
-  /// Per-shard forward latency histograms, built once at startup; the
-  /// generic histogram folding in obs/prometheus renders them as
-  /// cluster.shard.<id>.latency quantiles for free.
-  std::map<int, std::unique_ptr<obs::LatencyHistogram>> latency;
 
-  ProxyCtx(ProxyConfig cfg_, ShardMap map) : cfg(std::move(cfg_)), router(std::move(map)) {
-    for (const ShardInfo& s : router.map().shards())
-      latency[s.id] = std::make_unique<obs::LatencyHistogram>(
-          "cluster.shard." + std::to_string(s.id) + ".latency");
-    if (cfg.seed_threshold > 0 && router.map().replication() > 1)
-      seeder = std::make_unique<Seeder>(router.map(), cfg.seed_threshold,
+  ProxyCtx(ProxyConfig cfg_, std::unique_ptr<MembershipAgent> agent_)
+      : cfg(std::move(cfg_)),
+        agent(std::move(agent_)),
+        router(agent->map()) {
+    // Seeding no longer requires replication > 1 at boot: a cluster
+    // that bootstraps single-node grows its replica sets live, and the
+    // handoff path needs the hot-class rings retained from day one.
+    if (cfg.seed_threshold > 0)
+      seeder = std::make_unique<Seeder>(router, cfg.seed_threshold,
                                         cfg.upstream_timeout_ms);
     if (cfg.slow_ms > 0)
       slow = std::make_unique<SlowRecorder>(
           cfg.slow_ms, static_cast<std::size_t>(cfg.slow_keep));
   }
+
+  /// Per-shard forward latency histogram, created on first use —
+  /// membership means the shard set is not known at startup.  The
+  /// generic histogram folding in obs/prometheus renders these as
+  /// cluster.shard.<id>.latency quantiles for free.
+  obs::LatencyHistogram& latency_for(int shard_id) {
+    const std::lock_guard<std::mutex> lock(latency_mu_);
+    auto& slot = latency_[shard_id];
+    if (!slot)
+      slot = std::make_unique<obs::LatencyHistogram>(
+          "cluster.shard." + std::to_string(shard_id) + ".latency");
+    return *slot;
+  }
+
+ private:
+  std::mutex latency_mu_;
+  std::map<int, std::unique_ptr<obs::LatencyHistogram>> latency_;
 };
 
 /// Forward one embedding request, failing over across the candidate
@@ -450,8 +569,24 @@ ServiceResponse forward_embed(const ServiceRequest& req, ProxyCtx& ctx,
     return fail_with(ServiceStatus::kError, "failpoint proxy.forward");
 
   std::optional<ServiceResponse> shard_timeout;
-  for (std::size_t i = 0; i < cands.size(); ++i) {
-    const int sid = cands[i];
+  std::vector<int> tried;
+  while (true) {
+    // After the first attempt, re-fetch candidates: membership may
+    // have swapped the map mid-request, and the retry must route
+    // against the new owner set (a confirmed-dead shard is gone, a
+    // freshly joined one is eligible).  `tried` keeps the walk finite
+    // and ensures no shard eats two attempts of the same request.
+    if (!tried.empty())
+      cands = ctx.router.candidates(canon.key, ShardRouter::Clock::now());
+    int sid = -1;
+    for (const int c : cands)
+      if (std::find(tried.begin(), tried.end(), c) == tried.end()) {
+        sid = c;
+        break;
+      }
+    if (sid < 0) break;
+    tried.push_back(sid);
+    const std::shared_ptr<const ShardMap> map = ctx.router.map();
     const auto now = ShardRouter::Clock::now();
     const auto att_t0 = std::chrono::steady_clock::now();
     const auto note_attempt = [&](const char* outcome) {
@@ -488,7 +623,7 @@ ServiceResponse forward_embed(const ServiceRequest& req, ProxyCtx& ctx,
     }
     bool fresh = false;
     const auto conn_t0 = std::chrono::steady_clock::now();
-    UpstreamConn* conn = pool.get(sid, &fresh);
+    UpstreamConn* conn = pool.get(*map, sid, &fresh);
     if (fresh && fspan.context().valid())
       obs::trace::emit("proxy.upstream_connect",
                        fspan.context().trace_id, obs::trace::new_span_id(),
@@ -537,9 +672,7 @@ ServiceResponse forward_embed(const ServiceRequest& req, ProxyCtx& ctx,
       continue;
     }
     ctx.router.record_success(sid);
-    const auto it = ctx.latency.find(sid);
-    if (it != ctx.latency.end())
-      it->second->record(std::chrono::steady_clock::now() - t0);
+    ctx.latency_for(sid).record(std::chrono::steady_clock::now() - t0);
     obs::counter("cluster.forwarded").add();
 
     if (resp->status == ServiceStatus::kTimeout) {
@@ -552,7 +685,7 @@ ServiceResponse forward_embed(const ServiceRequest& req, ProxyCtx& ctx,
       shard_timeout = *resp;
       continue;
     }
-    if (i > 0) obs::counter("cluster.failover").add();
+    if (tried.size() > 1) obs::counter("cluster.failover").add();
     if (resp->status == ServiceStatus::kOk) {
       note_attempt(resp->cache_hit ? "ok_hit" : "ok_miss");
       obs::counter(resp->cache_hit ? "cluster.cache_hits"
@@ -565,7 +698,7 @@ ServiceResponse forward_embed(const ServiceRequest& req, ProxyCtx& ctx,
         ctx.seeder->note_ok(canon.key, req.n,
                             relabel_ring(resp->ring, canon.to_canonical,
                                          req.n),
-                            ctx.router.map().replicas(canon.key), sid);
+                            map->replicas(canon.key), sid);
       }
     } else {
       note_attempt(status_name(resp->status));
@@ -589,8 +722,7 @@ void serve_client(int fd, ProxyCtx& ctx, net::ConnRegistry& reg) {
   net::FdOutBuf out_buf(fd, ctx.cfg.write_timeout_ms, &dead);
   std::istream in(&in_buf);
   std::ostream out(&out_buf);
-  UpstreamPool pool(ctx.router.map(), ctx.cfg.upstream_timeout_ms,
-                    ctx.cfg.write_timeout_ms);
+  UpstreamPool pool(ctx.cfg.upstream_timeout_ms, ctx.cfg.write_timeout_ms);
 
   std::string err;
   while (!dead.load(std::memory_order_relaxed)) {
@@ -630,7 +762,7 @@ void serve_client(int fd, ProxyCtx& ctx, net::ConnRegistry& reg) {
     if (req->kind == RequestKind::kHealth) {
       HealthInfo h;
       h.shard_id = -1;  // a router, not a shard
-      h.epoch = ctx.router.map().epoch();
+      h.epoch = ctx.router.map()->epoch();
       h.cache_entries = 0;
       h.cache_hits = static_cast<std::uint64_t>(
           obs::counter("cluster.cache_hits").value());
@@ -650,6 +782,39 @@ void serve_client(int fd, ProxyCtx& ctx, net::ConnRegistry& reg) {
     if (req->kind == RequestKind::kSeed) {
       out << "SEED bad proxy is not a shard\n";
       out.flush();
+      continue;
+    }
+    if (req->kind == RequestKind::kGossip) {
+      const MembershipAgent::Reply reply = ctx.agent->handle(*req->gossip);
+      if (FAILPOINT("gossip.ack")) {
+        // Server-side partition half: updates were merged, but the
+        // peer hears nothing and starts suspecting us.
+        obs::counter("cluster.membership.acks_dropped").add();
+        break;  // drop the connection too — a silent peer, not a slow one
+      }
+      if (reply.snapshot)
+        write_membership(out, *reply.snapshot);
+      else if (reply.ack)
+        write_gossip(out, *reply.ack);
+      out.flush();
+      continue;
+    }
+    if (req->kind == RequestKind::kMembers) {
+      write_membership(out, ctx.agent->membership());
+      out.flush();
+      continue;
+    }
+    if (req->kind == RequestKind::kLeave) {
+      out << "LEAVE ok\n";
+      out.flush();
+      // Announce departure to the cluster, then stop accepting: the
+      // main loop's drain handles in-flight work.  Detached because
+      // leave() dials every peer and must not block this client read
+      // loop's connection teardown.
+      std::thread([&ctx] {
+        ctx.agent->leave();
+        g_stop = 1;
+      }).detach();
       continue;
     }
     if (req->kind == RequestKind::kTrace) {
@@ -701,15 +866,43 @@ void refuse_connection(int fd) {
   ::close(fd);
 }
 
-/// Poll every shard's HEALTH each interval: trip the breaker of a
-/// shard that cannot answer, close the breaker of one that recovered,
-/// and flag identity/epoch mismatches.
+/// Poll every shard's HEALTH: trip the breaker of a shard that cannot
+/// answer, close the breaker of one that recovered, and flag identity
+/// mismatches (a process serving under the wrong shard id).
+///
+/// Polls are per-shard deadlines, not one synchronized sweep.  The old
+/// loop probed every shard back-to-back each period: N shards meant a
+/// thundering herd of simultaneous HEALTH probes (every proxy landing
+/// on every shard on the same tick), and one wedged shard's probe
+/// budget delayed detection of all the others in its round.  Each
+/// shard now gets an initial stagger uniform over one period, then
+/// successive polls at interval * (0.75 + 0.5 * uniform) — the herd
+/// decoheres and stays decohered.
 void health_loop(ProxyCtx& ctx, std::atomic<bool>& stop) {
-  const ShardMap& map = ctx.router.map();
+  using Clock = std::chrono::steady_clock;
+  const auto interval =
+      std::chrono::milliseconds(ctx.cfg.health_interval_ms);
+  std::mt19937 rng(std::random_device{}());
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
   std::map<int, bool> was_alive;
+  std::map<int, Clock::time_point> next_poll;
   while (!stop.load(std::memory_order_relaxed)) {
-    for (const ShardInfo& s : map.shards()) {
+    // Live map: shards join and leave under the poller's feet.
+    const std::shared_ptr<const ShardMap> map = ctx.router.map();
+    const auto now = Clock::now();
+    for (const ShardInfo& s : map->shards()) {
       if (stop.load(std::memory_order_relaxed)) break;
+      const auto slot = next_poll.find(s.id);
+      if (slot == next_poll.end()) {
+        // First sight: stagger the initial poll across one period.
+        next_poll[s.id] =
+            now + std::chrono::duration_cast<Clock::duration>(
+                      interval * uni(rng));
+        continue;
+      }
+      if (now < slot->second) continue;
+      slot->second = now + std::chrono::duration_cast<Clock::duration>(
+                               interval * (0.75 + 0.5 * uni(rng)));
       bool alive = false;
       const int fd = net::connect_endpoint(s.endpoint, /*nonblocking=*/true);
       if (fd >= 0) {
@@ -723,13 +916,14 @@ void health_loop(ProxyCtx& ctx, std::atomic<bool>& stop) {
         write_request(conn.out, probe);
         conn.out.flush();
         if (const auto h = read_health(conn.in)) {
-          if (h->shard_id != s.id || h->epoch != map.epoch()) {
+          // Identity check is id-only: under live membership, epochs
+          // are eventually consistent across members, so a transient
+          // epoch skew is convergence, not misconfiguration.
+          if (h->shard_id != s.id) {
             obs::counter("cluster.health_mismatch").add();
             std::cerr << "starring-proxy: shard " << s.id << " at "
                       << net::to_string(s.endpoint)
-                      << " reports identity " << h->shard_id << " epoch "
-                      << h->epoch << " (want epoch " << map.epoch()
-                      << ")\n";
+                      << " reports identity " << h->shard_id << "\n";
           } else {
             alive = true;
             // Fold the shard's self-reported liveness stats into the
@@ -742,19 +936,18 @@ void health_loop(ProxyCtx& ctx, std::atomic<bool>& stop) {
                 .record_max(static_cast<double>(h->uptime_ms));
             obs::counter(pfx + ".inflight_max")
                 .record_max(static_cast<double>(h->inflight));
-            std::cerr << "starring-proxy: shard " << s.id
-                      << " healthy uptime_ms=" << h->uptime_ms
-                      << " inflight=" << h->inflight << "\n";
           }
         }
       }
+      const auto prev = was_alive.find(s.id);
       if (alive) {
         ctx.router.record_success(s.id);
+        if (prev == was_alive.end() || !prev->second)
+          std::cerr << "starring-proxy: shard " << s.id << " healthy\n";
       } else {
         obs::counter("cluster.health_failures").add();
         ctx.router.record_failure(s.id, ShardRouter::Clock::now());
-        const auto it = was_alive.find(s.id);
-        if (ctx.seeder && (it == was_alive.end() || it->second)) {
+        if (ctx.seeder && (prev == was_alive.end() || prev->second)) {
           // A shard just died: previously pushed seeds may have lived
           // there, so let hot classes qualify for seeding again.
           ctx.seeder->forget_seeded();
@@ -762,12 +955,18 @@ void health_loop(ProxyCtx& ctx, std::atomic<bool>& stop) {
       }
       was_alive[s.id] = alive;
     }
-    // Sleep in small slices so shutdown is prompt.
-    for (int waited = 0;
-         waited < ctx.cfg.health_interval_ms &&
-         !stop.load(std::memory_order_relaxed);
-         waited += 50)
-      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // Forget departed shards so a rejoining id starts fresh.
+    for (auto it = next_poll.begin(); it != next_poll.end();) {
+      if (map->find(it->first) == nullptr) {
+        was_alive.erase(it->first);
+        it = next_poll.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Short tick: deadlines do the pacing, the tick just bounds how
+    // stale a deadline check can be (and keeps shutdown prompt).
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
 }
 
@@ -775,9 +974,17 @@ void health_loop(ProxyCtx& ctx, std::atomic<bool>& stop) {
 
 int usage(const char* argv0) {
   std::cerr
-      << "usage: " << argv0 << " --shard-map FILE --listen PORT [options]\n"
-      << "  --shard-map FILE       cluster membership (starring-shard-map "
-         "v1)\n"
+      << "usage: " << argv0
+      << " (--shard-map FILE | --join HOST:PORT) --listen PORT [options]\n"
+      << "  --shard-map FILE       static bootstrap membership "
+         "(starring-shard-map v1)\n"
+      << "  --join HOST:PORT       join a running cluster member instead "
+         "of a map\n"
+      << "                         file (gossip adopts its snapshot)\n"
+      << "  --gossip-interval-ms N SWIM probe period (default 250)\n"
+      << "  --suspicion-timeout-ms N  silence before a suspect is "
+         "declared dead\n"
+      << "                         (default 1500)\n"
       << "  --listen PORT          serve TCP on 127.0.0.1:PORT (0 = "
          "kernel-assigned,\n"
       << "                         printed on stderr)\n"
@@ -822,6 +1029,12 @@ std::optional<ProxyConfig> parse_args(int argc, char** argv) {
     long v = 0;
     if (a == "--shard-map" && i + 1 < argc) {
       cfg.shard_map_path = argv[++i];
+    } else if (a == "--join" && i + 1 < argc) {
+      cfg.join_addr = argv[++i];
+    } else if (a == "--gossip-interval-ms" && (v = num(&i)) > 0) {
+      cfg.gossip_interval_ms = static_cast<int>(v);
+    } else if (a == "--suspicion-timeout-ms" && (v = num(&i)) > 0) {
+      cfg.suspicion_timeout_ms = static_cast<int>(v);
     } else if (a == "--listen" && (v = num(&i)) >= 0 && v < 65536) {
       cfg.listen_port = static_cast<int>(v);
       saw_listen = true;
@@ -849,7 +1062,9 @@ std::optional<ProxyConfig> parse_args(int argc, char** argv) {
       return std::nullopt;
     }
   }
-  if (cfg.shard_map_path.empty() || !saw_listen) return std::nullopt;
+  // Exactly one bootstrap source: a static map file or a seed member.
+  if (cfg.shard_map_path.empty() == cfg.join_addr.empty() || !saw_listen)
+    return std::nullopt;
   return cfg;
 }
 
@@ -863,20 +1078,13 @@ int proxy_main(int argc, char** argv) {
   obs::set_enabled(true);
   if (!cfg->trace_out.empty()) obs::trace::set_enabled(true);
 
-  std::string err;
-  auto map = ShardMap::load(cfg->shard_map_path, &err);
-  if (!map) {
-    std::cerr << "starring-proxy: bad shard map: " << err << "\n";
-    return 1;
-  }
-  std::cerr << "starring-proxy: " << map->shards().size()
-            << " shards, replication " << map->replication() << ", epoch "
-            << map->epoch() << "\n";
-
   std::unique_ptr<obs::BenchRecorder> rec;
   if (!cfg->bench_artifact.empty())
     rec = std::make_unique<obs::BenchRecorder>(cfg->bench_artifact);
 
+  // Listen before bootstrapping membership: the gossip identity is the
+  // actual listen endpoint (PORT may be kernel-assigned).
+  std::string err;
   int actual_port = 0;
   const int listen_fd =
       net::listen_loopback(cfg->listen_port, 16, &actual_port, &err);
@@ -887,7 +1095,53 @@ int proxy_main(int argc, char** argv) {
   std::cerr << "starring-proxy: listening on 127.0.0.1:" << actual_port
             << "\n";
 
-  ProxyCtx ctx(*cfg, std::move(*map));
+  MemberRecord self;
+  self.addr = "127.0.0.1:" + std::to_string(actual_port);
+  self.shard_id = -1;  // observer: routes, never owns ring points
+  self.incarnation = 1;
+  MembershipOptions mopts;
+  mopts.probe_interval_ms = cfg->gossip_interval_ms;
+  mopts.suspicion_timeout_ms = cfg->suspicion_timeout_ms;
+  auto agent = std::make_unique<MembershipAgent>(self, mopts);
+  if (!cfg->shard_map_path.empty()) {
+    auto map = ShardMap::load(cfg->shard_map_path, &err);
+    if (!map) {
+      std::cerr << "starring-proxy: bad shard map: " << err << "\n";
+      ::close(listen_fd);
+      return 1;
+    }
+    agent->bootstrap_from_map(*map);
+  } else if (!agent->join(cfg->join_addr)) {
+    std::cerr << "starring-proxy: failed to join cluster via "
+              << cfg->join_addr << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  {
+    const std::shared_ptr<const ShardMap> boot = agent->map();
+    std::cerr << "starring-proxy: " << boot->shards().size()
+              << " shards, replication " << boot->replication()
+              << ", epoch " << boot->epoch() << "\n";
+  }
+
+  ProxyCtx ctx(*cfg, std::move(agent));
+  ctx.agent->on_map_change([&ctx](std::shared_ptr<const ShardMap> m,
+                                  const MembershipEvent& ev) {
+    // RCU swap: in-flight requests keep their snapshot, the next
+    // candidates() fetch routes against the new owner set.
+    ctx.router.swap_map(m);
+    std::cerr << "starring-proxy: membership "
+              << membership_event_name(ev.kind) << " shard "
+              << ev.member.shard_id << " (" << ev.member.addr
+              << "), epoch " << ev.map_epoch << "\n";
+    if (ctx.seeder) {
+      if (ev.kind == MembershipEvent::Kind::kDead)
+        ctx.seeder->forget_shard(ev.member.shard_id);
+      else
+        ctx.seeder->handle_map_change(m);  // join/rejoin: seed handoff
+    }
+  });
+  ctx.agent->start();
 
   std::atomic<bool> health_stop{false};
   std::thread health;
@@ -929,6 +1183,12 @@ int proxy_main(int argc, char** argv) {
     health_stop.store(true, std::memory_order_relaxed);
     health.join();
   }
+  // Depart politely even on SIGTERM: peers see `left` instead of
+  // burning a suspicion window on us.  Idempotent if a LEAVE command
+  // already ran.  Stop before the seeder drains so no more handoff
+  // callbacks land in a dying seeder.
+  ctx.agent->leave();
+  ctx.agent->stop();
   ctx.seeder.reset();  // flush pending seed pushes
 
   if (!cfg->trace_out.empty()) {
@@ -943,7 +1203,8 @@ int proxy_main(int argc, char** argv) {
     own.dropped = obs::trace::stats().dropped;
     own.spans = obs::trace::collect();
     dumps.push_back(std::move(own));
-    for (const ShardInfo& s : ctx.router.map().shards()) {
+    const std::shared_ptr<const ShardMap> final_map = ctx.router.map();
+    for (const ShardInfo& s : final_map->shards()) {
       const int fd =
           net::connect_endpoint(s.endpoint, /*nonblocking=*/true);
       if (fd < 0) {

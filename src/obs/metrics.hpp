@@ -42,6 +42,7 @@ class Counter {
  public:
   void add(std::int64_t = 1) {}
   void record_max(std::int64_t) {}
+  void set(std::int64_t) {}
   std::int64_t value() const { return 0; }
 };
 
@@ -95,6 +96,14 @@ class Counter {
     while (cur < v && !value_.compare_exchange_weak(
                           cur, v, std::memory_order_relaxed)) {
     }
+  }
+
+  /// Gauge-style overwrite: latest value wins and may move down
+  /// (breaker state, live map epoch).  add/record_max cannot express
+  /// a value that legitimately decreases.
+  void set(std::int64_t v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
   }
 
   std::int64_t value() const {

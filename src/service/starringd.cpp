@@ -27,6 +27,16 @@
 // servicing it.  --max-conns caps concurrent connections; excess
 // accepts are answered `status rejected` and closed.
 //
+// Cluster membership (TCP + --shard-id only): the daemon runs a SWIM
+// gossip agent (cluster/membership.hpp) when started with --shard-map
+// (static bootstrap: every listed member is known at launch),
+// --bootstrap (first member of a brand-new cluster), or --join
+// HOST:PORT (dial a running member and adopt its snapshot — live
+// scale-out, no restart of the world).  It answers starring-gossip v1
+// probes inline, serves MEMBERS, and honors a graceful LEAVE: announce
+// departure to every peer, stop accepting, drain in-flight work, exit
+// 0 — peers see `left`, not a suspicion window, so no failover fires.
+//
 // With --bench-artifact NAME the daemon enables the metrics layer and
 // writes BENCH_<NAME>.json (svc.* counters, latency histogram, cache
 // hit rate) to $STARRING_BENCH_DIR on clean drain.
@@ -51,6 +61,7 @@
 
 #include <atomic>
 
+#include "cluster/membership.hpp"
 #include "cluster/shard_map.hpp"
 #include "core/oracle_store.hpp"
 #include "obs/bench_io.hpp"
@@ -91,6 +102,17 @@ struct DaemonConfig {
   /// serving under the wrong identity or an out-of-date map.
   int shard_id = -1;
   std::uint64_t map_epoch = 0;
+  /// Non-empty: join a running cluster through this member (live
+  /// scale-out).  Mutually exclusive with --shard-map/--bootstrap.
+  std::string join_addr;
+  /// First member of a brand-new cluster (no map file, no seed).
+  bool bootstrap = false;
+  /// SWIM tuning, forwarded to MembershipOptions.
+  int gossip_interval_ms = 250;
+  int suspicion_timeout_ms = 1500;
+  /// Static map retained from --shard-map validation; seeds the gossip
+  /// agent's initial member set.
+  std::shared_ptr<cluster::ShardMap> static_map;
   int max_conns = 64;
   int write_timeout_ms = 5000;
   int drain_timeout_ms = 10000;
@@ -133,9 +155,20 @@ int usage(const char* argv0) {
       << "                       0 = kernel-assigned, printed on "
          "stderr)\n"
       << "  --shard-id N         cluster identity, reported by HEALTH\n"
-      << "  --shard-map FILE     validate --shard-id against this map "
-         "and\n"
-      << "                       report its epoch in HEALTH\n"
+      << "  --shard-map FILE     validate --shard-id against this map, "
+         "seed\n"
+      << "                       gossip membership from it (static "
+         "bootstrap)\n"
+      << "  --bootstrap          start a brand-new cluster with self as "
+         "the\n"
+      << "                       only member (TCP + --shard-id)\n"
+      << "  --join HOST:PORT     join a running cluster through this "
+         "member\n"
+      << "                       (TCP + --shard-id; adopts its snapshot)\n"
+      << "  --gossip-interval-ms N  SWIM probe period (default 250)\n"
+      << "  --suspicion-timeout-ms N  silence before a suspect is "
+         "declared\n"
+      << "                       dead (default 1500)\n"
       << "  --max-conns N        concurrent TCP connections; excess "
          "accepts\n"
       << "                       are answered `status rejected` "
@@ -197,6 +230,14 @@ std::optional<DaemonConfig> parse_args(int argc, char** argv) {
       cfg.shard_id = static_cast<int>(v);
     } else if (a == "--shard-map" && i + 1 < argc) {
       cfg.shard_map = argv[++i];
+    } else if (a == "--join" && i + 1 < argc) {
+      cfg.join_addr = argv[++i];
+    } else if (a == "--bootstrap") {
+      cfg.bootstrap = true;
+    } else if (a == "--gossip-interval-ms" && (v = num(&i)) > 0) {
+      cfg.gossip_interval_ms = static_cast<int>(v);
+    } else if (a == "--suspicion-timeout-ms" && (v = num(&i)) > 0) {
+      cfg.suspicion_timeout_ms = static_cast<int>(v);
     } else if (a == "--max-conns" && (v = num(&i)) > 0) {
       cfg.max_conns = static_cast<int>(v);
     } else if (a == "--write-timeout-ms" && (v = num(&i)) > 0) {
@@ -215,18 +256,28 @@ std::optional<DaemonConfig> parse_args(int argc, char** argv) {
       return std::nullopt;
     }
   }
+  // Dynamic membership needs a dialable identity: TCP and a shard id.
+  const int sources = (!cfg.shard_map.empty() ? 1 : 0) +
+                      (!cfg.join_addr.empty() ? 1 : 0) +
+                      (cfg.bootstrap ? 1 : 0);
+  if (sources > 1) return std::nullopt;
+  if ((!cfg.join_addr.empty() || cfg.bootstrap) &&
+      (cfg.listen_port < 0 || cfg.shard_id < 0))
+    return std::nullopt;
   return cfg;
 }
 
 // --- stdio transport --------------------------------------------------
 
-/// Answer a PING, FAIL, HEALTH, or seed command on `out`; true when
-/// `req` was one.  All are answered inline on the reader thread —
-/// liveness probes, fault arming, and cache seeding must not wait
-/// behind queued embeddings.
+/// Answer a PING, FAIL, HEALTH, gossip, membership, or seed command on
+/// `out`; true when `req` was one.  All are answered inline on the
+/// reader thread — liveness probes, fault arming, gossip exchanges,
+/// and cache seeding must not wait behind queued embeddings.  `agent`
+/// is null outside member mode (stdio, or TCP without membership).
 bool answer_command(ServiceRequest& req, std::ostream& out,
                     std::mutex& out_mu, EmbedService& svc,
-                    const DaemonConfig& cfg) {
+                    const DaemonConfig& cfg,
+                    cluster::MembershipAgent* agent) {
   if (req.kind == RequestKind::kPing) {
     const std::lock_guard<std::mutex> lock(out_mu);
     out << "PONG\n";
@@ -236,7 +287,9 @@ bool answer_command(ServiceRequest& req, std::ostream& out,
   if (req.kind == RequestKind::kHealth) {
     HealthInfo h;
     h.shard_id = cfg.shard_id;
-    h.epoch = cfg.map_epoch;
+    // Live membership owns the epoch once an agent runs; the static
+    // number is only the pre-membership fallback.
+    h.epoch = agent != nullptr ? agent->epoch() : cfg.map_epoch;
     h.cache_entries = svc.cache_size();
     h.cache_hits = static_cast<std::uint64_t>(
         obs::counter("svc.cache_hits").value());
@@ -310,6 +363,59 @@ bool answer_command(ServiceRequest& req, std::ostream& out,
     out.flush();
     return true;
   }
+  if (req.kind == RequestKind::kGossip) {
+    if (agent == nullptr) {
+      // Not a member: a malformed-on-purpose line makes the peer's
+      // gossip parse fail fast instead of burning its read timeout.
+      const std::lock_guard<std::mutex> lock(out_mu);
+      out << "GOSSIP bad not a cluster member\n";
+      out.flush();
+      return true;
+    }
+    const cluster::MembershipAgent::Reply reply = agent->handle(*req.gossip);
+    if (FAILPOINT("gossip.ack")) {
+      // Partition chaos, receiver half: the updates were merged but
+      // the peer hears nothing back — its probe fails and we start
+      // accruing suspicion over there.
+      obs::counter("cluster.membership.acks_dropped").add();
+      return true;
+    }
+    const std::lock_guard<std::mutex> lock(out_mu);
+    if (reply.snapshot)
+      write_membership(out, *reply.snapshot);
+    else if (reply.ack)
+      write_gossip(out, *reply.ack);
+    out.flush();
+    return true;
+  }
+  if (req.kind == RequestKind::kMembers) {
+    MembershipRecord rec;
+    if (agent != nullptr) {
+      rec = agent->membership();
+    } else {
+      rec.epoch = cfg.map_epoch;  // static view: no live members list
+    }
+    const std::lock_guard<std::mutex> lock(out_mu);
+    write_membership(out, rec);
+    out.flush();
+    return true;
+  }
+  if (req.kind == RequestKind::kLeave) {
+    {
+      const std::lock_guard<std::mutex> lock(out_mu);
+      out << "LEAVE ok\n";
+      out.flush();
+    }
+    // Graceful departure: announce `left` to every peer (so nobody
+    // burns a suspicion window or trips a breaker on us), then stop
+    // accepting; the main loop's bounded drain answers what's queued.
+    // Detached: leave() dials peers and must not block this reader.
+    std::thread([agent] {
+      if (agent != nullptr) agent->leave();
+      g_stop = 1;
+    }).detach();
+    return true;
+  }
   return false;
 }
 
@@ -352,7 +458,8 @@ int serve_stdio(DaemonConfig& cfg) {
       std::cout.flush();
       continue;
     }
-    if (answer_command(*req, std::cout, out_mu, svc, cfg)) continue;
+    if (answer_command(*req, std::cout, out_mu, svc, cfg, nullptr))
+      continue;
     // wait=true: a full queue stops the reader, and the pipe buffer
     // backpressures the writer on the other side.
     svc.submit(std::move(*req));
@@ -368,7 +475,8 @@ int serve_stdio(DaemonConfig& cfg) {
 // --- TCP transport ----------------------------------------------------
 
 void serve_connection(int fd, EmbedService& svc, net::ConnRegistry& reg,
-                      const DaemonConfig& cfg) {
+                      const DaemonConfig& cfg,
+                      cluster::MembershipAgent* agent) {
   // Set on write timeout (eviction), hard write error, or a response
   // that failed to serialize; once dead the
   // connection is no longer serviced — reads stop (the socket is
@@ -417,7 +525,7 @@ void serve_connection(int fd, EmbedService& svc, net::ConnRegistry& reg,
       out.flush();
       continue;
     }
-    if (answer_command(*req, out, out_mu, svc, cfg)) continue;
+    if (answer_command(*req, out, out_mu, svc, cfg, agent)) continue;
     {
       const std::lock_guard<std::mutex> lock(done_mu);
       ++outstanding;
@@ -490,6 +598,42 @@ int serve_tcp(DaemonConfig& cfg) {
   // the kernel-assigned port — keep it parseable.
   std::cerr << "starringd: listening on 127.0.0.1:" << actual_port << "\n";
 
+  // Membership agent (member mode only): identity is the endpoint
+  // peers dial — the map's listed endpoint under static bootstrap, the
+  // actual listen address under --bootstrap/--join.
+  std::unique_ptr<cluster::MembershipAgent> agent;
+  if (cfg.shard_id >= 0 &&
+      (cfg.static_map || cfg.bootstrap || !cfg.join_addr.empty())) {
+    MemberRecord self;
+    self.shard_id = cfg.shard_id;
+    self.incarnation = 1;
+    self.addr = "127.0.0.1:" + std::to_string(actual_port);
+    cluster::MembershipOptions mopts;
+    mopts.probe_interval_ms = cfg.gossip_interval_ms;
+    mopts.suspicion_timeout_ms = cfg.suspicion_timeout_ms;
+    if (cfg.static_map) {
+      if (const cluster::ShardInfo* mine =
+              cfg.static_map->find(cfg.shard_id))
+        self.addr = net::to_string(mine->endpoint);
+      agent = std::make_unique<cluster::MembershipAgent>(self, mopts);
+      agent->bootstrap_from_map(*cfg.static_map);
+    } else if (cfg.bootstrap) {
+      agent = std::make_unique<cluster::MembershipAgent>(self, mopts);
+      agent->bootstrap_single();
+    } else {
+      agent = std::make_unique<cluster::MembershipAgent>(self, mopts);
+      if (!agent->join(cfg.join_addr)) {
+        std::cerr << "starringd: failed to join cluster via "
+                  << cfg.join_addr << "\n";
+        ::close(listen_fd);
+        return 1;
+      }
+      std::cerr << "starringd: joined cluster via " << cfg.join_addr
+                << ", epoch " << agent->epoch() << "\n";
+    }
+    agent->start();
+  }
+
   // Declared before the service and registry: destroyed last, so the
   // drain bound armed at shutdown covers the scheduler join too.
   std::optional<net::DrainGuard> drain_guard;
@@ -516,11 +660,19 @@ int serve_tcp(DaemonConfig& cfg) {
     // Detached with the registry as the liveness ledger: finished
     // connections release their thread immediately instead of
     // accumulating joinable handles until shutdown.
-    std::thread([fd, &svc, &reg, &cfg] {
-      serve_connection(fd, svc, reg, cfg);
+    std::thread([fd, &svc, &reg, &cfg, agent_raw = agent.get()] {
+      serve_connection(fd, svc, reg, cfg, agent_raw);
     }).detach();
   }
   ::close(listen_fd);
+  // Depart politely on SIGTERM too (idempotent after a LEAVE command):
+  // peers record `left` and drop us from their maps without a
+  // suspicion window.  A SIGKILLed process never gets here, which is
+  // exactly the failure-detection path.
+  if (agent) {
+    agent->leave();
+    agent->stop();
+  }
   drain_guard.emplace(cfg.drain_timeout_ms);
   reg.shutdown_all(SHUT_RD);
   if (!reg.wait_empty(cfg.drain_timeout_ms / 2)) {
@@ -564,6 +716,9 @@ int daemon_main(int argc, char** argv) {
       return 1;
     }
     cfg->map_epoch = map->epoch();
+    // Retained: serve_tcp seeds the gossip agent's member set from it.
+    cfg->static_map =
+        std::make_shared<cluster::ShardMap>(std::move(*map));
   }
 
   // A live daemon is meant to be inspected (STATS), so the metrics

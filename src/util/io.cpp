@@ -9,6 +9,7 @@
 
 #include "obs/json.hpp"
 #include "util/failpoint.hpp"
+#include "util/net.hpp"
 
 namespace starring {
 
@@ -232,6 +233,20 @@ bool write_request(std::ostream& os, const ServiceRequest& r) {
     os << "SLOW\n";
     return static_cast<bool>(os);
   }
+  if (r.kind == RequestKind::kMembers) {
+    os << "MEMBERS\n";
+    return static_cast<bool>(os);
+  }
+  if (r.kind == RequestKind::kLeave) {
+    os << "LEAVE\n";
+    return static_cast<bool>(os);
+  }
+  if (r.kind == RequestKind::kGossip) {
+    // A gossip request without a payload is a caller bug, reported as
+    // a stream failure rather than silently framing garbage.
+    if (!r.gossip) return false;
+    return write_gossip(os, *r.gossip);
+  }
   if (r.kind == RequestKind::kSeed) {
     os << "starring-seed v1\n";
     os << "n " << r.n << "\n";
@@ -330,6 +345,126 @@ bool read_end(std::istream& is, std::string* error) {
   return true;
 }
 
+/// A member address is the identity key of the whole membership layer,
+/// so garbage is rejected at the parse boundary: bounded length and a
+/// well-formed HOST:PORT per util/net's grammar.
+bool valid_member_addr(const std::string& addr) {
+  return !addr.empty() && addr.size() <= kMaxMemberAddrLen &&
+         net::parse_endpoint(addr).has_value();
+}
+
+/// `<addr> <shard-id> <incarnation> <state>` — the quad both the
+/// gossip `from`/`update` lines and the membership `member` lines use.
+bool read_member_tokens(std::istream& is, MemberRecord* m,
+                        std::string* error) {
+  std::string state;
+  if (!(is >> m->addr >> m->shard_id >> m->incarnation >> state) ||
+      m->shard_id < -1 || !valid_member_addr(m->addr)) {
+    fail(error, "bad member tokens");
+    return false;
+  }
+  const auto parsed = parse_member_state(state);
+  if (!parsed) {
+    fail(error, "bad member state '" + state + "'");
+    return false;
+  }
+  m->state = *parsed;
+  return true;
+}
+
+void write_member_tokens(std::ostream& os, const MemberRecord& m) {
+  os << m.addr << ' ' << m.shard_id << ' ' << m.incarnation << ' '
+     << member_state_name(m.state);
+}
+
+const char* gossip_kind_name(GossipMessage::Kind k) {
+  switch (k) {
+    case GossipMessage::Kind::kPing:
+      return "ping";
+    case GossipMessage::Kind::kPingReq:
+      return "ping-req";
+    case GossipMessage::Kind::kAck:
+      return "ack";
+    case GossipMessage::Kind::kNack:
+      return "nack";
+    case GossipMessage::Kind::kJoin:
+      return "join";
+    case GossipMessage::Kind::kLeave:
+      return "leave";
+  }
+  return "ping";
+}
+
+std::optional<GossipMessage::Kind> parse_gossip_kind(
+    const std::string& token) {
+  if (token == "ping") return GossipMessage::Kind::kPing;
+  if (token == "ping-req") return GossipMessage::Kind::kPingReq;
+  if (token == "ack") return GossipMessage::Kind::kAck;
+  if (token == "nack") return GossipMessage::Kind::kNack;
+  if (token == "join") return GossipMessage::Kind::kJoin;
+  if (token == "leave") return GossipMessage::Kind::kLeave;
+  return std::nullopt;
+}
+
+/// Body of a gossip record, after `starring-gossip v1` has been
+/// consumed (read_request dispatches on the magic token itself).
+std::optional<GossipMessage> read_gossip_body(std::istream& is,
+                                              std::string* error) {
+  GossipMessage m;
+  std::string word;
+  std::string kind;
+  if (!(is >> word >> kind) || word != "kind") {
+    fail(error, "bad kind line");
+    return std::nullopt;
+  }
+  const auto parsed_kind = parse_gossip_kind(kind);
+  if (!parsed_kind) {
+    fail(error, "bad gossip kind '" + kind + "'");
+    return std::nullopt;
+  }
+  m.kind = *parsed_kind;
+  if (!(is >> word) || word != "from") {
+    fail(error, "bad from line");
+    return std::nullopt;
+  }
+  if (!read_member_tokens(is, &m.from, error)) return std::nullopt;
+  if (!(is >> word)) {
+    fail(error, "missing updates line");
+    return std::nullopt;
+  }
+  if (word == "target") {
+    if (!(is >> m.target) || !valid_member_addr(m.target)) {
+      fail(error, "bad target line");
+      return std::nullopt;
+    }
+    if (!(is >> word)) {
+      fail(error, "missing updates line");
+      return std::nullopt;
+    }
+  }
+  if (m.kind == GossipMessage::Kind::kPingReq && m.target.empty()) {
+    fail(error, "ping-req without target");
+    return std::nullopt;
+  }
+  std::size_t count = 0;
+  if (word != "updates" || !(is >> count) || count > kMaxMemberRecords) {
+    fail(error, "bad updates line");
+    return std::nullopt;
+  }
+  m.updates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    MemberRecord u;
+    if (!(is >> word) || word != "update") {
+      fail(error, "bad update line");
+      return std::nullopt;
+    }
+    if (!read_member_tokens(is, &u, error)) return std::nullopt;
+    m.updates.push_back(std::move(u));
+  }
+  if (!read_end(is, error)) return std::nullopt;
+  return m;
+}
+
 }  // namespace
 
 std::optional<ServiceRequest> read_request(std::istream& is,
@@ -361,6 +496,26 @@ std::optional<ServiceRequest> read_request(std::istream& is,
     }
     if (word == "SLOW") {
       r.kind = RequestKind::kSlow;
+      return r;
+    }
+    if (word == "MEMBERS") {
+      r.kind = RequestKind::kMembers;
+      return r;
+    }
+    if (word == "LEAVE") {
+      r.kind = RequestKind::kLeave;
+      return r;
+    }
+    if (word == "starring-gossip") {
+      std::string version;
+      if (!(is >> version) || version != "v1") {
+        fail(error, "bad header");
+        return std::nullopt;
+      }
+      auto g = read_gossip_body(is, error);
+      if (!g) return std::nullopt;
+      r.kind = RequestKind::kGossip;
+      r.gossip = std::make_shared<GossipMessage>(std::move(*g));
       return r;
     }
     if (word == "starring-seed") {
@@ -776,6 +931,121 @@ bool write_merged_chrome_trace(std::ostream& os,
   }
   os << "\n]}\n";
   return static_cast<bool>(os);
+}
+
+const char* member_state_name(MemberWireState s) {
+  switch (s) {
+    case MemberWireState::kAlive:
+      return "alive";
+    case MemberWireState::kSuspect:
+      return "suspect";
+    case MemberWireState::kDead:
+      return "dead";
+    case MemberWireState::kLeft:
+      return "left";
+  }
+  return "alive";
+}
+
+std::optional<MemberWireState> parse_member_state(std::string_view token) {
+  if (token == "alive") return MemberWireState::kAlive;
+  if (token == "suspect") return MemberWireState::kSuspect;
+  if (token == "dead") return MemberWireState::kDead;
+  if (token == "left") return MemberWireState::kLeft;
+  return std::nullopt;
+}
+
+bool write_gossip(std::ostream& os, const GossipMessage& m) {
+  os << "starring-gossip v1\n";
+  os << "kind " << gossip_kind_name(m.kind) << "\n";
+  os << "from ";
+  write_member_tokens(os, m.from);
+  os << "\n";
+  if (!m.target.empty()) os << "target " << m.target << "\n";
+  os << "updates " << m.updates.size() << "\n";
+  for (const MemberRecord& u : m.updates) {
+    os << "update ";
+    write_member_tokens(os, u);
+    os << "\n";
+  }
+  os << "end\n";
+  return static_cast<bool>(os);
+}
+
+std::optional<GossipMessage> read_gossip(std::istream& is,
+                                         std::string* error) {
+  std::string word;
+  if (!(is >> word)) {
+    fail(error, "");  // clean EOF
+    return std::nullopt;
+  }
+  std::string version;
+  if (word != "starring-gossip" || !(is >> version) || version != "v1") {
+    fail(error, "bad header");
+    return std::nullopt;
+  }
+  return read_gossip_body(is, error);
+}
+
+bool write_membership(std::ostream& os, const MembershipRecord& m) {
+  os << "starring-membership v1\n";
+  os << "epoch " << m.epoch << "\n";
+  os << "replication " << m.replication << "\n";
+  os << "vnodes " << m.vnodes << "\n";
+  os << "members " << m.members.size() << "\n";
+  for (const MemberRecord& r : m.members) {
+    os << "member ";
+    write_member_tokens(os, r);
+    os << "\n";
+  }
+  os << "end\n";
+  return static_cast<bool>(os);
+}
+
+std::optional<MembershipRecord> read_membership(std::istream& is,
+                                                std::string* error) {
+  std::string word;
+  if (!(is >> word)) {
+    fail(error, "");  // clean EOF
+    return std::nullopt;
+  }
+  std::string version;
+  if (word != "starring-membership" || !(is >> version) || version != "v1") {
+    fail(error, "bad header");
+    return std::nullopt;
+  }
+  MembershipRecord m;
+  if (!(is >> word >> m.epoch) || word != "epoch") {
+    fail(error, "bad epoch line");
+    return std::nullopt;
+  }
+  if (!(is >> word >> m.replication) || word != "replication" ||
+      m.replication < 1) {
+    fail(error, "bad replication line");
+    return std::nullopt;
+  }
+  if (!(is >> word >> m.vnodes) || word != "vnodes" || m.vnodes < 1) {
+    fail(error, "bad vnodes line");
+    return std::nullopt;
+  }
+  std::size_t count = 0;
+  if (!(is >> word >> count) || word != "members" ||
+      count > kMaxMemberRecords) {
+    fail(error, "bad members line");
+    return std::nullopt;
+  }
+  m.members.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    MemberRecord r;
+    if (!(is >> word) || word != "member") {
+      fail(error, "bad member line");
+      return std::nullopt;
+    }
+    if (!read_member_tokens(is, &r, error)) return std::nullopt;
+    m.members.push_back(std::move(r));
+  }
+  if (!read_end(is, error)) return std::nullopt;
+  return m;
 }
 
 }  // namespace starring

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -110,6 +111,14 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
 //                  with a self-framing starring-stats v1 record whose
 //                  body is one text report per retained slow request
 //                  (shards answer an empty report)
+//   MEMBERS        the process's live membership view, answered with a
+//                  self-framing starring-membership v1 record (see
+//                  MembershipRecord below); processes without a
+//                  membership agent answer an empty record (epoch 0)
+//   LEAVE          graceful departure: answered `LEAVE ok` on one
+//                  line, then the process announces its leave to the
+//                  cluster, drains, and exits cleanly — peers remove
+//                  it from the ring without suspicion or breakers
 //
 // One more record type rides the request stream: `starring-seed v1`,
 // the proxy's read-through replication push.  It carries a canonical
@@ -124,10 +133,16 @@ std::optional<EmbeddingFile> read_embedding(std::istream& is,
 //   end
 //
 // answered with the single line `SEED ok` or `SEED bad <reason>`.
+//
+// Finally, `starring-gossip v1` records (the membership layer's SWIM
+// probes — see the membership section below) also ride the request
+// stream, answered with a gossip ack/nack record, or with a
+// starring-membership v1 snapshot for `kind join`.
 
 /// What a parsed request asks for: an embedding, one of the bare
 /// command lines (`STATS`, `PING`, `FAIL <config>`, `HEALTH`, `TRACE`,
-/// `SLOW`), or a replication seed record.
+/// `SLOW`, `MEMBERS`, `LEAVE`), a replication seed record, or a
+/// membership gossip message.
 enum class RequestKind {
   kEmbed,
   kStats,
@@ -136,8 +151,13 @@ enum class RequestKind {
   kHealth,
   kSeed,
   kTrace,
-  kSlow
+  kSlow,
+  kGossip,
+  kMembers,
+  kLeave
 };
+
+struct GossipMessage;  // defined with the membership records below
 
 struct ServiceRequest {
   RequestKind kind = RequestKind::kEmbed;
@@ -171,6 +191,10 @@ struct ServiceRequest {
   /// is the seed's dimension and seed_ring its canonical ring).
   std::string seed_key;
   std::vector<VertexId> seed_ring;
+  /// Parsed gossip message (kind == kGossip only).  Held by pointer so
+  /// the common embed path does not pay for the vectors inside, and so
+  /// ServiceRequest stays cheaply copyable.
+  std::shared_ptr<GossipMessage> gossip;
 };
 
 /// Longest canonical-class key accepted in a seed record.  Canonical
@@ -312,5 +336,93 @@ std::optional<TraceDump> read_trace(std::istream& is,
 /// failure.
 bool write_merged_chrome_trace(std::ostream& os,
                                const std::vector<TraceDump>& dumps);
+
+// --- cluster membership gossip ---------------------------------------
+//
+// The membership layer (cluster/membership.hpp) speaks SWIM over the
+// same request stream every other record rides.  A member is
+// identified by its listen endpoint ("HOST:PORT"); shard_id is an
+// attribute (-1 marks an observer such as the proxy, which gossips but
+// carries no keys), and incarnation is the member's self-asserted
+// version number — the refutation mechanism: a member that learns it
+// is suspected re-announces itself alive with a higher incarnation,
+// and receivers order conflicting claims by (incarnation, state
+// precedence).
+//
+//   starring-gossip v1
+//   kind <ping|ping-req|ack|nack|join|leave>
+//   from <host:port> <shard-id> <incarnation> <state>
+//   [target <host:port>]                        (ping-req only)
+//   updates <count>
+//   update <host:port> <shard-id> <incarnation> <state>   x count
+//   end
+//
+// `from` is the sender's own member record (state `left` on a leave
+// announcement, `alive` otherwise); `updates` piggybacks recently
+// changed member records, the dissemination half of SWIM.  A ping is
+// answered with an ack (whose updates piggyback the receiver's view —
+// including, crucially, a refutation of any suspicion the ping just
+// delivered about the receiver).  A ping-req asks the receiver to
+// probe `target` on the sender's behalf and answer ack (target
+// responded) or nack.  A join is answered with a full membership
+// snapshot instead:
+//
+//   starring-membership v1
+//   epoch <u64>
+//   replication <int>
+//   vnodes <int>
+//   members <count>
+//   member <host:port> <shard-id> <incarnation> <state>   x count
+//   end
+//
+// epoch is the answering member's current map epoch; replication and
+// vnodes are the cluster's map parameters, which a joiner adopts so
+// every member builds identical rings from identical member sets.
+
+enum class MemberWireState { kAlive, kSuspect, kDead, kLeft };
+
+/// One token per state on the wire; parse_member_state is the inverse.
+const char* member_state_name(MemberWireState s);
+std::optional<MemberWireState> parse_member_state(std::string_view token);
+
+struct MemberRecord {
+  std::string addr;  // "HOST:PORT", the member's identity
+  int shard_id = -1;  // -1: an observer (proxy) — gossips, owns no keys
+  std::uint64_t incarnation = 0;
+  MemberWireState state = MemberWireState::kAlive;
+};
+
+struct GossipMessage {
+  enum class Kind { kPing, kPingReq, kAck, kNack, kJoin, kLeave };
+  Kind kind = Kind::kPing;
+  MemberRecord from;
+  std::string target;  // ping-req only: the member to probe
+  std::vector<MemberRecord> updates;  // piggybacked deltas
+};
+
+struct MembershipRecord {
+  std::uint64_t epoch = 0;
+  int replication = 2;
+  int vnodes = 128;
+  std::vector<MemberRecord> members;
+};
+
+/// Longest member address token accepted on the wire (a loopback
+/// "HOST:PORT" is far shorter; the cap stops a garbage frame from
+/// growing an unbounded token).
+inline constexpr std::size_t kMaxMemberAddrLen = 128;
+/// Most member records accepted in one gossip or membership frame —
+/// matches the shard-map parser's deployment-size cap.
+inline constexpr std::size_t kMaxMemberRecords = 4096;
+
+bool write_gossip(std::ostream& os, const GossipMessage& m);
+bool write_membership(std::ostream& os, const MembershipRecord& m);
+
+/// Parse one record; same clean-EOF vs malformed contract as
+/// read_request.
+std::optional<GossipMessage> read_gossip(std::istream& is,
+                                         std::string* error = nullptr);
+std::optional<MembershipRecord> read_membership(std::istream& is,
+                                                std::string* error = nullptr);
 
 }  // namespace starring

@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -15,6 +17,7 @@
 
 #include "cluster/router.hpp"
 #include "cluster/shard_map.hpp"
+#include "obs/metrics.hpp"
 #include "util/net.hpp"
 
 namespace starring::cluster {
@@ -286,6 +289,140 @@ TEST(Breaker, SuccessResetsTheFailureStreak) {
   r.record_failure(0, t0);
   EXPECT_TRUE(r.allow(0, t0))
       << "streak restarted after a success; two failures must not open";
+}
+
+TEST(Breaker, StateAndStreakExportedAsGauges) {
+  obs::set_enabled(true);
+  ShardRouter r = make_router();
+  const Clock::time_point t0{};
+  const auto state = [] {
+    return obs::counter("cluster.shard.0.breaker_state").value();
+  };
+  const auto streak = [] {
+    return obs::counter("cluster.shard.0.breaker_streak").value();
+  };
+  r.record_failure(0, t0);
+  EXPECT_EQ(state(), static_cast<std::int64_t>(BreakerState::kClosed));
+  EXPECT_EQ(streak(), 1);
+  r.record_failure(0, t0);
+  r.record_failure(0, t0);
+  EXPECT_EQ(state(), static_cast<std::int64_t>(BreakerState::kOpen));
+  EXPECT_EQ(streak(), 3);
+  // Past the cooldown, the candidates() walk republishes the flip to
+  // half-open — no request-side success/failure event needed.
+  r.candidates("class-key", t0 + milliseconds(200));
+  EXPECT_EQ(state(), static_cast<std::int64_t>(BreakerState::kHalfOpen));
+  r.record_success(0);
+  EXPECT_EQ(state(), static_cast<std::int64_t>(BreakerState::kClosed));
+  EXPECT_EQ(streak(), 0);
+  obs::set_enabled(false);
+}
+
+TEST(Router, SwapMapDropsDepartedBreakersAndRoutesNewSet) {
+  ShardRouter r = make_router(3);
+  const Clock::time_point t0{};
+  for (int i = 0; i < 3; ++i) r.record_failure(2, t0);
+  EXPECT_FALSE(r.allow(2, t0));
+  // Shard 2 departs; its streak must not haunt the id on rejoin.
+  auto next = std::make_shared<const ShardMap>(r.map()->without(2));
+  r.swap_map(next);
+  EXPECT_EQ(r.map()->epoch(), 8u) << "without() bumps the parsed epoch 7";
+  EXPECT_EQ(r.candidates("class-key", t0).size(), 2u);
+  auto back = std::make_shared<const ShardMap>(
+      r.map()->with(ShardInfo{2, *net::parse_endpoint("127.0.0.1:47999")}));
+  r.swap_map(back);
+  EXPECT_TRUE(r.allow(2, t0)) << "rejoined shard starts with a clean breaker";
+  EXPECT_EQ(r.candidates("class-key", t0).size(), 3u);
+}
+
+// ---- membership-driven map churn (with()/without() sequences) -------
+
+TEST(ShardMapChurn, RepeatedRemovalDownToOneShardMovesOnlyDepartedKeys) {
+  ShardMap m = parse_or_die(map_text(5));
+  std::map<std::string, int> owner;
+  for (int i = 0; i < 400; ++i) owner[key_for(i)] = m.owner(key_for(i));
+  std::uint64_t epoch = m.epoch();
+  for (const int victim : {4, 3, 2, 1}) {
+    const ShardMap next = m.without(victim);
+    EXPECT_EQ(next.epoch(), epoch + 1);
+    EXPECT_EQ(next.find(victim), nullptr);
+    for (auto& [key, prev] : owner) {
+      const int now = next.owner(key);
+      if (prev != victim)
+        EXPECT_EQ(now, prev) << "surviving shard " << prev
+                             << " lost key " << key << " to " << now;
+      else
+        EXPECT_NE(now, victim);
+      owner[key] = now;
+    }
+    m = next;
+    epoch = m.epoch();
+  }
+  // Down to one shard: it owns everything, replication degrades to 1.
+  ASSERT_EQ(m.shards().size(), 1u);
+  EXPECT_EQ(m.replication(), 1);
+  for (int i = 0; i < 400; ++i) {
+    EXPECT_EQ(m.owner(key_for(i)), 0);
+    EXPECT_EQ(m.replicas(key_for(i)).size(), 1u);
+  }
+}
+
+TEST(ShardMapChurn, RejoinViaWithMovesOnlyKeysToTheArrival) {
+  ShardMap one = parse_or_die(map_text(5));
+  for (const int victim : {4, 3, 2, 1}) one = one.without(victim);
+  ASSERT_EQ(one.shards().size(), 1u);
+  const ShardMap two =
+      one.with(ShardInfo{3, *net::parse_endpoint("127.0.0.1:50000")});
+  EXPECT_EQ(two.epoch(), one.epoch() + 1);
+  ASSERT_EQ(two.shards().size(), 2u);
+  // Replication re-raises toward the target R=2 as members return.
+  EXPECT_EQ(two.replication(), 2);
+  int moved = 0;
+  for (int i = 0; i < 400; ++i) {
+    const int now = two.owner(key_for(i));
+    if (now != one.owner(key_for(i))) {
+      EXPECT_EQ(now, 3) << "a key may only move to the arriving shard";
+      ++moved;
+    }
+    // With 2 shards and R=2, replica sets must be the full distinct
+    // pair.
+    const auto reps = two.replicas(key_for(i));
+    ASSERT_EQ(reps.size(), 2u);
+    EXPECT_NE(reps[0], reps[1]);
+  }
+  EXPECT_GT(moved, 0) << "the arrival must take some ownership";
+  // Vnode labels depend only on the shard id, so the rejoin lands the
+  // same ring points the original shard 3 held: against the *original*
+  // 5-shard map, every key shard 3 owned still resolves consistently.
+  const ShardMap orig = parse_or_die(map_text(5));
+  for (int i = 0; i < 400; ++i)
+    if (orig.owner(key_for(i)) == 3 && two.owner(key_for(i)) != 3)
+      FAIL() << "key " << key_for(i)
+             << " belonged to shard 3 in the full map but did not return";
+}
+
+TEST(ShardMapChurn, WithReplacesEndpointInPlaceMovingZeroKeys) {
+  const ShardMap m = parse_or_die(map_text(4));
+  const ShardMap moved =
+      m.with(ShardInfo{2, *net::parse_endpoint("127.0.0.1:60001")});
+  EXPECT_EQ(moved.epoch(), m.epoch() + 1);
+  ASSERT_EQ(moved.shards().size(), 4u);
+  EXPECT_EQ(moved.find(2)->endpoint.port, 60001);
+  // A rejoin at a new port is a membership change but not a placement
+  // change: zero keys move.
+  for (int i = 0; i < 400; ++i)
+    EXPECT_EQ(moved.owner(key_for(i)), m.owner(key_for(i)));
+}
+
+TEST(ShardMapChurn, MakeBuildsEmptyAndGrowsFromNothing) {
+  const ShardMap empty = ShardMap::make({}, 1, 2, 128);
+  EXPECT_EQ(empty.shards().size(), 0u);
+  EXPECT_TRUE(empty.replicas("anything").empty());
+  const ShardMap one =
+      empty.with(ShardInfo{0, *net::parse_endpoint("127.0.0.1:47181")});
+  EXPECT_EQ(one.epoch(), 2u);
+  EXPECT_EQ(one.owner("anything"), 0);
+  EXPECT_EQ(one.replication(), 1) << "clamped to the live count";
 }
 
 }  // namespace

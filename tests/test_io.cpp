@@ -1039,5 +1039,160 @@ TEST(IoService, TraceDumpRejectsGarbage) {
   }
 }
 
+TEST(IoGossip, PingWithPiggybackRoundTrips) {
+  GossipMessage m;
+  m.kind = GossipMessage::Kind::kPing;
+  m.from = {"127.0.0.1:47181", 0, 3, MemberWireState::kAlive};
+  m.updates.push_back({"127.0.0.1:47182", 1, 2, MemberWireState::kSuspect});
+  m.updates.push_back({"127.0.0.1:47190", -1, 1, MemberWireState::kLeft});
+  std::stringstream ss;
+  ASSERT_TRUE(write_gossip(ss, m));
+  std::string err;
+  const auto back = read_gossip(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->kind, GossipMessage::Kind::kPing);
+  EXPECT_EQ(back->from.addr, "127.0.0.1:47181");
+  EXPECT_EQ(back->from.shard_id, 0);
+  EXPECT_EQ(back->from.incarnation, 3u);
+  ASSERT_EQ(back->updates.size(), 2u);
+  EXPECT_EQ(back->updates[0].state, MemberWireState::kSuspect);
+  EXPECT_EQ(back->updates[1].shard_id, -1);
+  EXPECT_EQ(back->updates[1].state, MemberWireState::kLeft);
+}
+
+TEST(IoGossip, PingReqCarriesItsTarget) {
+  GossipMessage m;
+  m.kind = GossipMessage::Kind::kPingReq;
+  m.from = {"127.0.0.1:47181", 0, 1, MemberWireState::kAlive};
+  m.target = "127.0.0.1:47183";
+  std::stringstream ss;
+  ASSERT_TRUE(write_gossip(ss, m));
+  std::string err;
+  const auto back = read_gossip(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->kind, GossipMessage::Kind::kPingReq);
+  EXPECT_EQ(back->target, "127.0.0.1:47183");
+  EXPECT_TRUE(back->updates.empty());
+}
+
+TEST(IoGossip, GossipRidesTheRequestStream) {
+  // A gossip record is a first-class request: read_request dispatches
+  // on the magic token so SWIM shares the data-path listener.
+  GossipMessage m;
+  m.kind = GossipMessage::Kind::kJoin;
+  m.from = {"127.0.0.1:47185", 3, 1, MemberWireState::kAlive};
+  std::stringstream ss;
+  ASSERT_TRUE(write_gossip(ss, m));
+  std::string err;
+  const auto req = read_request(ss, &err);
+  ASSERT_TRUE(req.has_value()) << err;
+  EXPECT_EQ(req->kind, RequestKind::kGossip);
+  ASSERT_NE(req->gossip, nullptr);
+  EXPECT_EQ(req->gossip->kind, GossipMessage::Kind::kJoin);
+  EXPECT_EQ(req->gossip->from.addr, "127.0.0.1:47185");
+}
+
+TEST(IoGossip, MembersAndLeaveAreBareCommands) {
+  {
+    std::stringstream ss("MEMBERS\n");
+    const auto req = read_request(ss);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->kind, RequestKind::kMembers);
+  }
+  {
+    std::stringstream ss("LEAVE\n");
+    const auto req = read_request(ss);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->kind, RequestKind::kLeave);
+  }
+}
+
+TEST(IoGossip, RejectsGarbage) {
+  for (const char* text : {
+           "starring-gossip v2\nkind ping\nfrom 127.0.0.1:1 0 1 alive\n"
+           "updates 0\nend\n",  // wrong version
+           "starring-gossip v1\nkind shout\nfrom 127.0.0.1:1 0 1 alive\n"
+           "updates 0\nend\n",  // unknown kind
+           "starring-gossip v1\nkind ping\nfrom 127.0.0.1:1 0 1 zombie\n"
+           "updates 0\nend\n",  // unknown state
+           "starring-gossip v1\nkind ping\nfrom notanaddr 0 1 alive\n"
+           "updates 0\nend\n",  // malformed address
+           "starring-gossip v1\nkind ping\nfrom 127.0.0.1:1 -2 1 alive\n"
+           "updates 0\nend\n",  // shard id below the observer sentinel
+           "starring-gossip v1\nkind ping-req\nfrom 127.0.0.1:1 0 1 alive\n"
+           "updates 0\nend\n",  // ping-req without a target
+           "starring-gossip v1\nkind ping\nfrom 127.0.0.1:1 0 1 alive\n"
+           "updates 2\nupdate 127.0.0.1:2 1 1 alive\nend\n",  // short count
+           "starring-gossip v1\nkind ping\nfrom 127.0.0.1:1 0 1 alive\n"
+           "updates 99999999\n",  // absurd update count
+           "starring-gossip v1\nkind ping\nfrom 127.0.0.1:1 0 1 alive\n"
+           "updates 0\n",  // missing end
+       }) {
+    std::stringstream ss(text);
+    std::string err;
+    EXPECT_FALSE(read_gossip(ss, &err).has_value()) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+  // Clean EOF is distinguishable from malformation: empty error.
+  std::stringstream empty;
+  std::string err = "sentinel";
+  EXPECT_FALSE(read_gossip(empty, &err).has_value());
+  EXPECT_TRUE(err.empty());
+}
+
+TEST(IoMembership, SnapshotRoundTrips) {
+  MembershipRecord r;
+  r.epoch = 42;
+  r.replication = 3;
+  r.vnodes = 64;
+  r.members.push_back({"127.0.0.1:47181", 0, 5, MemberWireState::kAlive});
+  r.members.push_back({"127.0.0.1:47182", 1, 1, MemberWireState::kSuspect});
+  r.members.push_back({"127.0.0.1:47190", -1, 2, MemberWireState::kAlive});
+  std::stringstream ss;
+  ASSERT_TRUE(write_membership(ss, r));
+  std::string err;
+  const auto back = read_membership(ss, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->epoch, 42u);
+  EXPECT_EQ(back->replication, 3);
+  EXPECT_EQ(back->vnodes, 64);
+  ASSERT_EQ(back->members.size(), 3u);
+  EXPECT_EQ(back->members[1].state, MemberWireState::kSuspect);
+  EXPECT_EQ(back->members[2].shard_id, -1);
+}
+
+TEST(IoMembership, EmptySnapshotRoundTrips) {
+  // A process without a membership agent answers MEMBERS with the
+  // defaults: epoch 0, no members.
+  MembershipRecord r;
+  r.epoch = 0;
+  std::stringstream ss;
+  ASSERT_TRUE(write_membership(ss, r));
+  const auto back = read_membership(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->epoch, 0u);
+  EXPECT_TRUE(back->members.empty());
+}
+
+TEST(IoMembership, RejectsGarbage) {
+  for (const char* text : {
+           "starring-membership v2\nepoch 1\nreplication 2\nvnodes 128\n"
+           "members 0\nend\n",  // wrong version
+           "starring-membership v1\nepoch x\nreplication 2\nvnodes 128\n"
+           "members 0\nend\n",  // non-numeric epoch
+           "starring-membership v1\nepoch 1\nreplication 2\nvnodes 128\n"
+           "members 1\nend\n",  // fewer members than declared
+           "starring-membership v1\nepoch 1\nreplication 2\nvnodes 128\n"
+           "members 1\nmember bad 0 1 alive\nend\n",  // bad address
+           "starring-membership v1\nepoch 1\nreplication 2\nvnodes 128\n"
+           "members 0\n",  // missing end
+       }) {
+    std::stringstream ss(text);
+    std::string err;
+    EXPECT_FALSE(read_membership(ss, &err).has_value()) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
 }  // namespace
 }  // namespace starring

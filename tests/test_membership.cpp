@@ -1,0 +1,301 @@
+// MembershipTable unit tests: the pure SWIM state machine driven with
+// injected time — suspicion windows, incarnation refutation, state
+// precedence, piggyback budgets, epoch-versioned map rebuilds — no
+// sockets, no threads, no sleeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "cluster/membership.hpp"
+#include "cluster/shard_map.hpp"
+#include "util/io.hpp"
+
+namespace starring::cluster {
+namespace {
+
+using Clock = MembershipTable::Clock;
+using std::chrono::milliseconds;
+
+MemberRecord member(const std::string& addr, int shard_id,
+                    std::uint64_t inc = 1,
+                    MemberWireState state = MemberWireState::kAlive) {
+  MemberRecord m;
+  m.addr = addr;
+  m.shard_id = shard_id;
+  m.incarnation = inc;
+  m.state = state;
+  return m;
+}
+
+/// Self is shard 0 at :7000; peers :7001/shard 1 and :7002/shard 2.
+MembershipTable make_table(MembershipOptions opts = {}) {
+  MembershipTable t(member("127.0.0.1:7000", 0), opts);
+  t.bootstrap({member("127.0.0.1:7000", 0), member("127.0.0.1:7001", 1),
+               member("127.0.0.1:7002", 2)},
+              /*epoch=*/7, Clock::time_point{});
+  t.take_events();  // tests start from a quiet table
+  return t;
+}
+
+bool has_shard(const ShardMap& m, int id) { return m.find(id) != nullptr; }
+
+TEST(MembershipTable, BootstrapBuildsMapAndRecognizesSelf) {
+  MembershipTable t = make_table();
+  EXPECT_EQ(t.epoch(), 7u);
+  EXPECT_EQ(t.self().addr, "127.0.0.1:7000");
+  EXPECT_EQ(t.self().shard_id, 0);
+  const auto map = t.map();
+  ASSERT_EQ(map->shards().size(), 3u);
+  for (int id : {0, 1, 2}) EXPECT_TRUE(has_shard(*map, id));
+  // Probe targets exclude self.
+  const auto targets = t.probe_targets();
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(std::count(targets.begin(), targets.end(), "127.0.0.1:7000"),
+            0);
+}
+
+TEST(MembershipTable, SuspicionLeavesMapIntactUntilTimeoutThenDeath) {
+  MembershipOptions opts;
+  opts.suspicion_timeout_ms = 1000;
+  MembershipTable t = make_table(opts);
+  const Clock::time_point t0{};
+  t.probe_failed("127.0.0.1:7001", t0);
+  auto events = t.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kSuspect);
+  EXPECT_EQ(events[0].map_epoch, 0u) << "suspicion must not change the map";
+  EXPECT_EQ(t.epoch(), 7u);
+  EXPECT_TRUE(has_shard(*t.map(), 1))
+      << "a suspect is probably alive; the refutation window is the point";
+  // Inside the window: still only a suspect.
+  t.tick(t0 + milliseconds(999));
+  EXPECT_TRUE(t.take_events().empty());
+  // Window expired: declared dead, dropped from the map, epoch bumped.
+  t.tick(t0 + milliseconds(1000));
+  events = t.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kDead);
+  EXPECT_EQ(events[0].map_epoch, 8u);
+  EXPECT_EQ(t.epoch(), 8u);
+  EXPECT_FALSE(has_shard(*t.map(), 1));
+  EXPECT_TRUE(has_shard(*t.map(), 0));
+  EXPECT_TRUE(has_shard(*t.map(), 2));
+}
+
+TEST(MembershipTable, ProbeSuccessAloneDoesNotReviveASuspect) {
+  MembershipOptions opts;
+  opts.suspicion_timeout_ms = 1000;
+  MembershipTable t = make_table(opts);
+  const Clock::time_point t0{};
+  t.probe_failed("127.0.0.1:7001", t0);
+  // Strict SWIM: a reachable suspect is still a suspect — only its own
+  // refutation (a higher incarnation) clears the state.  Otherwise a
+  // flapping link would bounce alive<->suspect forever without the
+  // member ever learning it was suspected.
+  t.probe_succeeded("127.0.0.1:7001", t0 + milliseconds(500));
+  const MemberRecord* rec = t.find("127.0.0.1:7001");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, MemberWireState::kSuspect);
+  t.tick(t0 + milliseconds(1500));
+  const auto events = t.take_events();
+  ASSERT_EQ(events.size(), 2u);  // suspect (from probe_failed), then dead
+  EXPECT_EQ(events[1].kind, MembershipEvent::Kind::kDead);
+}
+
+TEST(MembershipTable, RefutationClearsSuspicionWithoutAnEpochBump) {
+  MembershipTable t = make_table();
+  const Clock::time_point t0{};
+  t.probe_failed("127.0.0.1:7001", t0);
+  t.take_events();
+  // The member heard it was suspected and re-announced at inc+1.
+  t.apply(member("127.0.0.1:7001", 1, /*inc=*/2), t0 + milliseconds(200));
+  const auto events = t.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kAlive);
+  EXPECT_EQ(events[0].map_epoch, 0u)
+      << "the suspect never left the map, so nothing changed";
+  EXPECT_EQ(t.epoch(), 7u);
+  EXPECT_EQ(t.find("127.0.0.1:7001")->state, MemberWireState::kAlive);
+}
+
+TEST(MembershipTable, RevivalAfterDeathRejoinsTheMapWithAnEpochBump) {
+  MembershipOptions opts;
+  opts.suspicion_timeout_ms = 1000;
+  MembershipTable t = make_table(opts);
+  const Clock::time_point t0{};
+  t.probe_failed("127.0.0.1:7001", t0);
+  t.tick(t0 + milliseconds(1000));
+  t.take_events();
+  ASSERT_FALSE(has_shard(*t.map(), 1));
+  // A falsely-buried member refutes its own obituary.
+  t.apply(member("127.0.0.1:7001", 1, /*inc=*/2), t0 + milliseconds(1200));
+  const auto events = t.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kAlive);
+  EXPECT_EQ(events[0].map_epoch, 9u);
+  EXPECT_TRUE(has_shard(*t.map(), 1));
+}
+
+TEST(MembershipTable, EqualIncarnationFollowsStatePrecedence) {
+  MembershipTable t = make_table();
+  const Clock::time_point t0{};
+  // suspect > alive at equal incarnation.
+  t.apply(member("127.0.0.1:7001", 1, 1, MemberWireState::kSuspect), t0);
+  EXPECT_EQ(t.find("127.0.0.1:7001")->state, MemberWireState::kSuspect);
+  // alive does NOT override suspect at the same incarnation.
+  t.apply(member("127.0.0.1:7001", 1, 1, MemberWireState::kAlive), t0);
+  EXPECT_EQ(t.find("127.0.0.1:7001")->state, MemberWireState::kSuspect);
+  // dead > left: a crash observed during a departure stays a crash.
+  t.apply(member("127.0.0.1:7002", 2, 1, MemberWireState::kLeft), t0);
+  t.apply(member("127.0.0.1:7002", 2, 1, MemberWireState::kDead), t0);
+  EXPECT_EQ(t.find("127.0.0.1:7002")->state, MemberWireState::kDead);
+  t.apply(member("127.0.0.1:7002", 2, 1, MemberWireState::kLeft), t0);
+  EXPECT_EQ(t.find("127.0.0.1:7002")->state, MemberWireState::kDead);
+}
+
+TEST(MembershipTable, SelfSuspicionIsRefutedByOutbiddingTheClaim) {
+  MembershipTable t = make_table();
+  const Clock::time_point t0{};
+  ASSERT_EQ(t.self().incarnation, 1u);
+  t.apply(member("127.0.0.1:7000", 0, 1, MemberWireState::kSuspect), t0);
+  EXPECT_EQ(t.self().incarnation, 2u) << "refutation outbids the claim";
+  EXPECT_EQ(t.self().state, MemberWireState::kAlive);
+  const auto events = t.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kRefute);
+  // The refutation is queued for dissemination.
+  const auto updates = t.piggyback(16);
+  ASSERT_FALSE(updates.empty());
+  bool found = false;
+  for (const MemberRecord& u : updates)
+    if (u.addr == "127.0.0.1:7000" && u.incarnation == 2 &&
+        u.state == MemberWireState::kAlive)
+      found = true;
+  EXPECT_TRUE(found);
+  // A stale lower-incarnation claim is simply ignored.
+  t.apply(member("127.0.0.1:7000", 0, 1, MemberWireState::kDead), t0);
+  EXPECT_EQ(t.self().incarnation, 2u);
+  EXPECT_TRUE(t.take_events().empty());
+}
+
+TEST(MembershipTable, LeftLeavesATombstoneThatStaleAliveCannotClear) {
+  MembershipTable t = make_table();
+  const Clock::time_point t0{};
+  t.apply(member("127.0.0.1:7001", 1, 1, MemberWireState::kLeft), t0);
+  auto events = t.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kLeft);
+  EXPECT_EQ(events[0].map_epoch, 8u);
+  EXPECT_FALSE(has_shard(*t.map(), 1));
+  // A stale alive claim at the same incarnation must not resurrect it.
+  t.apply(member("127.0.0.1:7001", 1, 1, MemberWireState::kAlive), t0);
+  EXPECT_FALSE(has_shard(*t.map(), 1));
+  EXPECT_TRUE(t.take_events().empty());
+  // But an actual rejoin (higher incarnation) does.
+  t.apply(member("127.0.0.1:7001", 1, 2, MemberWireState::kAlive), t0);
+  EXPECT_TRUE(has_shard(*t.map(), 1));
+  EXPECT_EQ(t.epoch(), 9u);
+}
+
+TEST(MembershipTable, ObserverChurnNeverBumpsTheEpoch) {
+  MembershipTable t = make_table();
+  const Clock::time_point t0{};
+  // An observer (the proxy): full gossip participant, no ring points.
+  t.apply(member("127.0.0.1:7003", -1), t0);
+  auto events = t.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kJoin);
+  EXPECT_EQ(events[0].map_epoch, 0u);
+  EXPECT_EQ(t.epoch(), 7u);
+  EXPECT_EQ(t.map()->shards().size(), 3u);
+  t.probe_failed("127.0.0.1:7003", t0);
+  t.tick(t0 + milliseconds(5000));
+  events = t.take_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].kind, MembershipEvent::Kind::kDead);
+  EXPECT_EQ(events[1].map_epoch, 0u);
+  EXPECT_EQ(t.epoch(), 7u);
+}
+
+TEST(MembershipTable, PiggybackBudgetBoundsRetransmissions) {
+  MembershipOptions opts;
+  opts.piggyback_transmits = 2;
+  MembershipTable t = make_table(opts);
+  t.probe_failed("127.0.0.1:7001", Clock::time_point{});
+  // The suspicion update rides exactly `piggyback_transmits` messages.
+  EXPECT_EQ(t.piggyback(16).size(), 1u);
+  EXPECT_EQ(t.piggyback(16).size(), 1u);
+  EXPECT_EQ(t.piggyback(16).size(), 0u) << "budget exhausted";
+  // Fresh news about the same member re-arms the budget.
+  t.apply(member("127.0.0.1:7001", 1, 2), Clock::time_point{});
+  EXPECT_EQ(t.piggyback(16).size(), 1u);
+}
+
+TEST(MembershipTable, RejoinAtANewEndpointMovesTheShardNotTheKeys) {
+  MembershipOptions opts;
+  opts.suspicion_timeout_ms = 1000;
+  MembershipTable t = make_table(opts);
+  const Clock::time_point t0{};
+  t.probe_failed("127.0.0.1:7001", t0);
+  t.tick(t0 + milliseconds(1000));
+  t.take_events();
+  // The same shard id returns under a different address (restart on a
+  // new port).  The map gets the new endpoint; placement is untouched
+  // because vnode labels hash only the id.
+  t.apply(member("127.0.0.1:7101", 1, 1), t0 + milliseconds(2000));
+  const auto events = t.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kJoin);
+  const ShardInfo* info = t.map()->find(1);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->endpoint.port, 7101);
+}
+
+TEST(MembershipTable, AbsorbAdoptsSnapshotEpochParamsAndMembers) {
+  // The cluster side: epoch 7, custom map parameters.
+  MembershipTable cluster = make_table();
+  cluster.set_map_params(/*replication=*/3, /*vnodes=*/64);
+  const MembershipRecord snap = cluster.snapshot();
+  EXPECT_EQ(snap.epoch, 7u);
+  EXPECT_EQ(snap.replication, 3);
+  EXPECT_EQ(snap.vnodes, 64);
+  ASSERT_EQ(snap.members.size(), 3u);
+  EXPECT_EQ(snap.members[0].addr, "127.0.0.1:7000") << "self rides first";
+
+  // The joiner: a brand-new shard 3 that dialed a member and got the
+  // snapshot back.
+  MembershipTable joiner(member("127.0.0.1:7003", 3), {});
+  joiner.absorb(snap, Clock::time_point{});
+  EXPECT_EQ(joiner.epoch(), 7u) << "joiner builds the agreed epoch";
+  const auto map = joiner.map();
+  ASSERT_EQ(map->shards().size(), 4u) << "three absorbed + self";
+  for (int id : {0, 1, 2, 3}) EXPECT_TRUE(has_shard(*map, id));
+  EXPECT_EQ(map->vnodes(), 64);
+  EXPECT_EQ(map->replication(), 3);
+}
+
+TEST(MembershipTable, MarkSelfLeftDropsOwnShardAndQueuesTheNews) {
+  MembershipTable t = make_table();
+  t.mark_self_left();
+  EXPECT_TRUE(t.self_left());
+  EXPECT_FALSE(has_shard(*t.map(), 0));
+  EXPECT_EQ(t.epoch(), 8u);
+  const auto updates = t.piggyback(16);
+  bool found = false;
+  for (const MemberRecord& u : updates)
+    if (u.addr == "127.0.0.1:7000" && u.state == MemberWireState::kLeft)
+      found = true;
+  EXPECT_TRUE(found) << "the departure must be queued for dissemination";
+  // Departing members refute nothing.
+  t.take_events();
+  t.apply(member("127.0.0.1:7000", 0, 5, MemberWireState::kDead),
+          Clock::time_point{});
+  EXPECT_TRUE(t.take_events().empty());
+  EXPECT_EQ(t.self().state, MemberWireState::kLeft);
+}
+
+}  // namespace
+}  // namespace starring::cluster
